@@ -1,0 +1,407 @@
+//! Difference-of-cubes packet sets (the HSA representation).
+//!
+//! A [`Cube`] is a ternary match over the 128-bit header: a mask selects
+//! the constrained bits, a value gives them. A [`CubeSet`] is a union of
+//! cubes. Intersection distributes pairwise; complement/difference
+//! expands a cube into up to one cube per constrained bit. The expansion
+//! is the representation's fundamental weakness — exactly the cost the
+//! paper's Lesson 2 says BDD canonicity avoids — and the Figure 3
+//! benchmark measures it.
+//!
+//! Header layout (MSB→LSB within the u128, mirroring the BDD field
+//! order): dstIP(32) srcIP(32) dstPort(16) srcPort(16) icmpCode(8)
+//! icmpType(8) proto(8) tcpFlags(8).
+
+use batnet_net::{Flow, HeaderSpace, IpRange, PortRange};
+
+/// Bit offset (from the MSB) of each field.
+const DST_IP: u32 = 0;
+const SRC_IP: u32 = 32;
+const DST_PORT: u32 = 64;
+const SRC_PORT: u32 = 80;
+const ICMP_CODE: u32 = 96;
+const ICMP_TYPE: u32 = 104;
+const PROTO: u32 = 112;
+const FLAGS: u32 = 120;
+
+/// A ternary cube: `mask` bits are constrained to `value` bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Cube {
+    /// Constrained-bit mask (1 = constrained).
+    pub mask: u128,
+    /// Values of constrained bits (0 elsewhere).
+    pub value: u128,
+}
+
+impl Cube {
+    /// The unconstrained cube (all packets).
+    pub const ANY: Cube = Cube { mask: 0, value: 0 };
+
+    /// Constrains `bits` bits of a field starting `offset` bits from the
+    /// MSB to the top `bits` of `value`'s low `width` bits.
+    fn with_field(self, offset: u32, width: u32, value: u64, fixed: u32) -> Cube {
+        let mut c = self;
+        for i in 0..fixed {
+            let bit = (value >> (width - 1 - i)) & 1;
+            let pos = 127 - (offset + i);
+            c.mask |= 1 << pos;
+            if bit == 1 {
+                c.value |= 1 << pos;
+            } else {
+                c.value &= !(1 << pos);
+            }
+        }
+        c
+    }
+
+    /// Do the two cubes share any packet?
+    pub fn intersects(&self, other: &Cube) -> bool {
+        let common = self.mask & other.mask;
+        (self.value ^ other.value) & common == 0
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Cube {
+            mask: self.mask | other.mask,
+            value: (self.value & self.mask) | (other.value & other.mask),
+        })
+    }
+
+    /// Is `self` entirely within `other`?
+    pub fn subset_of(&self, other: &Cube) -> bool {
+        other.mask & !self.mask == 0
+            && (self.value ^ other.value) & other.mask == 0
+    }
+
+    /// `self ∖ other` as a set of disjoint cubes (one per bit of `other`
+    /// not already fixed oppositely).
+    pub fn subtract(&self, other: &Cube) -> Vec<Cube> {
+        if !self.intersects(other) {
+            return vec![*self];
+        }
+        let mut out = Vec::new();
+        let mut prefix = *self;
+        // For every bit constrained by `other` but free or agreeing in
+        // `self`, split off the cube that disagrees on that bit.
+        for pos in (0..128u32).rev() {
+            let bit = 1u128 << pos;
+            if other.mask & bit == 0 {
+                continue;
+            }
+            if prefix.mask & bit != 0 {
+                // Already fixed: if it agrees, continue narrowing; if it
+                // disagrees we'd have been disjoint.
+                continue;
+            }
+            let mut flipped = prefix;
+            flipped.mask |= bit;
+            if other.value & bit == 0 {
+                flipped.value |= bit;
+            }
+            out.push(flipped);
+            prefix.mask |= bit;
+            prefix.value = (prefix.value & !bit) | (other.value & bit);
+        }
+        out
+    }
+
+    /// Does the cube match a concrete flow?
+    pub fn matches(&self, f: &Flow) -> bool {
+        let packed = pack_flow(f);
+        (packed ^ self.value) & self.mask == 0
+    }
+}
+
+/// Packs a flow into the 128-bit header layout.
+pub fn pack_flow(f: &Flow) -> u128 {
+    let mut v: u128 = 0;
+    v |= (f.dst_ip.0 as u128) << (128 - DST_IP - 32);
+    v |= (f.src_ip.0 as u128) << (128 - SRC_IP - 32);
+    v |= (f.dst_port as u128) << (128 - DST_PORT - 16);
+    v |= (f.src_port as u128) << (128 - SRC_PORT - 16);
+    v |= (f.icmp_code as u128) << (128 - ICMP_CODE - 8);
+    v |= (f.icmp_type as u128) << (128 - ICMP_TYPE - 8);
+    v |= (f.protocol.number() as u128) << (128 - PROTO - 8);
+    v |= (f.tcp_flags.0 as u128) << (128 - FLAGS - 8);
+    v
+}
+
+/// A union of cubes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CubeSet {
+    /// The cubes (not necessarily disjoint).
+    pub cubes: Vec<Cube>,
+}
+
+impl CubeSet {
+    /// The empty set.
+    pub fn empty() -> CubeSet {
+        CubeSet { cubes: Vec::new() }
+    }
+
+    /// The universe.
+    pub fn any() -> CubeSet {
+        CubeSet {
+            cubes: vec![Cube::ANY],
+        }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Number of cubes held (the blow-up metric).
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Union (concatenation with subsumption pruning).
+    pub fn union(&self, other: &CubeSet) -> CubeSet {
+        let mut cubes = self.cubes.clone();
+        for c in &other.cubes {
+            if !cubes.iter().any(|have| c.subset_of(have)) {
+                cubes.retain(|have| !have.subset_of(c));
+                cubes.push(*c);
+            }
+        }
+        CubeSet { cubes }
+    }
+
+    /// Intersection (pairwise).
+    pub fn intersect(&self, other: &CubeSet) -> CubeSet {
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(c) = a.intersect(b) {
+                    if !cubes.iter().any(|have| c.subset_of(have)) {
+                        cubes.push(c);
+                    }
+                }
+            }
+        }
+        CubeSet { cubes }
+    }
+
+    /// Difference: subtract every cube of `other` from every cube of
+    /// `self` (the expansion the representation pays for).
+    pub fn subtract(&self, other: &CubeSet) -> CubeSet {
+        let mut current = self.cubes.clone();
+        for b in &other.cubes {
+            let mut next = Vec::new();
+            for a in current {
+                next.extend(a.subtract(b));
+            }
+            current = next;
+        }
+        // Prune subsumed cubes to keep growth in check.
+        let mut pruned: Vec<Cube> = Vec::new();
+        for c in current {
+            if !pruned.iter().any(|have| c.subset_of(have)) {
+                pruned.retain(|have| !have.subset_of(&c));
+                pruned.push(c);
+            }
+        }
+        CubeSet { cubes: pruned }
+    }
+
+    /// Membership of a concrete flow.
+    pub fn matches(&self, f: &Flow) -> bool {
+        self.cubes.iter().any(|c| c.matches(f))
+    }
+
+    /// Compiles a header space: the product of per-field unions.
+    pub fn from_headerspace(hs: &HeaderSpace) -> CubeSet {
+        let mut acc = CubeSet::any();
+        let field_union = |offset: u32, width: u32, blocks: Vec<(u64, u32)>| -> CubeSet {
+            CubeSet {
+                cubes: blocks
+                    .into_iter()
+                    .map(|(value, fixed)| Cube::ANY.with_field(offset, width, value, fixed))
+                    .collect(),
+            }
+        };
+        let ip_blocks = |ranges: &[IpRange]| -> Vec<(u64, u32)> {
+            ranges
+                .iter()
+                .flat_map(|r| r.to_prefixes())
+                .map(|p| (p.network().0 as u64, p.len() as u32))
+                .collect()
+        };
+        let port_blocks = |ranges: &[PortRange]| -> Vec<(u64, u32)> {
+            ranges
+                .iter()
+                .flat_map(|r| r.to_masked_blocks())
+                .map(|(v, l)| (v as u64, l as u32))
+                .collect()
+        };
+        if !hs.dst_ips.is_empty() {
+            acc = acc.intersect(&field_union(DST_IP, 32, ip_blocks(&hs.dst_ips)));
+        }
+        if !hs.src_ips.is_empty() {
+            acc = acc.intersect(&field_union(SRC_IP, 32, ip_blocks(&hs.src_ips)));
+        }
+        if !hs.protocols.is_empty() {
+            let blocks = hs.protocols.iter().map(|p| (p.number() as u64, 8)).collect();
+            acc = acc.intersect(&field_union(PROTO, 8, blocks));
+        }
+        if !hs.dst_ports.is_empty() || !hs.src_ports.is_empty() {
+            // Ports imply TCP or UDP.
+            let tcpudp = field_union(PROTO, 8, vec![(6, 8), (17, 8)]);
+            acc = acc.intersect(&tcpudp);
+        }
+        if !hs.dst_ports.is_empty() {
+            acc = acc.intersect(&field_union(DST_PORT, 16, port_blocks(&hs.dst_ports)));
+        }
+        if !hs.src_ports.is_empty() {
+            acc = acc.intersect(&field_union(SRC_PORT, 16, port_blocks(&hs.src_ports)));
+        }
+        if !hs.icmp_types.is_empty() || !hs.icmp_codes.is_empty() {
+            acc = acc.intersect(&field_union(PROTO, 8, vec![(1, 8)]));
+        }
+        if !hs.icmp_types.is_empty() {
+            let blocks = hs.icmp_types.iter().map(|&t| (t as u64, 8)).collect();
+            acc = acc.intersect(&field_union(ICMP_TYPE, 8, blocks));
+        }
+        if !hs.icmp_codes.is_empty() {
+            let blocks = hs.icmp_codes.iter().map(|&c| (c as u64, 8)).collect();
+            acc = acc.intersect(&field_union(ICMP_CODE, 8, blocks));
+        }
+        // TCP flag constraints imply TCP; set/unset bits are single-bit
+        // constraints; `established` (ACK∨RST) is a two-cube union.
+        if hs.tcp_flags_set.is_some() || hs.tcp_flags_unset.is_some() || hs.established {
+            acc = acc.intersect(&field_union(PROTO, 8, vec![(6, 8)]));
+        }
+        if let Some(set) = hs.tcp_flags_set {
+            for i in 0..8u32 {
+                if set.bit(i as u8) {
+                    acc = acc.intersect(&CubeSet {
+                        cubes: vec![bit_cube(FLAGS + 7 - i, true)],
+                    });
+                }
+            }
+        }
+        if let Some(unset) = hs.tcp_flags_unset {
+            for i in 0..8u32 {
+                if unset.bit(i as u8) {
+                    acc = acc.intersect(&CubeSet {
+                        cubes: vec![bit_cube(FLAGS + 7 - i, false)],
+                    });
+                }
+            }
+        }
+        if hs.established {
+            // ACK (bit 4) or RST (bit 2) set.
+            acc = acc.intersect(&CubeSet {
+                cubes: vec![bit_cube(FLAGS + 7 - 4, true), bit_cube(FLAGS + 7 - 2, true)],
+            });
+        }
+        acc
+    }
+
+    /// A cube set for a destination prefix.
+    pub fn dst_prefix(p: batnet_net::Prefix) -> CubeSet {
+        CubeSet {
+            cubes: vec![Cube::ANY.with_field(DST_IP, 32, p.network().0 as u64, p.len() as u32)],
+        }
+    }
+}
+
+fn bit_cube(offset_from_msb: u32, set: bool) -> Cube {
+    let pos = 127 - offset_from_msb;
+    Cube {
+        mask: 1 << pos,
+        value: if set { 1 << pos } else { 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_net::{Ip, IpProtocol, Prefix, TcpFlags};
+    use proptest::prelude::*;
+
+    #[test]
+    fn cube_intersection_and_subset() {
+        let a = Cube::ANY.with_field(DST_IP, 32, 0x0a000000, 8); // 10/8
+        let b = Cube::ANY.with_field(DST_IP, 32, 0x0a010000, 16); // 10.1/16
+        assert!(b.subset_of(&a));
+        assert!(!a.subset_of(&b));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, b);
+        let c = Cube::ANY.with_field(DST_IP, 32, 0x0b000000, 8); // 11/8
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn cube_subtract_covers_exactly() {
+        let a = Cube::ANY.with_field(DST_IP, 32, 0x0a000000, 8); // 10/8
+        let b = Cube::ANY.with_field(DST_IP, 32, 0x0a010000, 16); // 10.1/16
+        let diff = a.subtract(&b);
+        // Every flow in 10/8 but not 10.1/16 is in the diff; nothing else.
+        let inside = Flow::icmp_echo(Ip::new(1, 1, 1, 1), Ip::new(10, 2, 0, 1));
+        let removed = Flow::icmp_echo(Ip::new(1, 1, 1, 1), Ip::new(10, 1, 0, 1));
+        let outside = Flow::icmp_echo(Ip::new(1, 1, 1, 1), Ip::new(11, 0, 0, 1));
+        assert!(diff.iter().any(|c| c.matches(&inside)));
+        assert!(!diff.iter().any(|c| c.matches(&removed)));
+        assert!(!diff.iter().any(|c| c.matches(&outside)));
+        // Disjoint subtraction is identity.
+        let c = Cube::ANY.with_field(DST_IP, 32, 0x0b000000, 8);
+        assert_eq!(a.subtract(&c), vec![a]);
+    }
+
+    #[test]
+    fn headerspace_compilation_matches_concrete() {
+        let hs = HeaderSpace::any()
+            .dst_prefix("10.0.3.0/24".parse::<Prefix>().unwrap())
+            .protocol(IpProtocol::Tcp)
+            .dst_port(80);
+        let set = CubeSet::from_headerspace(&hs);
+        let hit = Flow::tcp(Ip::new(1, 1, 1, 1), 999, Ip::new(10, 0, 3, 9), 80);
+        let miss_port = Flow::tcp(Ip::new(1, 1, 1, 1), 999, Ip::new(10, 0, 3, 9), 81);
+        let miss_proto = Flow::udp(Ip::new(1, 1, 1, 1), 999, Ip::new(10, 0, 3, 9), 80);
+        assert_eq!(set.matches(&hit), hs.matches(&hit));
+        assert_eq!(set.matches(&miss_port), hs.matches(&miss_port));
+        assert_eq!(set.matches(&miss_proto), hs.matches(&miss_proto));
+    }
+
+    #[test]
+    fn established_two_cubes() {
+        let hs = HeaderSpace {
+            established: true,
+            ..HeaderSpace::default()
+        };
+        let set = CubeSet::from_headerspace(&hs);
+        let mut ack = Flow::tcp(Ip::new(1, 1, 1, 1), 1, Ip::new(2, 2, 2, 2), 80);
+        ack.tcp_flags = TcpFlags::ACK;
+        let syn = Flow::tcp(Ip::new(1, 1, 1, 1), 1, Ip::new(2, 2, 2, 2), 80);
+        assert!(set.matches(&ack));
+        assert!(!set.matches(&syn));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Set algebra laws checked against concrete membership.
+        #[test]
+        fn cube_set_algebra(
+            dst in any::<u32>(),
+            p1 in 0u8..=24,
+            p2 in 0u8..=24,
+            probe in any::<u32>(),
+        ) {
+            let a = CubeSet::dst_prefix(Prefix::new(Ip(dst), p1));
+            let b = CubeSet::dst_prefix(Prefix::new(Ip(dst), p2));
+            let f = Flow::icmp_echo(Ip::new(1, 1, 1, 1), Ip(probe));
+            let in_a = a.matches(&f);
+            let in_b = b.matches(&f);
+            prop_assert_eq!(a.union(&b).matches(&f), in_a || in_b);
+            prop_assert_eq!(a.intersect(&b).matches(&f), in_a && in_b);
+            prop_assert_eq!(a.subtract(&b).matches(&f), in_a && !in_b);
+        }
+    }
+}

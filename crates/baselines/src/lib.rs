@@ -1,0 +1,23 @@
+//! # batnet-baselines — the comparison engines the paper measures against
+//!
+//! Two verification backends reproduce the paper's performance
+//! comparisons:
+//!
+//! * [`cubes`] — a difference-of-cubes header-space engine in the style of
+//!   HSA, standing in for the original NoD/Z3 backend in the Figure 3
+//!   verification comparison. It models the original feature set (FIBs
+//!   and ACLs; no NAT, zones, or sessions — historically accurate for the
+//!   original Batfish, and documented in DESIGN.md).
+//! * [`apt`] — Atomic Predicates (Yang & Lam): partition the header space
+//!   into the coarsest atoms distinguishing all edge predicates, then
+//!   propagate *integer sets* of atom ids. The §6.2 comparison point: the
+//!   92-node network where the paper's BDD engine builds and queries
+//!   almost two orders of magnitude faster.
+
+pub mod apt;
+pub mod cube_reach;
+pub mod cubes;
+
+pub use apt::AptEngine;
+pub use cube_reach::{CubeDisposition, CubeNetwork};
+pub use cubes::{Cube, CubeSet};

@@ -1,0 +1,67 @@
+//! Graphviz (DOT) export for debugging and documentation.
+
+use crate::manager::{Bdd, NodeId};
+use std::fmt::Write;
+
+impl Bdd {
+    /// Renders the diagram rooted at `f` as Graphviz DOT. Solid edges are
+    /// the high (1) branch, dashed the low (0) branch; `label` names
+    /// variables (defaults to `x<i>`).
+    pub fn to_dot(&self, f: NodeId, label: impl Fn(u32) -> String) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  t1 [label=\"1\", shape=box];\n  t0 [label=\"0\", shape=box];\n");
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        let name = |n: NodeId| match n {
+            NodeId::FALSE => "t0".to_string(),
+            NodeId::TRUE => "t1".to_string(),
+            other => format!("n{}", other.0),
+        };
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", shape=circle];",
+                n.0,
+                label(self.var_of(n))
+            );
+            let _ = writeln!(out, "  n{} -> {} [style=dashed];", n.0, name(self.lo_of(n)));
+            let _ = writeln!(out, "  n{} -> {};", n.0, name(self.hi_of(n)));
+            stack.push(self.lo_of(n));
+            stack.push(self.hi_of(n));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = Bdd::new(4);
+        let x = b.var(0);
+        let y = b.var(2);
+        let f = b.xor(x, y);
+        let dot = b.to_dot(f, |v| format!("v{v}"));
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("label=\"v0\""));
+        assert!(dot.contains("label=\"v2\""));
+        assert!(dot.contains("style=dashed"));
+        // xor over 2 vars: 3 decision nodes.
+        assert_eq!(dot.matches("shape=circle").count(), 3);
+        // Terminals once each.
+        assert_eq!(dot.matches("shape=box").count(), 2);
+    }
+
+    #[test]
+    fn dot_of_terminal() {
+        let b = Bdd::new(2);
+        let dot = b.to_dot(NodeId::TRUE, |v| format!("{v}"));
+        assert_eq!(dot.matches("shape=circle").count(), 0);
+    }
+}

@@ -1,0 +1,601 @@
+//! The BDD manager: node arena, hash-consing, and the apply/ITE core.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A reference to a BDD node within one [`Bdd`] manager.
+///
+/// Ids are only meaningful relative to the manager that produced them.
+/// `FALSE` and `TRUE` are the two terminals.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The constant-false terminal (empty packet set).
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant-true terminal (universe packet set).
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// Is this one of the two terminals?
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// One decision node: branch variable plus low (var=0) and high (var=1)
+/// children. 16 bytes; the arena stores millions of these comfortably.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// Variable index used for terminals: larger than any real variable so the
+/// min-var recursion in apply never descends into a terminal.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A fast, deterministic hasher (FxHash-style multiply-xor). BDD workloads
+/// are hash-table bound; SipHash's DoS resistance buys nothing here because
+/// all keys are internally generated.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+pub(crate) type FxMap<K, V> = HashMap<K, V, FxBuild>;
+
+/// Binary operations cached in the apply cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Op {
+    And,
+    Or,
+    Xor,
+    /// Set difference `a ∧ ¬b`.
+    Diff,
+}
+
+/// Counters exposed for benchmarks and regression tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Nodes currently in the arena (including terminals).
+    pub nodes: usize,
+    /// Apply-cache hits since creation.
+    pub cache_hits: u64,
+    /// Apply-cache misses since creation.
+    pub cache_misses: u64,
+}
+
+/// A BDD manager: owns the node arena, the unique table (hash-consing), and
+/// the operation caches. All operations go through `&mut self`; one manager
+/// is used per analysis.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: FxMap<Node, NodeId>,
+    apply_cache: FxMap<(Op, NodeId, NodeId), NodeId>,
+    not_cache: FxMap<NodeId, NodeId>,
+    ite_cache: FxMap<(NodeId, NodeId, NodeId), NodeId>,
+    pub(crate) quant_cache: FxMap<(NodeId, NodeId), NodeId>,
+    pub(crate) rename_cache: FxMap<(NodeId, u32), NodeId>,
+    pub(crate) transform_cache: FxMap<(NodeId, NodeId, u32), NodeId>,
+    pub(crate) maps: Vec<crate::ops::MapData>,
+    pub(crate) transforms: Vec<crate::ops::TransformData>,
+    num_vars: u32,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Bdd {
+    /// Creates a manager for `num_vars` variables, indexed `0..num_vars`
+    /// with 0 topmost in the order.
+    pub fn new(num_vars: u32) -> Bdd {
+        let mut bdd = Bdd {
+            nodes: Vec::with_capacity(1 << 12),
+            unique: FxMap::default(),
+            apply_cache: FxMap::default(),
+            not_cache: FxMap::default(),
+            ite_cache: FxMap::default(),
+            quant_cache: FxMap::default(),
+            rename_cache: FxMap::default(),
+            transform_cache: FxMap::default(),
+            maps: Vec::new(),
+            transforms: Vec::new(),
+            num_vars,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        // Terminals occupy slots 0 and 1; their `lo`/`hi` are self-loops
+        // that no operation ever follows.
+        bdd.nodes.push(Node { var: TERMINAL_VAR, lo: NodeId::FALSE, hi: NodeId::FALSE });
+        bdd.nodes.push(Node { var: TERMINAL_VAR, lo: NodeId::TRUE, hi: NodeId::TRUE });
+        bdd
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Grows the variable universe (used when an analysis discovers it
+    /// needs extra bits, e.g. waypoint variables added on demand).
+    pub fn ensure_vars(&mut self, num_vars: u32) {
+        self.num_vars = self.num_vars.max(num_vars);
+    }
+
+    #[inline]
+    pub(crate) fn var_of(&self, id: NodeId) -> u32 {
+        self.nodes[id.0 as usize].var
+    }
+
+    #[inline]
+    pub(crate) fn lo_of(&self, id: NodeId) -> NodeId {
+        self.nodes[id.0 as usize].lo
+    }
+
+    #[inline]
+    pub(crate) fn hi_of(&self, id: NodeId) -> NodeId {
+        self.nodes[id.0 as usize].hi
+    }
+
+    /// Hash-consing constructor: returns the canonical node for
+    /// `(var, lo, hi)`, eliding redundant tests (`lo == hi`).
+    pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        debug_assert!(var < self.num_vars, "variable {var} out of range");
+        debug_assert!(
+            self.var_of(lo) > var && self.var_of(hi) > var,
+            "ordering violation at var {var}"
+        );
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("BDD arena overflow"));
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The function "variable `v` is 1".
+    pub fn var(&mut self, v: u32) -> NodeId {
+        self.mk(v, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// The function "variable `v` is 0".
+    pub fn nvar(&mut self, v: u32) -> NodeId {
+        self.mk(v, NodeId::TRUE, NodeId::FALSE)
+    }
+
+    /// The literal for `v` with the given polarity.
+    pub fn literal(&mut self, v: u32, value: bool) -> NodeId {
+        if value {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    /// Branch children of `id` with respect to variable `v` (Shannon
+    /// cofactors): if `id` does not test `v` both cofactors are `id`.
+    #[inline]
+    pub(crate) fn cofactors(&self, id: NodeId, v: u32) -> (NodeId, NodeId) {
+        if self.var_of(id) == v {
+            (self.lo_of(id), self.hi_of(id))
+        } else {
+            (id, id)
+        }
+    }
+
+    fn apply(&mut self, op: Op, a: NodeId, b: NodeId) -> NodeId {
+        // Terminal cases per operation.
+        match op {
+            Op::And => {
+                if a == NodeId::FALSE || b == NodeId::FALSE {
+                    return NodeId::FALSE;
+                }
+                if a == NodeId::TRUE {
+                    return b;
+                }
+                if b == NodeId::TRUE || a == b {
+                    return a;
+                }
+            }
+            Op::Or => {
+                if a == NodeId::TRUE || b == NodeId::TRUE {
+                    return NodeId::TRUE;
+                }
+                if a == NodeId::FALSE {
+                    return b;
+                }
+                if b == NodeId::FALSE || a == b {
+                    return a;
+                }
+            }
+            Op::Xor => {
+                if a == b {
+                    return NodeId::FALSE;
+                }
+                if a == NodeId::FALSE {
+                    return b;
+                }
+                if b == NodeId::FALSE {
+                    return a;
+                }
+            }
+            Op::Diff => {
+                if a == NodeId::FALSE || b == NodeId::TRUE || a == b {
+                    return NodeId::FALSE;
+                }
+                if b == NodeId::FALSE {
+                    return a;
+                }
+            }
+        }
+        // Commutative ops: canonicalize the key order to double cache hits.
+        let key = match op {
+            Op::And | Op::Or | Op::Xor if a.0 > b.0 => (op, b, a),
+            _ => (op, a, b),
+        };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            self.cache_hits += 1;
+            return r;
+        }
+        self.cache_misses += 1;
+        let va = self.var_of(key.1);
+        let vb = self.var_of(key.2);
+        let v = va.min(vb);
+        let (a0, a1) = self.cofactors(key.1, v);
+        let (b0, b1) = self.cofactors(key.2, v);
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction (packet-set intersection).
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction (packet-set union).
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Or, a, b)
+    }
+
+    /// Exclusive or (symmetric difference).
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Xor, a, b)
+    }
+
+    /// Set difference `a ∖ b`.
+    pub fn diff(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Diff, a, b)
+    }
+
+    /// Negation (set complement).
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        if a == NodeId::FALSE {
+            return NodeId::TRUE;
+        }
+        if a == NodeId::TRUE {
+            return NodeId::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            self.cache_hits += 1;
+            return r;
+        }
+        self.cache_misses += 1;
+        let lo = self.not(self.lo_of(a));
+        let hi = self.not(self.hi_of(a));
+        let r = self.mk(self.var_of(a), lo, hi);
+        self.not_cache.insert(a, r);
+        // Negation is an involution; prime the reverse direction too.
+        self.not_cache.insert(r, a);
+        r
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)` computed in one pass.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        if f == NodeId::TRUE {
+            return g;
+        }
+        if f == NodeId::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == NodeId::TRUE && h == NodeId::FALSE {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            self.cache_hits += 1;
+            return r;
+        }
+        self.cache_misses += 1;
+        let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Logical implication as a set query: is `a ⊆ b`? Equivalent to
+    /// `a ∖ b = ∅` but short-circuits without building the difference.
+    pub fn implies_true(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.diff(a, b) == NodeId::FALSE
+    }
+
+    /// Evaluates `f` on a concrete assignment (index = variable).
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let v = self.var_of(cur) as usize;
+            cur = if assignment.get(v).copied().unwrap_or(false) {
+                self.hi_of(cur)
+            } else {
+                self.lo_of(cur)
+            };
+        }
+        cur == NodeId::TRUE
+    }
+
+    /// Number of decision nodes reachable from `f` (diagram size).
+    pub fn size(&self, f: NodeId) -> usize {
+        let mut seen: FxMap<NodeId, ()> = FxMap::default();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || seen.contains_key(&n) {
+                continue;
+            }
+            seen.insert(n, ());
+            count += 1;
+            stack.push(self.lo_of(n));
+            stack.push(self.hi_of(n));
+        }
+        count
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+        }
+    }
+
+    /// Drops all operation caches (not the arena). Useful between analysis
+    /// phases when the cached operands will not recur.
+    pub fn clear_caches(&mut self) {
+        self.apply_cache.clear();
+        self.not_cache.clear();
+        self.ite_cache.clear();
+        self.quant_cache.clear();
+        self.rename_cache.clear();
+        self.transform_cache.clear();
+    }
+
+    /// Builds the conjunction of literals for an unsigned value laid out on
+    /// `bits` variables starting at `first_var`, most significant bit first
+    /// — the §4.2.2 bit order. Constructed bottom-up in a single pass so no
+    /// intermediate conjunctions are allocated.
+    pub fn value_cube(&mut self, first_var: u32, bits: u32, value: u64) -> NodeId {
+        let mut acc = NodeId::TRUE;
+        for i in (0..bits).rev() {
+            let bit = (value >> (bits - 1 - i)) & 1 == 1;
+            let v = first_var + i;
+            acc = if bit {
+                self.mk(v, NodeId::FALSE, acc)
+            } else {
+                self.mk(v, acc, NodeId::FALSE)
+            };
+        }
+        acc
+    }
+
+    /// Like [`Bdd::value_cube`] but only constrains the top `fixed` bits —
+    /// the BDD for "field starts with this prefix", the workhorse of IP
+    /// prefix encoding.
+    pub fn prefix_cube(&mut self, first_var: u32, bits: u32, value: u64, fixed: u32) -> NodeId {
+        debug_assert!(fixed <= bits);
+        let mut acc = NodeId::TRUE;
+        for i in (0..fixed).rev() {
+            let bit = (value >> (bits - 1 - i)) & 1 == 1;
+            let v = first_var + i;
+            acc = if bit {
+                self.mk(v, NodeId::FALSE, acc)
+            } else {
+                self.mk(v, acc, NodeId::FALSE)
+            };
+        }
+        acc
+    }
+}
+
+impl std::fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bdd")
+            .field("num_vars", &self.num_vars)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_behave() {
+        let mut b = Bdd::new(4);
+        assert_eq!(b.and(NodeId::TRUE, NodeId::FALSE), NodeId::FALSE);
+        assert_eq!(b.or(NodeId::TRUE, NodeId::FALSE), NodeId::TRUE);
+        assert_eq!(b.not(NodeId::TRUE), NodeId::FALSE);
+        assert_eq!(b.xor(NodeId::TRUE, NodeId::TRUE), NodeId::FALSE);
+        assert_eq!(b.diff(NodeId::TRUE, NodeId::FALSE), NodeId::TRUE);
+    }
+
+    #[test]
+    fn hash_consing_is_canonical() {
+        let mut b = Bdd::new(4);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f1 = b.and(x, y);
+        let f2 = b.and(y, x);
+        assert_eq!(f1, f2, "commutativity must yield identical nodes");
+        let ny = b.not(y);
+        let g = b.or(f1, ny);
+        let g2 = {
+            // (x∧y) ∨ ¬y == x ∨ ¬y  (absorption-ish identity)
+            let nv = b.not(y);
+            b.or(x, nv)
+        };
+        assert_eq!(g, g2, "equivalent formulas must be the same node");
+    }
+
+    #[test]
+    fn redundant_tests_elided() {
+        let mut b = Bdd::new(4);
+        let x = b.var(2);
+        // ite(var0, x, x) must collapse to x without testing var0.
+        let v0 = b.var(0);
+        let f = b.ite(v0, x, x);
+        assert_eq!(f, x);
+        assert_eq!(b.var_of(f), 2);
+    }
+
+    #[test]
+    fn demorgan() {
+        let mut b = Bdd::new(6);
+        let x = b.var(3);
+        let y = b.var(5);
+        let lhs = {
+            let a = b.and(x, y);
+            b.not(a)
+        };
+        let rhs = {
+            let nx = b.not(x);
+            let ny = b.not(y);
+            b.or(nx, ny)
+        };
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ite_equals_expansion() {
+        let mut b = Bdd::new(6);
+        let f = b.var(0);
+        let x1 = b.var(1);
+        let x2 = b.var(2);
+        let g = b.or(x1, x2);
+        let x3 = b.var(3);
+        let h = b.and(x2, x3);
+        let ite = b.ite(f, g, h);
+        let expanded = {
+            let fg = b.and(f, g);
+            let nf = b.not(f);
+            let nfh = b.and(nf, h);
+            b.or(fg, nfh)
+        };
+        assert_eq!(ite, expanded);
+    }
+
+    #[test]
+    fn eval_walks_correctly() {
+        let mut b = Bdd::new(3);
+        let x0 = b.var(0);
+        let x2 = b.var(2);
+        let f = b.xor(x0, x2);
+        assert!(!b.eval(f, &[false, false, false]));
+        assert!(b.eval(f, &[true, false, false]));
+        assert!(b.eval(f, &[false, true, true]));
+        assert!(!b.eval(f, &[true, false, true]));
+    }
+
+    #[test]
+    fn value_cube_matches_exact_value() {
+        let mut b = Bdd::new(8);
+        let f = b.value_cube(0, 8, 0b1010_0001);
+        for v in 0u32..256 {
+            let assignment: Vec<bool> = (0..8).map(|i| (v >> (7 - i)) & 1 == 1).collect();
+            assert_eq!(b.eval(f, &assignment), v == 0b1010_0001, "v={v}");
+        }
+        assert_eq!(b.size(f), 8);
+    }
+
+    #[test]
+    fn prefix_cube_matches_prefix() {
+        let mut b = Bdd::new(8);
+        // Top 3 bits must equal 101.
+        let f = b.prefix_cube(0, 8, 0b1010_0000, 3);
+        for v in 0u32..256 {
+            let assignment: Vec<bool> = (0..8).map(|i| (v >> (7 - i)) & 1 == 1).collect();
+            assert_eq!(b.eval(f, &assignment), v >> 5 == 0b101, "v={v}");
+        }
+        assert_eq!(b.size(f), 3);
+        // fixed = 0 is the universe.
+        assert_eq!(b.prefix_cube(0, 8, 0, 0), NodeId::TRUE);
+    }
+
+    #[test]
+    fn diff_and_implies() {
+        let mut b = Bdd::new(4);
+        let x = b.var(0);
+        let y = b.var(1);
+        let xy = b.and(x, y);
+        assert!(b.implies_true(xy, x));
+        assert!(!b.implies_true(x, xy));
+        let d = b.diff(x, xy);
+        // x ∖ (x∧y) == x∧¬y
+        let ny = b.not(y);
+        let expect = b.and(x, ny);
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn stats_count_nodes() {
+        let mut b = Bdd::new(4);
+        let before = b.stats().nodes;
+        let x = b.var(0);
+        let y = b.var(1);
+        b.and(x, y);
+        assert!(b.stats().nodes > before);
+        b.clear_caches();
+        // Clearing caches must not lose nodes.
+        let f = b.and(x, y);
+        assert!(b.eval(f, &[true, true]));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests: BDD operations against brute-force truth tables.
+//!
+//! A random boolean expression over a small variable set is evaluated two
+//! ways — via the BDD and directly — on every assignment. This exercises
+//! apply/ITE/not/quantification/renaming together with the reduction rules.
+
+use batnet_bdd::{Bdd, NodeId};
+use proptest::prelude::*;
+
+/// A small expression language over `NVARS` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+const NVARS: u32 = 5;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn to_bdd(e: &Expr, b: &mut Bdd) -> NodeId {
+    match e {
+        Expr::Var(v) => b.var(*v),
+        Expr::Const(true) => NodeId::TRUE,
+        Expr::Const(false) => NodeId::FALSE,
+        Expr::Not(x) => {
+            let f = to_bdd(x, b);
+            b.not(f)
+        }
+        Expr::And(x, y) => {
+            let f = to_bdd(x, b);
+            let g = to_bdd(y, b);
+            b.and(f, g)
+        }
+        Expr::Or(x, y) => {
+            let f = to_bdd(x, b);
+            let g = to_bdd(y, b);
+            b.or(f, g)
+        }
+        Expr::Xor(x, y) => {
+            let f = to_bdd(x, b);
+            let g = to_bdd(y, b);
+            b.xor(f, g)
+        }
+        Expr::Ite(c, t, e2) => {
+            let f = to_bdd(c, b);
+            let g = to_bdd(t, b);
+            let h = to_bdd(e2, b);
+            b.ite(f, g, h)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, a: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => a[*v as usize],
+        Expr::Const(c) => *c,
+        Expr::Not(x) => !eval_expr(x, a),
+        Expr::And(x, y) => eval_expr(x, a) && eval_expr(y, a),
+        Expr::Or(x, y) => eval_expr(x, a) || eval_expr(y, a),
+        Expr::Xor(x, y) => eval_expr(x, a) ^ eval_expr(y, a),
+        Expr::Ite(c, t, e2) => {
+            if eval_expr(c, a) {
+                eval_expr(t, a)
+            } else {
+                eval_expr(e2, a)
+            }
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << NVARS)).map(|v| (0..NVARS).map(|i| (v >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut b = Bdd::new(NVARS);
+        let f = to_bdd(&e, &mut b);
+        for a in assignments() {
+            prop_assert_eq!(b.eval(f, &a), eval_expr(&e, &a));
+        }
+    }
+
+    #[test]
+    fn canonical_equal_functions_equal_nodes(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut b = Bdd::new(NVARS);
+        let f1 = to_bdd(&e1, &mut b);
+        let f2 = to_bdd(&e2, &mut b);
+        let same_fn = assignments().all(|a| eval_expr(&e1, &a) == eval_expr(&e2, &a));
+        prop_assert_eq!(f1 == f2, same_fn, "canonicity: node equality iff function equality");
+    }
+
+    #[test]
+    fn sat_count_matches_brute_force(e in arb_expr()) {
+        let mut b = Bdd::new(NVARS);
+        let f = to_bdd(&e, &mut b);
+        let brute = assignments().filter(|a| eval_expr(&e, a)).count();
+        prop_assert_eq!(b.sat_count(f), brute as f64);
+    }
+
+    #[test]
+    fn exists_matches_brute_force(e in arb_expr(), qvar in 0..NVARS) {
+        let mut b = Bdd::new(NVARS);
+        let f = to_bdd(&e, &mut b);
+        let cube = b.cube_of_vars(&[qvar]);
+        let g = b.exists(f, cube);
+        for a in assignments() {
+            let mut a0 = a.clone();
+            a0[qvar as usize] = false;
+            let mut a1 = a.clone();
+            a1[qvar as usize] = true;
+            let expect = eval_expr(&e, &a0) || eval_expr(&e, &a1);
+            prop_assert_eq!(b.eval(g, &a), expect);
+        }
+    }
+
+    #[test]
+    fn pick_cube_satisfies(e in arb_expr()) {
+        let mut b = Bdd::new(NVARS);
+        let f = to_bdd(&e, &mut b);
+        match b.pick_cube(f) {
+            None => prop_assert_eq!(f, NodeId::FALSE),
+            Some(c) => prop_assert!(b.eval(f, &c.concretize())),
+        }
+    }
+
+    #[test]
+    fn not_is_involution(e in arb_expr()) {
+        let mut b = Bdd::new(NVARS);
+        let f = to_bdd(&e, &mut b);
+        let nf = b.not(f);
+        let nnf = b.not(nf);
+        prop_assert_eq!(f, nnf);
+        prop_assert_eq!(b.and(f, nf), NodeId::FALSE);
+        prop_assert_eq!(b.or(f, nf), NodeId::TRUE);
+    }
+
+    #[test]
+    fn rename_shift_matches(e in arb_expr()) {
+        // Shift all variables up by NVARS within a double-width manager.
+        let mut b = Bdd::new(NVARS * 2);
+        let f = to_bdd(&e, &mut b);
+        let pairs: Vec<(u32, u32)> = (0..NVARS).map(|v| (v, v + NVARS)).collect();
+        let map = b.register_map(&pairs);
+        let g = b.rename(f, map);
+        for a in assignments() {
+            // Place the assignment on the shifted positions.
+            let mut wide = vec![false; (NVARS * 2) as usize];
+            for (i, &bit) in a.iter().enumerate() {
+                wide[i + NVARS as usize] = bit;
+            }
+            prop_assert_eq!(b.eval(g, &wide), eval_expr(&e, &a));
+        }
+    }
+
+    #[test]
+    fn fused_transform_matches_3step(e in arb_expr(), r in arb_expr()) {
+        // Inputs are vars 0..NVARS, outputs NVARS..2*NVARS; rule relates
+        // them via an arbitrary expression over inputs ∧ shifted expr over
+        // outputs (enough to stress quantify+rename interplay).
+        let mut b = Bdd::new(NVARS * 2);
+        let f = to_bdd(&e, &mut b);
+        let rule_in = to_bdd(&r, &mut b);
+        let pairs_up: Vec<(u32, u32)> = (0..NVARS).map(|v| (v, v + NVARS)).collect();
+        let up = b.register_map(&pairs_up);
+        let rule_out = b.rename(rule_in, up);
+        let rule = b.or(rule_in, rule_out);
+        let inputs: Vec<u32> = (0..NVARS).collect();
+        let pairs_down: Vec<(u32, u32)> = (0..NVARS).map(|v| (v + NVARS, v)).collect();
+        let t = b.register_transform(&inputs, &pairs_down);
+        let fused = b.transform(f, rule, t);
+        let steps = b.transform_3step(f, rule, t);
+        prop_assert_eq!(fused, steps);
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion benchmark tracking the Table 2 pipeline on the two smallest
+//! suite networks (the harness binary prints the full table).
+
+use batnet::routing::{simulate, SimOptions};
+use batnet_bench::{build_graph, build_world, dest_reachability};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for id in ["N2", "NET1"] {
+        let make = move || match id {
+            "N2" => batnet_topogen::suite::n2(),
+            _ => batnet_topogen::suite::net1(),
+        };
+        let net = make();
+        let devices = net.parse();
+        let env = net.env.clone();
+        g.bench_function(format!("parse_{id}"), |b| {
+            let net = make();
+            b.iter(|| net.parse())
+        });
+        g.bench_function(format!("dpgen_{id}"), |b| {
+            b.iter(|| simulate(&devices, &env, &SimOptions::default()))
+        });
+        let world = build_world(make());
+        g.bench_function(format!("graph_build_{id}"), |b| {
+            b.iter(|| build_graph(&world, 0))
+        });
+        let (mut bdd, vars, graph, _) = build_graph(&world, 0);
+        g.bench_function(format!("dest_reach_{id}"), |b| {
+            b.iter(|| dest_reachability(&mut bdd, &vars, &graph, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

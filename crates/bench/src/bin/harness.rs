@@ -1,0 +1,477 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6) plus the DESIGN.md ablations.
+//!
+//! ```text
+//! harness fig1                 # Figure 1: convergence gadgets
+//! harness fig3                 # Figure 3: current vs original engines (NET1)
+//! harness table1               # Table 1: the 11-network suite
+//! harness table2 [--full]     # Table 2: pipeline performance per network
+//! harness apt                  # §6.2: APT comparison (92 nodes)
+//! harness ablate-convergence   # A-1: coloring / logical clocks
+//! harness ablate-memory        # A-2: attribute interning
+//! harness ablate-varorder      # A-3: BDD variable order
+//! harness ablate-dataflow      # A-4: graph compression & backward walk
+//! harness ablate-transform     # A-5: fused vs 3-step NAT transform
+//! harness all [--full]        # everything above
+//! ```
+//!
+//! `table2` runs the four smallest networks by default; `--full` runs
+//! all eleven (minutes of wall clock on the biggest).
+
+use batnet::baselines::{AptEngine, CubeNetwork};
+use batnet::bdd::NodeId;
+use batnet::datalog::{datalog_routes, RoutingInputs};
+use batnet::dataplane::compress::compress;
+use batnet::dataplane::{NodeKind, ReachAnalysis};
+use batnet::routing::{simulate, SchedulerMode, SimOptions};
+use batnet_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let full = args.iter().any(|a| a == "--full");
+    match cmd {
+        "fig1" => fig1(),
+        "fig3" => fig3(),
+        "table1" => table1(full),
+        "table2" => table2(full),
+        "apt" => apt(),
+        "ablate-convergence" => ablate_convergence(),
+        "ablate-memory" => ablate_memory(),
+        "ablate-varorder" => ablate_varorder(),
+        "ablate-dataflow" => ablate_dataflow(),
+        "ablate-transform" => ablate_transform(),
+        "all" => {
+            fig1();
+            fig3();
+            table1(full);
+            table2(full);
+            apt();
+            ablate_convergence();
+            ablate_memory();
+            ablate_varorder();
+            ablate_dataflow();
+            ablate_transform();
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(s: &str) {
+    println!("\n=== {s} ===");
+}
+
+/// Figure 1: the convergence gadgets under both schedulers.
+fn fig1() {
+    banner("E-F1 (Figure 1): deterministic convergence");
+    for (label, net) in [
+        ("fig1a (no stable solution)", batnet_topogen::gadgets::fig1a()),
+        ("fig1b (lockstep oscillation)", batnet_topogen::gadgets::fig1b()),
+    ] {
+        let devices = net.parse();
+        for (mode, name) in [
+            (SchedulerMode::Colored, "colored+clocks"),
+            (SchedulerMode::Lockstep, "lockstep"),
+        ] {
+            let opts = SimOptions {
+                scheduler: mode,
+                max_sweeps: 60,
+                ..SimOptions::default()
+            };
+            let dp = simulate(&devices, &net.env, &opts);
+            println!(
+                "{label:34} {name:16} converged={} sweeps={} colors={}",
+                dp.convergence.converged, dp.convergence.sweeps, dp.convergence.colors
+            );
+        }
+    }
+    println!("expected shape: 1a never converges (reported, not hung);");
+    println!("1b converges under colored+clocks, oscillates under lockstep.");
+}
+
+/// Figure 3: current vs original Batfish on NET1 — parsing, data plane
+/// generation (imperative vs Datalog), verification (BDD vs cube engine).
+fn fig3() {
+    banner("E-F3 (Figure 3): current vs original engines on NET1");
+    let net = batnet_topogen::suite::net1();
+    println!(
+        "NET1: {} nodes, {} config lines",
+        net.node_count(),
+        net.config_lines()
+    );
+    let world = build_world(net);
+    println!("parse (current frontend):        {}", fmt_dur(world.parse_time));
+    println!("DP generation (imperative):      {}", fmt_dur(world.dpgen_time));
+
+    // Original DP generation: the Datalog model.
+    let inputs = RoutingInputs::for_network(&world.devices, &world.topo);
+    let t = Instant::now();
+    let dl = datalog_routes(&world.devices, &world.topo, &inputs);
+    let datalog_time = t.elapsed();
+    let total_routes: usize = dl.routes.values().map(Vec::len).sum();
+    println!(
+        "DP generation (Datalog):         {}  ({} facts retained, {} routes)",
+        fmt_dur(datalog_time),
+        dl.fact_count,
+        total_routes
+    );
+    println!(
+        "  -> DP generation speedup:      {}  (paper: ~1500x)",
+        fmt_speedup(datalog_time, world.dpgen_time)
+    );
+
+    // Verification: multipath consistency, BDD vs cubes.
+    let (mut bdd, _vars, graph, graph_time) = build_graph(&world, 0);
+    println!("dataflow graph build (BDD):      {}", fmt_dur(graph_time));
+    let (bdd_time, starts, bdd_viol) = multipath_consistency(&mut bdd, &graph, 24);
+    println!(
+        "verification (BDD engine):       {}  ({starts} starts, {bdd_viol} inconsistent)",
+        fmt_dur(bdd_time)
+    );
+    let t = Instant::now();
+    let cube_net = CubeNetwork::build(&world.devices, &world.dp, &world.topo);
+    let cube_build = t.elapsed();
+    let ingresses = cube_net.ingresses();
+    let step = (ingresses.len() / 24).max(1);
+    let t = Instant::now();
+    let mut cube_viol = 0;
+    let mut cube_starts = 0;
+    for (d, i) in ingresses.iter().step_by(step).take(24) {
+        cube_starts += 1;
+        if !cube_net.multipath_inconsistency(d, i).is_empty() {
+            cube_viol += 1;
+        }
+    }
+    let cube_time = t.elapsed();
+    println!(
+        "verification (cube engine):      {}  (+{} build; {cube_starts} starts, {cube_viol} inconsistent)",
+        fmt_dur(cube_time),
+        fmt_dur(cube_build)
+    );
+    println!(
+        "  -> verification speedup:       {}  (paper: ~12x)",
+        fmt_speedup(cube_time + cube_build, bdd_time + graph_time)
+    );
+}
+
+/// Table 1: the suite inventory.
+fn table1(full: bool) {
+    banner("E-T1 (Table 1): the 11-network suite");
+    println!(
+        "{:<6} {:<26} {:>6} {:>9} {:>9}",
+        "net", "type", "nodes", "LoC", "routes"
+    );
+    for entry in batnet_topogen::suite::suite() {
+        if !full && entry.nominal_nodes > 700 {
+            let net = (entry.build)();
+            println!(
+                "{:<6} {:<26} {:>6} {:>9} {:>9}",
+                entry.id,
+                net.kind,
+                net.node_count(),
+                net.config_lines(),
+                "(--full)"
+            );
+            continue;
+        }
+        let net = (entry.build)();
+        let world = build_world(net);
+        println!(
+            "{:<6} {:<26} {:>6} {:>9} {:>9}",
+            entry.id,
+            world.net.kind,
+            world.net.node_count(),
+            world.net.config_lines(),
+            world.dp.total_routes()
+        );
+    }
+}
+
+/// Table 2: pipeline performance per network.
+fn table2(full: bool) {
+    banner("E-T2 (Table 2): pipeline performance");
+    println!(
+        "{:<6} {:>6} {:>9} {:>10} {:>10} {:>11} {:>12} {:>10}",
+        "net", "nodes", "routes", "parse", "DP gen", "graph", "dest-reach", "multipath"
+    );
+    for entry in batnet_topogen::suite::suite() {
+        if !full && entry.nominal_nodes > 520 {
+            continue;
+        }
+        let net = (entry.build)();
+        let world = build_world(net);
+        let (mut bdd, vars, graph, graph_time) = build_graph(&world, 0);
+        let (dest_time, dest_n) = dest_reachability(&mut bdd, &vars, &graph, 3);
+        let (mp_time, mp_n, _) = multipath_consistency(&mut bdd, &graph, 8);
+        println!(
+            "{:<6} {:>6} {:>9} {:>10} {:>10} {:>11} {:>12} {:>10}",
+            entry.id,
+            world.net.node_count(),
+            world.dp.total_routes(),
+            fmt_dur(world.parse_time),
+            fmt_dur(world.dpgen_time),
+            fmt_dur(graph_time),
+            format!("{}/{}q", fmt_dur(dest_time), dest_n),
+            format!("{}/{}q", fmt_dur(mp_time), mp_n),
+        );
+    }
+    println!("(times are wall clock on this machine; the paper's claim is");
+    println!(" minutes even at thousands of nodes — compare shapes, not values)");
+}
+
+/// §6.2: the APT comparison on the 92-node network.
+fn apt() {
+    banner("E-APT (§6.2): BDD engine vs Atomic Predicates, 92 nodes");
+    let net = batnet_topogen::suite::apt92();
+    let world = build_world(net);
+    let (mut bdd, vars, graph, graph_time) = build_graph(&world, 0);
+    let (dest_time, dest_n) = dest_reachability(&mut bdd, &vars, &graph, 5);
+    println!(
+        "BDD engine:  graph build {}  + {dest_n} dest-reach queries {}",
+        fmt_dur(graph_time),
+        fmt_dur(dest_time)
+    );
+    let t = Instant::now();
+    let apt = AptEngine::build(&mut bdd, &graph);
+    let apt_build = t.elapsed();
+    let t = Instant::now();
+    let sinks = apt.dest_reachability(&graph);
+    let apt_query = t.elapsed();
+    println!(
+        "APT engine:  atoms {} (compute {})  + all-sink reach {} ({} sinks)",
+        apt.atoms.len(),
+        fmt_dur(apt_build),
+        fmt_dur(apt_query),
+        sinks.len()
+    );
+    println!(
+        "  -> build+query speedup: {}  (paper: ~2 orders of magnitude)",
+        fmt_speedup(apt_build + apt_query, graph_time + dest_time)
+    );
+}
+
+/// A-1: the convergence machinery ablation.
+fn ablate_convergence() {
+    banner("A-1: convergence ablation (coloring / logical clocks)");
+    let net = batnet_topogen::suite::n2();
+    let devices = net.parse();
+    for (mode, clocks, label) in [
+        (SchedulerMode::Colored, true, "colored + clocks (production)"),
+        (SchedulerMode::Colored, false, "colored, no clocks"),
+        (SchedulerMode::Lockstep, true, "lockstep + clocks"),
+        (SchedulerMode::Lockstep, false, "lockstep, no clocks"),
+    ] {
+        let opts = SimOptions {
+            scheduler: mode,
+            use_logical_clocks: clocks,
+            max_sweeps: 100,
+            ..SimOptions::default()
+        };
+        let t = Instant::now();
+        let dp = simulate(&devices, &net.env, &opts);
+        println!(
+            "{label:32} converged={} sweeps={:>3} time={}",
+            dp.convergence.converged,
+            dp.convergence.sweeps,
+            fmt_dur(t.elapsed())
+        );
+    }
+    // The gadget that separates the modes.
+    let net = batnet_topogen::gadgets::fig1b();
+    let devices = net.parse();
+    for (mode, label) in [
+        (SchedulerMode::Colored, "fig1b colored"),
+        (SchedulerMode::Lockstep, "fig1b lockstep"),
+    ] {
+        let opts = SimOptions {
+            scheduler: mode,
+            max_sweeps: 60,
+            ..SimOptions::default()
+        };
+        let dp = simulate(&devices, &net.env, &opts);
+        println!(
+            "{label:32} converged={} sweeps={:>3}",
+            dp.convergence.converged, dp.convergence.sweeps
+        );
+    }
+}
+
+/// A-2: attribute interning (the §4.1.3 memory claims).
+fn ablate_memory() {
+    banner("A-2: memory ablation (attribute-bundle interning)");
+    for id in ["N2", "N5"] {
+        let net = match id {
+            "N2" => batnet_topogen::suite::n2(),
+            _ => batnet_topogen::suite::n5(),
+        };
+        let world = build_world(net);
+        let mem = &world.dp.mem;
+        println!(
+            "{id}: {} BGP routes, {} full bundles, {} shareable combos  sharing={:.1}x  reduction={:.0}%  saved~{}KB",
+            mem.total_bgp_routes,
+            mem.unique_attr_bundles,
+            mem.unique_shared_combos,
+            mem.sharing_factor(),
+            mem.memory_reduction() * 100.0,
+            mem.bytes_saved / 1024
+        );
+    }
+    println!("(paper: 10x-20x fewer bundles than routes, ~50% memory reduction)");
+}
+
+/// A-3: BDD variable-order ablation — encode the same FIB three ways.
+fn ablate_varorder() {
+    banner("A-3: BDD variable order (paper order vs alternatives)");
+    // Corpus: the FIB prefixes of NET1's largest device plus its ACLs,
+    // encoded as one union-of-prefixes BDD under three orders.
+    let net = batnet_topogen::suite::net1();
+    let world = build_world(net);
+    let mut prefixes: Vec<batnet::net::Prefix> = Vec::new();
+    for d in &world.dp.devices {
+        for (p, _) in d.main_rib.iter_best() {
+            // Short prefixes (the default route especially) swallow the
+            // union; the order comparison needs a non-trivial set.
+            if p.len() >= 16 {
+                prefixes.push(*p);
+            }
+        }
+    }
+    prefixes.sort();
+    prefixes.dedup();
+    println!("corpus: {} distinct prefixes", prefixes.len());
+    // Order A: MSB-first (the paper's). Order B: LSB-first. Order C:
+    // even/odd interleave of dst-IP bits (a deliberately poor order).
+    let orders: [(&str, Box<dyn Fn(u32) -> u32>); 3] = [
+        ("msb-first (paper)", Box::new(|i| i)),
+        ("lsb-first", Box::new(|i| 31 - i)),
+        ("interleaved", Box::new(|i| if i % 2 == 0 { i / 2 } else { 16 + i / 2 })),
+    ];
+    for (label, map) in &orders {
+        let mut bdd = batnet::bdd::Bdd::new(32);
+        let t = Instant::now();
+        let mut acc = NodeId::FALSE;
+        for p in &prefixes {
+            let mut cube = NodeId::TRUE;
+            for i in (0..p.len() as u32).rev() {
+                let bit = (p.network().0 >> (31 - i)) & 1 == 1;
+                let lit = bdd.literal(map(i), bit);
+                cube = bdd.and(lit, cube);
+            }
+            acc = bdd.or(acc, cube);
+        }
+        println!(
+            "{label:20} nodes={:>7} time={}",
+            bdd.size(acc),
+            fmt_dur(t.elapsed())
+        );
+    }
+}
+
+/// A-4: graph compression and the backward walk.
+fn ablate_dataflow() {
+    banner("A-4: dataflow ablation (compression, backward walk)");
+    let net = batnet_topogen::suite::net1();
+    let world = build_world(net);
+    let (mut bdd, vars, graph, _) = build_graph(&world, 0);
+    let (n0, e0) = graph.size();
+    let t = Instant::now();
+    let (cgraph, stats) = compress(&mut bdd, &graph);
+    let ct = t.elapsed();
+    println!(
+        "graph: {n0} nodes / {e0} edges -> {} / {} after compression ({}; {:.0}% nodes removed)",
+        stats.nodes_after,
+        stats.edges_after,
+        fmt_dur(ct),
+        100.0 * (1.0 - stats.nodes_after as f64 / n0 as f64)
+    );
+    // Same forward query on both graphs.
+    for (label, g) in [("uncompressed", &graph), ("compressed", &cgraph)] {
+        let analysis = ReachAnalysis::new(g);
+        let t = Instant::now();
+        let r = analysis.forward_from_all_sources(&mut bdd, NodeId::TRUE);
+        println!(
+            "forward all-sources ({label:12}): {}  ({} relaxations)",
+            fmt_dur(t.elapsed()),
+            r.relaxations
+        );
+    }
+    // Backward vs forward for a single destination.
+    let sink = graph
+        .nodes_where(|k| matches!(k, NodeKind::DeliveredToSubnet(_, _)))
+        .into_iter()
+        .next()
+        .expect("a delivery sink");
+    let analysis = ReachAnalysis::new(&graph);
+    let t = Instant::now();
+    let b = analysis.backward(&mut bdd, &vars, sink, NodeId::TRUE);
+    let bt = t.elapsed();
+    let t = Instant::now();
+    let f = analysis.forward_from_all_sources(&mut bdd, NodeId::TRUE);
+    let ft = t.elapsed();
+    println!(
+        "single-dest: backward {} ({} relax) vs full forward {} ({} relax)",
+        fmt_dur(bt),
+        b.relaxations,
+        fmt_dur(ft),
+        f.relaxations
+    );
+}
+
+/// A-5: the fused transform op vs the three-step sequence.
+fn ablate_transform() {
+    banner("A-5: fused NAT transform vs and/exists/rename");
+    use batnet::dataplane::vars::Field;
+    let (mut bdd, vars) = batnet::dataplane::PacketVars::new(0);
+    // A realistic NAT relation: rewrite source IP to a /28 pool, keep the
+    // low bits; identity elsewhere.
+    let mut rel = NodeId::TRUE;
+    for i in 0..32u32 {
+        let primed = bdd.var(vars.var_of(Field::SrcIp, i, true));
+        if i < 28 {
+            let bit = (0xcb007100u32 >> (31 - i)) & 1 == 1;
+            let lit = if bit { primed } else { bdd.not(primed) };
+            rel = bdd.and(rel, lit);
+        } else {
+            let orig = bdd.var(vars.var_of(Field::SrcIp, i, false));
+            let x = bdd.xor(orig, primed);
+            let eq = bdd.not(x);
+            rel = bdd.and(rel, eq);
+        }
+    }
+    for f in [Field::DstIp, Field::DstPort, Field::SrcPort] {
+        let id = vars.field_identity(&mut bdd, f);
+        rel = bdd.and(rel, id);
+    }
+    // Input sets: many distinct prefixes.
+    let mut sets = Vec::new();
+    for k in 0..200u32 {
+        let p = batnet::net::Prefix::new(batnet::net::Ip(k << 20), 12);
+        sets.push(vars.ip_prefix(&mut bdd, Field::SrcIp, p));
+    }
+    let t = Instant::now();
+    let mut acc1 = NodeId::FALSE;
+    for &s in &sets {
+        let o = bdd.transform(s, rel, vars.nat_transform);
+        acc1 = bdd.or(acc1, o);
+    }
+    let fused = t.elapsed();
+    bdd.clear_caches();
+    let t = Instant::now();
+    let mut acc2 = NodeId::FALSE;
+    for &s in &sets {
+        let o = bdd.transform_3step(s, rel, vars.nat_transform);
+        acc2 = bdd.or(acc2, o);
+    }
+    let steps = t.elapsed();
+    assert_eq!(acc1, acc2, "the two paths must agree");
+    println!(
+        "200 transforms: fused {}  vs 3-step {}  (speedup {})",
+        fmt_dur(fused),
+        fmt_dur(steps),
+        fmt_speedup(steps, fused)
+    );
+}

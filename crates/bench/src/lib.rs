@@ -1,0 +1,120 @@
+//! Shared experiment plumbing for the harness binary and the Criterion
+//! benches: world construction, timing, and the per-experiment
+//! measurement routines that regenerate the paper's tables and figures.
+
+use batnet::bdd::{Bdd, NodeId};
+use batnet::config::Topology;
+use batnet::dataplane::{ForwardingGraph, NodeKind, PacketVars, ReachAnalysis};
+use batnet::routing::{simulate, DataPlane, SimOptions};
+use batnet_topogen::GeneratedNetwork;
+use std::time::{Duration, Instant};
+
+/// A built world for measurement.
+pub struct World {
+    /// The generated network.
+    pub net: GeneratedNetwork,
+    /// Parsed devices.
+    pub devices: Vec<batnet::config::vi::Device>,
+    /// Topology.
+    pub topo: Topology,
+    /// Simulated data plane.
+    pub dp: DataPlane,
+    /// Wall-clock of the parse stage.
+    pub parse_time: Duration,
+    /// Wall-clock of data plane generation.
+    pub dpgen_time: Duration,
+}
+
+/// Parses and simulates a generated network, timing both stages.
+pub fn build_world(net: GeneratedNetwork) -> World {
+    build_world_with(net, &SimOptions::default())
+}
+
+/// [`build_world`] with explicit engine options (for the ablations).
+pub fn build_world_with(net: GeneratedNetwork, opts: &SimOptions) -> World {
+    let t0 = Instant::now();
+    let devices = net.parse();
+    let parse_time = t0.elapsed();
+    let topo = Topology::infer(&devices);
+    let t1 = Instant::now();
+    let dp = simulate(&devices, &net.env, opts);
+    let dpgen_time = t1.elapsed();
+    World {
+        net,
+        devices,
+        topo,
+        dp,
+        parse_time,
+        dpgen_time,
+    }
+}
+
+/// Builds the BDD forwarding graph, timed.
+pub fn build_graph(world: &World, waypoints: u32) -> (Bdd, PacketVars, ForwardingGraph, Duration) {
+    let (mut bdd, vars) = PacketVars::new(waypoints);
+    let t = Instant::now();
+    let graph = ForwardingGraph::build(&mut bdd, &vars, &world.devices, &world.dp, &world.topo);
+    let dt = t.elapsed();
+    (bdd, vars, graph, dt)
+}
+
+/// Destination-reachability measurement: backward propagation from
+/// `count` sampled delivery sinks (Table 2's "Dest reach" column).
+/// Returns total time and the number of queries run.
+pub fn dest_reachability(
+    bdd: &mut Bdd,
+    vars: &PacketVars,
+    graph: &ForwardingGraph,
+    count: usize,
+) -> (Duration, usize) {
+    let sinks = graph.nodes_where(|k| matches!(k, NodeKind::DeliveredToSubnet(_, _)));
+    let step = (sinks.len() / count.max(1)).max(1);
+    let chosen: Vec<usize> = sinks.iter().copied().step_by(step).take(count).collect();
+    let analysis = ReachAnalysis::new(graph);
+    let t = Instant::now();
+    for &s in &chosen {
+        let r = analysis.backward(bdd, vars, s, NodeId::TRUE);
+        std::hint::black_box(&r.reach);
+    }
+    (t.elapsed(), chosen.len())
+}
+
+/// Multipath-consistency measurement over up to `max_starts` interface
+/// sources (the §6.1 verification benchmark query).
+pub fn multipath_consistency(
+    bdd: &mut Bdd,
+    graph: &ForwardingGraph,
+    max_starts: usize,
+) -> (Duration, usize, usize) {
+    let sources = graph.nodes_where(|k| matches!(k, NodeKind::IfaceSrc(_, _)));
+    let step = (sources.len() / max_starts.max(1)).max(1);
+    let chosen: Vec<usize> = sources.iter().copied().step_by(step).take(max_starts).collect();
+    let analysis = ReachAnalysis::new(graph);
+    let t = Instant::now();
+    let mut violations = 0usize;
+    for &s in &chosen {
+        if analysis.multipath_inconsistency(bdd, s) != NodeId::FALSE {
+            violations += 1;
+        }
+    }
+    (t.elapsed(), chosen.len(), violations)
+}
+
+/// Pretty-prints a duration for tables.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 10 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else if d.as_millis() >= 10 {
+        format!("{}ms", d.as_millis())
+    } else {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+/// Speedup formatting.
+pub fn fmt_speedup(slow: Duration, fast: Duration) -> String {
+    if fast.as_nanos() == 0 {
+        return "∞".into();
+    }
+    format!("{:.0}x", slow.as_secs_f64() / fast.as_secs_f64())
+}

@@ -1,0 +1,123 @@
+//! Dialect detection and the single-entry parse API.
+
+use crate::diag::Diagnostics;
+use crate::vi::Device;
+use crate::{flat, ios, junos};
+use std::fmt;
+
+/// The configuration dialects batnet understands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dialect {
+    /// Cisco-IOS-flavoured block dialect.
+    Ios,
+    /// Juniper-flavoured `set`-path dialect.
+    Junos,
+    /// Flat key=value dialect.
+    Flat,
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dialect::Ios => write!(f, "ios"),
+            Dialect::Junos => write!(f, "junos"),
+            Dialect::Flat => write!(f, "flat"),
+        }
+    }
+}
+
+impl Dialect {
+    /// Guesses the dialect from content. Real Batfish sniffs configs the
+    /// same way (configs arrive as bare text files with no metadata).
+    ///
+    /// Heuristic: `set `-dominated files are junos; files opening with
+    /// `device ` or containing `key=value` interface lines are flat;
+    /// everything else is ios (the most forgiving frontend).
+    pub fn detect(text: &str) -> Dialect {
+        let mut set_lines = 0usize;
+        let mut total = 0usize;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') || t.starts_with('!') {
+                continue;
+            }
+            total += 1;
+            if t.starts_with("set ") {
+                set_lines += 1;
+            }
+            if total == 1 && (t.starts_with("device ") || t == "device") {
+                return Dialect::Flat;
+            }
+        }
+        if total > 0 && set_lines * 2 > total {
+            return Dialect::Junos;
+        }
+        // `interface NAME key=value` marks the flat dialect.
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("interface ") && t.contains("ip=") {
+                return Dialect::Flat;
+            }
+        }
+        Dialect::Ios
+    }
+
+    /// Parses `text` with this dialect's frontend.
+    pub fn parse(self, name: &str, text: &str) -> (Device, Diagnostics) {
+        match self {
+            Dialect::Ios => ios::parse(name, text),
+            Dialect::Junos => junos::parse(name, text),
+            Dialect::Flat => flat::parse(name, text),
+        }
+    }
+}
+
+/// Parses a device config, auto-detecting the dialect. `name` is the
+/// fallback hostname (usually the file name) if the config does not set
+/// one.
+pub fn parse_device(name: &str, text: &str) -> (Device, Diagnostics) {
+    Dialect::detect(text).parse(name, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_junos() {
+        let text = "set system host-name j1\nset interfaces ge-0/0/0 unit 0 family inet address 1.1.1.1/24\n";
+        assert_eq!(Dialect::detect(text), Dialect::Junos);
+        let (d, _) = parse_device("x", text);
+        assert_eq!(d.name, "j1");
+    }
+
+    #[test]
+    fn detects_flat() {
+        let text = "device f1\ninterface eth0 ip=10.0.0.1/24\n";
+        assert_eq!(Dialect::detect(text), Dialect::Flat);
+        let text2 = "# comment\ninterface eth0 ip=10.0.0.1/24\n";
+        assert_eq!(Dialect::detect(text2), Dialect::Flat);
+    }
+
+    #[test]
+    fn detects_ios() {
+        let text = "hostname r1\ninterface Ethernet1\n ip address 10.0.0.1/24\n";
+        assert_eq!(Dialect::detect(text), Dialect::Ios);
+        let (d, _) = parse_device("x", text);
+        assert_eq!(d.name, "r1");
+    }
+
+    #[test]
+    fn fallback_name_used_when_unset() {
+        let (d, _) = parse_device("fallback", "interface Ethernet1\n ip address 1.2.3.4/24\n");
+        assert_eq!(d.name, "fallback");
+    }
+
+    #[test]
+    fn empty_config_is_ios_and_empty() {
+        assert_eq!(Dialect::detect(""), Dialect::Ios);
+        let (d, diags) = parse_device("empty", "");
+        assert!(d.interfaces.is_empty());
+        assert!(diags.items().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Parse diagnostics: warnings, unrecognized lines, undefined references.
+//!
+//! Lesson 3 of the paper: fidelity problems come from the long tail of
+//! configuration constructs and their undocumented interactions. A
+//! production analysis tool must therefore (a) never abort on input it does
+//! not understand, and (b) report *exactly* what it skipped, so parse
+//! coverage is measurable. Diagnostics are that report.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Statement understood but noteworthy (e.g. deprecated form).
+    Info,
+    /// Statement skipped: outside the model. The analysis proceeds but the
+    /// model may be incomplete in ways the user should know about.
+    UnrecognizedLine,
+    /// Statement referenced a structure that is not defined anywhere.
+    /// Batfish applies the documented default behaviour (see the module
+    /// docs of `vi::policy`) and records this.
+    UndefinedReference,
+    /// Statement was malformed and dropped.
+    ParseError,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::UnrecognizedLine => "unrecognized-line",
+            Severity::UndefinedReference => "undefined-reference",
+            Severity::ParseError => "parse-error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One diagnostic attached to a device config.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Diagnostic class.
+    pub severity: Severity,
+    /// 1-based line number in the source file (0 when synthesized).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Convenience constructor.
+    pub fn new(severity: Severity, line: usize, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: [{}] {}", self.line, self.severity, self.message)
+    }
+}
+
+/// A sink for diagnostics produced while parsing one device.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty sink.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, severity: Severity, line: usize, message: impl Into<String>) {
+        self.items.push(Diagnostic::new(severity, line, message));
+    }
+
+    /// All recorded diagnostics in source order.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Consumes the sink.
+    pub fn into_items(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Count of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Parse coverage: fraction of meaningful lines that were recognized,
+    /// given the total number of non-blank non-comment lines.
+    pub fn coverage(&self, total_lines: usize) -> f64 {
+        if total_lines == 0 {
+            return 1.0;
+        }
+        let missed = self.count(Severity::UnrecognizedLine) + self.count(Severity::ParseError);
+        1.0 - (missed as f64 / total_lines as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_coverage() {
+        let mut d = Diagnostics::new();
+        d.push(Severity::UnrecognizedLine, 3, "mystery knob");
+        d.push(Severity::UndefinedReference, 9, "route-map NOPE");
+        d.push(Severity::UnrecognizedLine, 12, "another");
+        assert_eq!(d.count(Severity::UnrecognizedLine), 2);
+        assert_eq!(d.count(Severity::ParseError), 0);
+        assert!((d.coverage(100) - 0.98).abs() < 1e-9);
+        assert_eq!(d.coverage(0), 1.0);
+        assert_eq!(d.items().len(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = Diagnostic::new(Severity::UndefinedReference, 7, "acl MISSING");
+        assert_eq!(d.to_string(), "line 7: [undefined-reference] acl MISSING");
+    }
+}

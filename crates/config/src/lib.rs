@@ -1,0 +1,36 @@
+//! # batnet-config — Stage 1: configuration parsing and modeling
+//!
+//! The first stage of the pipeline (§2 of the paper): translate the
+//! configuration text of every router into a normalized, vendor-independent
+//! representation. The paper's original Batfish emitted Datalog facts here;
+//! the evolved Batfish — and this crate — produces a typed in-memory data
+//! structure instead (Lesson 1: *"Stage 1 still parses configuration text
+//! into a vendor-intermediate format, but it now uses a [typed] data
+//! structure rather than Datalog facts"*).
+//!
+//! Three dialect frontends stand in for the many vendor languages real
+//! Batfish supports (see DESIGN.md §1 for the substitution argument):
+//!
+//! * [`ios`] — a Cisco-IOS-flavoured block dialect (`interface …` sections,
+//!   `router bgp …`, numbered ACLs and route-maps);
+//! * [`junos`] — a Juniper-flavoured `set`-path dialect;
+//! * [`flat`] — a flat key=value dialect, standing in for config formats
+//!   that are already structured (SONiC, cloud exports).
+//!
+//! Each frontend parses to its own AST and converts to the shared
+//! vendor-independent model in [`vi`]. Parsing is total: unrecognized lines
+//! become [`Diagnostic`]s rather than hard errors, because real-world
+//! configurations always contain statements outside any tool's model
+//! (Lesson 3), and partial models still find real errors.
+
+pub mod detect;
+pub mod diag;
+pub mod flat;
+pub mod ios;
+pub mod junos;
+pub mod topology;
+pub mod vi;
+
+pub use detect::{parse_device, Dialect};
+pub use diag::{Diagnostic, Severity};
+pub use topology::{InterfaceRef, Topology};

@@ -1,0 +1,173 @@
+//! Layer-3 topology inference from interface addressing.
+//!
+//! Batfish infers which interfaces are adjacent from the configurations
+//! alone: two active interfaces whose addresses fall in the same subnet are
+//! assumed to share a link. (Real Batfish also accepts explicit layer-1
+//! topology files; address-based inference is its default and is what the
+//! generated networks rely on.) The inferred [`Topology`] drives OSPF and
+//! BGP adjacency, the dataflow graph's inter-device edges, and the
+//! host-facing-interface heuristics of §4.4.2.
+
+use crate::vi::Device;
+use batnet_net::Prefix;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A (device, interface) pair.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InterfaceRef {
+    /// Device name.
+    pub device: String,
+    /// Interface name.
+    pub interface: String,
+}
+
+impl InterfaceRef {
+    /// Convenience constructor.
+    pub fn new(device: impl Into<String>, interface: impl Into<String>) -> InterfaceRef {
+        InterfaceRef {
+            device: device.into(),
+            interface: interface.into(),
+        }
+    }
+}
+
+impl fmt::Display for InterfaceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.device, self.interface)
+    }
+}
+
+/// The inferred layer-3 topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    /// Point-to-point-or-LAN edges: every unordered pair of interfaces on a
+    /// shared subnet, stored in both directions for O(1) neighbor lookup.
+    neighbors: BTreeMap<InterfaceRef, Vec<InterfaceRef>>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl Topology {
+    /// Infers the topology from interface addressing: active interfaces
+    /// sharing the same connected prefix are adjacent.
+    ///
+    /// `/32`s never form links, and an interface is never its own
+    /// neighbor. Interfaces whose subnets contain no other interface are
+    /// *edge interfaces* — candidates for the host-facing heuristic.
+    pub fn infer(devices: &[Device]) -> Topology {
+        // Group active interfaces by connected prefix.
+        let mut by_prefix: BTreeMap<Prefix, Vec<InterfaceRef>> = BTreeMap::new();
+        for d in devices {
+            for i in d.active_interfaces() {
+                if let Some(p) = i.connected_prefix() {
+                    if p.len() < 32 {
+                        by_prefix
+                            .entry(p)
+                            .or_default()
+                            .push(InterfaceRef::new(&d.name, &i.name));
+                    }
+                }
+            }
+        }
+        let mut topo = Topology::default();
+        for refs in by_prefix.values() {
+            for a in refs {
+                for b in refs {
+                    if a != b {
+                        topo.neighbors.entry(a.clone()).or_default().push(b.clone());
+                    }
+                }
+            }
+            let n = refs.len();
+            topo.edge_count += n * n.saturating_sub(1) / 2;
+        }
+        topo
+    }
+
+    /// Interfaces adjacent to `iface` (same subnet, other device or same
+    /// device — same-device adjacency would indicate a duplicate-subnet
+    /// misconfiguration that the lint layer flags).
+    pub fn neighbors_of(&self, iface: &InterfaceRef) -> &[InterfaceRef] {
+        self.neighbors.get(iface).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does this interface have any L3 neighbor? Interfaces without one
+    /// face hosts or the outside world (§4.4.2's scoping heuristic).
+    pub fn has_neighbor(&self, iface: &InterfaceRef) -> bool {
+        !self.neighbors_of(iface).is_empty()
+    }
+
+    /// Number of undirected inferred edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// All interfaces that appear in at least one edge.
+    pub fn connected_interfaces(&self) -> impl Iterator<Item = &InterfaceRef> {
+        self.neighbors.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vi::Interface;
+    use batnet_net::Ip;
+
+    fn device(name: &str, ifaces: &[(&str, &str, u8)]) -> Device {
+        let mut d = Device::new(name);
+        for (iname, ip, len) in ifaces {
+            let mut i = Interface::new(*iname);
+            i.address = Some((ip.parse::<Ip>().unwrap(), *len));
+            d.interfaces.insert(iname.to_string(), i);
+        }
+        d
+    }
+
+    #[test]
+    fn point_to_point_link() {
+        let r1 = device("r1", &[("e1", "10.0.0.1", 31)]);
+        let r2 = device("r2", &[("e1", "10.0.0.0", 31)]);
+        let topo = Topology::infer(&[r1, r2]);
+        assert_eq!(topo.edge_count(), 1);
+        let n = topo.neighbors_of(&InterfaceRef::new("r1", "e1"));
+        assert_eq!(n, &[InterfaceRef::new("r2", "e1")]);
+    }
+
+    #[test]
+    fn lan_segment_full_mesh() {
+        let r1 = device("r1", &[("e1", "10.0.0.1", 24)]);
+        let r2 = device("r2", &[("e1", "10.0.0.2", 24)]);
+        let r3 = device("r3", &[("e1", "10.0.0.3", 24)]);
+        let topo = Topology::infer(&[r1, r2, r3]);
+        assert_eq!(topo.edge_count(), 3);
+        assert_eq!(topo.neighbors_of(&InterfaceRef::new("r1", "e1")).len(), 2);
+    }
+
+    #[test]
+    fn different_subnets_no_link() {
+        let r1 = device("r1", &[("e1", "10.0.0.1", 24)]);
+        let r2 = device("r2", &[("e1", "10.0.1.1", 24)]);
+        let topo = Topology::infer(&[r1, r2]);
+        assert_eq!(topo.edge_count(), 0);
+        assert!(!topo.has_neighbor(&InterfaceRef::new("r1", "e1")));
+    }
+
+    #[test]
+    fn loopbacks_never_link() {
+        let r1 = device("r1", &[("lo0", "1.1.1.1", 32)]);
+        let r2 = device("r2", &[("lo0", "1.1.1.1", 32)]);
+        let topo = Topology::infer(&[r1, r2]);
+        assert_eq!(topo.edge_count(), 0);
+    }
+
+    #[test]
+    fn shutdown_interface_excluded() {
+        let r1 = device("r1", &[("e1", "10.0.0.1", 24)]);
+        let mut r2 = device("r2", &[("e1", "10.0.0.2", 24)]);
+        r2.interfaces.get_mut("e1").unwrap().enabled = false;
+        let topo = Topology::infer(&[r1, r2]);
+        assert_eq!(topo.edge_count(), 0);
+    }
+}

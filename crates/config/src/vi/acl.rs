@@ -1,0 +1,150 @@
+//! Access control lists in the VI model.
+//!
+//! An ACL is an ordered list of permit/deny lines, each matching a
+//! [`HeaderSpace`]. First match wins; the implicit default at the end is
+//! deny (as on every vendor we model). The concrete evaluator here is one
+//! half of the differential-testing pair — the symbolic BDD compilation
+//! lives in `batnet-dataplane` and is deliberately a separate code path
+//! (§4.3.2).
+
+use batnet_net::{Flow, HeaderSpace};
+use std::fmt;
+
+/// Permit or deny.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AclAction {
+    /// Allow matching packets.
+    Permit,
+    /// Drop matching packets.
+    Deny,
+}
+
+impl fmt::Display for AclAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AclAction::Permit => write!(f, "permit"),
+            AclAction::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One line of an ACL.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AclLine {
+    /// Sequence number (ordering key; display only — the `lines` vector
+    /// order is authoritative).
+    pub seq: u32,
+    /// Permit or deny.
+    pub action: AclAction,
+    /// The packets this line matches.
+    pub space: HeaderSpace,
+    /// The original configuration text, kept for violation annotation
+    /// (§4.4.3: *"we annotate example packets with … the routing and ACL
+    /// entries that they hit along their path"*).
+    pub text: String,
+}
+
+/// An ordered ACL with implicit trailing deny.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Acl {
+    /// ACL name.
+    pub name: String,
+    /// Lines in match order.
+    pub lines: Vec<AclLine>,
+}
+
+impl Acl {
+    /// An empty ACL (denies everything, via the implicit default).
+    pub fn new(name: impl Into<String>) -> Acl {
+        Acl {
+            name: name.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// An ACL that permits everything (used as the documented default when
+    /// a referenced ACL is undefined on permissive platforms).
+    pub fn permit_any(name: impl Into<String>) -> Acl {
+        Acl {
+            name: name.into(),
+            lines: vec![AclLine {
+                seq: 10,
+                action: AclAction::Permit,
+                space: HeaderSpace::any(),
+                text: "permit ip any any".into(),
+            }],
+        }
+    }
+
+    /// First-match evaluation. Returns the matching line index too, so
+    /// callers can annotate results; `None` means the implicit deny fired.
+    pub fn check(&self, flow: &Flow) -> (AclAction, Option<usize>) {
+        for (i, line) in self.lines.iter().enumerate() {
+            if line.space.matches(flow) {
+                return (line.action, Some(i));
+            }
+        }
+        (AclAction::Deny, None)
+    }
+
+    /// Does the ACL permit this flow?
+    pub fn permits(&self, flow: &Flow) -> bool {
+        self.check(flow).0 == AclAction::Permit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_net::{Ip, IpProtocol};
+
+    fn web_acl() -> Acl {
+        Acl {
+            name: "WEB".into(),
+            lines: vec![
+                AclLine {
+                    seq: 10,
+                    action: AclAction::Deny,
+                    space: HeaderSpace::any()
+                        .protocol(IpProtocol::Tcp)
+                        .dst_port(22),
+                    text: "deny tcp any any eq 22".into(),
+                },
+                AclLine {
+                    seq: 20,
+                    action: AclAction::Permit,
+                    space: HeaderSpace::any().protocol(IpProtocol::Tcp),
+                    text: "permit tcp any any".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let acl = web_acl();
+        let ssh = Flow::tcp(Ip::new(1, 1, 1, 1), 1000, Ip::new(2, 2, 2, 2), 22);
+        let http = Flow::tcp(Ip::new(1, 1, 1, 1), 1000, Ip::new(2, 2, 2, 2), 80);
+        assert_eq!(acl.check(&ssh), (AclAction::Deny, Some(0)));
+        assert_eq!(acl.check(&http), (AclAction::Permit, Some(1)));
+        assert!(!acl.permits(&ssh));
+        assert!(acl.permits(&http));
+    }
+
+    #[test]
+    fn implicit_deny() {
+        let acl = web_acl();
+        let udp = Flow::udp(Ip::new(1, 1, 1, 1), 1000, Ip::new(2, 2, 2, 2), 53);
+        assert_eq!(acl.check(&udp), (AclAction::Deny, None));
+        let empty = Acl::new("EMPTY");
+        assert_eq!(empty.check(&udp), (AclAction::Deny, None));
+    }
+
+    #[test]
+    fn permit_any_permits() {
+        let acl = Acl::permit_any("DEFAULT");
+        let udp = Flow::udp(Ip::new(9, 9, 9, 9), 1, Ip::new(8, 8, 8, 8), 53);
+        assert!(acl.permits(&udp));
+        assert!(acl.permits(&Flow::icmp_echo(Ip::ZERO, Ip::MAX)));
+    }
+}

@@ -1,0 +1,396 @@
+//! The device-level VI model: interfaces, routing processes, firewall zones.
+
+use super::acl::Acl;
+use super::nat::NatRule;
+use super::policy::{CommunityList, PrefixList, RouteMap};
+use batnet_net::{Asn, Ip, Prefix};
+use std::collections::BTreeMap;
+
+/// A layer-3 interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name as configured (`Ethernet1`, `ge-0/0/0`, …).
+    pub name: String,
+    /// Primary IPv4 address and prefix length, if addressed.
+    pub address: Option<(Ip, u8)>,
+    /// Additional addresses (secondaries, VIPs).
+    pub secondary_addresses: Vec<(Ip, u8)>,
+    /// Administratively up? (`shutdown` clears this.)
+    pub enabled: bool,
+    /// Name of the inbound ACL, if any.
+    pub acl_in: Option<String>,
+    /// Name of the outbound ACL, if any.
+    pub acl_out: Option<String>,
+    /// OSPF interface cost override.
+    pub ospf_cost: Option<u32>,
+    /// OSPF area, if the interface runs OSPF.
+    pub ospf_area: Option<u32>,
+    /// OSPF passive: advertise the subnet but form no adjacency.
+    pub ospf_passive: bool,
+    /// Firewall zone membership.
+    pub zone: Option<String>,
+    /// Interface MTU (default 1500).
+    pub mtu: u32,
+    /// Free-text description.
+    pub description: Option<String>,
+}
+
+impl Interface {
+    /// A fresh, enabled, unaddressed interface.
+    pub fn new(name: impl Into<String>) -> Interface {
+        Interface {
+            name: name.into(),
+            address: None,
+            secondary_addresses: Vec::new(),
+            enabled: true,
+            acl_in: None,
+            acl_out: None,
+            ospf_cost: None,
+            ospf_area: None,
+            ospf_passive: false,
+            zone: None,
+            mtu: 1500,
+            description: None,
+        }
+    }
+
+    /// The connected prefix implied by the primary address.
+    pub fn connected_prefix(&self) -> Option<Prefix> {
+        self.address.map(|(ip, len)| Prefix::new(ip, len))
+    }
+
+    /// The interface's own IP, if addressed.
+    pub fn ip(&self) -> Option<Ip> {
+        self.address.map(|(ip, _)| ip)
+    }
+
+    /// Is the interface up and addressed (i.e. participates in routing)?
+    pub fn is_active(&self) -> bool {
+        self.enabled && self.address.is_some()
+    }
+}
+
+/// Next hop of a static route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NextHop {
+    /// Forward towards this gateway address (recursively resolved).
+    Ip(Ip),
+    /// Discard (null interface) — used for aggregates and blackholes.
+    Discard,
+}
+
+/// A configured static route.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticRoute {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Where matching packets go.
+    pub next_hop: NextHop,
+    /// Administrative distance (default 1).
+    pub admin_distance: u8,
+}
+
+/// The OSPF process of a device (single process, VRF "default" — the model
+/// the generated networks exercise; multi-VRF is future work recorded in
+/// DESIGN.md).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct OspfProcess {
+    /// Router id; defaults to the highest interface address when absent.
+    pub router_id: Option<Ip>,
+    /// Reference bandwidth for auto-cost, in Mbps (default 100_000).
+    pub reference_bandwidth_mbps: u32,
+    /// Redistribute connected routes into OSPF.
+    pub redistribute_connected: bool,
+    /// Redistribute static routes into OSPF.
+    pub redistribute_static: bool,
+    /// Default cost for interfaces without an explicit cost.
+    pub default_cost: u32,
+}
+
+/// One configured BGP neighbor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BgpNeighbor {
+    /// Peer address the session is configured towards.
+    pub peer_ip: Ip,
+    /// Peer AS number.
+    pub remote_as: Asn,
+    /// Import routing policy (route-map applied `in`). `None` means the
+    /// vendor default: accept everything.
+    pub import_policy: Option<String>,
+    /// Export routing policy (route-map applied `out`). `None` means the
+    /// vendor default: advertise everything in the BGP RIB.
+    pub export_policy: Option<String>,
+    /// Rewrite next-hop to self on iBGP export (reflectors/borders).
+    pub next_hop_self: bool,
+    /// Propagate communities to this peer.
+    pub send_community: bool,
+    /// Free-text description.
+    pub description: Option<String>,
+}
+
+impl BgpNeighbor {
+    /// A neighbor with vendor-default policies.
+    pub fn new(peer_ip: Ip, remote_as: Asn) -> BgpNeighbor {
+        BgpNeighbor {
+            peer_ip,
+            remote_as,
+            import_policy: None,
+            export_policy: None,
+            next_hop_self: false,
+            send_community: true,
+            description: None,
+        }
+    }
+}
+
+/// The BGP process of a device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BgpProcess {
+    /// Local AS number.
+    pub asn: Asn,
+    /// Router id; defaults like OSPF's.
+    pub router_id: Option<Ip>,
+    /// Configured neighbors.
+    pub neighbors: Vec<BgpNeighbor>,
+    /// `network` statements: prefixes originated if present in the main RIB.
+    pub networks: Vec<Prefix>,
+    /// Redistribute connected routes into BGP.
+    pub redistribute_connected: bool,
+    /// Redistribute static routes into BGP.
+    pub redistribute_static: bool,
+    /// Redistribute OSPF routes into BGP.
+    pub redistribute_ospf: bool,
+}
+
+impl BgpProcess {
+    /// A BGP process with no neighbors yet.
+    pub fn new(asn: Asn) -> BgpProcess {
+        BgpProcess {
+            asn,
+            router_id: None,
+            neighbors: Vec::new(),
+            networks: Vec::new(),
+            redistribute_connected: false,
+            redistribute_static: false,
+            redistribute_ospf: false,
+        }
+    }
+}
+
+/// A firewall zone: a named set of interfaces (§4.2.3, zone-based
+/// firewalls).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Zone {
+    /// Zone name.
+    pub name: String,
+    /// Member interface names.
+    pub interfaces: Vec<String>,
+}
+
+/// An inter-zone policy: traffic entering via `from_zone` and leaving via
+/// `to_zone` is filtered by `acl`. Absent policies fall back to the
+/// device-wide default ([`Device::zone_default_permit`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZonePolicy {
+    /// Ingress zone name.
+    pub from_zone: String,
+    /// Egress zone name.
+    pub to_zone: String,
+    /// Filter applied to matching traffic.
+    pub acl: Acl,
+}
+
+/// The vendor-independent model of one device.
+///
+/// `BTreeMap`s keep iteration deterministic, which the convergence and
+/// reporting layers rely on (§4.1.2: stable results across runs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Device {
+    /// Device (host)name; unique within a snapshot.
+    pub name: String,
+    /// Interfaces by name.
+    pub interfaces: BTreeMap<String, Interface>,
+    /// Static routes.
+    pub static_routes: Vec<StaticRoute>,
+    /// OSPF process, if configured.
+    pub ospf: Option<OspfProcess>,
+    /// BGP process, if configured.
+    pub bgp: Option<BgpProcess>,
+    /// Route maps by name.
+    pub route_maps: BTreeMap<String, RouteMap>,
+    /// Prefix lists by name.
+    pub prefix_lists: BTreeMap<String, PrefixList>,
+    /// Community lists by name.
+    pub community_lists: BTreeMap<String, CommunityList>,
+    /// ACLs by name.
+    pub acls: BTreeMap<String, Acl>,
+    /// NAT rules in evaluation order.
+    pub nat_rules: Vec<NatRule>,
+    /// Firewall zones by name.
+    pub zones: BTreeMap<String, Zone>,
+    /// Inter-zone policies.
+    pub zone_policies: Vec<ZonePolicy>,
+    /// When no zone policy matches a (from, to) zone pair: permit?
+    /// Vendor-default deny, as on real zone firewalls.
+    pub zone_default_permit: bool,
+    /// Does this device track firewall sessions (stateful)? Set for zone
+    /// firewalls; enables return-traffic fast path in both engines.
+    pub stateful: bool,
+    /// Configured NTP servers (management-plane consistency checks).
+    pub ntp_servers: Vec<Ip>,
+    /// Configured DNS servers.
+    pub dns_servers: Vec<Ip>,
+}
+
+impl Device {
+    /// An empty device model.
+    pub fn new(name: impl Into<String>) -> Device {
+        Device {
+            name: name.into(),
+            interfaces: BTreeMap::new(),
+            static_routes: Vec::new(),
+            ospf: None,
+            bgp: None,
+            route_maps: BTreeMap::new(),
+            prefix_lists: BTreeMap::new(),
+            community_lists: BTreeMap::new(),
+            acls: BTreeMap::new(),
+            nat_rules: Vec::new(),
+            zones: BTreeMap::new(),
+            zone_policies: Vec::new(),
+            zone_default_permit: false,
+            stateful: false,
+            ntp_servers: Vec::new(),
+            dns_servers: Vec::new(),
+        }
+    }
+
+    /// The effective router id: configured, else highest interface address,
+    /// else 0.0.0.0. Shared by OSPF and BGP per vendor convention.
+    pub fn router_id(&self) -> Ip {
+        if let Some(bgp) = &self.bgp {
+            if let Some(id) = bgp.router_id {
+                return id;
+            }
+        }
+        if let Some(ospf) = &self.ospf {
+            if let Some(id) = ospf.router_id {
+                return id;
+            }
+        }
+        self.interfaces
+            .values()
+            .filter_map(Interface::ip)
+            .max()
+            .unwrap_or(Ip::ZERO)
+    }
+
+    /// All active (up + addressed) interfaces, deterministically ordered.
+    pub fn active_interfaces(&self) -> impl Iterator<Item = &Interface> {
+        self.interfaces.values().filter(|i| i.is_active())
+    }
+
+    /// Looks up the zone an interface belongs to, via either the
+    /// interface's own `zone` attribute or zone membership lists.
+    pub fn zone_of_interface(&self, ifname: &str) -> Option<&str> {
+        if let Some(iface) = self.interfaces.get(ifname) {
+            if let Some(z) = &iface.zone {
+                return Some(z.as_str());
+            }
+        }
+        self.zones
+            .values()
+            .find(|z| z.interfaces.iter().any(|i| i == ifname))
+            .map(|z| z.name.as_str())
+    }
+
+    /// Which of this device's active interfaces owns `ip` (exact interface
+    /// address match)? Used for "does this packet terminate here".
+    pub fn interface_owning_ip(&self, ip: Ip) -> Option<&Interface> {
+        self.active_interfaces().find(|i| {
+            i.ip() == Some(ip) || i.secondary_addresses.iter().any(|&(a, _)| a == ip)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ip {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn router_id_precedence() {
+        let mut d = Device::new("r1");
+        let mut i1 = Interface::new("e1");
+        i1.address = Some((ip("10.0.0.5"), 24));
+        let mut i2 = Interface::new("e2");
+        i2.address = Some((ip("192.168.0.1"), 30));
+        d.interfaces.insert("e1".into(), i1);
+        d.interfaces.insert("e2".into(), i2);
+        // No processes: highest interface IP.
+        assert_eq!(d.router_id(), ip("192.168.0.1"));
+        // OSPF-configured id wins over interfaces.
+        d.ospf = Some(OspfProcess {
+            router_id: Some(ip("1.1.1.1")),
+            ..OspfProcess::default()
+        });
+        assert_eq!(d.router_id(), ip("1.1.1.1"));
+        // BGP-configured id wins over OSPF's.
+        let mut bgp = BgpProcess::new(Asn(65001));
+        bgp.router_id = Some(ip("2.2.2.2"));
+        d.bgp = Some(bgp);
+        assert_eq!(d.router_id(), ip("2.2.2.2"));
+    }
+
+    #[test]
+    fn shutdown_interface_not_active() {
+        let mut i = Interface::new("e1");
+        i.address = Some((ip("10.0.0.1"), 24));
+        assert!(i.is_active());
+        i.enabled = false;
+        assert!(!i.is_active());
+        let unaddressed = Interface::new("e2");
+        assert!(!unaddressed.is_active());
+    }
+
+    #[test]
+    fn connected_prefix_masks_host_bits() {
+        let mut i = Interface::new("e1");
+        i.address = Some((ip("10.1.2.3"), 24));
+        assert_eq!(i.connected_prefix().unwrap().to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn zone_lookup_both_paths() {
+        let mut d = Device::new("fw");
+        let mut i1 = Interface::new("e1");
+        i1.zone = Some("trust".into());
+        d.interfaces.insert("e1".into(), i1);
+        d.interfaces.insert("e2".into(), Interface::new("e2"));
+        d.zones.insert(
+            "untrust".into(),
+            Zone {
+                name: "untrust".into(),
+                interfaces: vec!["e2".into()],
+            },
+        );
+        assert_eq!(d.zone_of_interface("e1"), Some("trust"));
+        assert_eq!(d.zone_of_interface("e2"), Some("untrust"));
+        assert_eq!(d.zone_of_interface("e3"), None);
+    }
+
+    #[test]
+    fn interface_owning_ip_checks_secondaries() {
+        let mut d = Device::new("r1");
+        let mut i1 = Interface::new("e1");
+        i1.address = Some((ip("10.0.0.1"), 24));
+        i1.secondary_addresses.push((ip("10.0.0.99"), 24));
+        d.interfaces.insert("e1".into(), i1);
+        assert!(d.interface_owning_ip(ip("10.0.0.1")).is_some());
+        assert!(d.interface_owning_ip(ip("10.0.0.99")).is_some());
+        assert!(d.interface_owning_ip(ip("10.0.0.2")).is_none());
+    }
+}

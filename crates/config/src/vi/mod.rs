@@ -1,0 +1,22 @@
+//! The vendor-independent (VI) configuration model.
+//!
+//! Every dialect frontend lowers into these types; everything downstream —
+//! route simulation, BDD analysis, traceroute, linting — consumes only this
+//! model. This is the paper's "normalized representation … vendor-
+//! independent" (§2, Stage 1), evolved from Datalog facts into typed data.
+
+mod acl;
+mod device;
+mod nat;
+mod policy;
+
+pub use acl::{Acl, AclAction, AclLine};
+pub use device::{
+    BgpNeighbor, BgpProcess, Device, Interface, NextHop, OspfProcess, StaticRoute, Zone,
+    ZonePolicy,
+};
+pub use nat::{NatKind, NatRule};
+pub use policy::{
+    CommunityList, CommunityListEntry, PolicyResult, PrefixList, PrefixListEntry, RouteAttrs,
+    RouteMap, RouteMapClause, RouteMapMatch, RouteMapSet, RouteOrigin, RouteProtocol,
+};

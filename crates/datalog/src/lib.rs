@@ -1,0 +1,35 @@
+//! # batnet-datalog — the *original* Batfish architecture, reproduced
+//!
+//! The paper's Lesson 1 is about what went wrong with Datalog in
+//! production. To regenerate the Figure 3 comparison honestly, this crate
+//! reimplements the original architecture's Stage 2: a bottom-up Datalog
+//! engine (standing in for LogicBlox) evaluating a routing model written
+//! as recursive rules.
+//!
+//! The engine deliberately keeps the properties the paper identifies as
+//! the production roadblocks:
+//!
+//! * **No execution-order control** — rules fire in whatever order the
+//!   semi-naive loop reaches them; BGP rules happily derive facts from
+//!   not-yet-converged IGP facts and re-derive them later (§3, Lesson 1,
+//!   "Performance").
+//! * **Full fact retention** — every derived fact, including routes that
+//!   are eventually sub-optimal, stays in memory (*"the Datalog engine
+//!   retains in memory all intermediate facts"*); [`Engine::fact_count`]
+//!   exposes the blow-up, and the memory ablation reports it.
+//! * **Automatic provenance** — each fact records the rule and premises
+//!   that derived it (*"producing this extra information was trivial in
+//!   Datalog"*), which powered the original Stage 4.
+//!
+//! [`routing`] encodes the original control-plane model: connected
+//! routes, bounded-cost OSPF distance with min-selection via stratified
+//! negation, and a path-vector BGP on AS-path length. It supports the
+//! feature set of the original paper's evaluation network (NET1); the
+//! evolved feature set (route maps, communities, sessions gated on data
+//! plane state, …) is exactly what Lesson 1 says was impractical here.
+
+pub mod engine;
+pub mod routing;
+
+pub use engine::{Engine, Fact, Program, Rule, Term, Value};
+pub use routing::{compute as datalog_routes, DatalogRoute, DatalogRoutes, RoutingInputs};

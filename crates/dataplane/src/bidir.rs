@@ -1,0 +1,103 @@
+//! Bidirectional reachability with firewall sessions (§4.2.3).
+//!
+//! *"We first do a forward dataflow analysis, after which the reachable
+//! sets at nodes for stateful devices represent all firewall sessions
+//! that could be installed. We then instrument the dataflow graph by …
+//! inserting new [edges] to represent the session 'fast path' for
+//! matching return traffic, and we then run the analysis in the other
+//! direction."*
+//!
+//! Implementation: the forward pass's reach sets at each stateful
+//! device's `OutIface` nodes are the installable sessions (post-NAT
+//! egress flows). The instrumented graph gains, per stateful-device
+//! ingress interface, a fast-path edge `PreIn → PreFwd` labeled with the
+//! *mirrored* session set (src/dst swapped via a variable renaming), so
+//! return traffic bypasses ACLs and zone policy exactly like the
+//! concrete engine's session match.
+//!
+//! Known approximation (recorded in DESIGN.md): the symbolic fast path
+//! does not un-NAT return traffic; stateful devices that also NAT are
+//! handled exactly by the concrete engine and approximately here.
+
+use crate::graph::{EdgeLabel, ForwardingGraph, NodeKind};
+use crate::reach::{ReachAnalysis, ReachResult};
+use crate::vars::PacketVars;
+use batnet_bdd::{Bdd, NodeId};
+use batnet_config::vi::Device;
+
+/// The outcome of a bidirectional analysis.
+pub struct BidirResult {
+    /// Forward pass result (on the original graph).
+    pub forward: ReachResult,
+    /// Return pass result (on the instrumented graph).
+    pub reverse: ReachResult,
+    /// The instrumented graph the reverse pass ran on.
+    pub instrumented: ForwardingGraph,
+}
+
+/// Runs forward reachability from `sources`, instruments session fast
+/// paths on every stateful device, and runs the reverse analysis from
+/// `return_sources` (typically the destination-side interfaces).
+pub fn bidirectional(
+    bdd: &mut Bdd,
+    vars: &PacketVars,
+    graph: &ForwardingGraph,
+    devices: &[Device],
+    sources: &[(usize, NodeId)],
+    return_sources: &[(usize, NodeId)],
+) -> BidirResult {
+    let analysis = ReachAnalysis::new(graph);
+    let forward = analysis.forward(bdd, sources);
+
+    // Collect per-stateful-device session sets: union of OutIface reach.
+    let swap = vars.register_swap(bdd);
+    let mut instrumented = clone_graph(graph);
+    for device in devices.iter().filter(|d| d.stateful) {
+        let mut sessions = NodeId::FALSE;
+        for (i, kind) in graph.nodes.iter().enumerate() {
+            if let NodeKind::OutIface(d, _) = kind {
+                if d == &device.name {
+                    sessions = bdd.or(sessions, forward.reach[i]);
+                }
+            }
+        }
+        if sessions == NodeId::FALSE {
+            continue;
+        }
+        // Sessions match on the 5-tuple only: drop flags/ICMP/bookkeeping
+        // constraints before mirroring.
+        let tuple = vars.project_five_tuple(bdd, sessions);
+        let mirrored = bdd.rename(tuple, swap);
+        // Fast-path edges: every ingress interface of the device may see
+        // the return traffic; it bypasses straight to PreFwd.
+        let Some(pre_fwd) = instrumented.node(&NodeKind::PreFwd(device.name.clone())) else {
+            continue;
+        };
+        for iface in device.active_interfaces() {
+            if let Some(pre_in) =
+                instrumented.node(&NodeKind::PreIn(device.name.clone(), iface.name.clone()))
+            {
+                instrumented.add_edge(pre_in, pre_fwd, EdgeLabel::Bdd(mirrored));
+            }
+        }
+    }
+
+    let rev_analysis = ReachAnalysis::new(&instrumented);
+    let reverse = rev_analysis.forward(bdd, return_sources);
+    BidirResult {
+        forward,
+        reverse,
+        instrumented,
+    }
+}
+
+fn clone_graph(g: &ForwardingGraph) -> ForwardingGraph {
+    let mut out = ForwardingGraph::empty();
+    for kind in &g.nodes {
+        out.add_node_public(kind.clone());
+    }
+    for e in &g.edges {
+        out.add_edge(e.from, e.to, e.label);
+    }
+    out
+}

@@ -1,0 +1,133 @@
+//! Graph compression (§4.2.3).
+//!
+//! *"Many nodes in the dataflow graph are simple, i.e., they have only
+//! one incoming or outgoing edge … We implemented an optimization that
+//! identifies and deletes these"* — a chain node whose single incoming
+//! and single outgoing edges are both plain BDD labels is spliced out,
+//! the two labels composing by intersection. Transform edges are left in
+//! place (composing relations would change their variable story), and
+//! sources/sinks are never removed.
+
+use crate::graph::{EdgeLabel, ForwardingGraph, NodeKind};
+use batnet_bdd::Bdd;
+
+/// Statistics from one compression run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Nodes before.
+    pub nodes_before: usize,
+    /// Edges before.
+    pub edges_before: usize,
+    /// Nodes after.
+    pub nodes_after: usize,
+    /// Edges after.
+    pub edges_after: usize,
+}
+
+/// Splices out simple pass-through nodes. Returns the compressed graph
+/// (node ids are re-assigned) and statistics.
+pub fn compress(bdd: &mut Bdd, g: &ForwardingGraph) -> (ForwardingGraph, CompressStats) {
+    let (nodes_before, edges_before) = g.size();
+    // Work on mutable copies of the edge list; node removal marks.
+    let mut edges: Vec<Option<crate::graph::Edge>> = g.edges.iter().cloned().map(Some).collect();
+    let mut in_of: Vec<Vec<usize>> = g.in_edges.clone();
+    let mut out_of: Vec<Vec<usize>> = g.out_edges.clone();
+    let mut removed = vec![false; g.nodes.len()];
+
+    // Iterate until no more splices; each splice can enable another.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for n in 0..g.nodes.len() {
+            if removed[n] || g.nodes[n].is_sink() || matches!(g.nodes[n], NodeKind::IfaceSrc(_, _))
+            {
+                continue;
+            }
+            let live_in: Vec<usize> = in_of[n].iter().copied().filter(|&e| edges[e].is_some()).collect();
+            let live_out: Vec<usize> =
+                out_of[n].iter().copied().filter(|&e| edges[e].is_some()).collect();
+            if live_in.len() != 1 || live_out.len() != 1 {
+                continue;
+            }
+            let (ein, eout) = (live_in[0], live_out[0]);
+            let (from, lin) = {
+                let e = edges[ein].as_ref().expect("live");
+                (e.from, e.label)
+            };
+            let (to, lout) = {
+                let e = edges[eout].as_ref().expect("live");
+                (e.to, e.label)
+            };
+            // Self-loops and transform edges stay.
+            if from == n || to == n {
+                continue;
+            }
+            let composed = match (lin, lout) {
+                (EdgeLabel::Bdd(a), EdgeLabel::Bdd(b)) => EdgeLabel::Bdd(bdd.and(a, b)),
+                // One plain side can fold into a transform by gating the
+                // relation on the unprimed (input) side...
+                (EdgeLabel::Bdd(a), EdgeLabel::Transform(rule, t)) => {
+                    let gated = bdd.and(rule, a);
+                    EdgeLabel::Transform(gated, t)
+                }
+                // ... but a BDD *after* a transform constrains outputs,
+                // which needs a rename we don't attempt here.
+                _ => continue,
+            };
+            // Splice: replace the pair with one edge from→to.
+            edges[ein] = None;
+            edges[eout] = None;
+            removed[n] = true;
+            let new_id = edges.len();
+            edges.push(Some(crate::graph::Edge {
+                from,
+                to,
+                label: composed,
+            }));
+            out_of[from].push(new_id);
+            in_of[to].push(new_id);
+            changed = true;
+        }
+    }
+
+    // Rebuild a dense graph.
+    let mut out = ForwardingGraph::empty();
+    let mut remap: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    for (i, kind) in g.nodes.iter().enumerate() {
+        if !removed[i] {
+            remap[i] = Some(out.add_node_public(kind.clone()));
+        }
+    }
+    for e in edges.into_iter().flatten() {
+        let (Some(from), Some(to)) = (remap[e.from], remap[e.to]) else {
+            continue;
+        };
+        out.add_edge(from, to, e.label);
+    }
+    let (nodes_after, edges_after) = out.size();
+    (
+        out,
+        CompressStats {
+            nodes_before,
+            edges_before,
+            nodes_after,
+            edges_after,
+        },
+    )
+}
+
+impl ForwardingGraph {
+    /// Node insertion for graph-rewriting passes.
+    pub fn add_node_public(&mut self, kind: NodeKind) -> usize {
+        // Delegates to the private path via a fresh lookup/insert.
+        if let Some(i) = self.node(&kind) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(kind.clone());
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        self.index_insert(kind, i);
+        i
+    }
+}

@@ -1,0 +1,188 @@
+//! FIB compilation: longest-prefix-match semantics to BDDs.
+//!
+//! §4.2.1: *"For real networks, the edge constraints are richer since
+//! they also encode the semantics of longest-prefix matching."* A FIB
+//! entry's edge set is its destination prefix minus every strictly longer
+//! prefix in the table — computed by walking entries from longest to
+//! shortest while subtracting what has been claimed.
+
+use crate::vars::{Field, PacketVars};
+use batnet_bdd::{Bdd, NodeId};
+use batnet_routing::{Fib, FibAction, FibNextHop};
+use std::collections::BTreeMap;
+
+/// A compiled FIB.
+pub struct FibBdd {
+    /// Per resolved next hop: the packets forwarded to it.
+    pub forwards: BTreeMap<FibNextHop, NodeId>,
+    /// Packets matching a discard route.
+    pub discarded: NodeId,
+    /// Packets matching a route whose next hop did not resolve.
+    pub unresolved: NodeId,
+    /// Packets matching nothing (no route).
+    pub no_route: NodeId,
+}
+
+/// Compiles a FIB against the variable layout.
+pub fn compile_fib(bdd: &mut Bdd, vars: &PacketVars, fib: &Fib) -> FibBdd {
+    // Longest-prefix first: each entry claims what remains of its prefix.
+    let mut order: Vec<usize> = (0..fib.entries().len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(fib.entries()[i].prefix.len()));
+    let mut claimed = NodeId::FALSE;
+    let mut forwards: BTreeMap<FibNextHop, NodeId> = BTreeMap::new();
+    let mut discarded = NodeId::FALSE;
+    let mut unresolved = NodeId::FALSE;
+    for &i in &order {
+        let entry = &fib.entries()[i];
+        let prefix_set = vars.ip_prefix(bdd, Field::DstIp, entry.prefix);
+        let mine = bdd.diff(prefix_set, claimed);
+        claimed = bdd.or(claimed, prefix_set);
+        if mine == NodeId::FALSE {
+            continue;
+        }
+        match &entry.action {
+            FibAction::Forward(hops) => {
+                for hop in hops {
+                    let slot = forwards.entry(hop.clone()).or_insert(NodeId::FALSE);
+                    *slot = bdd.or(*slot, mine);
+                }
+            }
+            FibAction::Discard => discarded = bdd.or(discarded, mine),
+            FibAction::Unresolved => unresolved = bdd.or(unresolved, mine),
+        }
+    }
+    let no_route = bdd.not(claimed);
+    FibBdd {
+        forwards,
+        discarded,
+        unresolved,
+        no_route,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::vi::RouteProtocol;
+    use batnet_net::{Flow, Ip};
+    use batnet_routing::{MainNextHop, MainRib, MainRoute};
+    use proptest::prelude::*;
+
+    fn rib_fixture() -> MainRib {
+        let mut rib = MainRib::new();
+        let mk = |p: &str, nh: MainNextHop, ad: u8| MainRoute {
+            prefix: p.parse().unwrap(),
+            admin_distance: ad,
+            metric: 0,
+            protocol: RouteProtocol::Static,
+            next_hop: nh,
+        };
+        rib.offer(mk("10.0.0.0/24", MainNextHop::Connected { iface: "e1".into() }, 0));
+        rib.offer(mk("10.0.1.0/24", MainNextHop::Connected { iface: "e2".into() }, 0));
+        rib.offer(mk("10.0.0.128/25", MainNextHop::Via("10.0.1.9".parse().unwrap()), 1));
+        rib.offer(mk("0.0.0.0/0", MainNextHop::Discard, 250));
+        rib
+    }
+
+    fn contains(bdd: &mut Bdd, vars: &PacketVars, set: NodeId, dst: &str) -> bool {
+        let f = Flow::icmp_echo(Ip::new(1, 1, 1, 1), dst.parse().unwrap());
+        let fb = vars.flow(bdd, &f);
+        bdd.and(set, fb) != NodeId::FALSE
+    }
+
+    #[test]
+    fn lpm_carves_out_longer_prefixes() {
+        let rib = rib_fixture();
+        let fib = Fib::build(&rib);
+        let (mut bdd, vars) = PacketVars::new(0);
+        let compiled = compile_fib(&mut bdd, &vars, &fib);
+        // 10.0.0.5 → e1 directly; 10.0.0.200 → the /25 via e2.
+        let e1_direct = compiled
+            .forwards
+            .iter()
+            .find(|(h, _)| h.iface == "e1")
+            .map(|(_, &s)| s)
+            .unwrap();
+        assert!(contains(&mut bdd, &vars, e1_direct, "10.0.0.5"));
+        assert!(
+            !contains(&mut bdd, &vars, e1_direct, "10.0.0.200"),
+            "the /25 must carve out the top half of the /24"
+        );
+        let via_25 = compiled
+            .forwards
+            .iter()
+            .find(|(h, _)| h.gateway == Some("10.0.1.9".parse().unwrap()))
+            .map(|(_, &s)| s)
+            .unwrap();
+        assert!(contains(&mut bdd, &vars, via_25, "10.0.0.200"));
+        // Everything else falls to the discard default.
+        assert!(contains(&mut bdd, &vars, compiled.discarded, "8.8.8.8"));
+        assert!(!contains(&mut bdd, &vars, compiled.discarded, "10.0.0.5"));
+        // The table has a default: no packet is route-less.
+        assert_eq!(compiled.no_route, NodeId::FALSE);
+    }
+
+    #[test]
+    fn no_route_set_without_default() {
+        let mut rib = MainRib::new();
+        rib.offer(MainRoute {
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            admin_distance: 0,
+            metric: 0,
+            protocol: RouteProtocol::Connected,
+            next_hop: MainNextHop::Connected { iface: "e1".into() },
+        });
+        let fib = Fib::build(&rib);
+        let (mut bdd, vars) = PacketVars::new(0);
+        let compiled = compile_fib(&mut bdd, &vars, &fib);
+        assert!(contains(&mut bdd, &vars, compiled.no_route, "9.9.9.9"));
+        assert!(!contains(&mut bdd, &vars, compiled.no_route, "10.0.0.9"));
+    }
+
+    /// Differential property: for random destinations, the BDD partition
+    /// agrees with the concrete `Fib::lookup`.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn bdd_partition_matches_concrete_lookup(dst in any::<u32>()) {
+            let rib = rib_fixture();
+            let fib = Fib::build(&rib);
+            let (mut bdd, vars) = PacketVars::new(0);
+            let compiled = compile_fib(&mut bdd, &vars, &fib);
+            let ip = Ip(dst);
+            let f = Flow::icmp_echo(Ip::new(1, 1, 1, 1), ip);
+            let fb = vars.flow(&mut bdd, &f);
+            // Which symbolic bucket holds the packet?
+            let mut buckets: Vec<(String, NodeId)> = compiled
+                .forwards
+                .iter()
+                .map(|(h, &s)| (format!("{}:{:?}", h.iface, h.gateway), s))
+                .collect();
+            buckets.push(("discard".into(), compiled.discarded));
+            buckets.push(("unresolved".into(), compiled.unresolved));
+            buckets.push(("noroute".into(), compiled.no_route));
+            let hits: Vec<String> = buckets
+                .iter()
+                .filter(|(_, s)| bdd.and(*s, fb) != NodeId::FALSE)
+                .map(|(n, _)| n.clone())
+                .collect();
+            // Concrete expectation.
+            let expect: Vec<String> = match fib.lookup(ip) {
+                None => vec!["noroute".into()],
+                Some(e) => match &e.action {
+                    FibAction::Discard => vec!["discard".into()],
+                    FibAction::Unresolved => vec!["unresolved".into()],
+                    FibAction::Forward(hops) => hops
+                        .iter()
+                        .map(|h| format!("{}:{:?}", h.iface, h.gateway))
+                        .collect(),
+                },
+            };
+            let mut hits_sorted = hits.clone();
+            hits_sorted.sort();
+            let mut expect_sorted = expect.clone();
+            expect_sorted.sort();
+            prop_assert_eq!(hits_sorted, expect_sorted, "dst {}", ip);
+        }
+    }
+}

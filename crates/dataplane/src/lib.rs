@@ -1,0 +1,36 @@
+//! # batnet-dataplane — Stage 3: BDD-based data plane verification
+//!
+//! The paper's Lesson 2 engine (§4.2): data plane analysis as a dataflow
+//! analysis over a graph whose nodes are pipeline stages (interface
+//! sources/sinks, FIB lookups, ACLs, NATs, zone checks) and whose edges
+//! carry *sets of packets* encoded as BDDs.
+//!
+//! * [`vars`] — the packet variable layout: the §4.2.2 frequency-ordered
+//!   fields (destination IP first, TCP flags last), MSB-first bits,
+//!   interleaved primed copies of the transformable fields for NAT
+//!   relations, reusable zone bits, and on-demand waypoint bits.
+//! * [`acl`] / [`fibenc`] — compilation of ACLs (first-match) and FIBs
+//!   (longest-prefix-match) into edge BDDs.
+//! * [`graph`] — the dataflow graph (Figure 2 of the paper), with typed
+//!   drop sinks mirroring the concrete engine's dispositions.
+//! * [`compress`] — graph compression (§4.2.3): splicing out simple
+//!   nodes, composing their edge labels.
+//! * [`reach`] — forward fixed-point propagation, backward propagation
+//!   for single-destination queries, loop detection, and multipath
+//!   consistency.
+//! * [`bidir`] — bidirectional reachability with firewall sessions
+//!   (§4.2.3): a forward pass collects installable sessions, the graph is
+//!   instrumented with return fast-path edges, and a second pass runs in
+//!   the reverse direction.
+
+pub mod acl;
+pub mod bidir;
+pub mod compress;
+pub mod fibenc;
+pub mod graph;
+pub mod reach;
+pub mod vars;
+
+pub use graph::{DropKind, EdgeLabel, ForwardingGraph, NodeKind};
+pub use reach::{ReachAnalysis, ReachResult};
+pub use vars::PacketVars;

@@ -1,0 +1,529 @@
+//! # batnet-lint — configuration analyses beyond forwarding (Lesson 5)
+//!
+//! *"Deep configuration modeling has many applications."* The detailed VI
+//! model built for data plane generation answers many questions network
+//! engineers ask that never touch forwarding: are all referenced
+//! structures defined? Are IP assignments unique? Are BGP sessions
+//! configured compatibly on both ends? Are management-plane settings
+//! (NTP) consistent? These analyses are *local* — easy to localize, cheap
+//! to run — and the paper notes they are often the fastest route to a
+//! root cause (*"much easier to find this error by checking for
+//! undefined route-maps than by debugging … a data plane verification
+//! query"*).
+
+pub mod routemap;
+
+pub use routemap::{dead_clauses, route_map_dead_clauses};
+
+use batnet_bdd::NodeId;
+use batnet_config::vi::{Device, RouteMapMatch};
+use batnet_config::Topology;
+use batnet_dataplane::acl::compile_acl;
+use batnet_dataplane::PacketVars;
+use batnet_net::Ip;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One finding.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Finding {
+    /// Which check produced it.
+    pub check: &'static str,
+    /// Device concerned ("" for network-wide findings).
+    pub device: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.device.is_empty() {
+            write!(f, "[{}] {}", self.check, self.message)
+        } else {
+            write!(f, "[{}] {}: {}", self.check, self.device, self.message)
+        }
+    }
+}
+
+/// Runs every network-wide check.
+pub fn run_all(devices: &[Device]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for d in devices {
+        findings.extend(undefined_references(d));
+        findings.extend(unused_structures(d));
+        findings.extend(route_map_dead_clauses(d));
+    }
+    findings.extend(duplicate_ips(devices));
+    findings.extend(bgp_compatibility(devices));
+    findings.extend(ntp_consistency(devices));
+    findings.extend(mtu_mismatch(devices));
+    findings.sort();
+    findings
+}
+
+/// Undefined references: route maps, ACLs, prefix lists, and community
+/// lists that are used but defined nowhere (the paper's canonical
+/// Lesson-5 example).
+pub fn undefined_references(d: &Device) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut missing = |kind: &str, name: &str, site: String| {
+        out.push(Finding {
+            check: "undefined-reference",
+            device: d.name.clone(),
+            message: format!("{kind} {name} referenced by {site} is not defined"),
+        });
+    };
+    for iface in d.interfaces.values() {
+        for (dir, acl) in [("in", &iface.acl_in), ("out", &iface.acl_out)] {
+            if let Some(name) = acl {
+                if !d.acls.contains_key(name) {
+                    missing("acl", name, format!("interface {} ({dir})", iface.name));
+                }
+            }
+        }
+    }
+    if let Some(bgp) = &d.bgp {
+        for nb in &bgp.neighbors {
+            for (dir, policy) in [("in", &nb.import_policy), ("out", &nb.export_policy)] {
+                if let Some(name) = policy {
+                    if !d.route_maps.contains_key(name) {
+                        missing("route-map", name, format!("neighbor {} ({dir})", nb.peer_ip));
+                    }
+                }
+            }
+        }
+    }
+    for rm in d.route_maps.values() {
+        for clause in &rm.clauses {
+            for m in &clause.matches {
+                match m {
+                    RouteMapMatch::PrefixLists(names) => {
+                        for n in names {
+                            if !d.prefix_lists.contains_key(n) {
+                                missing("prefix-list", n, format!("route-map {}", rm.name));
+                            }
+                        }
+                    }
+                    RouteMapMatch::CommunityLists(names) => {
+                        for n in names {
+                            if !d.community_lists.contains_key(n) {
+                                missing("community-list", n, format!("route-map {}", rm.name));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Structures that are defined but referenced nowhere — usually debris
+/// from old changes, occasionally a typo'd attachment.
+pub fn unused_structures(d: &Device) -> Vec<Finding> {
+    let mut used_acls: Vec<&str> = Vec::new();
+    for iface in d.interfaces.values() {
+        used_acls.extend(iface.acl_in.as_deref());
+        used_acls.extend(iface.acl_out.as_deref());
+    }
+    // NAT rule expansion and zone policies embed ACLs by value; their
+    // names appear in rule text, so check those too.
+    let nat_text: String = d.nat_rules.iter().map(|r| r.text.as_str()).collect();
+    let mut used_maps: Vec<&str> = Vec::new();
+    if let Some(bgp) = &d.bgp {
+        for nb in &bgp.neighbors {
+            used_maps.extend(nb.import_policy.as_deref());
+            used_maps.extend(nb.export_policy.as_deref());
+        }
+    }
+    let mut used_lists: Vec<&str> = Vec::new();
+    for rm in d.route_maps.values() {
+        for clause in &rm.clauses {
+            for m in &clause.matches {
+                match m {
+                    RouteMapMatch::PrefixLists(ns) => used_lists.extend(ns.iter().map(String::as_str)),
+                    RouteMapMatch::CommunityLists(ns) => used_lists.extend(ns.iter().map(String::as_str)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for name in d.acls.keys() {
+        let zone_used = d.zone_policies.iter().any(|zp| zp.acl.name == *name);
+        if !used_acls.contains(&name.as_str()) && !zone_used && !nat_text.contains(name) {
+            out.push(Finding {
+                check: "unused-structure",
+                device: d.name.clone(),
+                message: format!("acl {name} is defined but never used"),
+            });
+        }
+    }
+    for name in d.route_maps.keys() {
+        if !used_maps.contains(&name.as_str()) {
+            out.push(Finding {
+                check: "unused-structure",
+                device: d.name.clone(),
+                message: format!("route-map {name} is defined but never used"),
+            });
+        }
+    }
+    for name in d.prefix_lists.keys() {
+        if !used_lists.contains(&name.as_str()) {
+            out.push(Finding {
+                check: "unused-structure",
+                device: d.name.clone(),
+                message: format!("prefix-list {name} is defined but never used"),
+            });
+        }
+    }
+    out
+}
+
+/// Duplicate interface addresses across the network (the paper's
+/// "uniqueness of assigned IP addresses" example).
+pub fn duplicate_ips(devices: &[Device]) -> Vec<Finding> {
+    let mut owners: BTreeMap<Ip, Vec<String>> = BTreeMap::new();
+    for d in devices {
+        for iface in d.active_interfaces() {
+            if let Some(ip) = iface.ip() {
+                owners
+                    .entry(ip)
+                    .or_default()
+                    .push(format!("{}[{}]", d.name, iface.name));
+            }
+        }
+    }
+    owners
+        .into_iter()
+        .filter(|(_, sites)| sites.len() > 1)
+        .map(|(ip, sites)| Finding {
+            check: "duplicate-ip",
+            device: String::new(),
+            message: format!("{ip} assigned at {}", sites.join(", ")),
+        })
+        .collect()
+}
+
+/// BGP session compatibility: a configured neighbor should have a
+/// matching configuration on the other end (right AS, pointing back).
+/// Half-configured sessions are the paper's original static-analysis
+/// example ("a BGP session is not configured on both ends").
+pub fn bgp_compatibility(devices: &[Device]) -> Vec<Finding> {
+    // Interface IP → device.
+    let mut ip_owner: BTreeMap<Ip, &Device> = BTreeMap::new();
+    for d in devices {
+        for iface in d.active_interfaces() {
+            if let Some(ip) = iface.ip() {
+                ip_owner.insert(ip, d);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for d in devices {
+        let Some(bgp) = &d.bgp else { continue };
+        let my_ips: Vec<Ip> = d.active_interfaces().filter_map(|i| i.ip()).collect();
+        for nb in &bgp.neighbors {
+            match ip_owner.get(&nb.peer_ip) {
+                None => {
+                    // Could be an external peer; flag softly only when the
+                    // address is in private space (likely internal typo).
+                    let p: batnet_net::Prefix = "10.0.0.0/8".parse().expect("const");
+                    let q: batnet_net::Prefix = "172.16.0.0/12".parse().expect("const");
+                    let r: batnet_net::Prefix = "192.168.0.0/16".parse().expect("const");
+                    if p.contains(nb.peer_ip) || q.contains(nb.peer_ip) || r.contains(nb.peer_ip) {
+                        out.push(Finding {
+                            check: "bgp-compat",
+                            device: d.name.clone(),
+                            message: format!(
+                                "neighbor {} is in private space but no device owns it",
+                                nb.peer_ip
+                            ),
+                        });
+                    }
+                }
+                Some(peer) => match &peer.bgp {
+                    None => out.push(Finding {
+                        check: "bgp-compat",
+                        device: d.name.clone(),
+                        message: format!(
+                            "neighbor {} ({}) does not run BGP",
+                            nb.peer_ip, peer.name
+                        ),
+                    }),
+                    Some(pb) => {
+                        if pb.asn != nb.remote_as {
+                            out.push(Finding {
+                                check: "bgp-compat",
+                                device: d.name.clone(),
+                                message: format!(
+                                    "neighbor {} expects AS {} but {} is AS {}",
+                                    nb.peer_ip, nb.remote_as, peer.name, pb.asn
+                                ),
+                            });
+                        }
+                        let points_back = pb
+                            .neighbors
+                            .iter()
+                            .any(|pn| my_ips.contains(&pn.peer_ip) && pn.remote_as == bgp.asn);
+                        if !points_back {
+                            out.push(Finding {
+                                check: "bgp-compat",
+                                device: d.name.clone(),
+                                message: format!(
+                                    "session to {} is not configured on {} (half-open)",
+                                    nb.peer_ip, peer.name
+                                ),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+    }
+    out
+}
+
+/// NTP server consistency: every device should use the majority NTP set
+/// (the paper's canonical management-plane check).
+pub fn ntp_consistency(devices: &[Device]) -> Vec<Finding> {
+    let mut counts: BTreeMap<Vec<Ip>, usize> = BTreeMap::new();
+    for d in devices {
+        let mut servers = d.ntp_servers.clone();
+        servers.sort();
+        *counts.entry(servers).or_default() += 1;
+    }
+    let Some((majority, _)) = counts.iter().max_by_key(|(_, &c)| c) else {
+        return Vec::new();
+    };
+    let majority = majority.clone();
+    devices
+        .iter()
+        .filter(|d| {
+            let mut s = d.ntp_servers.clone();
+            s.sort();
+            s != majority
+        })
+        .map(|d| Finding {
+            check: "ntp-consistency",
+            device: d.name.clone(),
+            message: format!(
+                "ntp servers {:?} differ from the majority {:?}",
+                d.ntp_servers, majority
+            ),
+        })
+        .collect()
+}
+
+/// MTU mismatch across inferred links (a classic silent breaker of OSPF
+/// adjacency and of large packets).
+pub fn mtu_mismatch(devices: &[Device]) -> Vec<Finding> {
+    let topo = Topology::infer(devices);
+    let by_name: BTreeMap<&str, &Device> = devices.iter().map(|d| (d.name.as_str(), d)).collect();
+    let mut out = Vec::new();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for iface_ref in topo.connected_interfaces() {
+        for nb in topo.neighbors_of(iface_ref) {
+            let key = if (iface_ref.device.as_str(), iface_ref.interface.as_str())
+                < (nb.device.as_str(), nb.interface.as_str())
+            {
+                (iface_ref.to_string(), nb.to_string())
+            } else {
+                (nb.to_string(), iface_ref.to_string())
+            };
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let (Some(a), Some(b)) = (by_name.get(iface_ref.device.as_str()), by_name.get(nb.device.as_str()))
+            else {
+                continue;
+            };
+            let (Some(ia), Some(ib)) = (
+                a.interfaces.get(&iface_ref.interface),
+                b.interfaces.get(&nb.interface),
+            ) else {
+                continue;
+            };
+            if ia.mtu != ib.mtu {
+                out.push(Finding {
+                    check: "mtu-mismatch",
+                    device: String::new(),
+                    message: format!(
+                        "{iface_ref} mtu {} != {nb} mtu {}",
+                        ia.mtu, ib.mtu
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// ACL shadowing via BDDs: lines that can never match because earlier
+/// lines cover them — the symbolic Lesson-5 analysis, and the building
+/// block of the §5.3 ACL-refactoring use-case (dead entries are safe to
+/// delete).
+pub fn acl_shadowing(d: &Device) -> Vec<Finding> {
+    let (mut bdd, vars) = PacketVars::new(0);
+    let mut out = Vec::new();
+    for acl in d.acls.values() {
+        let compiled = compile_acl(&mut bdd, &vars, acl);
+        for (i, hit) in compiled.line_hits.iter().enumerate() {
+            if *hit == NodeId::FALSE {
+                out.push(Finding {
+                    check: "acl-shadowing",
+                    device: d.name.clone(),
+                    message: format!(
+                        "acl {} line {} ({}) is fully shadowed by earlier lines",
+                        acl.name, acl.lines[i].seq, acl.lines[i].text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// "Does this ACL permit this packet?" — the paper's direct ACL query,
+/// answered symbolically so the result can also report *which* line.
+pub fn acl_permits(
+    d: &Device,
+    acl_name: &str,
+    flow: &batnet_net::Flow,
+) -> Option<(bool, Option<String>)> {
+    let acl = d.acls.get(acl_name)?;
+    let (mut bdd, vars) = PacketVars::new(0);
+    let compiled = compile_acl(&mut bdd, &vars, acl);
+    let f = vars.flow(&mut bdd, flow);
+    let permitted = bdd.and(compiled.permits, f) != NodeId::FALSE;
+    let line = compiled
+        .line_hits
+        .iter()
+        .position(|&h| {
+            let hit = bdd.and(h, f);
+            hit != NodeId::FALSE
+        })
+        .map(|i| acl.lines[i].text.clone());
+    Some((permitted, line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::parse_device;
+    use batnet_net::Flow;
+
+    fn dev(text: &str) -> Device {
+        parse_device("t", text).0
+    }
+
+    #[test]
+    fn undefined_reference_findings() {
+        let d = dev(
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\n ip access-group NOPE in\nrouter bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n neighbor 10.0.0.2 route-map MISSING in\nroute-map USED permit 10\n match ip address prefix-list ABSENT\n",
+        );
+        let f = undefined_references(&d);
+        let checks: Vec<&str> = f.iter().map(|x| x.message.split(' ').next().unwrap()).collect();
+        assert!(checks.contains(&"acl"));
+        assert!(checks.contains(&"route-map"));
+        assert!(checks.contains(&"prefix-list"));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn unused_structure_findings() {
+        let d = dev(
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\n ip access-group USED in\nip access-list extended USED\n 10 permit ip any any\nip access-list extended DEAD\n 10 permit ip any any\nroute-map ORPHAN permit 10\nip prefix-list LONELY seq 5 permit 10.0.0.0/8\n",
+        );
+        let f = unused_structures(&d);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("acl DEAD")));
+        assert!(f.iter().any(|x| x.message.contains("route-map ORPHAN")));
+        assert!(f.iter().any(|x| x.message.contains("prefix-list LONELY")));
+    }
+
+    #[test]
+    fn duplicate_ip_detection() {
+        let a = dev("hostname a\ninterface e0\n ip address 10.0.0.1/24\n");
+        let mut b = dev("hostname b\ninterface e0\n ip address 10.0.0.1/24\n");
+        b.name = "b".into();
+        let f = duplicate_ips(&[a, b]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("10.0.0.1"));
+        // Distinct addresses are clean.
+        let c = dev("hostname c\ninterface e0\n ip address 10.0.0.2/24\n");
+        let d2 = dev("hostname d\ninterface e0\n ip address 10.0.0.3/24\n");
+        assert!(duplicate_ips(&[c, d2]).is_empty());
+    }
+
+    #[test]
+    fn bgp_compat_findings() {
+        let a = dev(
+            "hostname a\ninterface e0\n ip address 10.0.0.1/31\nrouter bgp 65001\n neighbor 10.0.0.0 remote-as 65099\n neighbor 10.9.9.9 remote-as 65003\n",
+        );
+        let mut b = dev(
+            "hostname b\ninterface e0\n ip address 10.0.0.0/31\nrouter bgp 65002\n",
+        );
+        b.name = "b".into();
+        let f = bgp_compatibility(&[a, b]);
+        // Wrong AS + not pointing back + private-space missing peer.
+        assert!(f.iter().any(|x| x.message.contains("expects AS 65099")), "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("half-open")), "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("no device owns")), "{f:?}");
+    }
+
+    #[test]
+    fn ntp_majority() {
+        let a = dev("hostname a\nntp server 10.255.0.1\ninterface e0\n ip address 10.0.0.1/24\n");
+        let b = dev("hostname b\nntp server 10.255.0.1\ninterface e0\n ip address 10.0.1.1/24\n");
+        let c = dev("hostname c\nntp server 10.255.0.9\ninterface e0\n ip address 10.0.2.1/24\n");
+        let f = ntp_consistency(&[a, b, c]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].device, "c");
+    }
+
+    #[test]
+    fn mtu_mismatch_on_link() {
+        let a = dev("hostname a\ninterface e0\n ip address 10.0.0.0/31\n mtu 9000\n");
+        let mut b = dev("hostname b\ninterface e0\n ip address 10.0.0.1/31\n");
+        b.name = "b".into();
+        let f = mtu_mismatch(&[a, b]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("9000"));
+    }
+
+    #[test]
+    fn shadowed_acl_line_found() {
+        let d = dev(
+            "hostname r1\nip access-list extended A\n 10 permit tcp any any\n 20 permit tcp any any eq 80\n 30 deny ip any any\n",
+        );
+        let f = acl_shadowing(&d);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("line 20"));
+    }
+
+    #[test]
+    fn acl_permit_query_names_the_line() {
+        let d = dev(
+            "hostname r1\nip access-list extended A\n 10 deny tcp any any eq 22\n 20 permit tcp any any\n",
+        );
+        let ssh = Flow::tcp("1.1.1.1".parse().unwrap(), 9, "2.2.2.2".parse().unwrap(), 22);
+        let (ok, line) = acl_permits(&d, "A", &ssh).unwrap();
+        assert!(!ok);
+        assert!(line.unwrap().contains("eq 22"));
+        let http = Flow::tcp("1.1.1.1".parse().unwrap(), 9, "2.2.2.2".parse().unwrap(), 80);
+        let (ok, line) = acl_permits(&d, "A", &http).unwrap();
+        assert!(ok);
+        assert!(line.unwrap().contains("permit tcp"));
+        assert!(acl_permits(&d, "NOPE", &http).is_none());
+    }
+
+    #[test]
+    fn run_all_aggregates() {
+        let a = dev("hostname a\nntp server 1.1.1.1\ninterface e0\n ip address 10.0.0.1/24\n ip access-group NOPE in\n");
+        let f = run_all(std::slice::from_ref(&a));
+        assert!(f.iter().any(|x| x.check == "undefined-reference"));
+    }
+}

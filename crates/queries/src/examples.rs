@@ -1,0 +1,119 @@
+//! Example selection (§4.4.3): pick packets users will recognize.
+//!
+//! *"Batfish picks examples (positive or negative) carefully to match
+//! what is likely for the network … common protocols (e.g., TCP) and
+//! applications (e.g., HTTP) are prioritized. BDDs help to select
+//! positive and negative examples quickly by intersecting the answer
+//! space with preferences constraints (also encoded as BDDs)."*
+
+use batnet_bdd::{Bdd, NodeId};
+use batnet_dataplane::vars::Field;
+use batnet_dataplane::PacketVars;
+use batnet_net::{Flow, PortRange, TcpFlags};
+
+/// The preference ladder, applied greedily in order (each kept only if
+/// the candidate set stays non-empty).
+pub struct Preferences {
+    prefs: Vec<NodeId>,
+}
+
+impl Preferences {
+    /// The default likelihood preferences: TCP; then HTTPS, HTTP, SSH
+    /// destination ports; an ephemeral source port; a SYN-only flag set.
+    pub fn likely(bdd: &mut Bdd, vars: &PacketVars) -> Preferences {
+        let mut prefs = Vec::new();
+        prefs.push(vars.field_value(bdd, Field::Protocol, 6));
+        let mut port_pref = NodeId::FALSE;
+        for port in [443u64, 80, 22] {
+            let p = vars.field_value(bdd, Field::DstPort, port);
+            port_pref = bdd.or(port_pref, p);
+        }
+        prefs.push(port_pref);
+        // Specific well-known port, most preferred first.
+        for port in [443u64, 80, 22] {
+            let p = vars.field_value(bdd, Field::DstPort, port);
+            prefs.push(p);
+        }
+        prefs.push(vars.port_range(bdd, Field::SrcPort, PortRange::new(49152, u16::MAX)));
+        // SYN set, ACK clear — a fresh connection attempt.
+        let syn = vars.tcp_flag(bdd, 1);
+        let ack = vars.tcp_flag(bdd, 4);
+        let nack = bdd.not(ack);
+        let fresh = bdd.and(syn, nack);
+        prefs.push(fresh);
+        Preferences { prefs }
+    }
+
+    /// Access to the raw preference BDDs (priority order).
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.prefs
+    }
+}
+
+/// Picks a concrete flow from a packet set, steered by preferences.
+/// Returns `None` only for the empty set.
+pub fn pick_flow(
+    bdd: &mut Bdd,
+    vars: &PacketVars,
+    set: NodeId,
+    prefs: &Preferences,
+) -> Option<Flow> {
+    let cube = bdd.pick_with_prefs(set, prefs.as_slice())?;
+    let mut flow = vars.cube_to_flow(&cube);
+    // Cosmetic clean-up of don't-care fields: a TCP flow with no flag
+    // bits constrained reads better as a SYN.
+    if flow.protocol == batnet_net::IpProtocol::Tcp && flow.tcp_flags == TcpFlags::EMPTY {
+        let syn = vars.tcp_flag(bdd, 1);
+        let fset = vars.flow(bdd, &flow);
+        let with_syn = bdd.and(fset, syn);
+        // Only if the set actually allows SYN for this 5-tuple.
+        let mut candidate = flow;
+        candidate.tcp_flags = TcpFlags::SYN;
+        let cs = vars.flow(bdd, &candidate);
+        if bdd.and(cs, set) != NodeId::FALSE && with_syn != NodeId::FALSE {
+            flow = candidate;
+        }
+    }
+    Some(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_net::{HeaderSpace, IpProtocol, Prefix};
+
+    #[test]
+    fn preferences_steer_towards_http() {
+        let (mut bdd, vars) = PacketVars::new(0);
+        // The answer space: anything to 10.0.0.0/8.
+        let hs = HeaderSpace::any().dst_prefix("10.0.0.0/8".parse::<Prefix>().unwrap());
+        let set = vars.headerspace(&mut bdd, &hs);
+        let prefs = Preferences::likely(&mut bdd, &vars);
+        let flow = pick_flow(&mut bdd, &vars, set, &prefs).unwrap();
+        assert_eq!(flow.protocol, IpProtocol::Tcp);
+        assert_eq!(flow.dst_port, 443, "HTTPS preferred");
+        assert!(flow.src_port >= 49152, "ephemeral source port");
+        assert!(flow.tcp_flags.contains(TcpFlags::SYN));
+        assert!(hs.matches(&flow), "example must be inside the set");
+    }
+
+    #[test]
+    fn constrained_set_overrides_preferences() {
+        let (mut bdd, vars) = PacketVars::new(0);
+        // Only UDP/53 allowed: preferences must yield, not fail.
+        let hs = HeaderSpace::any().protocol(IpProtocol::Udp).dst_port(53);
+        let set = vars.headerspace(&mut bdd, &hs);
+        let prefs = Preferences::likely(&mut bdd, &vars);
+        let flow = pick_flow(&mut bdd, &vars, set, &prefs).unwrap();
+        assert_eq!(flow.protocol, IpProtocol::Udp);
+        assert_eq!(flow.dst_port, 53);
+        assert!(hs.matches(&flow));
+    }
+
+    #[test]
+    fn empty_set_yields_none() {
+        let (mut bdd, vars) = PacketVars::new(0);
+        let prefs = Preferences::likely(&mut bdd, &vars);
+        assert!(pick_flow(&mut bdd, &vars, NodeId::FALSE, &prefs).is_none());
+    }
+}

@@ -1,0 +1,313 @@
+//! FIB construction: main RIB → forwarding table.
+//!
+//! The FIB is what both analysis engines consume: for every prefix, the
+//! resolved action — deliver onto a connected interface (with the concrete
+//! ARP next hop), forward out an interface towards a gateway, or drop.
+//! Resolution is recursive: a BGP route's next hop may itself resolve
+//! through an IGP route, which resolves to a connected interface.
+
+use crate::rib::MainRib;
+use crate::routes::{MainNextHop, MainRoute};
+use batnet_net::{Ip, Prefix};
+use std::collections::BTreeSet;
+
+/// Maximum recursive-resolution depth; beyond this the route is considered
+/// unresolvable (defensive: rib-internal next-hop cycles).
+const MAX_RESOLUTION_DEPTH: usize = 8;
+
+/// A fully resolved next hop.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FibNextHop {
+    /// Egress interface.
+    pub iface: String,
+    /// The IP the packet is handed to: the gateway for forwarded traffic,
+    /// or `None` when the destination itself is on the connected subnet.
+    pub gateway: Option<Ip>,
+}
+
+/// What happens to packets matching a FIB entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FibAction {
+    /// Forward out one of these next hops (ECMP set, deterministic order).
+    Forward(Vec<FibNextHop>),
+    /// Drop: explicit discard route.
+    Discard,
+    /// Drop: the route's next hop could not be resolved.
+    Unresolved,
+}
+
+/// One FIB entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FibEntry {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Resolved action.
+    pub action: FibAction,
+    /// The protocol of the winning RIB route (annotation for traceroute
+    /// output and violation explanations, §4.4.3).
+    pub protocol: batnet_config::vi::RouteProtocol,
+}
+
+/// A device's forwarding table.
+#[derive(Clone, Debug, Default)]
+pub struct Fib {
+    entries: Vec<FibEntry>,
+}
+
+impl Fib {
+    /// Builds the FIB from a main RIB by resolving every best route.
+    pub fn build(rib: &MainRib) -> Fib {
+        let mut entries = Vec::new();
+        for (prefix, routes) in rib.iter_best() {
+            let Some(first) = routes.first() else { continue };
+            let mut hops: BTreeSet<FibNextHop> = BTreeSet::new();
+            let mut discard = false;
+            for r in routes {
+                match resolve(rib, r, 0) {
+                    Resolution::Hops(h) => hops.extend(h),
+                    Resolution::Discard => discard = true,
+                    Resolution::Unresolved => {}
+                }
+            }
+            let action = if !hops.is_empty() {
+                FibAction::Forward(hops.into_iter().collect())
+            } else if discard {
+                FibAction::Discard
+            } else {
+                FibAction::Unresolved
+            };
+            entries.push(FibEntry {
+                prefix: *prefix,
+                action,
+                protocol: first.protocol,
+            });
+        }
+        Fib { entries }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, ip: Ip) -> Option<&FibEntry> {
+        // Entries are in prefix order; LPM via linear scan would be O(n).
+        // Instead exploit that entries are sorted by (network, len): find
+        // the candidates by probing each length, like the RIB does.
+        for len in (0..=32u8).rev() {
+            let p = Prefix::new(ip, len);
+            if let Ok(i) = self.entries.binary_search_by(|e| e.prefix.cmp(&p)) {
+                return Some(&self.entries[i]);
+            }
+        }
+        None
+    }
+
+    /// All entries in prefix order.
+    pub fn entries(&self) -> &[FibEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+enum Resolution {
+    Hops(Vec<FibNextHop>),
+    Discard,
+    Unresolved,
+}
+
+fn resolve(rib: &MainRib, route: &MainRoute, depth: usize) -> Resolution {
+    if depth > MAX_RESOLUTION_DEPTH {
+        return Resolution::Unresolved;
+    }
+    match &route.next_hop {
+        MainNextHop::Discard => Resolution::Discard,
+        MainNextHop::Connected { iface } => Resolution::Hops(vec![FibNextHop {
+            iface: iface.clone(),
+            gateway: None,
+        }]),
+        MainNextHop::Via(gw) => {
+            let Some((p, routes)) = rib.lookup(*gw) else {
+                return Resolution::Unresolved;
+            };
+            // Guard against self-referential resolution (a route resolving
+            // through itself).
+            if p == route.prefix && routes.iter().any(|r| r == route) && depth > 0 {
+                return Resolution::Unresolved;
+            }
+            let mut hops = Vec::new();
+            let mut discard = false;
+            for r in routes {
+                match resolve(rib, r, depth + 1) {
+                    Resolution::Hops(h) => {
+                        for mut hop in h {
+                            // The ARP target is the innermost gateway that
+                            // sits on a connected subnet: only the deepest
+                            // Via before a Connected route sets it.
+                            if hop.gateway.is_none() {
+                                hop.gateway = Some(*gw);
+                            }
+                            hops.push(hop);
+                        }
+                    }
+                    Resolution::Discard => discard = true,
+                    Resolution::Unresolved => {}
+                }
+            }
+            if !hops.is_empty() {
+                Resolution::Hops(hops)
+            } else if discard {
+                Resolution::Discard
+            } else {
+                Resolution::Unresolved
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::vi::RouteProtocol;
+
+    fn connected(p: &str, iface: &str) -> MainRoute {
+        MainRoute {
+            prefix: p.parse().unwrap(),
+            admin_distance: 0,
+            metric: 0,
+            protocol: RouteProtocol::Connected,
+            next_hop: MainNextHop::Connected { iface: iface.into() },
+        }
+    }
+
+    fn via(p: &str, ad: u8, proto: RouteProtocol, gw: &str) -> MainRoute {
+        MainRoute {
+            prefix: p.parse().unwrap(),
+            admin_distance: ad,
+            metric: 0,
+            protocol: proto,
+            next_hop: MainNextHop::Via(gw.parse().unwrap()),
+        }
+    }
+
+    #[test]
+    fn connected_entry_has_no_gateway() {
+        let mut rib = MainRib::new();
+        rib.offer(connected("10.0.0.0/24", "e1"));
+        let fib = Fib::build(&rib);
+        let e = fib.lookup("10.0.0.7".parse().unwrap()).unwrap();
+        match &e.action {
+            FibAction::Forward(hops) => {
+                assert_eq!(hops.len(), 1);
+                assert_eq!(hops[0].iface, "e1");
+                assert_eq!(hops[0].gateway, None);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_resolution_keeps_first_gateway() {
+        let mut rib = MainRib::new();
+        rib.offer(connected("10.0.0.0/24", "e1"));
+        // Static to 10.9/16 via 10.0.0.2 (on the connected subnet).
+        rib.offer(via("10.9.0.0/16", 1, RouteProtocol::Static, "10.0.0.2"));
+        // BGP route whose next hop resolves through the static route.
+        rib.offer(via("172.16.0.0/12", 20, RouteProtocol::Ebgp, "10.9.1.1"));
+        let fib = Fib::build(&rib);
+        let e = fib.lookup("172.16.5.5".parse().unwrap()).unwrap();
+        match &e.action {
+            FibAction::Forward(hops) => {
+                assert_eq!(hops[0].iface, "e1");
+                // Gateway = the hop on the connected subnet (the ARP
+                // target): 10.0.0.2, not the BGP next hop 10.9.1.1.
+                assert_eq!(hops[0].gateway, Some("10.0.0.2".parse().unwrap()));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(e.protocol, RouteProtocol::Ebgp);
+    }
+
+    #[test]
+    fn discard_route() {
+        let mut rib = MainRib::new();
+        rib.offer(MainRoute {
+            prefix: "0.0.0.0/0".parse().unwrap(),
+            admin_distance: 250,
+            metric: 0,
+            protocol: RouteProtocol::Static,
+            next_hop: MainNextHop::Discard,
+        });
+        let fib = Fib::build(&rib);
+        let e = fib.lookup("8.8.8.8".parse().unwrap()).unwrap();
+        assert_eq!(e.action, FibAction::Discard);
+    }
+
+    #[test]
+    fn unresolvable_next_hop() {
+        let mut rib = MainRib::new();
+        rib.offer(via("10.9.0.0/16", 1, RouteProtocol::Static, "192.168.1.1"));
+        let fib = Fib::build(&rib);
+        let e = fib.lookup("10.9.0.1".parse().unwrap()).unwrap();
+        assert_eq!(e.action, FibAction::Unresolved);
+    }
+
+    #[test]
+    fn ecmp_hops_merged() {
+        let mut rib = MainRib::new();
+        rib.offer(connected("10.0.0.0/31", "e1"));
+        rib.offer(connected("10.0.1.0/31", "e2"));
+        rib.offer(via("10.9.0.0/16", 110, RouteProtocol::Ospf, "10.0.0.1"));
+        rib.offer(via("10.9.0.0/16", 110, RouteProtocol::Ospf, "10.0.1.1"));
+        let fib = Fib::build(&rib);
+        let e = fib.lookup("10.9.0.1".parse().unwrap()).unwrap();
+        match &e.action {
+            FibAction::Forward(hops) => {
+                assert_eq!(hops.len(), 2);
+                let ifaces: Vec<_> = hops.iter().map(|h| h.iface.as_str()).collect();
+                assert_eq!(ifaces, vec!["e1", "e2"]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lpm_on_fib() {
+        let mut rib = MainRib::new();
+        rib.offer(connected("10.0.0.0/24", "e1"));
+        rib.offer(connected("10.0.0.128/25", "e2"));
+        let fib = Fib::build(&rib);
+        assert_eq!(
+            match &fib.lookup("10.0.0.200".parse().unwrap()).unwrap().action {
+                FibAction::Forward(h) => h[0].iface.clone(),
+                _ => panic!(),
+            },
+            "e2"
+        );
+        assert_eq!(
+            match &fib.lookup("10.0.0.5".parse().unwrap()).unwrap().action {
+                FibAction::Forward(h) => h[0].iface.clone(),
+                _ => panic!(),
+            },
+            "e1"
+        );
+        assert!(fib.lookup("9.9.9.9".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn resolution_cycle_detected() {
+        let mut rib = MainRib::new();
+        // Two routes resolving through each other (config pathology).
+        rib.offer(via("10.1.0.0/16", 1, RouteProtocol::Static, "10.2.0.1"));
+        rib.offer(via("10.2.0.0/16", 1, RouteProtocol::Static, "10.1.0.1"));
+        let fib = Fib::build(&rib);
+        for e in fib.entries() {
+            assert_eq!(e.action, FibAction::Unresolved, "{e:?}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the main RIB: longest-prefix-match against a
+//! brute-force oracle, and offer/withdraw algebra.
+
+use batnet_config::vi::RouteProtocol;
+use batnet_net::{Ip, Prefix};
+use batnet_routing::{MainNextHop, MainRib, MainRoute};
+use proptest::prelude::*;
+
+fn arb_route() -> impl Strategy<Value = MainRoute> {
+    (
+        any::<u32>(),
+        0u8..=32,
+        prop::sample::select(vec![
+            (RouteProtocol::Connected, 0u8),
+            (RouteProtocol::Static, 1),
+            (RouteProtocol::Ebgp, 20),
+            (RouteProtocol::Ospf, 110),
+            (RouteProtocol::Ibgp, 200),
+        ]),
+        0u32..4,
+        any::<u32>(),
+    )
+        .prop_map(|(net, len, (protocol, ad), metric, nh)| MainRoute {
+            prefix: Prefix::new(Ip(net), len),
+            admin_distance: ad,
+            metric,
+            protocol,
+            next_hop: if protocol == RouteProtocol::Connected {
+                MainNextHop::Connected {
+                    iface: format!("e{}", nh % 4),
+                }
+            } else {
+                MainNextHop::Via(Ip(nh))
+            },
+        })
+}
+
+/// Oracle: best routes for `ip` computed by scanning all candidates.
+fn oracle<'r>(routes: &'r [MainRoute], ip: Ip) -> Vec<&'r MainRoute> {
+    let best_len = routes
+        .iter()
+        .filter(|r| r.prefix.contains(ip))
+        .map(|r| r.prefix.len())
+        .max();
+    let Some(best_len) = best_len else { return vec![] };
+    let candidates: Vec<&MainRoute> = routes
+        .iter()
+        .filter(|r| r.prefix.contains(ip) && r.prefix.len() == best_len)
+        .collect();
+    let best_key = candidates
+        .iter()
+        .map(|r| (r.admin_distance, r.metric))
+        .min()
+        .expect("non-empty");
+    candidates
+        .into_iter()
+        .filter(|r| (r.admin_distance, r.metric) == best_key)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lpm_matches_oracle(routes in prop::collection::vec(arb_route(), 1..40), probe in any::<u32>()) {
+        let mut rib = MainRib::new();
+        for r in &routes {
+            rib.offer(r.clone());
+        }
+        let ip = Ip(probe);
+        let got: Vec<MainRoute> = rib
+            .lookup(ip)
+            .map(|(_, rs)| rs.to_vec())
+            .unwrap_or_default();
+        let want = oracle(&routes, ip);
+        // Compare as sets (dedup: identical routes offered twice count once).
+        let mut got_set: Vec<String> = got.iter().map(|r| format!("{r}")).collect();
+        got_set.sort();
+        got_set.dedup();
+        let mut want_set: Vec<String> = want.iter().map(|r| format!("{r}")).collect();
+        want_set.sort();
+        want_set.dedup();
+        prop_assert_eq!(got_set, want_set);
+    }
+
+    #[test]
+    fn withdraw_restores_runner_up(routes in prop::collection::vec(arb_route(), 1..20)) {
+        // Offer everything, withdraw all eBGP routes; the RIB must behave
+        // as if they were never offered.
+        let mut with_all = MainRib::new();
+        for r in &routes {
+            with_all.offer(r.clone());
+        }
+        let prefixes: Vec<Prefix> = routes.iter().map(|r| r.prefix).collect();
+        for p in &prefixes {
+            with_all.withdraw(*p, RouteProtocol::Ebgp);
+        }
+        let mut without: MainRib = MainRib::new();
+        for r in routes.iter().filter(|r| r.protocol != RouteProtocol::Ebgp) {
+            without.offer(r.clone());
+        }
+        for p in &prefixes {
+            let a: Vec<_> = with_all.best(p).to_vec();
+            let b: Vec<_> = without.best(p).to_vec();
+            prop_assert_eq!(a, b, "prefix {}", p);
+        }
+    }
+
+    #[test]
+    fn offer_is_idempotent(routes in prop::collection::vec(arb_route(), 1..20)) {
+        let mut once = MainRib::new();
+        let mut twice = MainRib::new();
+        for r in &routes {
+            once.offer(r.clone());
+            twice.offer(r.clone());
+            twice.offer(r.clone());
+        }
+        prop_assert_eq!(once, twice);
+    }
+}

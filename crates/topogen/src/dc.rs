@@ -1,0 +1,440 @@
+//! Data-center generators: 2-tier leaf–spine and 3-tier pod fat-tree,
+//! both all-eBGP (the standard modern DC design the paper's DC networks
+//! run).
+//!
+//! Addressing plan (deterministic):
+//! * leaf server subnets: `10.<pod>.<leaf>.0/24`;
+//! * pod aggregates: `10.<pod>.0.0/16` (advertised by aggregation
+//!   switches, which suppress leaf /24s towards the core — the policy
+//!   pattern that keeps big fat-trees' RIBs bounded);
+//! * point-to-point links: `172.16.0.0/12` carved into /31s;
+//! * loopbacks: `192.168.<hi>.<lo>/32`.
+//!
+//! AS plan: cores share `65000`, each pod's aggregation switches share
+//! `65100+pod`, each leaf gets `64512+leaf_index` — eBGP everywhere, the
+//! classic RFC 7938 design.
+
+use crate::GeneratedNetwork;
+use batnet_routing::Environment;
+use std::fmt::Write;
+
+/// Allocates /31 link addresses sequentially from 172.16.0.0/12.
+pub struct LinkAlloc {
+    next: u32,
+}
+
+impl LinkAlloc {
+    /// A fresh allocator.
+    pub fn new() -> LinkAlloc {
+        LinkAlloc {
+            next: u32::from_be_bytes([172, 16, 0, 0]),
+        }
+    }
+
+    /// An allocator starting at the given base (for networks composed of
+    /// multiple generated parts that must not collide).
+    pub fn starting_at(a: u8, b: u8) -> LinkAlloc {
+        LinkAlloc {
+            next: u32::from_be_bytes([a, b, 0, 0]),
+        }
+    }
+
+    /// The two ends of the next /31.
+    pub fn next_pair(&mut self) -> (String, String) {
+        let a = self.next;
+        self.next += 2;
+        let lo = std::net::Ipv4Addr::from(a);
+        let hi = std::net::Ipv4Addr::from(a + 1);
+        (lo.to_string(), hi.to_string())
+    }
+}
+
+impl Default for LinkAlloc {
+    fn default() -> Self {
+        LinkAlloc::new()
+    }
+}
+
+struct Dev {
+    name: String,
+    asn: u32,
+    interfaces: Vec<(String, String)>, // (iface name, "ip/len")
+    neighbors: Vec<(String, u32, Option<(&'static str, &'static str)>)>, // (peer ip, peer as, (in,out) maps)
+    networks: Vec<String>,
+    statics: Vec<String>,
+    acls: Vec<String>,
+    route_maps: Vec<String>,
+    extra: Vec<String>,
+}
+
+impl Dev {
+    fn new(name: String, asn: u32) -> Dev {
+        Dev {
+            name,
+            asn,
+            interfaces: Vec::new(),
+            neighbors: Vec::new(),
+            networks: Vec::new(),
+            statics: Vec::new(),
+            acls: Vec::new(),
+            route_maps: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut s = String::new();
+        writeln!(s, "hostname {}", self.name).unwrap();
+        writeln!(s, "ntp server 192.168.255.1").unwrap();
+        for (iface, addr) in &self.interfaces {
+            writeln!(s, "interface {iface}").unwrap();
+            writeln!(s, " ip address {addr}").unwrap();
+        }
+        for line in &self.statics {
+            writeln!(s, "{line}").unwrap();
+        }
+        writeln!(s, "router bgp {}", self.asn).unwrap();
+        for (peer, asn, maps) in &self.neighbors {
+            writeln!(s, " neighbor {peer} remote-as {asn}").unwrap();
+            if let Some((imap, emap)) = maps {
+                if !imap.is_empty() {
+                    writeln!(s, " neighbor {peer} route-map {imap} in").unwrap();
+                }
+                if !emap.is_empty() {
+                    writeln!(s, " neighbor {peer} route-map {emap} out").unwrap();
+                }
+            }
+        }
+        for n in &self.networks {
+            writeln!(s, " network {n}").unwrap();
+        }
+        for block in self.route_maps.iter().chain(&self.acls).chain(&self.extra) {
+            s.push_str(block);
+        }
+        s
+    }
+}
+
+/// The numbering plan of a leaf–spine instance, so multiple instances can
+/// coexist in one snapshot (paired DCs).
+pub struct DcPlan {
+    /// Device name prefix ("", "a-", …).
+    pub prefix: String,
+    /// Spine AS.
+    pub spine_as: u32,
+    /// First leaf AS (leaf *i* gets `leaf_as_base + i`).
+    pub leaf_as_base: u32,
+    /// First octet pair of server subnets: `10.<subnet_base + l/256>.<l%256>.0/24`.
+    pub subnet_base: usize,
+    /// Link address space base (`<a>.<b>.0.0`).
+    pub link_base: (u8, u8),
+}
+
+impl Default for DcPlan {
+    fn default() -> Self {
+        DcPlan {
+            prefix: String::new(),
+            spine_as: 65000,
+            leaf_as_base: 64512,
+            subnet_base: 0,
+            link_base: (172, 16),
+        }
+    }
+}
+
+/// A 2-tier leaf–spine DC: every leaf peers with every spine; each leaf
+/// advertises its server /24. Host-facing leaf ports carry a simple
+/// server ACL so data-plane analyses have filters to reason about.
+pub fn leaf_spine(name: &str, spines: usize, leafs: usize) -> GeneratedNetwork {
+    leaf_spine_with(name, spines, leafs, &DcPlan::default())
+}
+
+/// [`leaf_spine`] with an explicit numbering plan.
+pub fn leaf_spine_with(
+    name: &str,
+    spines: usize,
+    leafs: usize,
+    plan: &DcPlan,
+) -> GeneratedNetwork {
+    let mut links = LinkAlloc::starting_at(plan.link_base.0, plan.link_base.1);
+    let mut devices: Vec<Dev> = Vec::new();
+    let p = &plan.prefix;
+    for s in 0..spines {
+        devices.push(Dev::new(format!("{p}spine{s}"), plan.spine_as));
+    }
+    for l in 0..leafs {
+        let mut leaf = Dev::new(format!("{p}leaf{l}"), plan.leaf_as_base + l as u32);
+        let subnet = format!("10.{}.{}", plan.subnet_base + l / 256, l % 256);
+        leaf.interfaces
+            .push(("servers".into(), format!("{subnet}.1/24")));
+        leaf.networks.push(format!("{subnet}.0/24"));
+        // The server-port ACL: allow web+dns+established, deny the rest.
+        leaf.acls.push(
+            "ip access-list extended SERVERS\n 10 permit tcp any any eq 80\n 20 permit tcp any any eq 443\n 30 permit udp any any eq 53\n 40 permit tcp any any established\n 50 permit icmp any any\n 60 deny ip any any\n".to_string(),
+        );
+        devices.push(leaf);
+    }
+    // Wire every leaf to every spine.
+    for l in 0..leafs {
+        for s in 0..spines {
+            let (lo, hi) = links.next_pair();
+            let leaf_as = plan.leaf_as_base + l as u32;
+            let iface_leaf = format!("swp{s}");
+            let iface_spine = format!("swp{l}");
+            // leaf side gets lo, spine side hi.
+            let leaf = &mut devices[spines + l];
+            leaf.interfaces.push((iface_leaf, format!("{lo}/31")));
+            leaf.neighbors.push((hi.clone(), plan.spine_as, None));
+            let spine = &mut devices[s];
+            spine.interfaces.push((iface_spine, format!("{hi}/31")));
+            spine.neighbors.push((lo, leaf_as, None));
+        }
+    }
+    // Render, injecting the ACL attachment on leaf server ports.
+    let configs = devices
+        .iter()
+        .map(|d| {
+            let mut text = d.render();
+            if d.name.contains("leaf") {
+                text = text.replacen(
+                    "interface servers\n ip address",
+                    "interface servers\n ip access-group SERVERS in\n ip address",
+                    1,
+                );
+            }
+            (d.name.clone(), text)
+        })
+        .collect();
+    GeneratedNetwork {
+        name: name.to_string(),
+        kind: "DC (leaf-spine)".into(),
+        configs,
+        env: Environment::none(),
+    }
+}
+
+/// A 3-tier pod fat-tree with route aggregation at the pod layer: leafs
+/// advertise /24s to their pod aggs; aggs advertise the pod /16 to cores
+/// and suppress the specifics (prefix-list + route-map export policy).
+pub fn fat_tree(
+    name: &str,
+    cores: usize,
+    pods: usize,
+    aggs_per_pod: usize,
+    leafs_per_pod: usize,
+) -> GeneratedNetwork {
+    assert!(pods <= 200 && leafs_per_pod <= 250, "addressing plan limits");
+    let mut links = LinkAlloc::new();
+    let mut devices: Vec<Dev> = Vec::new();
+    // Cores first.
+    for c in 0..cores {
+        devices.push(Dev::new(format!("core{c}"), 65000));
+    }
+    // Pods: aggs then leafs, tracked by index math.
+    let agg_index = |p: usize, a: usize| cores + p * (aggs_per_pod + leafs_per_pod) + a;
+    let leaf_index =
+        |p: usize, l: usize| cores + p * (aggs_per_pod + leafs_per_pod) + aggs_per_pod + l;
+    for p in 0..pods {
+        for a in 0..aggs_per_pod {
+            let mut agg = Dev::new(format!("agg{p}-{a}"), 65100 + p as u32);
+            // The pod aggregate: a discard static plus a network
+            // statement; the export map towards cores suppresses leaf
+            // specifics.
+            agg.statics.push(format!("ip route 10.{p}.0.0/16 null0 250"));
+            agg.networks.push(format!("10.{p}.0.0/16"));
+            agg.route_maps.push(format!(
+                "ip prefix-list POD-AGG seq 5 permit 10.{p}.0.0/16\nroute-map TO-CORE permit 10\n match ip address prefix-list POD-AGG\nroute-map TO-CORE deny 99\n"
+            ));
+            devices.push(agg);
+        }
+        for l in 0..leafs_per_pod {
+            let mut leaf = Dev::new(format!("leaf{p}-{l}"), 64512 + (p * 256 + l) as u32);
+            leaf.interfaces
+                .push(("servers".into(), format!("10.{p}.{l}.1/24")));
+            leaf.networks.push(format!("10.{p}.{l}.0/24"));
+            devices.push(leaf);
+        }
+    }
+    // Wiring: leafs ↔ pod aggs.
+    for p in 0..pods {
+        for l in 0..leafs_per_pod {
+            for a in 0..aggs_per_pod {
+                let (lo, hi) = links.next_pair();
+                let leaf_as = 64512 + (p * 256 + l) as u32;
+                let agg_as = 65100 + p as u32;
+                let li = leaf_index(p, l);
+                let ai = agg_index(p, a);
+                devices[li].interfaces.push((format!("up{a}"), format!("{lo}/31")));
+                devices[li].neighbors.push((hi.clone(), agg_as, None));
+                devices[ai]
+                    .interfaces
+                    .push((format!("down{l}"), format!("{hi}/31")));
+                devices[ai].neighbors.push((lo, leaf_as, None));
+            }
+        }
+        // Pod aggs ↔ cores, with the aggregate-only export map.
+        for a in 0..aggs_per_pod {
+            for c in 0..cores {
+                let (lo, hi) = links.next_pair();
+                let agg_as = 65100 + p as u32;
+                let ai = agg_index(p, a);
+                devices[ai].interfaces.push((format!("up{c}"), format!("{lo}/31")));
+                devices[ai]
+                    .neighbors
+                    .push((hi.clone(), 65000, Some(("", "TO-CORE"))));
+                devices[c]
+                    .interfaces
+                    .push((format!("pod{p}a{a}"), format!("{hi}/31")));
+                devices[c].neighbors.push((lo, agg_as, None));
+            }
+        }
+    }
+    let configs = devices.iter().map(|d| (d.name.clone(), d.render())).collect();
+    GeneratedNetwork {
+        name: name.to_string(),
+        kind: "DC (fat-tree)".into(),
+        configs,
+        env: Environment::none(),
+    }
+}
+
+/// Two leaf–spine DCs joined by a pair of border routers — the paper's
+/// "paired DCs that provide backup connectivity to each other". The two
+/// sites use disjoint AS plans so routes cross cleanly.
+pub fn paired_dcs(name: &str, spines: usize, leafs: usize) -> GeneratedNetwork {
+    let a = leaf_spine_with(
+        "dcA",
+        spines,
+        leafs,
+        &DcPlan {
+            prefix: "a-".into(),
+            spine_as: 65000,
+            leaf_as_base: 64512,
+            subnet_base: 0,
+            link_base: (172, 16),
+        },
+    );
+    let b = leaf_spine_with(
+        "dcB",
+        spines,
+        leafs,
+        &DcPlan {
+            prefix: "b-".into(),
+            spine_as: 65010,
+            leaf_as_base: 60000,
+            subnet_base: 100,
+            link_base: (172, 24),
+        },
+    );
+    let mut configs: Vec<(String, String)> = Vec::new();
+    configs.extend(a.configs);
+    configs.extend(b.configs);
+    // Border routers: each eBGP-peers with every spine of its DC and with
+    // the opposite border.
+    let mut border_a = Dev::new("border-a".into(), 65201);
+    let mut border_b = Dev::new("border-b".into(), 65202);
+    let mut link = LinkAlloc::starting_at(172, 30);
+    for s in 0..spines {
+        let (lo, hi) = link.next_pair();
+        border_a.interfaces.push((format!("dc{s}"), format!("{lo}/31")));
+        border_a.neighbors.push((hi.clone(), 65000, None));
+        configs[s].1.push_str(&format!(
+            "interface border\n ip address {hi}/31\nrouter bgp 65000\n neighbor {lo} remote-as 65201\n"
+        ));
+        let (lo2, hi2) = link.next_pair();
+        border_b.interfaces.push((format!("dc{s}"), format!("{lo2}/31")));
+        border_b.neighbors.push((hi2.clone(), 65010, None));
+        configs[leafs + spines + s].1.push_str(&format!(
+            "interface border\n ip address {hi2}/31\nrouter bgp 65010\n neighbor {lo2} remote-as 65202\n"
+        ));
+    }
+    let (lo, hi) = link.next_pair();
+    border_a.interfaces.push(("xconn".into(), format!("{lo}/31")));
+    border_a.neighbors.push((hi.clone(), 65202, None));
+    border_b.interfaces.push(("xconn".into(), format!("{hi}/31")));
+    border_b.neighbors.push((lo, 65201, None));
+    configs.push((border_a.name.clone(), border_a.render()));
+    configs.push((border_b.name.clone(), border_b.render()));
+    GeneratedNetwork {
+        name: name.to_string(),
+        kind: "paired DCs".into(),
+        configs,
+        env: Environment::none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::Topology;
+    use batnet_routing::{simulate, SimOptions};
+
+    #[test]
+    fn leaf_spine_parses_and_converges() {
+        let net = leaf_spine("t", 3, 6);
+        assert_eq!(net.node_count(), 9);
+        let devices = net.parse();
+        let dp = simulate(&devices, &net.env, &SimOptions::default());
+        assert!(dp.convergence.converged, "{:?}", dp.convergence);
+        // Every leaf learns every other leaf's /24.
+        let leaf0 = dp.device("leaf0").unwrap();
+        for l in 1..6 {
+            let ip = format!("10.0.{l}.9").parse().unwrap();
+            let hit = leaf0.main_rib.lookup(ip);
+            assert!(hit.is_some(), "leaf0 missing route to leaf{l}");
+        }
+        // ECMP across spines.
+        let (_, routes) = leaf0.main_rib.lookup("10.0.3.9".parse().unwrap()).unwrap();
+        assert_eq!(routes.len(), 3, "one path per spine");
+    }
+
+    #[test]
+    fn fat_tree_aggregates_at_pods() {
+        let net = fat_tree("t", 2, 2, 2, 3);
+        assert_eq!(net.node_count(), 2 + 2 * (2 + 3));
+        let devices = net.parse();
+        let dp = simulate(&devices, &net.env, &SimOptions::default());
+        assert!(dp.convergence.converged);
+        // A core must hold pod aggregates but NOT leaf /24s.
+        let core = dp.device("core0").unwrap();
+        let agg: Vec<_> = core
+            .main_rib
+            .iter_best()
+            .map(|(p, _)| p.to_string())
+            .collect();
+        assert!(agg.iter().any(|p| p == "10.0.0.0/16"), "{agg:?}");
+        assert!(agg.iter().any(|p| p == "10.1.0.0/16"));
+        assert!(
+            !agg.iter().any(|p| p.ends_with("/24") && p.starts_with("10.")),
+            "leaf specifics must be suppressed at cores: {agg:?}"
+        );
+        // Cross-pod traffic still routes: leaf in pod 0 reaches pod 1.
+        let leaf = dp.device("leaf0-0").unwrap();
+        assert!(leaf.main_rib.lookup("10.1.2.9".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn paired_dcs_cross_reachability() {
+        let net = paired_dcs("t", 2, 3);
+        assert_eq!(net.node_count(), 2 * 5 + 2);
+        let devices = net.parse();
+        let topo = Topology::infer(&devices);
+        assert!(topo.edge_count() > 0);
+        let dp = simulate(&devices, &net.env, &SimOptions::default());
+        assert!(dp.convergence.converged);
+        // A leaf in DC A reaches a subnet in DC B (which lives in
+        // 10.100+).
+        let leaf = dp.device("a-leaf0").unwrap();
+        assert!(
+            leaf.main_rib.lookup("10.100.1.9".parse().unwrap()).is_some(),
+            "cross-DC route must exist"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = leaf_spine("t", 3, 6);
+        let b = leaf_spine("t", 3, 6);
+        assert_eq!(a.configs, b.configs);
+    }
+}

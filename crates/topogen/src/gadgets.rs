@@ -1,0 +1,227 @@
+//! The paper's figure workloads: the non-deterministic-convergence
+//! gadgets of Figure 1 and the example network of Figure 2.
+
+use crate::GeneratedNetwork;
+use batnet_net::Asn;
+use batnet_routing::{Environment, ExternalAnnouncement};
+
+/// Figure 1a: a routing pattern with *no* stable solution (a BGP
+/// "bad gadget"). Three single-router ASes in a triangle, each also
+/// connected to an origin AS announcing `10.0.0.0/8`; each router's
+/// import policy prefers the route heard from its clockwise neighbor
+/// (local-pref 200) over the direct path (default 100). Real BGP
+/// oscillates forever; the engine must *detect and report*
+/// non-convergence (§4.1.2).
+pub fn fig1a() -> GeneratedNetwork {
+    let mut configs = Vec::new();
+    // r0 (AS 100) originates the prefix, links to r1, r2, r3.
+    let mut r0 = String::from(
+        "hostname r0\ninterface lan\n ip address 10.0.0.1/24\n",
+    );
+    let mut bgp0 = String::from("router bgp 100\n redistribute connected\n");
+    for i in 1..=3u32 {
+        r0.push_str(&format!(
+            "interface to-r{i}\n ip address 172.31.{i}.0/31\n"
+        ));
+        bgp0.push_str(&format!(" neighbor 172.31.{i}.1 remote-as {}\n", 100 + i));
+    }
+    r0.push_str(&bgp0);
+    configs.push(("r0".to_string(), r0));
+    // r1..r3 in a ring; ri prefers routes via r_{i%3+1}.
+    for i in 1..=3u32 {
+        let next = i % 3 + 1; // clockwise neighbor
+        let prev = (i + 1) % 3 + 1;
+        let asn = 100 + i;
+        let next_as = 100 + next;
+        let prev_as = 100 + prev;
+        let mut s = format!("hostname r{i}\n");
+        s.push_str(&format!(
+            "interface to-r0\n ip address 172.31.{i}.1/31\n"
+        ));
+        // Ring links: one between each pair; address by (min,max).
+        let (a, b) = (i.min(next), i.max(next));
+        s.push_str(&format!(
+            "interface ring{a}{b}\n ip address 172.30.{a}{b}.{}/31\n",
+            if i == a { 0 } else { 1 }
+        ));
+        let (a2, b2) = (i.min(prev), i.max(prev));
+        s.push_str(&format!(
+            "interface ring{a2}{b2}\n ip address 172.30.{a2}{b2}.{}/31\n",
+            if i == a2 { 0 } else { 1 }
+        ));
+        s.push_str(&format!("router bgp {asn}\n"));
+        s.push_str(&format!(" neighbor 172.31.{i}.0 remote-as 100\n"));
+        let next_peer = format!("172.30.{}{}.{}", a, b, if i == a { 1 } else { 0 });
+        let prev_peer = format!("172.30.{}{}.{}", a2, b2, if i == a2 { 1 } else { 0 });
+        s.push_str(&format!(" neighbor {next_peer} remote-as {next_as}\n"));
+        s.push_str(&format!(" neighbor {next_peer} route-map PREFER in\n"));
+        s.push_str(&format!(" neighbor {prev_peer} remote-as {prev_as}\n"));
+        // Prefer the clockwise neighbor's path — but only when it is the
+        // neighbor's own direct path (2 hops: next_as then 100). Longer
+        // paths through the ring fall through at default preference.
+        s.push_str(&format!(
+            "route-map PREFER permit 10\n match as-path regex ^{next_as} 100$\n set local-preference 200\nroute-map PREFER permit 20\n"
+        ));
+        configs.push((format!("r{i}"), s));
+    }
+    GeneratedNetwork {
+        name: "fig1a".into(),
+        kind: "convergence gadget (no stable solution)".into(),
+        configs,
+        env: Environment::none(),
+    }
+}
+
+/// Figure 1b: the two-border re-advertisement loop. Both borders receive
+/// `10.0.0.0/8` externally, peer over iBGP, and prefer internal routes
+/// (import policy raises iBGP local-pref to 200). Lockstep simulation
+/// oscillates: both export, both switch to the internal path, both
+/// withdraw, repeat. The colored Gauss–Seidel schedule converges.
+pub fn fig1b() -> GeneratedNetwork {
+    let mut configs = Vec::new();
+    let mut env = Environment::none();
+    for (i, other) in [(0u32, 1u32), (1, 0)] {
+        let mut s = format!("hostname border{i}\n");
+        s.push_str(&format!(
+            "interface lo0\n ip address 192.168.0.{}/32\n",
+            i + 1
+        ));
+        s.push_str(&format!(
+            "interface ibgp\n ip address 172.31.0.{i}/31\n"
+        ));
+        s.push_str(&format!(
+            "interface ext\n ip address 203.0.113.{}/31\n",
+            2 * i
+        ));
+        s.push_str("ip route 192.168.0.0/24 172.31.0.");
+        s.push_str(&format!("{other}\n"));
+        s.push_str(&format!("router bgp 65000\n bgp router-id 192.168.0.{}\n", i + 1));
+        s.push_str(&format!(
+            " neighbor 172.31.0.{other} remote-as 65000\n neighbor 172.31.0.{other} route-map IBGP-PREF in\n neighbor 172.31.0.{other} next-hop-self\n"
+        ));
+        s.push_str(&format!(
+            " neighbor 203.0.113.{} remote-as 3356\n",
+            2 * i + 1
+        ));
+        s.push_str("route-map IBGP-PREF permit 10\n set local-preference 200\n");
+        configs.push((format!("border{i}"), s));
+        env.announcements.push(ExternalAnnouncement::simple(
+            format!("border{i}"),
+            format!("203.0.113.{}", 2 * i + 1).parse().unwrap(),
+            Asn(3356),
+            "10.0.0.0/8".parse().unwrap(),
+        ));
+    }
+    GeneratedNetwork {
+        name: "fig1b".into(),
+        kind: "convergence gadget (lockstep oscillation)".into(),
+        configs,
+        env,
+    }
+}
+
+/// Figure 2: the paper's worked example — R1 with prefixes P1–P3 behind
+/// R2/R3/local, an ssh-only ACL on R1.i3.
+pub fn fig2() -> GeneratedNetwork {
+    let configs = vec![
+        (
+            "r1".to_string(),
+            "hostname r1\n\
+             interface i0\n ip address 10.0.9.1/24\n\
+             interface i1\n ip address 10.0.12.1/31\n\
+             interface i2\n ip address 10.0.13.1/31\n\
+             interface i3\n ip address 10.0.3.1/24\n ip access-group SSHONLY out\n\
+             ip route 10.0.1.0/24 10.0.12.0\n\
+             ip route 10.0.2.0/24 10.0.13.0\n\
+             ip access-list extended SSHONLY\n 10 permit tcp any any eq 22\n"
+                .to_string(),
+        ),
+        (
+            "r2".to_string(),
+            "hostname r2\n\
+             interface i1\n ip address 10.0.12.0/31\n\
+             interface lan\n ip address 10.0.1.1/24\n\
+             ip route 10.0.9.0/24 10.0.12.1\nip route 10.0.3.0/24 10.0.12.1\n"
+                .to_string(),
+        ),
+        (
+            "r3".to_string(),
+            "hostname r3\n\
+             interface i2\n ip address 10.0.13.0/31\n\
+             interface lan\n ip address 10.0.2.1/24\n\
+             ip route 10.0.9.0/24 10.0.13.1\nip route 10.0.3.0/24 10.0.13.1\n"
+                .to_string(),
+        ),
+    ];
+    GeneratedNetwork {
+        name: "fig2".into(),
+        kind: "worked example".into(),
+        configs,
+        env: Environment::none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_routing::{simulate, SchedulerMode, SimOptions};
+
+    #[test]
+    fn fig1a_detected_as_non_convergent() {
+        let net = fig1a();
+        let devices = net.parse();
+        let opts = SimOptions {
+            max_sweeps: 60,
+            ..SimOptions::default()
+        };
+        let dp = simulate(&devices, &net.env, &opts);
+        assert!(
+            !dp.convergence.converged,
+            "the bad gadget has no stable solution; engine must report it"
+        );
+        assert!(
+            dp.convergence
+                .unstable_prefixes
+                .contains(&"10.0.0.0/24".parse().unwrap()),
+            "{:?}",
+            dp.convergence.unstable_prefixes
+        );
+    }
+
+    #[test]
+    fn fig1b_converges_colored_oscillates_lockstep() {
+        let net = fig1b();
+        let devices = net.parse();
+        // Production mode: converges.
+        let dp = simulate(&devices, &net.env, &SimOptions::default());
+        assert!(dp.convergence.converged, "{:?}", dp.convergence);
+        // Both borders must hold the external prefix.
+        for b in ["border0", "border1"] {
+            let d = dp.device(b).unwrap();
+            assert!(
+                d.main_rib.lookup("10.1.2.3".parse().unwrap()).is_some(),
+                "{b} lost the prefix"
+            );
+        }
+        // Lockstep (Jacobi) mode: oscillates, detected.
+        let lockstep = SimOptions {
+            scheduler: SchedulerMode::Lockstep,
+            max_sweeps: 60,
+            ..SimOptions::default()
+        };
+        let dp2 = simulate(&devices, &net.env, &lockstep);
+        assert!(
+            !dp2.convergence.converged,
+            "lockstep must exhibit the Figure 1b re-advertisement loop"
+        );
+    }
+
+    #[test]
+    fn fig2_parses() {
+        let net = fig2();
+        let devices = net.parse();
+        assert_eq!(devices.len(), 3);
+        let dp = simulate(&devices, &net.env, &SimOptions::default());
+        assert!(dp.convergence.converged);
+    }
+}

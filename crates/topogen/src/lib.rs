@@ -1,0 +1,64 @@
+//! # batnet-topogen — synthetic network generators
+//!
+//! The paper evaluates on 11 real (proprietary) networks. This crate
+//! generates deterministic synthetic stand-ins with the same structural
+//! spread — data centers from 75 to 2735 devices, enterprise campuses,
+//! WAN backbones, paired DCs, firewall deployments — emitting *vendor
+//! config text* so every experiment exercises the full pipeline from
+//! parsing onwards. The substitution argument is in DESIGN.md §1.
+//!
+//! Everything is seed-free and deterministic: the same call always emits
+//! byte-identical configs (stable results across runs is itself a §4.1.2
+//! design goal).
+//!
+//! Also here: the paper's figure workloads — the Figure 1a/1b
+//! convergence gadgets and the Figure 2 example network — and `NET1`, the
+//! stand-in for the original paper's evaluation network.
+
+pub mod dc;
+pub mod enterprise;
+pub mod gadgets;
+pub mod suite;
+pub mod wan;
+
+use batnet_routing::Environment;
+
+/// A generated network: named config files plus the environment
+/// (external BGP feeds, link state).
+pub struct GeneratedNetwork {
+    /// Network name (NET1, N2, …).
+    pub name: String,
+    /// Network type for Table 1 ("DC", "enterprise", …).
+    pub kind: String,
+    /// `(hostname, config text)` pairs.
+    pub configs: Vec<(String, String)>,
+    /// External announcements and link state.
+    pub env: Environment,
+}
+
+impl GeneratedNetwork {
+    /// Number of devices.
+    pub fn node_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Total configuration lines (Table 1's "LoC" column).
+    pub fn config_lines(&self) -> usize {
+        self.configs.iter().map(|(_, t)| t.lines().count()).sum()
+    }
+
+    /// Parses every config into the VI model (panics on parse errors —
+    /// generated configs must be clean).
+    pub fn parse(&self) -> Vec<batnet_config::vi::Device> {
+        self.configs
+            .iter()
+            .map(|(name, text)| {
+                let (device, diags) = batnet_config::parse_device(name, text);
+                for d in diags.items() {
+                    panic!("{name}: generated config produced diagnostic: {d}");
+                }
+                device
+            })
+            .collect()
+    }
+}

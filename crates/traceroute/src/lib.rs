@@ -1,0 +1,34 @@
+//! # batnet-traceroute — the concrete forwarding engine
+//!
+//! Batfish keeps two *independent* forwarding analysis engines: the
+//! symbolic BDD engine (`batnet-dataplane`) and this one, which walks a
+//! single concrete packet through the general device pipeline. §4.3.2:
+//! *"Validating that such engines produce identical results is
+//! instrumental in uncovering modeling bugs."* The two implementations
+//! deliberately share no matching code beyond the VI model itself.
+//!
+//! ## The general device pipeline (§7.2)
+//!
+//! Vendors order filtering, NAT, and routing differently; Batfish maps
+//! every vendor onto a superset pipeline. Ours, for a packet arriving on
+//! interface *in*:
+//!
+//! 1. ingress ACL (`in.acl_in`);
+//! 2. destination NAT (rules scoped to *in* or unscoped);
+//! 3. stateful session match (return traffic takes the fast path past
+//!    filters);
+//! 4. local delivery check (destination owned by the device);
+//! 5. FIB lookup (ECMP forks the trace);
+//! 6. zone policy (`zone(in) → zone(out)`) on stateful devices;
+//! 7. source NAT (rules scoped to *out* or unscoped);
+//! 8. egress ACL (`out.acl_out`);
+//! 9. hand-off to the L3 neighbor owning the gateway address.
+//!
+//! Every step is annotated (route used, ACL line hit) for the §4.4.3
+//! violation explanations.
+
+pub mod session;
+pub mod trace;
+
+pub use session::{FirewallSession, SessionTable};
+pub use trace::{Disposition, Hop, StartLocation, Trace, TracePath, Tracer};

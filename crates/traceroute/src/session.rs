@@ -1,0 +1,128 @@
+//! Firewall session state for bidirectional traces (§4.2.3).
+//!
+//! Stateful devices install a session when forward traffic transits them;
+//! return traffic matching an installed session takes the "fast path" —
+//! it bypasses zone policies and filters, and un-does the forward NAT.
+//! The forward trace populates a [`SessionTable`]; the reverse trace
+//! consults it.
+
+use batnet_net::Flow;
+use std::collections::BTreeSet;
+
+/// One installed session on a stateful device. Records the forward flow
+/// both as it *entered* (pre-NAT) and as it *left* (post-NAT) the device;
+/// return traffic is matched against the mirrored post-NAT tuple and
+/// rewritten back to the mirrored pre-NAT tuple.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FirewallSession {
+    /// The stateful device holding the session.
+    pub device: String,
+    /// Forward flow as it entered the device.
+    pub pre: Flow,
+    /// Forward flow as it left the device (after any NAT).
+    pub post: Flow,
+}
+
+impl FirewallSession {
+    /// Builds the session a stateful device installs when forwarding
+    /// `pre` (arriving flow) as `post` (departing flow).
+    pub fn new(device: &str, pre: Flow, post: Flow) -> FirewallSession {
+        FirewallSession {
+            device: device.to_string(),
+            pre,
+            post,
+        }
+    }
+
+    /// Does `flow` (travelling in the reverse direction) match this
+    /// session? Its endpoints/ports must mirror the post-NAT forward flow.
+    pub fn matches_return(&self, device: &str, flow: &Flow) -> bool {
+        device == self.device
+            && flow.protocol.number() == self.post.protocol.number()
+            && flow.src_ip == self.post.dst_ip
+            && flow.dst_ip == self.post.src_ip
+            && flow.src_port == self.post.dst_port
+            && flow.dst_port == self.post.src_port
+    }
+
+    /// Rewrites a matching return flow back across the forward NAT: its
+    /// destination becomes the pre-NAT source.
+    pub fn rewrite_return(&self, flow: &Flow) -> Flow {
+        let mut out = *flow;
+        out.dst_ip = self.pre.src_ip;
+        out.dst_port = self.pre.src_port;
+        out
+    }
+}
+
+/// The set of sessions installed by forward traffic.
+#[derive(Clone, Debug, Default)]
+pub struct SessionTable {
+    sessions: BTreeSet<FirewallSession>,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> SessionTable {
+        SessionTable::default()
+    }
+
+    /// Installs a session.
+    pub fn install(&mut self, s: FirewallSession) {
+        self.sessions.insert(s);
+    }
+
+    /// The first session on `device` matching this return flow.
+    pub fn match_return(&self, device: &str, flow: &Flow) -> Option<&FirewallSession> {
+        self.sessions.iter().find(|s| s.matches_return(device, flow))
+    }
+
+    /// Number of installed sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_net::Ip;
+
+    #[test]
+    fn return_matching_mirrors_post_tuple() {
+        let pre = Flow::tcp(Ip::new(10, 0, 0, 1), 40000, Ip::new(10, 9, 0, 1), 443);
+        let mut post = pre;
+        post.src_ip = Ip::new(203, 0, 113, 1); // source NAT applied
+        let s = FirewallSession::new("fw1", pre, post);
+        // Return traffic targets the NAT'd address.
+        let ret = post.reverse();
+        assert!(s.matches_return("fw1", &ret));
+        assert!(!s.matches_return("fw2", &ret));
+        // Return traffic to the *pre*-NAT address does not match.
+        assert!(!s.matches_return("fw1", &pre.reverse()));
+        // Rewrite restores the inside address.
+        let rewritten = s.rewrite_return(&ret);
+        assert_eq!(rewritten.dst_ip, Ip::new(10, 0, 0, 1));
+        assert_eq!(rewritten.dst_port, 40000);
+        assert_eq!(rewritten.src_ip, ret.src_ip);
+    }
+
+    #[test]
+    fn table_lookup() {
+        let mut t = SessionTable::new();
+        assert!(t.is_empty());
+        let fwd = Flow::udp(Ip::new(1, 1, 1, 1), 1111, Ip::new(2, 2, 2, 2), 53);
+        t.install(FirewallSession::new("fw", fwd, fwd));
+        assert_eq!(t.len(), 1);
+        assert!(t.match_return("fw", &fwd.reverse()).is_some());
+        assert!(t.match_return("fw", &fwd).is_none());
+        // Duplicate installs collapse.
+        t.install(FirewallSession::new("fw", fwd, fwd));
+        assert_eq!(t.len(), 1);
+    }
+}

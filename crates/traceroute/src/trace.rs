@@ -1,0 +1,940 @@
+//! The tracer: a concrete packet through the general device pipeline.
+
+use crate::session::{FirewallSession, SessionTable};
+use batnet_config::vi::{AclAction, Device, NatKind};
+use batnet_config::{InterfaceRef, Topology};
+use batnet_net::{Flow, Ip};
+use batnet_routing::{DataPlane, FibAction};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Backstop hop budget; real loops are caught by the visited set first.
+const MAX_HOPS: usize = 64;
+
+/// Where a trace starts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StartLocation {
+    /// Device the packet starts at.
+    pub device: String,
+    /// Interface the packet arrives on, or `None` when the packet
+    /// originates at the device itself (skips ingress processing).
+    pub ingress: Option<String>,
+}
+
+impl StartLocation {
+    /// A packet arriving on `iface` of `device` (the common case: traffic
+    /// entering from an attached host or external link).
+    pub fn ingress(device: impl Into<String>, iface: impl Into<String>) -> StartLocation {
+        StartLocation {
+            device: device.into(),
+            ingress: Some(iface.into()),
+        }
+    }
+
+    /// A packet originating at `device`.
+    pub fn origin(device: impl Into<String>) -> StartLocation {
+        StartLocation {
+            device: device.into(),
+            ingress: None,
+        }
+    }
+}
+
+/// The final fate of a traced packet — mirrors the BDD engine's typed
+/// drop/exit nodes so differential testing can compare them directly.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Disposition {
+    /// Delivered to an address owned by this device.
+    Accepted {
+        /// Terminating device.
+        device: String,
+    },
+    /// Forwarded onto a connected subnet where the destination is assumed
+    /// to live (no snapshot device owns it).
+    DeliveredToSubnet {
+        /// Last device.
+        device: String,
+        /// Egress interface.
+        iface: String,
+    },
+    /// Left the network via an interface with no inferred L3 neighbors
+    /// (e.g. towards the Internet).
+    ExitsNetwork {
+        /// Last device.
+        device: String,
+        /// Egress interface.
+        iface: String,
+    },
+    /// Dropped by an ingress ACL.
+    DeniedIn {
+        /// Dropping device.
+        device: String,
+        /// ACL name.
+        acl: String,
+    },
+    /// Dropped by an egress ACL.
+    DeniedOut {
+        /// Dropping device.
+        device: String,
+        /// ACL name.
+        acl: String,
+    },
+    /// Dropped by an inter-zone policy on a stateful device.
+    DeniedZone {
+        /// Dropping device.
+        device: String,
+        /// `from→to` zone pair.
+        zones: String,
+    },
+    /// No FIB entry matched.
+    NoRoute {
+        /// Device without a route.
+        device: String,
+    },
+    /// Matched a discard route.
+    NullRouted {
+        /// Device with the discard route.
+        device: String,
+    },
+    /// The gateway address had no owner on the egress subnet.
+    NeighborUnreachable {
+        /// Last device.
+        device: String,
+        /// Egress interface.
+        iface: String,
+    },
+    /// A forwarding loop was detected.
+    Loop,
+}
+
+impl Disposition {
+    /// Did the packet reach *somewhere* successfully (accepted, delivered
+    /// to its subnet, or exited the network)?
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            Disposition::Accepted { .. }
+                | Disposition::DeliveredToSubnet { .. }
+                | Disposition::ExitsNetwork { .. }
+        )
+    }
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disposition::Accepted { device } => write!(f, "accepted at {device}"),
+            Disposition::DeliveredToSubnet { device, iface } => {
+                write!(f, "delivered to subnet via {device}[{iface}]")
+            }
+            Disposition::ExitsNetwork { device, iface } => {
+                write!(f, "exits network via {device}[{iface}]")
+            }
+            Disposition::DeniedIn { device, acl } => write!(f, "denied in at {device} by {acl}"),
+            Disposition::DeniedOut { device, acl } => write!(f, "denied out at {device} by {acl}"),
+            Disposition::DeniedZone { device, zones } => {
+                write!(f, "denied by zone policy {zones} at {device}")
+            }
+            Disposition::NoRoute { device } => write!(f, "no route at {device}"),
+            Disposition::NullRouted { device } => write!(f, "null routed at {device}"),
+            Disposition::NeighborUnreachable { device, iface } => {
+                write!(f, "neighbor unreachable at {device}[{iface}]")
+            }
+            Disposition::Loop => write!(f, "forwarding loop"),
+        }
+    }
+}
+
+/// One device transit within a path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hop {
+    /// Device name.
+    pub device: String,
+    /// Arriving interface (`None` at the origin).
+    pub in_iface: Option<String>,
+    /// Departing interface (`None` when the packet stopped here).
+    pub out_iface: Option<String>,
+    /// The flow as it arrived at this device.
+    pub flow_in: Flow,
+    /// The flow as it left (NAT may have rewritten it).
+    pub flow_out: Flow,
+    /// Human-readable step annotations: routes matched, ACL lines hit,
+    /// NAT rewrites, session matches (§4.4.3 context).
+    pub steps: Vec<String>,
+}
+
+/// One complete path of a (possibly multipath) trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TracePath {
+    /// Transited devices in order.
+    pub hops: Vec<Hop>,
+    /// Final fate.
+    pub disposition: Disposition,
+    /// The flow at the end of the path (post all NATs).
+    pub final_flow: Flow,
+}
+
+/// A full trace: one path per ECMP branch combination, deterministic
+/// order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    /// All paths.
+    pub paths: Vec<TracePath>,
+}
+
+impl Trace {
+    /// Do *all* paths succeed (the multipath-consistency sense)?
+    pub fn all_succeed(&self) -> bool {
+        self.paths.iter().all(|p| p.disposition.is_success())
+    }
+
+    /// Does *any* path succeed?
+    pub fn any_succeeds(&self) -> bool {
+        self.paths.iter().any(|p| p.disposition.is_success())
+    }
+
+    /// The set of distinct dispositions across paths.
+    pub fn dispositions(&self) -> BTreeSet<&Disposition> {
+        self.paths.iter().map(|p| &p.disposition).collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.paths.iter().enumerate() {
+            writeln!(f, "path {}:", i + 1)?;
+            for hop in &p.hops {
+                writeln!(
+                    f,
+                    "  {} [{} -> {}]",
+                    hop.device,
+                    hop.in_iface.as_deref().unwrap_or("origin"),
+                    hop.out_iface.as_deref().unwrap_or("-"),
+                )?;
+                for s in &hop.steps {
+                    writeln!(f, "    {s}")?;
+                }
+            }
+            writeln!(f, "  => {}", p.disposition)?;
+        }
+        Ok(())
+    }
+}
+
+/// The concrete engine. Borrows the VI devices, the simulated data plane,
+/// and the inferred topology.
+pub struct Tracer<'a> {
+    devices: &'a [Device],
+    dp: &'a DataPlane,
+    topo: &'a Topology,
+}
+
+impl<'a> Tracer<'a> {
+    /// Creates a tracer over a simulated snapshot.
+    pub fn new(devices: &'a [Device], dp: &'a DataPlane, topo: &'a Topology) -> Tracer<'a> {
+        Tracer { devices, dp, topo }
+    }
+
+    fn device(&self, name: &str) -> Option<&'a Device> {
+        self.dp.index.get(name).map(|&i| &self.devices[i])
+    }
+
+    /// Traces `flow` from `start`, stateless (no session table).
+    pub fn trace(&self, start: &StartLocation, flow: &Flow) -> Trace {
+        self.trace_with_sessions(start, flow, &SessionTable::new(), None)
+    }
+
+    /// Traces `flow` from `start`, consulting `sessions` for return-path
+    /// fast-path matching, and optionally collecting sessions installed
+    /// along the way into `collect`.
+    pub fn trace_with_sessions(
+        &self,
+        start: &StartLocation,
+        flow: &Flow,
+        sessions: &SessionTable,
+        mut collect: Option<&mut SessionTable>,
+    ) -> Trace {
+        let mut paths = Vec::new();
+        let mut visited = BTreeSet::new();
+        self.walk(
+            start.device.clone(),
+            start.ingress.clone(),
+            *flow,
+            Vec::new(),
+            &mut visited,
+            &mut paths,
+            sessions,
+            &mut collect,
+        );
+        Trace { paths }
+    }
+
+    /// Forward + reverse trace (bidirectional reachability, §4.2.3): the
+    /// forward trace installs sessions on stateful devices; the reverse
+    /// trace of the delivered flow consults them. Returns the forward
+    /// trace and, for each successfully delivered path, the reverse trace
+    /// started where the packet landed.
+    pub fn trace_bidir(&self, start: &StartLocation, flow: &Flow) -> (Trace, Vec<Trace>) {
+        let mut installed = SessionTable::new();
+        let fwd = self.trace_with_sessions(start, flow, &SessionTable::new(), Some(&mut installed));
+        let mut reverses = Vec::new();
+        for p in &fwd.paths {
+            let (rev_start, reachable) = match &p.disposition {
+                Disposition::Accepted { device } => (StartLocation::origin(device.clone()), true),
+                Disposition::DeliveredToSubnet { device, iface } => (
+                    StartLocation::ingress(device.clone(), iface.clone()),
+                    true,
+                ),
+                _ => (StartLocation::origin(String::new()), false),
+            };
+            if !reachable {
+                continue;
+            }
+            let ret = p.final_flow.reverse();
+            reverses.push(self.trace_with_sessions(&rev_start, &ret, &installed, None));
+        }
+        (fwd, reverses)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        device_name: String,
+        in_iface: Option<String>,
+        mut flow: Flow,
+        mut hops: Vec<Hop>,
+        visited: &mut BTreeSet<(String, Flow)>,
+        paths: &mut Vec<TracePath>,
+        sessions: &SessionTable,
+        collect: &mut Option<&mut SessionTable>,
+    ) {
+        let flow_in = flow;
+        let finish = |hops: Vec<Hop>, d: Disposition, f: Flow, paths: &mut Vec<TracePath>| {
+            paths.push(TracePath {
+                hops,
+                disposition: d,
+                final_flow: f,
+            });
+        };
+        if hops.len() >= MAX_HOPS || !visited.insert((device_name.clone(), flow)) {
+            finish(hops, Disposition::Loop, flow, paths);
+            return;
+        }
+        let Some(device) = self.device(&device_name) else {
+            // Unknown device: treat as exiting the modeled network.
+            finish(
+                hops,
+                Disposition::ExitsNetwork {
+                    device: device_name,
+                    iface: String::new(),
+                },
+                flow,
+                paths,
+            );
+            return;
+        };
+        let ddp = self.dp.device(&device_name).expect("device in data plane");
+        let mut steps: Vec<String> = Vec::new();
+
+        // Step 3 precheck: return-traffic fast path. A session match skips
+        // filters and zone policy for this device and un-NATs the flow.
+        let session_match = in_iface.is_some()
+            && device.stateful
+            && sessions.match_return(&device_name, &flow).is_some();
+        if session_match {
+            let s = sessions.match_return(&device_name, &flow).expect("just matched");
+            flow = s.rewrite_return(&flow);
+            steps.push(format!("matched session (fast path), flow now {flow}"));
+        }
+
+        // Step 1: ingress ACL.
+        if !session_match {
+            if let Some(iname) = &in_iface {
+                if let Some(iface) = device.interfaces.get(iname) {
+                    if let Some(acl_name) = &iface.acl_in {
+                        match device.acls.get(acl_name) {
+                            Some(acl) => {
+                                let (action, line) = acl.check(&flow);
+                                let text = line
+                                    .map(|l| acl.lines[l].text.clone())
+                                    .unwrap_or_else(|| "implicit deny".into());
+                                steps.push(format!("ingress acl {acl_name}: {action} ({text})"));
+                                if action == AclAction::Deny {
+                                    hops.push(Hop {
+                                        device: device_name.clone(),
+                                        in_iface,
+                                        out_iface: None,
+                                        flow_in,
+                                        flow_out: flow,
+                                        steps,
+                                    });
+                                    finish(
+                                        hops,
+                                        Disposition::DeniedIn {
+                                            device: device_name,
+                                            acl: acl_name.clone(),
+                                        },
+                                        flow,
+                                        paths,
+                                    );
+                                    return;
+                                }
+                            }
+                            // Undefined ACL reference: documented default
+                            // permit (parser flagged it).
+                            None => steps.push(format!("ingress acl {acl_name} undefined: permit")),
+                        }
+                    }
+                }
+            }
+
+            // Step 2: destination NAT.
+            if in_iface.is_some() {
+                for rule in &device.nat_rules {
+                    if rule.kind != NatKind::Destination {
+                        continue;
+                    }
+                    if let Some(scope) = &rule.interface {
+                        if Some(scope) != in_iface.as_ref() {
+                            continue;
+                        }
+                    }
+                    if rule.matches(&flow) {
+                        let new = rule.translate(&flow);
+                        steps.push(format!("dest nat [{}]: {flow} -> {new}", rule.text));
+                        flow = new;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Step 4: local delivery.
+        if device.interface_owning_ip(flow.dst_ip).is_some() {
+            steps.push("destination owned by device".into());
+            hops.push(Hop {
+                device: device_name.clone(),
+                in_iface,
+                out_iface: None,
+                flow_in,
+                flow_out: flow,
+                steps,
+            });
+            finish(
+                hops,
+                Disposition::Accepted {
+                    device: device_name,
+                },
+                flow,
+                paths,
+            );
+            return;
+        }
+
+        // Step 5: FIB lookup.
+        let Some(entry) = ddp.fib.lookup(flow.dst_ip) else {
+            steps.push("no matching FIB entry".into());
+            hops.push(Hop {
+                device: device_name.clone(),
+                in_iface,
+                out_iface: None,
+                flow_in,
+                flow_out: flow,
+                steps,
+            });
+            finish(hops, Disposition::NoRoute { device: device_name }, flow, paths);
+            return;
+        };
+        steps.push(format!(
+            "fib: {} ({:?} via {})",
+            entry.prefix, entry.protocol, {
+                match &entry.action {
+                    FibAction::Forward(h) => format!("{} hop(s)", h.len()),
+                    FibAction::Discard => "discard".into(),
+                    FibAction::Unresolved => "unresolved".into(),
+                }
+            }
+        ));
+        let next_hops = match &entry.action {
+            FibAction::Discard => {
+                hops.push(Hop {
+                    device: device_name.clone(),
+                    in_iface,
+                    out_iface: None,
+                    flow_in,
+                    flow_out: flow,
+                    steps,
+                });
+                finish(hops, Disposition::NullRouted { device: device_name }, flow, paths);
+                return;
+            }
+            FibAction::Unresolved => {
+                hops.push(Hop {
+                    device: device_name.clone(),
+                    in_iface,
+                    out_iface: None,
+                    flow_in,
+                    flow_out: flow,
+                    steps,
+                });
+                finish(hops, Disposition::NoRoute { device: device_name }, flow, paths);
+                return;
+            }
+            FibAction::Forward(h) => h.clone(),
+        };
+
+        // ECMP fork: each resolved next hop continues as its own path.
+        for nh in next_hops {
+            let mut steps = steps.clone();
+            let mut flow = flow;
+            let out_iface = nh.iface.clone();
+
+            // Step 6: zone policy (stateful devices, transiting traffic,
+            // not on the session fast path).
+            if device.stateful && !session_match && in_iface.is_some() {
+                let from = in_iface.as_deref().and_then(|i| device.zone_of_interface(i));
+                let to = device.zone_of_interface(&out_iface);
+                if let (Some(from), Some(to)) = (from, to) {
+                    if from != to {
+                        let policy = device
+                            .zone_policies
+                            .iter()
+                            .find(|zp| zp.from_zone == from && zp.to_zone == to);
+                        let permitted = match policy {
+                            Some(zp) => {
+                                let (action, line) = zp.acl.check(&flow);
+                                let text = line
+                                    .map(|l| zp.acl.lines[l].text.clone())
+                                    .unwrap_or_else(|| "implicit deny".into());
+                                steps.push(format!("zone {from}->{to}: {action} ({text})"));
+                                action == AclAction::Permit
+                            }
+                            None => {
+                                steps.push(format!(
+                                    "zone {from}->{to}: no policy, default {}",
+                                    if device.zone_default_permit { "permit" } else { "deny" }
+                                ));
+                                device.zone_default_permit
+                            }
+                        };
+                        if !permitted {
+                            let mut hops = hops.clone();
+                            hops.push(Hop {
+                                device: device_name.clone(),
+                                in_iface: in_iface.clone(),
+                                out_iface: Some(out_iface),
+                                flow_in,
+                                flow_out: flow,
+                                steps,
+                            });
+                            finish(
+                                hops,
+                                Disposition::DeniedZone {
+                                    device: device_name.clone(),
+                                    zones: format!("{from}->{to}"),
+                                },
+                                flow,
+                                paths,
+                            );
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // Step 7: source NAT on the egress interface.
+            let pre_nat = flow;
+            for rule in &device.nat_rules {
+                if rule.kind != NatKind::Source {
+                    continue;
+                }
+                if let Some(scope) = &rule.interface {
+                    if *scope != out_iface {
+                        continue;
+                    }
+                }
+                if rule.matches(&flow) {
+                    let new = rule.translate(&flow);
+                    steps.push(format!("source nat [{}]: {flow} -> {new}", rule.text));
+                    flow = new;
+                    break;
+                }
+            }
+
+            // Step 8: egress ACL.
+            if let Some(iface) = device.interfaces.get(&out_iface) {
+                if let Some(acl_name) = &iface.acl_out {
+                    if let Some(acl) = device.acls.get(acl_name) {
+                        let (action, line) = acl.check(&flow);
+                        let text = line
+                            .map(|l| acl.lines[l].text.clone())
+                            .unwrap_or_else(|| "implicit deny".into());
+                        steps.push(format!("egress acl {acl_name}: {action} ({text})"));
+                        if action == AclAction::Deny {
+                            let mut hops = hops.clone();
+                            hops.push(Hop {
+                                device: device_name.clone(),
+                                in_iface: in_iface.clone(),
+                                out_iface: Some(out_iface),
+                                flow_in,
+                                flow_out: flow,
+                                steps,
+                            });
+                            finish(
+                                hops,
+                                Disposition::DeniedOut {
+                                    device: device_name.clone(),
+                                    acl: acl_name.clone(),
+                                },
+                                flow,
+                                paths,
+                            );
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // Session install on stateful transit (forward direction).
+            if device.stateful && !session_match {
+                if let Some(table) = collect.as_deref_mut() {
+                    table.install(FirewallSession::new(&device_name, pre_nat, flow));
+                }
+            }
+
+            // Step 9: hand-off.
+            let me = InterfaceRef::new(&device_name, &out_iface);
+            let neighbors = self.topo.neighbors_of(&me);
+            let target_ip: Ip = nh.gateway.unwrap_or(flow.dst_ip);
+            let receiver = neighbors.iter().find_map(|nb| {
+                let d = self.device(&nb.device)?;
+                let iface = d.interfaces.get(&nb.interface)?;
+                (iface.ip() == Some(target_ip)
+                    || iface.secondary_addresses.iter().any(|&(a, _)| a == target_ip))
+                .then(|| nb.clone())
+            });
+            let mut hops2 = hops.clone();
+            hops2.push(Hop {
+                device: device_name.clone(),
+                in_iface: in_iface.clone(),
+                out_iface: Some(out_iface.clone()),
+                flow_in,
+                flow_out: flow,
+                steps: steps.clone(),
+            });
+            match receiver {
+                Some(nb) => {
+                    let mut visited2 = visited.clone();
+                    self.walk(
+                        nb.device,
+                        Some(nb.interface),
+                        flow,
+                        hops2,
+                        &mut visited2,
+                        paths,
+                        sessions,
+                        collect,
+                    );
+                }
+                None => {
+                    let disposition = if neighbors.is_empty() {
+                        // Edge interface: delivered to an attached host if
+                        // the destination is on the connected subnet,
+                        // otherwise the packet leaves the modeled network.
+                        let on_subnet = device
+                            .interfaces
+                            .get(&out_iface)
+                            .and_then(|i| i.connected_prefix())
+                            .is_some_and(|p| p.contains(flow.dst_ip));
+                        if on_subnet {
+                            Disposition::DeliveredToSubnet {
+                                device: device_name.clone(),
+                                iface: out_iface.clone(),
+                            }
+                        } else {
+                            Disposition::ExitsNetwork {
+                                device: device_name.clone(),
+                                iface: out_iface.clone(),
+                            }
+                        }
+                    } else if nh.gateway.is_none() {
+                        // Destination on a shared router subnet but owned
+                        // by no device: an attached host.
+                        Disposition::DeliveredToSubnet {
+                            device: device_name.clone(),
+                            iface: out_iface.clone(),
+                        }
+                    } else {
+                        Disposition::NeighborUnreachable {
+                            device: device_name.clone(),
+                            iface: out_iface.clone(),
+                        }
+                    };
+                    finish(hops2, disposition, flow, paths);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::parse_device;
+    use batnet_routing::{simulate, Environment, SimOptions};
+
+    struct Net {
+        devices: Vec<Device>,
+        dp: DataPlane,
+        topo: Topology,
+    }
+
+    fn build(configs: &[(&str, &str)]) -> Net {
+        let devices: Vec<Device> = configs.iter().map(|(n, t)| parse_device(n, t).0).collect();
+        let topo = Topology::infer(&devices);
+        let dp = simulate(&devices, &Environment::none(), &SimOptions::default());
+        Net { devices, dp, topo }
+    }
+
+    /// host—r1—r2—server topology: r1 has an inbound ACL permitting only
+    /// web traffic to the server subnet.
+    fn web_net() -> Net {
+        build(&[
+            (
+                "r1",
+                "hostname r1\n\
+                 interface hosts\n ip address 10.1.0.1/24\n ip access-group EDGE in\n\
+                 interface core\n ip address 10.0.0.1/31\n\
+                 ip route 10.2.0.0/24 10.0.0.0\n\
+                 ip access-list extended EDGE\n \
+                 10 permit tcp 10.1.0.0 0.0.0.255 10.2.0.0 0.0.0.255 eq 80\n \
+                 20 permit icmp any any\n \
+                 30 deny ip any any\n",
+            ),
+            (
+                "r2",
+                "hostname r2\n\
+                 interface core\n ip address 10.0.0.0/31\n\
+                 interface servers\n ip address 10.2.0.1/24\n\
+                 ip route 10.1.0.0/24 10.0.0.1\n",
+            ),
+        ])
+    }
+
+    fn f(src: &str, sport: u16, dst: &str, dport: u16) -> Flow {
+        Flow::tcp(src.parse().unwrap(), sport, dst.parse().unwrap(), dport)
+    }
+
+    #[test]
+    fn permitted_flow_delivered_to_subnet() {
+        let net = web_net();
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = f("10.1.0.50", 40000, "10.2.0.80", 80);
+        let trace = tracer.trace(&StartLocation::ingress("r1", "hosts"), &flow);
+        assert_eq!(trace.paths.len(), 1);
+        assert_eq!(
+            trace.paths[0].disposition,
+            Disposition::DeliveredToSubnet {
+                device: "r2".into(),
+                iface: "servers".into()
+            },
+            "{trace}"
+        );
+        // The path must transit both devices with annotations.
+        assert_eq!(trace.paths[0].hops.len(), 2);
+        assert!(trace.paths[0].hops[0]
+            .steps
+            .iter()
+            .any(|s| s.contains("ingress acl EDGE: permit")));
+    }
+
+    #[test]
+    fn denied_flow_stopped_at_ingress() {
+        let net = web_net();
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = f("10.1.0.50", 40000, "10.2.0.80", 22); // ssh: denied
+        let trace = tracer.trace(&StartLocation::ingress("r1", "hosts"), &flow);
+        assert_eq!(
+            trace.paths[0].disposition,
+            Disposition::DeniedIn {
+                device: "r1".into(),
+                acl: "EDGE".into()
+            }
+        );
+    }
+
+    #[test]
+    fn packet_to_router_address_accepted() {
+        let net = web_net();
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = Flow::icmp_echo("10.1.0.50".parse().unwrap(), "10.0.0.0".parse().unwrap());
+        let trace = tracer.trace(&StartLocation::ingress("r1", "hosts"), &flow);
+        assert_eq!(
+            trace.paths[0].disposition,
+            Disposition::Accepted { device: "r2".into() },
+            "{trace}"
+        );
+    }
+
+    #[test]
+    fn no_route_disposition() {
+        let net = web_net();
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = Flow::icmp_echo("10.1.0.50".parse().unwrap(), "192.168.99.1".parse().unwrap());
+        let trace = tracer.trace(&StartLocation::ingress("r1", "hosts"), &flow);
+        assert_eq!(
+            trace.paths[0].disposition,
+            Disposition::NoRoute { device: "r1".into() }
+        );
+    }
+
+    #[test]
+    fn null_route_disposition() {
+        let net = build(&[(
+            "r1",
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\nip route 192.168.0.0/16 null0\n",
+        )]);
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = Flow::icmp_echo("10.0.0.5".parse().unwrap(), "192.168.1.1".parse().unwrap());
+        let trace = tracer.trace(&StartLocation::ingress("r1", "e0"), &flow);
+        assert_eq!(
+            trace.paths[0].disposition,
+            Disposition::NullRouted { device: "r1".into() }
+        );
+    }
+
+    #[test]
+    fn static_route_loop_detected() {
+        // r1 routes 10.9/16 to r2; r2 routes it back to r1.
+        let net = build(&[
+            (
+                "r1",
+                "hostname r1\ninterface e0\n ip address 10.0.0.1/31\nip route 10.9.0.0/16 10.0.0.0\n",
+            ),
+            (
+                "r2",
+                "hostname r2\ninterface e0\n ip address 10.0.0.0/31\nip route 10.9.0.0/16 10.0.0.1\n",
+            ),
+        ]);
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = Flow::icmp_echo("10.0.0.1".parse().unwrap(), "10.9.1.1".parse().unwrap());
+        let trace = tracer.trace(&StartLocation::origin("r1"), &flow);
+        assert_eq!(trace.paths[0].disposition, Disposition::Loop, "{trace}");
+    }
+
+    #[test]
+    fn ecmp_forks_paths() {
+        // r1 has two equal static routes to the destination via two
+        // neighbors, both of which deliver locally.
+        let net = build(&[
+            (
+                "r1",
+                "hostname r1\ninterface a\n ip address 10.0.1.0/31\ninterface b\n ip address 10.0.2.0/31\nip route 10.9.0.0/24 10.0.1.1\nip route 10.9.0.0/24 10.0.2.1\n",
+            ),
+            (
+                "r2",
+                "hostname r2\ninterface a\n ip address 10.0.1.1/31\ninterface lan\n ip address 10.9.0.1/24\n",
+            ),
+            (
+                "r3",
+                "hostname r3\ninterface b\n ip address 10.0.2.1/31\ninterface lan\n ip address 10.9.0.1/24\n",
+            ),
+        ]);
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = f("10.0.1.0", 1000, "10.9.0.42", 80);
+        let trace = tracer.trace(&StartLocation::origin("r1"), &flow);
+        assert_eq!(trace.paths.len(), 2, "{trace}");
+        assert!(trace.all_succeed(), "{trace}");
+    }
+
+    #[test]
+    fn source_nat_rewrites_on_egress() {
+        let net = build(&[(
+            "r1",
+            "hostname r1\n\
+             interface inside\n ip address 10.0.0.1/24\n\
+             interface outside\n ip address 203.0.113.1/24\n\
+             ip nat pool P 198.51.100.1 198.51.100.1\n\
+             ip access-list extended NATMATCH\n 10 permit ip 10.0.0.0 0.0.0.255 any\n\
+             ip nat source list NATMATCH pool P interface outside\n",
+        )]);
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = f("10.0.0.5", 40000, "203.0.113.77", 80);
+        let trace = tracer.trace(&StartLocation::ingress("r1", "inside"), &flow);
+        let p = &trace.paths[0];
+        assert!(p.disposition.is_success(), "{trace}");
+        assert_eq!(p.final_flow.src_ip, "198.51.100.1".parse().unwrap());
+        assert_eq!(p.final_flow.dst_ip, flow.dst_ip);
+    }
+
+    #[test]
+    fn zone_policy_and_bidirectional_session() {
+        // Stateful firewall: trust → untrust permitted for tcp/443; no
+        // untrust → trust policy (default deny). Return traffic must pass
+        // via the session fast path.
+        let net = build(&[(
+            "fw",
+            "hostname fw\n\
+             interface trust0\n ip address 10.0.0.1/24\n zone-member security trust\n\
+             interface untrust0\n ip address 203.0.113.1/24\n zone-member security untrust\n\
+             zone security trust\nzone security untrust\n\
+             ip access-list extended OUTBOUND\n 10 permit tcp any any eq 443\n\
+             zone-pair security trust untrust acl OUTBOUND\n",
+        )]);
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = f("10.0.0.9", 50000, "203.0.113.99", 443);
+        let (fwd, reverses) = tracer.trace_bidir(&StartLocation::ingress("fw", "trust0"), &flow);
+        assert!(fwd.paths[0].disposition.is_success(), "{fwd}");
+        assert_eq!(reverses.len(), 1);
+        let rev = &reverses[0];
+        assert!(
+            rev.paths[0].disposition.is_success(),
+            "return must ride the session fast path: {rev}"
+        );
+        // Without the session, the same return flow is dropped by the
+        // (absent) untrust→trust policy.
+        let bare = tracer.trace(
+            &StartLocation::ingress("fw", "untrust0"),
+            &flow.reverse(),
+        );
+        assert_eq!(
+            bare.paths[0].disposition,
+            Disposition::DeniedZone {
+                device: "fw".into(),
+                zones: "untrust->trust".into()
+            },
+            "{bare}"
+        );
+        // And a disallowed forward flow (port 80) is zone-denied.
+        let bad = tracer.trace(
+            &StartLocation::ingress("fw", "trust0"),
+            &f("10.0.0.9", 50000, "203.0.113.99", 80),
+        );
+        assert_eq!(
+            bad.paths[0].disposition,
+            Disposition::DeniedZone {
+                device: "fw".into(),
+                zones: "trust->untrust".into()
+            }
+        );
+    }
+
+    #[test]
+    fn exits_network_via_edge_interface() {
+        let net = build(&[(
+            "r1",
+            "hostname r1\ninterface lan\n ip address 10.0.0.1/24\ninterface up\n ip address 203.0.113.2/31\nip route 0.0.0.0/0 203.0.113.3\n",
+        )]);
+        let tracer = Tracer::new(&net.devices, &net.dp, &net.topo);
+        let flow = f("10.0.0.5", 1, "8.8.8.8", 53);
+        let trace = tracer.trace(&StartLocation::ingress("r1", "lan"), &flow);
+        assert_eq!(
+            trace.paths[0].disposition,
+            Disposition::ExitsNetwork {
+                device: "r1".into(),
+                iface: "up".into()
+            },
+            "{trace}"
+        );
+    }
+}

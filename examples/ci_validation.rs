@@ -1,0 +1,132 @@
+//! Proactive validation in an automated workflow (§5.1.1, "network CI"):
+//! a candidate configuration change is checked *before* deployment.
+//!
+//! The scenario mirrors the paper's manual-workflow anecdote: an engineer
+//! switches how the network connects to its transit provider and
+//! initially believes only the border needs changing. The CI pipeline —
+//! lint, end-to-end reachability, differential engine cross-check —
+//! catches the interaction they missed (the new uplink ACL silently
+//! blocks BGP).
+//!
+//! ```sh
+//! cargo run --example ci_validation
+//! ```
+
+use batnet::differential_test;
+use batnet::queries::{service_reachable, ServiceSpec};
+use batnet::routing::ExternalAnnouncement;
+use batnet::Snapshot;
+use batnet_topogen::enterprise::{enterprise, EnterpriseSpec};
+
+fn main() {
+    // The running network: a small enterprise with one border.
+    let net = enterprise(
+        "prod",
+        &EnterpriseSpec {
+            cores: 2,
+            dists: 2,
+            accesses: 6,
+            borders: 1,
+            firewalls: 0,
+            flat_access_percent: 0,
+            nat: true,
+        },
+    );
+    let mut configs = net.configs.clone();
+
+    // --- The proposed change -------------------------------------------
+    // Tighten the border uplink with a new inbound ACL. The engineer
+    // permits "established" TCP and ICMP… and forgets BGP (tcp/179).
+    let border = configs
+        .iter_mut()
+        .find(|(n, _)| n == "border0")
+        .expect("border present");
+    border.1.push_str(
+        "ip access-list extended UPLINK-IN\n \
+         10 permit tcp any any established\n \
+         20 permit icmp any any\n \
+         30 deny ip any any\n",
+    );
+    // Attach it to the uplink interface.
+    border.1 = border.1.replacen(
+        "interface uplink\n ip address",
+        "interface uplink\n ip access-group UPLINK-IN in\n ip address",
+        1,
+    );
+
+    // --- The CI pipeline ------------------------------------------------
+    let snapshot = Snapshot::from_configs(configs).with_env(net.env.clone());
+    let mut failures = 0;
+
+    // Gate 1: parse diagnostics must not grow.
+    let diags = snapshot.diagnostic_count();
+    println!("gate 1 (parse):       {diags} diagnostics");
+    if diags > 0 {
+        failures += 1;
+    }
+
+    // Gate 2: lint (Lesson-5 checks).
+    let findings = snapshot.lint();
+    let serious: Vec<_> = findings
+        .iter()
+        .filter(|f| f.check == "undefined-reference" || f.check == "bgp-compat")
+        .collect();
+    println!("gate 2 (lint):        {} findings, {} serious", findings.len(), serious.len());
+
+    // Gate 3: behaviour checks targeted at the change (§5.1.2: "a new
+    // BGP session should come up"): the transit session must be
+    // established and the transit-learned prefix present in the border's
+    // BGP RIB.
+    let mut analysis = snapshot.analyze();
+    if !analysis.dp.convergence.converged {
+        println!("gate 3 (routing):     DID NOT CONVERGE");
+        failures += 1;
+    }
+    let inet: ExternalAnnouncement = net.env.announcements[1].clone();
+    let border = analysis.dp.device("border0").expect("border simulated");
+    let transit_session_up = border
+        .bgp
+        .sessions
+        .iter()
+        .any(|s| s.peer_device.is_none() && s.established);
+    let transit_route = border.bgp.best.contains_key(&inet.prefix);
+    println!(
+        "gate 3 (behaviour):   transit session up={transit_session_up}, {} in BGP RIB={transit_route}",
+        inet.prefix
+    );
+    if !transit_session_up || !transit_route {
+        failures += 1;
+        println!(
+            "  ^ the new uplink ACL silently blocks tcp/179: the eBGP\n    session never establishes and the transit routes vanish.\n    The change must NOT ship."
+        );
+    }
+    // And internal east-west reachability must be unaffected.
+    let service = ServiceSpec::tcp("10.0.1.0/24".parse().unwrap(), 443);
+    let mut ctx = analysis.query_context();
+    let report = service_reachable(&mut ctx, &service);
+    println!(
+        "gate 3 (reachability): internal 10.0.1.0/24:443 from {} subnets: holds={}",
+        report.starts_checked,
+        report.holds()
+    );
+    if !report.holds() {
+        failures += 1;
+    }
+
+    // Gate 4: differential engine cross-check (fidelity guard).
+    let diff = differential_test(&mut analysis, 4);
+    println!(
+        "gate 4 (differential): {} checks, {} mismatches",
+        diff.checks,
+        diff.mismatches.len()
+    );
+    if !diff.ok() {
+        failures += 1;
+    }
+
+    println!(
+        "\nCI result: {}",
+        if failures == 0 { "PASS — safe to deploy" } else { "FAIL — change blocked" }
+    );
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

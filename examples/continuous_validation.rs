@@ -1,0 +1,101 @@
+//! Continuous validation (§5.2): periodically analyze the latest
+//! deployed snapshot and flag *new* problems since the last run.
+//!
+//! The paper's observation: brown-field networks are never error-free,
+//! and engineers do not urgently fix old debris — the valuable signal is
+//! the *delta*. This example diffs two snapshots (yesterday's and
+//! today's, where an out-of-band change crept in) and reports only what
+//! changed.
+//!
+//! ```sh
+//! cargo run --example continuous_validation
+//! ```
+
+use batnet::lint::Finding;
+use batnet::net::{Flow, Ip};
+use batnet::traceroute::StartLocation;
+use batnet::Snapshot;
+use batnet_topogen::enterprise::{enterprise, EnterpriseSpec};
+use std::collections::BTreeSet;
+
+fn main() {
+    let spec = EnterpriseSpec {
+        cores: 2,
+        dists: 2,
+        accesses: 6,
+        borders: 1,
+        firewalls: 0,
+        flat_access_percent: 0,
+        nat: true,
+    };
+    // Yesterday's snapshot — with some pre-existing debris the team has
+    // learned to live with (an unused ACL).
+    let mut yesterday = enterprise("prod", &spec);
+    yesterday.configs[0]
+        .1
+        .push_str("ip access-list extended OLD-DEBRIS\n 10 permit ip any any\n");
+
+    // Today's snapshot: an out-of-band change on access2 fat-fingered the
+    // host ACL — it now denies the whole RFC1918 space instead of the
+    // spoofed range.
+    let mut today = enterprise("prod", &spec);
+    today.configs[0]
+        .1
+        .push_str("ip access-list extended OLD-DEBRIS\n 10 permit ip any any\n");
+    for (name, text) in today.configs.iter_mut() {
+        if name == "access2" {
+            *text = text.replace(
+                "10 deny ip 10.99.0.0 0.0.255.255 any",
+                "10 deny ip 10.0.0.0 0.255.255.255 any",
+            );
+        }
+    }
+
+    let snap_a = Snapshot::from_configs(yesterday.configs).with_env(yesterday.env);
+    let snap_b = Snapshot::from_configs(today.configs).with_env(today.env);
+
+    // 1. Lint delta: only NEW findings page anyone.
+    let base: BTreeSet<String> = snap_a.lint().iter().map(Finding::to_string).collect();
+    let new_findings: Vec<Finding> = snap_b
+        .lint()
+        .into_iter()
+        .filter(|f| !base.contains(&f.to_string()))
+        .collect();
+    println!("lint: {} pre-existing findings (suppressed)", base.len());
+    println!("lint: {} NEW findings", new_findings.len());
+    for f in &new_findings {
+        println!("  {f}");
+    }
+
+    // 2. Behaviour delta: trace the same canary flows through both
+    //    snapshots and report changed dispositions.
+    let analysis_a = snap_a.analyze();
+    let analysis_b = snap_b.analyze();
+    let canaries = [
+        ("access2", "hosts", Flow::tcp(Ip::new(10, 0, 2, 10), 40000, Ip::new(10, 0, 3, 10), 80)),
+        ("access0", "hosts", Flow::tcp(Ip::new(10, 0, 0, 10), 40000, Ip::new(10, 0, 1, 10), 80)),
+    ];
+    let mut regressions = 0;
+    for (dev, iface, flow) in canaries {
+        let ta = analysis_a
+            .tracer()
+            .trace(&StartLocation::ingress(dev, iface), &flow);
+        let tb = analysis_b
+            .tracer()
+            .trace(&StartLocation::ingress(dev, iface), &flow);
+        let da: Vec<String> = ta.dispositions().iter().map(|d| d.to_string()).collect();
+        let db: Vec<String> = tb.dispositions().iter().map(|d| d.to_string()).collect();
+        if da != db {
+            regressions += 1;
+            println!("\nbehaviour change for {flow} from {dev}[{iface}]:");
+            println!("  yesterday: {da:?}");
+            println!("  today:     {db:?}");
+        }
+    }
+    println!(
+        "\ncontinuous validation: {} new findings, {} behaviour regressions",
+        new_findings.len(),
+        regressions
+    );
+    std::process::exit(if regressions == 0 && new_findings.is_empty() { 0 } else { 1 });
+}

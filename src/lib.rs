@@ -1,0 +1,1 @@
+//! Root integration-test and examples package for the batnet workspace.
