@@ -1,0 +1,30 @@
+# CI entry points. `make ci` is the full gate; the individual targets
+# exist for fast local iteration. Everything runs offline — the lockfile
+# is committed and the workspace has no external dependencies.
+
+CARGO ?= cargo
+
+.PHONY: ci build test chaos clippy bench
+
+ci: build test chaos clippy
+
+build:
+	$(CARGO) build --release --offline --workspace
+
+test:
+	$(CARGO) test -q --offline --workspace
+
+# Robustness gate: 25 seeds x all 6 mutation classes over NET1 and the
+# N2 data center — zero escaped panics, every quarantined device
+# accounted for, monotone degradation.
+chaos: build
+	$(CARGO) run --release --offline -p batnet-chaos -- --seeds 25 --nets net1,n2
+
+# No unwrap/panic on library paths of the facade and chaos crates (their
+# dependency closure is swept in by cargo, so this effectively covers
+# every production crate; topogen exempts itself as fixture-only).
+clippy:
+	$(CARGO) clippy --offline -p batnet -p batnet-chaos -- -D clippy::unwrap_used -D clippy::panic
+
+bench:
+	$(CARGO) bench --offline -p batnet-bench

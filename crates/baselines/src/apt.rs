@@ -86,11 +86,24 @@ pub struct AptEngine {
     graph_nodes: usize,
 }
 
+/// The graph contains a packet-transformation edge, which the Atomic
+/// Predicates theory does not cover (as documented above).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnsupportedTransform;
+
+impl std::fmt::Display for UnsupportedTransform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "APT does not support packet transformations")
+    }
+}
+
+impl std::error::Error for UnsupportedTransform {}
+
 impl AptEngine {
     /// Computes the atomic predicates of every BDD-labeled edge and
-    /// re-encodes the edges. Panics on transform edges (out of scope, as
+    /// re-encodes the edges. Errors on transform edges (out of scope, as
     /// documented).
-    pub fn build(bdd: &mut Bdd, graph: &ForwardingGraph) -> AptEngine {
+    pub fn build(bdd: &mut Bdd, graph: &ForwardingGraph) -> Result<AptEngine, UnsupportedTransform> {
         // Partition refinement: start with {TRUE}, split by each distinct
         // predicate.
         let mut predicates: BTreeSet<NodeId> = BTreeSet::new();
@@ -99,9 +112,7 @@ impl AptEngine {
                 EdgeLabel::Bdd(p) => {
                     predicates.insert(p);
                 }
-                EdgeLabel::Transform(_, _) => {
-                    panic!("APT does not support packet transformations")
-                }
+                EdgeLabel::Transform(_, _) => return Err(UnsupportedTransform),
             }
         }
         let mut atoms: Vec<NodeId> = vec![NodeId::TRUE];
@@ -134,7 +145,9 @@ impl AptEngine {
         let mut cache: BTreeMap<NodeId, AtomSet> = BTreeMap::new();
         let mut edge_atoms = Vec::with_capacity(graph.edges.len());
         for e in &graph.edges {
-            let EdgeLabel::Bdd(p) = e.label else { unreachable!() };
+            let EdgeLabel::Bdd(p) = e.label else {
+                return Err(UnsupportedTransform);
+            };
             let set = cache
                 .entry(p)
                 .or_insert_with(|| {
@@ -149,11 +162,11 @@ impl AptEngine {
                 .clone();
             edge_atoms.push(set);
         }
-        AptEngine {
+        Ok(AptEngine {
             atoms,
             edge_atoms,
             graph_nodes: graph.nodes.len(),
-        }
+        })
     }
 
     /// The atom-set encoding of an arbitrary packet set.
@@ -267,7 +280,7 @@ mod tests {
     #[test]
     fn atoms_partition_the_space() {
         let (mut bdd, _, graph) = fixture();
-        let apt = AptEngine::build(&mut bdd, &graph);
+        let apt = AptEngine::build(&mut bdd, &graph).expect("no transform edges");
         assert!(apt.atoms.len() > 1);
         // Pairwise disjoint.
         for i in 0..apt.atoms.len() {
@@ -286,7 +299,7 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_on_predicates() {
         let (mut bdd, _, graph) = fixture();
-        let apt = AptEngine::build(&mut bdd, &graph);
+        let apt = AptEngine::build(&mut bdd, &graph).expect("no transform edges");
         // Every edge predicate must decode exactly (atoms distinguish all
         // predicates — the APT completeness property).
         for (eid, e) in graph.edges.iter().enumerate() {
@@ -299,7 +312,7 @@ mod tests {
     #[test]
     fn apt_reachability_matches_bdd_engine() {
         let (mut bdd, _, graph) = fixture();
-        let apt = AptEngine::build(&mut bdd, &graph);
+        let apt = AptEngine::build(&mut bdd, &graph).expect("no transform edges");
         // Same query both ways: everything from every source.
         let analysis = ReachAnalysis::new(&graph);
         let bdd_reach = analysis.forward_from_all_sources(&mut bdd, NodeId::TRUE);

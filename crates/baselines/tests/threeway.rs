@@ -5,80 +5,97 @@
 //!
 //! This is the representation-level core of the §4.3.2 differential
 //! methodology: three independently written evaluators of the same
-//! configuration fragment, fuzzed against each other.
+//! configuration fragment, fuzzed against each other. Header spaces and
+//! flows come from the workspace's seeded PRNG (deterministic across
+//! runs; failures name the case index).
 
 use batnet_baselines::CubeSet;
 use batnet_bdd::NodeId;
 use batnet_dataplane::PacketVars;
-use batnet_net::{Flow, HeaderSpace, Ip, IpProtocol, IpRange, PortRange, Prefix, TcpFlags};
-use proptest::prelude::*;
+use batnet_net::{Flow, HeaderSpace, Ip, IpProtocol, IpRange, PortRange, Prefix, Rng, TcpFlags};
 
-fn arb_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(ip, len)| Prefix::new(Ip(ip), len))
+const CASES: u64 = 192;
+
+fn case_rng(test: u64, case: u64) -> Rng {
+    Rng::new(0x3EE_3A7 ^ (test << 32) ^ case)
 }
 
-fn arb_port_range() -> impl Strategy<Value = PortRange> {
-    (any::<u16>(), any::<u16>()).prop_map(|(a, b)| PortRange::new(a.min(b), a.max(b)))
+fn gen_prefix(rng: &mut Rng) -> Prefix {
+    Prefix::new(Ip(rng.next_u32()), rng.below(33) as u8)
 }
 
-fn arb_headerspace() -> impl Strategy<Value = HeaderSpace> {
-    (
-        prop::collection::vec(arb_prefix(), 0..3),
-        prop::collection::vec(arb_prefix(), 0..3),
-        prop::collection::vec(
-            prop::sample::select(vec![IpProtocol::Tcp, IpProtocol::Udp, IpProtocol::Icmp]),
-            0..2,
-        ),
-        prop::collection::vec(arb_port_range(), 0..2),
-        prop::collection::vec(arb_port_range(), 0..2),
-        prop::option::of(0u8..64),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(src_p, dst_p, protocols, sports, dports, flags_set, established)| HeaderSpace {
-                src_ips: src_p.into_iter().map(IpRange::from_prefix).collect(),
-                dst_ips: dst_p.into_iter().map(IpRange::from_prefix).collect(),
-                protocols,
-                src_ports: sports,
-                dst_ports: dports,
-                icmp_types: vec![],
-                icmp_codes: vec![],
-                tcp_flags_set: flags_set.map(TcpFlags),
-                tcp_flags_unset: None,
-                established,
-            },
-        )
+fn gen_port_range(rng: &mut Rng) -> PortRange {
+    let a = rng.below(1 << 16) as u16;
+    let b = rng.below(1 << 16) as u16;
+    PortRange::new(a.min(b), a.max(b))
 }
 
-fn arb_flow() -> impl Strategy<Value = Flow> {
-    (
-        any::<u32>(),
-        any::<u32>(),
-        any::<u16>(),
-        any::<u16>(),
-        prop::sample::select(vec![1u8, 6, 17]),
-        0u8..64,
-    )
-        .prop_map(|(src, dst, sport, dport, proto, flags)| {
-            let protocol = IpProtocol::from_number(proto);
-            Flow {
-                src_ip: Ip(src),
-                dst_ip: Ip(dst),
-                src_port: if protocol.has_ports() { sport } else { 0 },
-                dst_port: if protocol.has_ports() { dport } else { 0 },
-                protocol,
-                icmp_type: if proto == 1 { 8 } else { 0 },
-                icmp_code: 0,
-                tcp_flags: if proto == 6 { TcpFlags(flags) } else { TcpFlags::EMPTY },
-            }
-        })
+fn gen_headerspace(rng: &mut Rng) -> HeaderSpace {
+    const PROTOS: [IpProtocol; 3] = [IpProtocol::Tcp, IpProtocol::Udp, IpProtocol::Icmp];
+    let src_ips: Vec<IpRange> = (0..rng.below(3))
+        .map(|_| IpRange::from_prefix(gen_prefix(rng)))
+        .collect();
+    let dst_ips: Vec<IpRange> = (0..rng.below(3))
+        .map(|_| IpRange::from_prefix(gen_prefix(rng)))
+        .collect();
+    let protocols: Vec<IpProtocol> = (0..rng.below(2))
+        .map(|_| PROTOS[rng.index(PROTOS.len())])
+        .collect();
+    let src_ports: Vec<PortRange> = (0..rng.below(2)).map(|_| gen_port_range(rng)).collect();
+    let dst_ports: Vec<PortRange> = (0..rng.below(2)).map(|_| gen_port_range(rng)).collect();
+    let tcp_flags_set = if rng.flip() {
+        Some(TcpFlags(rng.below(64) as u8))
+    } else {
+        None
+    };
+    HeaderSpace {
+        src_ips,
+        dst_ips,
+        protocols,
+        src_ports,
+        dst_ports,
+        icmp_types: vec![],
+        icmp_codes: vec![],
+        tcp_flags_set,
+        tcp_flags_unset: None,
+        established: rng.flip(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+fn gen_flow(rng: &mut Rng) -> Flow {
+    const PROTOS: [u8; 3] = [1, 6, 17];
+    let proto = PROTOS[rng.index(PROTOS.len())];
+    let protocol = IpProtocol::from_number(proto);
+    Flow {
+        src_ip: Ip(rng.next_u32()),
+        dst_ip: Ip(rng.next_u32()),
+        src_port: if protocol.has_ports() {
+            rng.below(1 << 16) as u16
+        } else {
+            0
+        },
+        dst_port: if protocol.has_ports() {
+            rng.below(1 << 16) as u16
+        } else {
+            0
+        },
+        protocol,
+        icmp_type: if proto == 1 { 8 } else { 0 },
+        icmp_code: 0,
+        tcp_flags: if proto == 6 {
+            TcpFlags(rng.below(64) as u8)
+        } else {
+            TcpFlags::EMPTY
+        },
+    }
+}
 
-    #[test]
-    fn three_representations_agree(hs in arb_headerspace(), flows in prop::collection::vec(arb_flow(), 8)) {
+#[test]
+fn three_representations_agree() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let hs = gen_headerspace(&mut rng);
+        let flows: Vec<Flow> = (0..8).map(|_| gen_flow(&mut rng)).collect();
         let (mut bdd, vars) = PacketVars::new(0);
         let sym = vars.headerspace(&mut bdd, &hs);
         let cubes = CubeSet::from_headerspace(&hs);
@@ -86,21 +103,34 @@ proptest! {
             let concrete = hs.matches(flow);
             let fb = vars.flow(&mut bdd, flow);
             let bdd_says = bdd.and(sym, fb) != NodeId::FALSE;
-            prop_assert_eq!(bdd_says, concrete, "BDD vs concrete on {} for [{}]", flow, &hs);
-            prop_assert_eq!(cubes.matches(flow), concrete, "cubes vs concrete on {} for [{}]", flow, &hs);
+            assert_eq!(
+                bdd_says, concrete,
+                "case {case}: BDD vs concrete on {flow} for [{hs}]"
+            );
+            assert_eq!(
+                cubes.matches(flow),
+                concrete,
+                "case {case}: cubes vs concrete on {flow} for [{hs}]"
+            );
         }
         // Also probe with a flow built *from* the space, which hits the
         // satisfiable interior rather than random space.
         if let Some(inside) = hs.example_flow() {
             let fb = vars.flow(&mut bdd, &inside);
-            prop_assert_ne!(bdd.and(sym, fb), NodeId::FALSE);
-            prop_assert!(cubes.matches(&inside));
+            assert_ne!(bdd.and(sym, fb), NodeId::FALSE, "case {case}");
+            assert!(cubes.matches(&inside), "case {case}");
         }
     }
+}
 
-    /// Cube-set algebra agrees with BDD algebra through the compilers.
-    #[test]
-    fn cube_and_bdd_set_algebra_agree(a in arb_headerspace(), b in arb_headerspace(), flows in prop::collection::vec(arb_flow(), 6)) {
+/// Cube-set algebra agrees with BDD algebra through the compilers.
+#[test]
+fn cube_and_bdd_set_algebra_agree() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let a = gen_headerspace(&mut rng);
+        let b = gen_headerspace(&mut rng);
+        let flows: Vec<Flow> = (0..6).map(|_| gen_flow(&mut rng)).collect();
         let (mut bdd, vars) = PacketVars::new(0);
         let sa = vars.headerspace(&mut bdd, &a);
         let sb = vars.headerspace(&mut bdd, &b);
@@ -110,9 +140,21 @@ proptest! {
         let (c_and, c_or, c_diff) = (ca.intersect(&cb), ca.union(&cb), ca.subtract(&cb));
         for flow in &flows {
             let fb = vars.flow(&mut bdd, flow);
-            prop_assert_eq!(bdd.and(s_and, fb) != NodeId::FALSE, c_and.matches(flow));
-            prop_assert_eq!(bdd.and(s_or, fb) != NodeId::FALSE, c_or.matches(flow));
-            prop_assert_eq!(bdd.and(s_diff, fb) != NodeId::FALSE, c_diff.matches(flow));
+            assert_eq!(
+                bdd.and(s_and, fb) != NodeId::FALSE,
+                c_and.matches(flow),
+                "case {case}: and on {flow}"
+            );
+            assert_eq!(
+                bdd.and(s_or, fb) != NodeId::FALSE,
+                c_or.matches(flow),
+                "case {case}: or on {flow}"
+            );
+            assert_eq!(
+                bdd.and(s_diff, fb) != NodeId::FALSE,
+                c_diff.matches(flow),
+                "case {case}: diff on {flow}"
+            );
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The BDD manager: node arena, hash-consing, and the apply/ITE core.
 
+use batnet_net::governor::{Exhaustion, ResourceGovernor};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -106,6 +107,8 @@ pub struct Bdd {
     num_vars: u32,
     cache_hits: u64,
     cache_misses: u64,
+    governor: Option<ResourceGovernor>,
+    exhausted: Option<Exhaustion>,
 }
 
 impl Bdd {
@@ -126,6 +129,8 @@ impl Bdd {
             num_vars,
             cache_hits: 0,
             cache_misses: 0,
+            governor: None,
+            exhausted: None,
         };
         // Terminals occupy slots 0 and 1; their `lo`/`hi` are self-loops
         // that no operation ever follows.
@@ -175,10 +180,40 @@ impl Bdd {
         if let Some(&id) = self.unique.get(&node) {
             return id;
         }
+        // Governance: record (once, sticky) when the arena crosses the
+        // ceiling or the deadline passes. The in-flight operation still
+        // completes — canonicity requires finishing the recursion — but
+        // governed drivers poll `exhausted()` between operations and stop.
+        // The deadline is polled every 4096 allocations (an `Instant::now`
+        // per node would dominate mk).
+        if self.exhausted.is_none() {
+            if let Some(gov) = &self.governor {
+                if let Err(e) = gov.check_nodes("bdd", self.nodes.len()) {
+                    self.exhausted = Some(e);
+                } else if self.nodes.len() & 0xFFF == 0 {
+                    if let Err(e) = gov.check("bdd") {
+                        self.exhausted = Some(e);
+                    }
+                }
+            }
+        }
         let id = NodeId(u32::try_from(self.nodes.len()).expect("BDD arena overflow"));
         self.nodes.push(node);
         self.unique.insert(node, id);
         id
+    }
+
+    /// Installs a [`ResourceGovernor`]. The manager polls it as the arena
+    /// grows; drivers observe trips via [`Bdd::exhausted`].
+    pub fn install_governor(&mut self, gov: ResourceGovernor) {
+        if gov.is_limited() {
+            self.governor = Some(gov);
+        }
+    }
+
+    /// The sticky exhaustion record, if a governed limit has tripped.
+    pub fn exhausted(&self) -> Option<&Exhaustion> {
+        self.exhausted.as_ref()
     }
 
     /// The function "variable `v` is 1".
@@ -583,6 +618,30 @@ mod tests {
         let ny = b.not(y);
         let expect = b.and(x, ny);
         assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn governor_ceiling_sets_sticky_exhaustion() {
+        let mut b = Bdd::new(32);
+        b.install_governor(ResourceGovernor::with_node_ceiling(16));
+        assert!(b.exhausted().is_none());
+        // Build something bigger than 16 nodes; the op completes but the
+        // exhaustion is recorded.
+        let mut acc = NodeId::FALSE;
+        for k in 0..64u64 {
+            let c = b.value_cube(0, 32, k * 997);
+            acc = b.or(acc, c);
+        }
+        assert_ne!(acc, NodeId::FALSE);
+        let e = b.exhausted().expect("ceiling must trip");
+        assert_eq!(e.stage, "bdd");
+        // Unlimited governors are not even installed.
+        let mut b2 = Bdd::new(4);
+        b2.install_governor(ResourceGovernor::unlimited());
+        let x = b2.var(0);
+        let y = b2.var(1);
+        b2.and(x, y);
+        assert!(b2.exhausted().is_none());
     }
 
     #[test]

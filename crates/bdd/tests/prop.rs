@@ -1,11 +1,15 @@
-//! Property-based tests: BDD operations against brute-force truth tables.
+//! Randomized property tests: BDD operations against brute-force truth
+//! tables.
 //!
 //! A random boolean expression over a small variable set is evaluated two
 //! ways — via the BDD and directly — on every assignment. This exercises
-//! apply/ITE/not/quantification/renaming together with the reduction rules.
+//! apply/ITE/not/quantification/renaming together with the reduction
+//! rules. Expressions are generated from the workspace's seeded PRNG
+//! (deterministic: every run tests the same cases; a failure names the
+//! case index to reproduce).
 
 use batnet_bdd::{Bdd, NodeId};
-use proptest::prelude::*;
+use batnet_net::Rng;
 
 /// A small expression language over `NVARS` variables.
 #[derive(Clone, Debug)]
@@ -20,22 +24,41 @@ enum Expr {
 }
 
 const NVARS: u32 = 5;
+const CASES: u64 = 256;
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
-    })
+/// A random expression of depth ≤ `depth`.
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.chance(1, 4) {
+        return if rng.flip() {
+            Expr::Var(rng.below(NVARS as u64) as u32)
+        } else {
+            Expr::Const(rng.flip())
+        };
+    }
+    match rng.below(5) {
+        0 => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+        1 => Expr::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        3 => Expr::Xor(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Ite(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
+}
+
+fn case_rng(test: u64, case: u64) -> Rng {
+    Rng::new(0xB00_D0D0 ^ (test << 32) ^ case)
 }
 
 fn to_bdd(e: &Expr, b: &mut Bdd) -> NodeId {
@@ -93,37 +116,55 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..(1u32 << NVARS)).map(|v| (0..NVARS).map(|i| (v >> i) & 1 == 1).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn bdd_matches_truth_table(e in arb_expr()) {
+#[test]
+fn bdd_matches_truth_table() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let e = gen_expr(&mut rng, 4);
         let mut b = Bdd::new(NVARS);
         let f = to_bdd(&e, &mut b);
         for a in assignments() {
-            prop_assert_eq!(b.eval(f, &a), eval_expr(&e, &a));
+            assert_eq!(b.eval(f, &a), eval_expr(&e, &a), "case {case}: {e:?}");
         }
     }
+}
 
-    #[test]
-    fn canonical_equal_functions_equal_nodes(e1 in arb_expr(), e2 in arb_expr()) {
+#[test]
+fn canonical_equal_functions_equal_nodes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let e1 = gen_expr(&mut rng, 4);
+        let e2 = gen_expr(&mut rng, 4);
         let mut b = Bdd::new(NVARS);
         let f1 = to_bdd(&e1, &mut b);
         let f2 = to_bdd(&e2, &mut b);
         let same_fn = assignments().all(|a| eval_expr(&e1, &a) == eval_expr(&e2, &a));
-        prop_assert_eq!(f1 == f2, same_fn, "canonicity: node equality iff function equality");
+        assert_eq!(
+            f1 == f2,
+            same_fn,
+            "case {case}: canonicity: node equality iff function equality"
+        );
     }
+}
 
-    #[test]
-    fn sat_count_matches_brute_force(e in arb_expr()) {
+#[test]
+fn sat_count_matches_brute_force() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let e = gen_expr(&mut rng, 4);
         let mut b = Bdd::new(NVARS);
         let f = to_bdd(&e, &mut b);
         let brute = assignments().filter(|a| eval_expr(&e, a)).count();
-        prop_assert_eq!(b.sat_count(f), brute as f64);
+        assert_eq!(b.sat_count(f), brute as f64, "case {case}: {e:?}");
     }
+}
 
-    #[test]
-    fn exists_matches_brute_force(e in arb_expr(), qvar in 0..NVARS) {
+#[test]
+fn exists_matches_brute_force() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let e = gen_expr(&mut rng, 4);
+        let qvar = rng.below(NVARS as u64) as u32;
         let mut b = Bdd::new(NVARS);
         let f = to_bdd(&e, &mut b);
         let cube = b.cube_of_vars(&[qvar]);
@@ -134,33 +175,45 @@ proptest! {
             let mut a1 = a.clone();
             a1[qvar as usize] = true;
             let expect = eval_expr(&e, &a0) || eval_expr(&e, &a1);
-            prop_assert_eq!(b.eval(g, &a), expect);
+            assert_eq!(b.eval(g, &a), expect, "case {case}: exists {qvar} over {e:?}");
         }
     }
+}
 
-    #[test]
-    fn pick_cube_satisfies(e in arb_expr()) {
+#[test]
+fn pick_cube_satisfies() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let e = gen_expr(&mut rng, 4);
         let mut b = Bdd::new(NVARS);
         let f = to_bdd(&e, &mut b);
         match b.pick_cube(f) {
-            None => prop_assert_eq!(f, NodeId::FALSE),
-            Some(c) => prop_assert!(b.eval(f, &c.concretize())),
+            None => assert_eq!(f, NodeId::FALSE, "case {case}"),
+            Some(c) => assert!(b.eval(f, &c.concretize()), "case {case}: {e:?}"),
         }
     }
+}
 
-    #[test]
-    fn not_is_involution(e in arb_expr()) {
+#[test]
+fn not_is_involution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let e = gen_expr(&mut rng, 4);
         let mut b = Bdd::new(NVARS);
         let f = to_bdd(&e, &mut b);
         let nf = b.not(f);
         let nnf = b.not(nf);
-        prop_assert_eq!(f, nnf);
-        prop_assert_eq!(b.and(f, nf), NodeId::FALSE);
-        prop_assert_eq!(b.or(f, nf), NodeId::TRUE);
+        assert_eq!(f, nnf, "case {case}");
+        assert_eq!(b.and(f, nf), NodeId::FALSE, "case {case}");
+        assert_eq!(b.or(f, nf), NodeId::TRUE, "case {case}");
     }
+}
 
-    #[test]
-    fn rename_shift_matches(e in arb_expr()) {
+#[test]
+fn rename_shift_matches() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let e = gen_expr(&mut rng, 4);
         // Shift all variables up by NVARS within a double-width manager.
         let mut b = Bdd::new(NVARS * 2);
         let f = to_bdd(&e, &mut b);
@@ -173,12 +226,17 @@ proptest! {
             for (i, &bit) in a.iter().enumerate() {
                 wide[i + NVARS as usize] = bit;
             }
-            prop_assert_eq!(b.eval(g, &wide), eval_expr(&e, &a));
+            assert_eq!(b.eval(g, &wide), eval_expr(&e, &a), "case {case}: {e:?}");
         }
     }
+}
 
-    #[test]
-    fn fused_transform_matches_3step(e in arb_expr(), r in arb_expr()) {
+#[test]
+fn fused_transform_matches_3step() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let e = gen_expr(&mut rng, 4);
+        let r = gen_expr(&mut rng, 4);
         // Inputs are vars 0..NVARS, outputs NVARS..2*NVARS; rule relates
         // them via an arbitrary expression over inputs ∧ shifted expr over
         // outputs (enough to stress quantify+rename interplay).
@@ -194,6 +252,6 @@ proptest! {
         let t = b.register_transform(&inputs, &pairs_down);
         let fused = b.transform(f, rule, t);
         let steps = b.transform_3step(f, rule, t);
-        prop_assert_eq!(fused, steps);
+        assert_eq!(fused, steps, "case {case}: {e:?} / {r:?}");
     }
 }

@@ -1,24 +1,21 @@
-//! Criterion microbenchmarks for the BDD substrate: apply-core
-//! throughput, the fused transform (A-5), and prefix encoding.
+//! Microbenchmarks for the BDD substrate: apply-core throughput, the
+//! fused transform (A-5), and prefix encoding. Plain timed loops
+//! (`harness = false`); numbers are printed, not asserted.
 
 use batnet::bdd::{Bdd, NodeId};
 use batnet::dataplane::vars::Field;
 use batnet::dataplane::PacketVars;
-use criterion::{criterion_group, criterion_main, Criterion};
+use batnet_bench::bench_fn;
 
-fn bench_bdd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bdd");
-    g.sample_size(20);
-    g.bench_function("prefix_union_1k", |b| {
-        b.iter(|| {
-            let mut bdd = Bdd::new(32);
-            let mut acc = NodeId::FALSE;
-            for k in 0..1000u64 {
-                let cube = bdd.prefix_cube(0, 32, k << 12, 20);
-                acc = bdd.or(acc, cube);
-            }
-            std::hint::black_box(acc)
-        })
+fn main() {
+    bench_fn("bdd", "prefix_union_1k", 20, || {
+        let mut bdd = Bdd::new(32);
+        let mut acc = NodeId::FALSE;
+        for k in 0..1000u64 {
+            let cube = bdd.prefix_cube(0, 32, k << 12, 20);
+            acc = bdd.or(acc, cube);
+        }
+        acc
     });
     // Fused vs 3-step transform (the A-5 ablation, tracked continuously).
     let (mut bdd, vars) = PacketVars::new(0);
@@ -33,22 +30,14 @@ fn bench_bdd(c: &mut Criterion) {
             vars.ip_prefix(&mut bdd, Field::SrcIp, p)
         })
         .collect();
-    g.bench_function("transform_fused_64", |b| {
-        b.iter(|| {
-            for &s in &sets {
-                std::hint::black_box(bdd.transform(s, rel, vars.nat_transform));
-            }
-        })
+    bench_fn("bdd", "transform_fused_64", 20, || {
+        for &s in &sets {
+            std::hint::black_box(bdd.transform(s, rel, vars.nat_transform));
+        }
     });
-    g.bench_function("transform_3step_64", |b| {
-        b.iter(|| {
-            for &s in &sets {
-                std::hint::black_box(bdd.transform_3step(s, rel, vars.nat_transform));
-            }
-        })
+    bench_fn("bdd", "transform_3step_64", 20, || {
+        for &s in &sets {
+            std::hint::black_box(bdd.transform_3step(s, rel, vars.nat_transform));
+        }
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_bdd);
-criterion_main!(benches);

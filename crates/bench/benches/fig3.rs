@@ -1,25 +1,23 @@
-//! Criterion benchmark for the Figure 3 comparison on NET1: data plane
-//! generation (imperative vs Datalog) and verification (BDD vs cubes).
-//! The full experiment with printed speedups lives in the harness binary;
-//! this bench tracks regressions in the hot paths.
+//! Benchmark for the Figure 3 comparison on NET1: data plane generation
+//! (imperative vs Datalog) and verification (BDD vs cubes). The full
+//! experiment with printed speedups lives in the harness binary; this
+//! bench tracks regressions in the hot paths. Plain timed loops
+//! (`harness = false`); numbers are printed, not asserted.
 
 use batnet::datalog::{datalog_routes, RoutingInputs};
 use batnet::routing::{simulate, SimOptions};
-use batnet_bench::{build_graph, build_world, multipath_consistency};
-use criterion::{criterion_group, criterion_main, Criterion};
+use batnet_bench::{bench_fn, build_graph, build_world, multipath_consistency};
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let net = batnet_topogen::suite::net1();
     let devices = net.parse();
     let env = net.env.clone();
 
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
-    g.bench_function("dpgen_imperative_net1", |b| {
-        b.iter(|| simulate(&devices, &env, &SimOptions::default()))
+    bench_fn("fig3", "dpgen_imperative_net1", 10, || {
+        simulate(&devices, &env, &SimOptions::default())
     });
     // The Datalog baseline takes ~a minute on full NET1 (that slowness IS
-    // the Figure 3 result; `harness fig3` measures it once). The criterion
+    // the Figure 3 result; `harness fig3` measures it once). The
     // regression bench tracks it on a 21-node slice instead.
     let small = batnet_topogen::enterprise::enterprise(
         "net1-small",
@@ -37,33 +35,25 @@ fn bench_fig3(c: &mut Criterion) {
     let stopo = batnet::config::Topology::infer(&sdevices);
     let senv = small.env.clone();
     let inputs = RoutingInputs::for_network(&sdevices, &stopo);
-    g.bench_function("dpgen_datalog_net1_small", |b| {
-        b.iter(|| datalog_routes(&sdevices, &stopo, &inputs))
+    bench_fn("fig3", "dpgen_datalog_net1_small", 10, || {
+        datalog_routes(&sdevices, &stopo, &inputs)
     });
-    g.bench_function("dpgen_imperative_net1_small", |b| {
-        b.iter(|| simulate(&sdevices, &senv, &SimOptions::default()))
+    bench_fn("fig3", "dpgen_imperative_net1_small", 10, || {
+        simulate(&sdevices, &senv, &SimOptions::default())
     });
     let world = build_world(batnet_topogen::suite::net1());
-    g.bench_function("verify_bdd_net1", |b| {
-        b.iter(|| {
-            let (mut bdd, _vars, graph, _) = build_graph(&world, 0);
-            multipath_consistency(&mut bdd, &graph, 2)
-        })
+    bench_fn("fig3", "verify_bdd_net1", 10, || {
+        let (mut bdd, _vars, graph, _) = build_graph(&world, 0);
+        multipath_consistency(&mut bdd, &graph, 2)
     });
     // 2 starts keep the slow baseline's bench tractable; the harness
     // measures the full 24-start comparison once.
-    g.bench_function("verify_cubes_net1", |b| {
-        b.iter(|| {
-            let cn = batnet::baselines::CubeNetwork::build(&world.devices, &world.dp, &world.topo);
-            let ing = cn.ingresses();
-            let step = (ing.len() / 2).max(1);
-            for (d, i) in ing.iter().step_by(step).take(2) {
-                std::hint::black_box(cn.multipath_inconsistency(d, i));
-            }
-        })
+    bench_fn("fig3", "verify_cubes_net1", 10, || {
+        let cn = batnet::baselines::CubeNetwork::build(&world.devices, &world.dp, &world.topo);
+        let ing = cn.ingresses();
+        let step = (ing.len() / 2).max(1);
+        for (d, i) in ing.iter().step_by(step).take(2) {
+            std::hint::black_box(cn.multipath_inconsistency(d, i));
+        }
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

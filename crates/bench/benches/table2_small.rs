@@ -1,13 +1,11 @@
-//! Criterion benchmark tracking the Table 2 pipeline on the two smallest
-//! suite networks (the harness binary prints the full table).
+//! Benchmark tracking the Table 2 pipeline on the two smallest suite
+//! networks (the harness binary prints the full table). Plain timed
+//! loops (`harness = false`); numbers are printed, not asserted.
 
 use batnet::routing::{simulate, SimOptions};
-use batnet_bench::{build_graph, build_world, dest_reachability};
-use criterion::{criterion_group, criterion_main, Criterion};
+use batnet_bench::{bench_fn, build_graph, build_world, dest_reachability};
 
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10);
+fn main() {
     for id in ["N2", "NET1"] {
         let make = move || match id {
             "N2" => batnet_topogen::suite::n2(),
@@ -16,24 +14,17 @@ fn bench_table2(c: &mut Criterion) {
         let net = make();
         let devices = net.parse();
         let env = net.env.clone();
-        g.bench_function(format!("parse_{id}"), |b| {
-            let net = make();
-            b.iter(|| net.parse())
-        });
-        g.bench_function(format!("dpgen_{id}"), |b| {
-            b.iter(|| simulate(&devices, &env, &SimOptions::default()))
+        bench_fn("table2", &format!("parse_{id}"), 10, || net.parse());
+        bench_fn("table2", &format!("dpgen_{id}"), 10, || {
+            simulate(&devices, &env, &SimOptions::default())
         });
         let world = build_world(make());
-        g.bench_function(format!("graph_build_{id}"), |b| {
-            b.iter(|| build_graph(&world, 0))
+        bench_fn("table2", &format!("graph_build_{id}"), 10, || {
+            build_graph(&world, 0)
         });
         let (mut bdd, vars, graph, _) = build_graph(&world, 0);
-        g.bench_function(format!("dest_reach_{id}"), |b| {
-            b.iter(|| dest_reachability(&mut bdd, &vars, &graph, 2))
+        bench_fn("table2", &format!("dest_reach_{id}"), 10, || {
+            dest_reachability(&mut bdd, &vars, &graph, 2)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -118,3 +118,26 @@ pub fn fmt_speedup(slow: Duration, fast: Duration) -> String {
     }
     format!("{:.0}x", slow.as_secs_f64() / fast.as_secs_f64())
 }
+
+/// A dependency-free micro-benchmark runner for the `harness = false`
+/// bench targets: runs `f` for `samples` timed iterations after one
+/// warm-up, prints min/median/max. `cargo bench` treats any normal exit
+/// as success, so regressions are read off the printed numbers (or
+/// compared across commits by CI) rather than asserted.
+pub fn bench_fn<R>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> R) {
+    let samples = samples.max(1);
+    std::hint::black_box(f()); // warm-up
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = std::time::Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed());
+    }
+    times.sort_unstable();
+    println!(
+        "{group}/{name}: median {} (min {}, max {}, n={samples})",
+        fmt_dur(times[times.len() / 2]),
+        fmt_dur(times[0]),
+        fmt_dur(times[times.len() - 1]),
+    );
+}

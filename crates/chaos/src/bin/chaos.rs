@@ -1,0 +1,131 @@
+//! Chaos sweep CLI: inject faults, assert zero panics and monotone
+//! degradation. Exits non-zero on any violation.
+//!
+//! ```text
+//! chaos [--seeds N] [--classes truncate,garbage,...] [--nets net1,n2] \
+//!       [--victims K] [--deadline-secs S]
+//! ```
+
+#![deny(clippy::unwrap_used, clippy::panic)]
+
+use batnet_chaos::{run_chaos, ChaosConfig, MutationClass};
+use batnet_topogen::{suite, GeneratedNetwork};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn net_by_name(name: &str) -> Option<GeneratedNetwork> {
+    match name {
+        "net1" => Some(suite::net1()),
+        "n2" => Some(suite::n2()),
+        "n3" => Some(suite::n3()),
+        "n7" => Some(suite::n7()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ChaosConfig::default();
+    let mut net_names: Vec<String> = vec!["net1".to_string(), "n2".to_string()];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("{arg} requires a {what}");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                let Some(v) = take("count") else { return ExitCode::from(2) };
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => cfg.seeds = (1..=n).collect(),
+                    _ => {
+                        eprintln!("--seeds wants a positive integer, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--classes" => {
+                let Some(v) = take("list") else { return ExitCode::from(2) };
+                let mut classes = Vec::new();
+                for name in v.split(',') {
+                    match MutationClass::from_name(name.trim()) {
+                        Some(c) => classes.push(c),
+                        None => {
+                            eprintln!("unknown mutation class {name:?}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                cfg.classes = classes;
+            }
+            "--nets" => {
+                let Some(v) = take("list") else { return ExitCode::from(2) };
+                net_names = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--victims" => {
+                let Some(v) = take("count") else { return ExitCode::from(2) };
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => cfg.victims_per_run = n,
+                    _ => {
+                        eprintln!("--victims wants a positive integer, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--deadline-secs" => {
+                let Some(v) = take("seconds") else { return ExitCode::from(2) };
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => cfg.deadline = Duration::from_secs(n),
+                    _ => {
+                        eprintln!("--deadline-secs wants a positive integer, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut nets = Vec::new();
+    for name in &net_names {
+        match net_by_name(name) {
+            Some(n) => nets.push(n),
+            None => {
+                eprintln!("unknown network {name:?} (known: net1, n2, n3, n7)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let report = run_chaos(&nets, &cfg);
+    let elapsed = t0.elapsed();
+    println!(
+        "chaos: {} runs over {} nets x {} classes x {} seeds in {:.1}s",
+        report.total(),
+        nets.len(),
+        cfg.classes.len(),
+        cfg.seeds.len(),
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "chaos: {} devices quarantined across all runs",
+        report.quarantine_total()
+    );
+    let violations = report.violations();
+    if violations.is_empty() {
+        println!("chaos: PASS — zero panics, monotone degradation held");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("chaos: VIOLATION {v}");
+        }
+        eprintln!("chaos: FAIL — {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

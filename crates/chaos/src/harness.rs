@@ -1,0 +1,227 @@
+//! The chaos harness: inject faults, assert the pipeline never panics
+//! and degrades monotonically.
+//!
+//! For every `(network, class, seed)` triple the harness mutates the
+//! network, runs the fault-tolerant pipeline, and checks three
+//! invariants:
+//!
+//! 1. **Zero panics** — no panic escapes the pipeline (containment via
+//!    typed errors and quarantine is fine; an escaping panic is a
+//!    violation).
+//! 2. **Accountability** — every quarantined device appears in the
+//!    snapshot diagnostics and carries a machine-readable reason code.
+//! 3. **Monotone degradation** — when devices were quarantined, the
+//!    results for the surviving devices are byte-identical to analyzing
+//!    the surviving subset alone: broken inputs cannot bend healthy
+//!    state.
+
+use crate::mutate::{mutate, MutationClass};
+use batnet::{ResourceGovernor, Snapshot};
+use batnet_routing::SimOptions;
+use batnet_topogen::GeneratedNetwork;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// What to run.
+pub struct ChaosConfig {
+    /// Seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Mutation classes to inject.
+    pub classes: Vec<MutationClass>,
+    /// Victim devices per text mutation.
+    pub victims_per_run: usize,
+    /// Per-run wall-clock deadline (a hang is also a failure mode).
+    pub deadline: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seeds: (1..=25).collect(),
+            classes: MutationClass::ALL.to_vec(),
+            victims_per_run: 2,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One `(network, class, seed)` result.
+pub struct ChaosRun {
+    /// Network name.
+    pub net: String,
+    /// Mutation class name.
+    pub class: &'static str,
+    /// Seed.
+    pub seed: u64,
+    /// `(device, reason code)` for everything quarantined.
+    pub quarantined: Vec<(String, &'static str)>,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+/// Aggregated sweep outcome.
+#[derive(Default)]
+pub struct ChaosReport {
+    /// Per-run results.
+    pub runs: Vec<ChaosRun>,
+}
+
+impl ChaosReport {
+    /// Total runs.
+    pub fn total(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total quarantined devices across runs.
+    pub fn quarantine_total(&self) -> usize {
+        self.runs.iter().map(|r| r.quarantined.len()).sum()
+    }
+
+    /// All violations, labeled by run.
+    pub fn violations(&self) -> Vec<String> {
+        self.runs
+            .iter()
+            .flat_map(|r| {
+                r.violations
+                    .iter()
+                    .map(move |v| format!("[{} {} seed={}] {v}", r.net, r.class, r.seed))
+            })
+            .collect()
+    }
+
+    /// Did every run uphold every invariant?
+    pub fn ok(&self) -> bool {
+        self.runs.iter().all(|r| r.violations.is_empty())
+    }
+}
+
+/// Runs the sweep over `nets`. The default panic hook is silenced for
+/// the duration (contained panics would otherwise spam stderr) and
+/// restored afterwards.
+pub fn run_chaos(nets: &[GeneratedNetwork], cfg: &ChaosConfig) -> ChaosReport {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut report = ChaosReport::default();
+    for net in nets {
+        for &class in &cfg.classes {
+            for &seed in &cfg.seeds {
+                report.runs.push(run_one(net, class, seed, cfg));
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosConfig) -> ChaosRun {
+    let mut run = ChaosRun {
+        net: net.name.clone(),
+        class: class.name(),
+        seed,
+        quarantined: Vec::new(),
+        violations: Vec::new(),
+    };
+    let m = mutate(&net.configs, &net.env, class, seed, cfg.victims_per_run);
+    let configs = m.configs.clone();
+    let env = m.env.clone();
+    let deadline = cfg.deadline;
+
+    // Invariant 1: the entire pipeline, end to end, must not panic.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let snapshot = Snapshot::from_configs(configs).with_env(env);
+        let gov = ResourceGovernor::with_deadline(deadline);
+        let quarantine: Vec<(String, &'static str)> = snapshot
+            .quarantined
+            .iter()
+            .map(|q| (q.device.clone(), q.reason.code()))
+            .collect();
+        let diag_names: Vec<String> =
+            snapshot.diagnostics.iter().map(|(n, _)| n.clone()).collect();
+        let healthy: Vec<String> = snapshot.devices.iter().map(|d| d.name.clone()).collect();
+        let result = snapshot.analyze_resilient(&SimOptions::default(), 1, &gov);
+        (snapshot, quarantine, diag_names, healthy, result)
+    }));
+    let (snapshot, quarantine, diag_names, _healthy, result) = match outcome {
+        Ok(v) => v,
+        Err(_) => {
+            run.violations.push("panic escaped the pipeline".to_string());
+            return run;
+        }
+    };
+    run.quarantined = quarantine;
+
+    // Invariant 2: every quarantined device is accounted for in the
+    // diagnostics with a machine-readable reason.
+    for (device, code) in &run.quarantined {
+        if code.is_empty() {
+            run.violations
+                .push(format!("{device}: quarantine reason has no code"));
+        }
+        if !diag_names.iter().any(|n| n == device) {
+            run.violations
+                .push(format!("{device}: quarantined but absent from diagnostics"));
+        }
+    }
+
+    let analysis = match result {
+        Err(e) => {
+            // A typed error is acceptable only when nothing survived.
+            if !snapshot.devices.is_empty() {
+                run.violations
+                    .push(format!("typed error despite healthy devices: {e}"));
+            }
+            return run;
+        }
+        Ok(outcome) => outcome,
+    };
+    // A Partial outcome (deadline hit) has honestly-incomplete RIBs; the
+    // byte-identical monotone comparison only applies to complete runs.
+    let partial = analysis.is_partial();
+    let analysis = analysis.into_value();
+
+    // Route-stage quarantines surface on the analysis.
+    for q in &analysis.quarantined {
+        if !run.quarantined.iter().any(|(d, _)| d == &q.device) {
+            run.quarantined.push((q.device.clone(), q.reason.code()));
+        }
+    }
+
+    // Invariant 3: monotone degradation. When anything was quarantined,
+    // re-analyze the surviving subset alone and require byte-identical
+    // routing results for every survivor.
+    if !partial && !run.quarantined.is_empty() && !analysis.devices.is_empty() {
+        let survivors: Vec<String> = analysis.devices.iter().map(|d| d.name.clone()).collect();
+        let subset: Vec<(String, String)> = m
+            .configs
+            .iter()
+            .filter(|(n, _)| survivors.contains(n))
+            .cloned()
+            .collect();
+        let check = catch_unwind(AssertUnwindSafe(|| {
+            let snap = Snapshot::from_configs(subset).with_env(m.env.clone());
+            batnet_routing::simulate(&snap.devices, &snap.env, &SimOptions::default())
+        }));
+        match check {
+            Err(_) => run
+                .violations
+                .push("panic while re-analyzing the healthy subset".to_string()),
+            Ok(alone) => {
+                for name in &survivors {
+                    let (a, b) = (analysis.dp.device(name), alone.device(name));
+                    let same = match (a, b) {
+                        (Some(a), Some(b)) => {
+                            a.main_rib == b.main_rib && a.fib.entries() == b.fib.entries()
+                        }
+                        _ => false,
+                    };
+                    if !same {
+                        run.violations.push(format!(
+                            "non-monotone: {name} differs between quarantined-run and subset-alone"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    run
+}

@@ -1,0 +1,26 @@
+//! # batnet-chaos — fault injection for the analysis pipeline
+//!
+//! A configuration analysis tool earns trust by what it does with bad
+//! input: real snapshots arrive truncated, duplicated, garbled, and
+//! half-deleted, and links flap while the analysis runs. This crate
+//! injects exactly those faults — deterministically, from a seed — and
+//! asserts the pipeline's robustness contract:
+//!
+//! * **no panics** escape the library, ever;
+//! * broken devices are **quarantined** with machine-readable reasons;
+//! * degradation is **monotone**: healthy devices produce byte-identical
+//!   results whether or not broken ones were present.
+//!
+//! Run the sweep with the `chaos` binary:
+//!
+//! ```text
+//! cargo run --release -p batnet-chaos -- --seeds 25 --nets net1,n2
+//! ```
+
+#![deny(clippy::unwrap_used, clippy::panic)]
+
+pub mod harness;
+pub mod mutate;
+
+pub use harness::{run_chaos, ChaosConfig, ChaosReport, ChaosRun};
+pub use mutate::{mutate, Mutation, MutationClass};

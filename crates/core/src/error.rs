@@ -1,0 +1,75 @@
+//! The facade's typed error hierarchy.
+//!
+//! Every reachable failure in the parse → simulate → verify pipeline is a
+//! value of [`enum@Error`]: callers decide whether to abort, degrade, or
+//! quarantine. The library itself never panics on malformed input
+//! (enforced by `clippy::unwrap_used` / `clippy::panic` on this crate).
+
+use batnet_net::governor::Exhaustion;
+use batnet_routing::RoutingError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// What went wrong, by pipeline stage.
+#[derive(Debug)]
+pub enum Error {
+    /// Reading snapshot input failed at the filesystem level (the
+    /// directory itself; unreadable individual files are quarantined, not
+    /// fatal).
+    Io {
+        /// The path being read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Every device in the snapshot was quarantined (or none were given):
+    /// there is nothing left to analyze.
+    EmptySnapshot,
+    /// The routing stage reported a typed failure.
+    Routing(RoutingError),
+    /// A resource limit stopped the analysis before any usable partial
+    /// result existed.
+    Exhausted(Exhaustion),
+    /// An internal invariant broke and was contained; the message names
+    /// the stage. These indicate bugs, not bad input.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => {
+                write!(f, "reading {}: {source}", path.display())
+            }
+            Error::EmptySnapshot => {
+                write!(f, "no analyzable devices (all inputs quarantined)")
+            }
+            Error::Routing(e) => write!(f, "routing: {e}"),
+            Error::Exhausted(e) => write!(f, "{e}"),
+            Error::Internal(msg) => write!(f, "internal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            Error::Routing(e) => Some(e),
+            Error::Exhausted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RoutingError> for Error {
+    fn from(e: RoutingError) -> Error {
+        Error::Routing(e)
+    }
+}
+
+impl From<Exhaustion> for Error {
+    fn from(e: Exhaustion) -> Error {
+        Error::Exhausted(e)
+    }
+}

@@ -97,11 +97,11 @@ pub fn differential_test(analysis: &mut Analysis, max_starts: usize) -> Fidelity
     let starts: Vec<(String, String, usize)> = sources
         .iter()
         .take(max_starts)
-        .map(|&n| {
+        .filter_map(|&n| {
             let NodeKind::IfaceSrc(d, i) = &analysis.graph.nodes[n] else {
-                unreachable!()
+                return None;
             };
-            (d.clone(), i.clone(), n)
+            Some((d.clone(), i.clone(), n))
         })
         .collect();
 
@@ -130,7 +130,14 @@ pub fn differential_test(analysis: &mut Analysis, max_starts: usize) -> Fidelity
                 _ => continue,
             };
             report.checks += 1;
-            let cube = analysis.bdd.pick_cube(set).expect("non-empty");
+            // `set` is non-FALSE so a cube exists; a miss would be a BDD
+            // invariant break — report it instead of crashing.
+            let Some(cube) = analysis.bdd.pick_cube(set) else {
+                report
+                    .mismatches
+                    .push(format!("sym→conc: no witness cube for node {ni}"));
+                continue;
+            };
             let flow = analysis.vars.cube_to_flow(&cube);
             let tracer = Tracer::new(&analysis.devices, &analysis.dp, &analysis.topo);
             let trace = tracer.trace(&StartLocation::ingress(dev.clone(), iface.clone()), &flow);

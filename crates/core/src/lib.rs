@@ -31,11 +31,18 @@
 //! assert!(analysis.dp.convergence.converged);
 //! ```
 
+pub mod error;
 pub mod fidelity;
+pub mod quarantine;
 pub mod snapshot;
 
+pub use error::Error;
 pub use fidelity::{differential_test, validate as validate_lab, Expectation, FidelityReport};
+pub use quarantine::{Quarantine, QuarantineReason, QuarantineStage};
 pub use snapshot::{Analysis, Snapshot};
+
+// Fault-tolerance vocabulary shared with the sub-crates.
+pub use batnet_net::governor::{Exhaustion, Limit, Outcome, ResourceGovernor};
 
 // Re-export the sub-crates under one roof.
 pub use batnet_baselines as baselines;

@@ -1,0 +1,129 @@
+//! Device quarantine: isolate what's broken, analyze the rest.
+//!
+//! The paper's Lesson 3 ("do not let what you cannot do interfere with
+//! what you can") applied to whole devices: a config file that cannot be
+//! read, a parse that blows up, or a device that poisons the route
+//! simulation is pulled out of the snapshot with a machine-readable
+//! reason, and the analysis proceeds on the healthy subset. Results for
+//! healthy devices are identical to analyzing the healthy subset alone —
+//! quarantined devices are removed *before* topology inference and
+//! simulation, so they cannot influence surviving state.
+
+use std::fmt;
+
+/// The pipeline stage at which a device was quarantined.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuarantineStage {
+    /// Reading the input file.
+    Load,
+    /// Parsing the config text.
+    Parse,
+    /// The route simulation.
+    Route,
+}
+
+impl fmt::Display for QuarantineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QuarantineStage::Load => "load",
+            QuarantineStage::Parse => "parse",
+            QuarantineStage::Route => "route",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Why a device was quarantined. Each variant has a stable
+/// machine-readable [`code`](QuarantineReason::code) for tooling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QuarantineReason {
+    /// The file could not be read.
+    UnreadableFile {
+        /// The I/O error text.
+        detail: String,
+    },
+    /// The file was not valid UTF-8.
+    NotUtf8,
+    /// The parser panicked on this input; the panic was contained.
+    ParsePanic {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// The text parsed but produced no usable model: no interfaces and
+    /// less than half the meaningful lines recognized.
+    Unintelligible {
+        /// Parse coverage in permille (0–1000).
+        coverage_permille: u32,
+    },
+    /// The device's computation panicked during route simulation; the
+    /// panic was contained and the healthy subset was re-simulated.
+    RoutePanic,
+}
+
+impl QuarantineReason {
+    /// Stable machine-readable code for this reason.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QuarantineReason::UnreadableFile { .. } => "unreadable-file",
+            QuarantineReason::NotUtf8 => "not-utf8",
+            QuarantineReason::ParsePanic { .. } => "parse-panic",
+            QuarantineReason::Unintelligible { .. } => "unintelligible",
+            QuarantineReason::RoutePanic => "route-panic",
+        }
+    }
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::UnreadableFile { detail } => {
+                write!(f, "unreadable-file: {detail}")
+            }
+            QuarantineReason::NotUtf8 => write!(f, "not-utf8"),
+            QuarantineReason::ParsePanic { detail } => {
+                write!(f, "parse-panic: {detail}")
+            }
+            QuarantineReason::Unintelligible { coverage_permille } => {
+                write!(
+                    f,
+                    "unintelligible: coverage {}.{}%",
+                    coverage_permille / 10,
+                    coverage_permille % 10
+                )
+            }
+            QuarantineReason::RoutePanic => write!(f, "route-panic"),
+        }
+    }
+}
+
+/// One quarantined device.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Quarantine {
+    /// The device (or file stem) that was isolated.
+    pub device: String,
+    /// Where in the pipeline it failed.
+    pub stage: QuarantineStage,
+    /// Why.
+    pub reason: QuarantineReason,
+}
+
+impl fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quarantined {} at {}: {}",
+            self.device, self.stage, self.reason
+        )
+    }
+}
+
+/// Extracts a human-readable string from a contained panic payload.
+pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

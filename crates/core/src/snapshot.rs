@@ -1,59 +1,206 @@
 //! Snapshots and analyses: the top-level workflow objects.
+//!
+//! Fault tolerance lives here: inputs that cannot be read, parsed, or
+//! simulated are quarantined per device (see [`crate::quarantine`]) and
+//! the pipeline continues on the healthy subset. Results for healthy
+//! devices are identical to analyzing the healthy subset alone.
 
-use batnet_config::{parse_device, Diagnostic, Topology};
+use crate::error::Error;
+use crate::quarantine::{panic_detail, Quarantine, QuarantineReason, QuarantineStage};
+use batnet_config::{parse_device, Diagnostic, Severity, Topology};
 use batnet_dataplane::{ForwardingGraph, PacketVars};
+use batnet_net::governor::{Outcome, ResourceGovernor};
 use batnet_net::Flow;
 use batnet_queries::QueryContext;
-use batnet_routing::{simulate, DataPlane, Environment, SimOptions};
+use batnet_routing::{simulate, simulate_governed, DataPlane, Environment, SimOptions};
 use batnet_traceroute::{StartLocation, Trace, Tracer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A parse below this coverage with zero interfaces means the text is not
+/// a config we understand (garbage, binary junk): quarantine it.
+const MIN_COVERAGE: f64 = 0.5;
+
+/// Bounded route-stage retries: each round removes the devices that
+/// poisoned the simulation and re-runs on the survivors.
+const MAX_ROUTE_RETRIES: usize = 4;
 
 /// A parsed configuration snapshot: the unit both proactive and
 /// continuous validation workflows operate on (§5.1, §5.2).
 pub struct Snapshot {
-    /// Parsed devices.
+    /// Parsed devices (the healthy subset: quarantined inputs are not
+    /// here).
     pub devices: Vec<batnet_config::vi::Device>,
-    /// Parse diagnostics per device.
+    /// Parse diagnostics per device (including skipped inputs).
     pub diagnostics: Vec<(String, Vec<Diagnostic>)>,
+    /// Inputs isolated at load or parse, with machine-readable reasons.
+    pub quarantined: Vec<Quarantine>,
     /// The environment (external announcements, failed links).
     pub env: Environment,
 }
 
 impl Snapshot {
     /// Parses a set of `(name, config text)` pairs with dialect
-    /// auto-detection.
+    /// auto-detection. Inputs whose parse panics (contained) or produces
+    /// no usable model are quarantined rather than aborting the
+    /// snapshot.
     pub fn from_configs(configs: Vec<(String, String)>) -> Snapshot {
         let mut devices = Vec::with_capacity(configs.len());
         let mut diagnostics = Vec::new();
+        let mut quarantined = Vec::new();
         for (name, text) in configs {
-            let (device, diags) = parse_device(&name, &text);
-            diagnostics.push((device.name.clone(), diags.into_items()));
-            devices.push(device);
+            match catch_unwind(AssertUnwindSafe(|| parse_device(&name, &text))) {
+                Err(payload) => {
+                    diagnostics.push((
+                        name.clone(),
+                        vec![Diagnostic::new(
+                            Severity::ParseError,
+                            0,
+                            "parser panicked; device quarantined",
+                        )],
+                    ));
+                    quarantined.push(Quarantine {
+                        device: name,
+                        stage: QuarantineStage::Parse,
+                        reason: QuarantineReason::ParsePanic {
+                            detail: panic_detail(payload),
+                        },
+                    });
+                }
+                Ok((device, diags)) => {
+                    let meaningful = text
+                        .lines()
+                        .filter(|l| {
+                            let t = l.trim();
+                            !t.is_empty() && !t.starts_with('!') && !t.starts_with('#')
+                        })
+                        .count();
+                    let coverage = diags.coverage(meaningful);
+                    let unintelligible = device.interfaces.is_empty()
+                        && meaningful > 0
+                        && coverage < MIN_COVERAGE;
+                    let mut items = diags.into_items();
+                    if unintelligible {
+                        items.push(Diagnostic::new(
+                            Severity::ParseError,
+                            0,
+                            format!(
+                                "config not understood (coverage {:.0}%); device quarantined",
+                                coverage * 100.0
+                            ),
+                        ));
+                        diagnostics.push((device.name.clone(), items));
+                        quarantined.push(Quarantine {
+                            device: device.name,
+                            stage: QuarantineStage::Parse,
+                            reason: QuarantineReason::Unintelligible {
+                                coverage_permille: (coverage.max(0.0) * 1000.0) as u32,
+                            },
+                        });
+                    } else {
+                        diagnostics.push((device.name.clone(), items));
+                        devices.push(device);
+                    }
+                }
+            }
         }
         Snapshot {
             devices,
             diagnostics,
+            quarantined,
             env: Environment::none(),
         }
     }
 
     /// Loads every file in a directory as one device config (the way real
     /// snapshots arrive: a directory of per-device files).
-    pub fn from_dir(dir: &std::path::Path) -> std::io::Result<Snapshot> {
-        let mut configs: Vec<(String, String)> = Vec::new();
-        let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    ///
+    /// Robustness contract: only a failure to list the directory itself
+    /// is fatal. Subdirectories and symlinks are skipped with a
+    /// diagnostic; unreadable or non-UTF-8 files are quarantined with a
+    /// machine-readable reason and the rest of the snapshot loads.
+    pub fn from_dir(dir: &std::path::Path) -> Result<Snapshot, Error> {
+        let io_err = |source: std::io::Error| Error::Io {
+            path: dir.to_path_buf(),
+            source,
+        };
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .map_err(io_err)?
+            .collect::<Result<_, _>>()
+            .map_err(io_err)?;
         entries.sort_by_key(|e| e.file_name());
+
+        let mut configs: Vec<(String, String)> = Vec::new();
+        let mut skipped: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+        let mut quarantined: Vec<Quarantine> = Vec::new();
         for entry in entries {
-            if entry.file_type()?.is_file() {
-                let name = entry
-                    .path()
-                    .file_stem()
-                    .and_then(|s| s.to_str())
-                    .unwrap_or("device")
-                    .to_string();
-                configs.push((name, std::fs::read_to_string(entry.path())?));
+            let path = entry.path();
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("device")
+                .to_string();
+            // symlink_metadata: treat symlinks as skippable, not as what
+            // they point to (a dangling or cyclic link must not abort the
+            // load).
+            let is_file = path
+                .symlink_metadata()
+                .map(|m| m.file_type().is_file())
+                .unwrap_or(false);
+            if !is_file {
+                skipped.push((
+                    name,
+                    vec![Diagnostic::new(
+                        Severity::Info,
+                        0,
+                        format!("skipped {}: not a regular file", path.display()),
+                    )],
+                ));
+                continue;
+            }
+            match std::fs::read(&path) {
+                Err(e) => {
+                    skipped.push((
+                        name.clone(),
+                        vec![Diagnostic::new(
+                            Severity::ParseError,
+                            0,
+                            format!("skipped {}: {e}", path.display()),
+                        )],
+                    ));
+                    quarantined.push(Quarantine {
+                        device: name,
+                        stage: QuarantineStage::Load,
+                        reason: QuarantineReason::UnreadableFile {
+                            detail: e.to_string(),
+                        },
+                    });
+                }
+                Ok(bytes) => match String::from_utf8(bytes) {
+                    Ok(text) => configs.push((name, text)),
+                    Err(_) => {
+                        skipped.push((
+                            name.clone(),
+                            vec![Diagnostic::new(
+                                Severity::ParseError,
+                                0,
+                                format!("skipped {}: not valid UTF-8", path.display()),
+                            )],
+                        ));
+                        quarantined.push(Quarantine {
+                            device: name,
+                            stage: QuarantineStage::Load,
+                            reason: QuarantineReason::NotUtf8,
+                        });
+                    }
+                },
             }
         }
-        Ok(Snapshot::from_configs(configs))
+        let mut snapshot = Snapshot::from_configs(configs);
+        snapshot.diagnostics.extend(skipped);
+        // Load-stage quarantines come first: they happened first.
+        quarantined.append(&mut snapshot.quarantined);
+        snapshot.quarantined = quarantined;
+        Ok(snapshot)
     }
 
     /// Attaches an environment (builder style).
@@ -86,7 +233,106 @@ impl Snapshot {
             bdd,
             vars,
             graph,
+            quarantined: self.quarantined.clone(),
         }
+    }
+
+    /// Runs the full pipeline with route-stage quarantine and a resource
+    /// governor: the fault-tolerant entry point.
+    ///
+    /// * A device whose computation panics during simulation is
+    ///   quarantined (bounded retries on the shrinking healthy subset).
+    /// * A governor limit tripping yields [`Outcome::Partial`] — the
+    ///   analysis built from the state computed so far, with the
+    ///   abandoned work listed.
+    /// * [`Error::EmptySnapshot`] when no devices survive.
+    pub fn analyze_resilient(
+        &self,
+        opts: &SimOptions,
+        waypoints: u32,
+        gov: &ResourceGovernor,
+    ) -> Result<Outcome<Analysis>, Error> {
+        let mut devices = self.devices.clone();
+        let mut quarantined = self.quarantined.clone();
+        if devices.is_empty() {
+            return Err(Error::EmptySnapshot);
+        }
+
+        let mut outcome: Option<Outcome<DataPlane>> = None;
+        for _round in 0..MAX_ROUTE_RETRIES {
+            let out = simulate_governed(&devices, &self.env, opts, gov);
+            let poisoned = out.value().convergence.poisoned_devices.clone();
+            if poisoned.is_empty() {
+                outcome = Some(out);
+                break;
+            }
+            for name in poisoned {
+                devices.retain(|d| d.name != name);
+                quarantined.push(Quarantine {
+                    device: name,
+                    stage: QuarantineStage::Route,
+                    reason: QuarantineReason::RoutePanic,
+                });
+            }
+            if devices.is_empty() {
+                return Err(Error::EmptySnapshot);
+            }
+            // Last permitted result even if still poisoned: never loop
+            // forever.
+            outcome = Some(out);
+        }
+        let outcome = outcome.ok_or_else(|| {
+            Error::Internal("route simulation produced no outcome".to_string())
+        })?;
+        // If the final round still reported poisoned devices (retry
+        // budget exhausted), drop them from the published device list so
+        // downstream stages only see devices with trustworthy state.
+        let still_poisoned = outcome.value().convergence.poisoned_devices.clone();
+        if !still_poisoned.is_empty() {
+            devices.retain(|d| !still_poisoned.contains(&d.name));
+            if devices.is_empty() {
+                return Err(Error::EmptySnapshot);
+            }
+        }
+
+        let (dp, partial) = match outcome {
+            Outcome::Complete(dp) => (dp, None),
+            Outcome::Partial {
+                completed,
+                abandoned,
+                why,
+            } => (completed, Some((abandoned, why))),
+        };
+
+        let topo = Topology::infer(&devices);
+        let (mut bdd, vars) = PacketVars::new(waypoints);
+        let graph = catch_unwind(AssertUnwindSafe(|| {
+            ForwardingGraph::build(&mut bdd, &vars, &devices, &dp, &topo)
+        }))
+        .map_err(|payload| {
+            Error::Internal(format!(
+                "forwarding graph construction panicked: {}",
+                panic_detail(payload)
+            ))
+        })?;
+
+        let analysis = Analysis {
+            devices,
+            topo,
+            dp,
+            bdd,
+            vars,
+            graph,
+            quarantined,
+        };
+        Ok(match partial {
+            None => Outcome::Complete(analysis),
+            Some((abandoned, why)) => Outcome::Partial {
+                completed: analysis,
+                abandoned,
+                why,
+            },
+        })
     }
 
     /// Runs the Lesson-5 configuration checks (no simulation needed).
@@ -111,6 +357,9 @@ pub struct Analysis {
     pub vars: PacketVars,
     /// The dataflow graph.
     pub graph: ForwardingGraph,
+    /// Everything isolated on the way here (load, parse, and route
+    /// stages), with machine-readable reasons.
+    pub quarantined: Vec<Quarantine>,
 }
 
 impl Analysis {
@@ -179,6 +428,66 @@ mod tests {
         assert_eq!(snapshot.devices.len(), 2);
         assert_eq!(snapshot.devices[0].name, "r1");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_dir_skips_subdirs_and_non_utf8() {
+        let dir = std::env::temp_dir().join(format!("batnet-skip-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        for (name, text) in two_router_configs() {
+            std::fs::write(dir.join(format!("{name}.cfg")), text).unwrap();
+        }
+        std::fs::write(dir.join("junk.cfg"), [0xFFu8, 0xFE, 0x00, 0x9F]).unwrap();
+        let snapshot = Snapshot::from_dir(&dir).unwrap();
+        // The two real configs load; the subdir and the binary file are
+        // skipped with diagnostics, the binary one quarantined.
+        assert_eq!(snapshot.devices.len(), 2);
+        assert_eq!(snapshot.quarantined.len(), 1);
+        assert_eq!(snapshot.quarantined[0].device, "junk");
+        assert_eq!(snapshot.quarantined[0].reason.code(), "not-utf8");
+        assert!(snapshot
+            .diagnostics
+            .iter()
+            .any(|(n, d)| n == "sub" && d.iter().any(|x| x.message.contains("not a regular file"))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_config_quarantined_healthy_survive() {
+        let mut configs = two_router_configs();
+        configs.push((
+            "broken".into(),
+            "\u{1}\u{2} %%% totally not a config\nzzzz qqqq\n@@@@\n".into(),
+        ));
+        let snapshot = Snapshot::from_configs(configs);
+        assert_eq!(snapshot.devices.len(), 2, "healthy devices survive");
+        assert_eq!(snapshot.quarantined.len(), 1);
+        assert_eq!(snapshot.quarantined[0].device, "broken");
+        assert_eq!(snapshot.quarantined[0].reason.code(), "unintelligible");
+        // The healthy subset still analyzes end to end.
+        let analysis = snapshot.analyze();
+        assert!(analysis.dp.convergence.converged);
+        assert_eq!(analysis.quarantined.len(), 1);
+    }
+
+    #[test]
+    fn analyze_resilient_complete_on_healthy_input() {
+        let snapshot = Snapshot::from_configs(two_router_configs());
+        let out = snapshot
+            .analyze_resilient(&SimOptions::default(), 1, &ResourceGovernor::unlimited())
+            .expect("analysis runs");
+        assert!(!out.is_partial());
+        assert!(out.value().dp.convergence.converged);
+    }
+
+    #[test]
+    fn analyze_resilient_empty_snapshot_is_typed_error() {
+        let snapshot = Snapshot::from_configs(vec![]);
+        let err = snapshot
+            .analyze_resilient(&SimOptions::default(), 1, &ResourceGovernor::unlimited())
+            .err()
+            .expect("no devices to analyze");
+        assert!(matches!(err, Error::EmptySnapshot));
     }
 
     #[test]

@@ -50,14 +50,12 @@ pub fn compress(bdd: &mut Bdd, g: &ForwardingGraph) -> (ForwardingGraph, Compres
                 continue;
             }
             let (ein, eout) = (live_in[0], live_out[0]);
-            let (from, lin) = {
-                let e = edges[ein].as_ref().expect("live");
-                (e.from, e.label)
+            // Both indices were filtered to live edges just above.
+            let (Some(e_in), Some(e_out)) = (edges[ein].as_ref(), edges[eout].as_ref()) else {
+                continue;
             };
-            let (to, lout) = {
-                let e = edges[eout].as_ref().expect("live");
-                (e.to, e.label)
-            };
+            let (from, lin) = (e_in.from, e_in.label);
+            let (to, lout) = (e_out.to, e_out.label);
             // Self-loops and transform edges stay.
             if from == n || to == n {
                 continue;

@@ -555,7 +555,11 @@ fn zone_policy_sets(
             .find(|(_, &v)| v == idx)
             .map(|(n, _)| n.as_str())
     };
-    let out_name = name_of(out_zone).expect("egress zone named");
+    // An unnamed egress zone index cannot occur (out_zone came from the
+    // index), but degrade to the unzoned-egress behavior if it does.
+    let Some(out_name) = name_of(out_zone) else {
+        return (NodeId::TRUE, NodeId::FALSE);
+    };
     for (in_name, &in_idx) in zone_index {
         let zin = vars.zone_value(bdd, in_idx);
         if in_idx == out_zone {

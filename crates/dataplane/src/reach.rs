@@ -12,6 +12,7 @@
 use crate::graph::{DropKind, EdgeLabel, ForwardingGraph, NodeKind};
 use crate::vars::PacketVars;
 use batnet_bdd::{Bdd, NodeId, Transform};
+use batnet_net::governor::{Exhaustion, Outcome, ResourceGovernor};
 use std::collections::BTreeSet;
 
 /// The result of a propagation: one packet set per graph node.
@@ -49,7 +50,10 @@ impl<'g> ReachAnalysis<'g> {
         }
     }
 
-    /// Applies an edge label in the backward direction (pre-image).
+    /// Applies an edge label in the backward direction (pre-image). An
+    /// unknown transform handle (a caller wiring bug) propagates nothing
+    /// rather than panicking: the analysis under-approximates and the
+    /// query degrades instead of crashing.
     fn apply_rev(
         bdd: &mut Bdd,
         vars: &PacketVars,
@@ -58,15 +62,29 @@ impl<'g> ReachAnalysis<'g> {
     ) -> NodeId {
         match label {
             EdgeLabel::Bdd(l) => bdd.and(l, set),
-            EdgeLabel::Transform(rule, t) => {
-                let rev = rev_of(vars, t);
-                PacketVars::transform_pre(bdd, rev, rule, set)
-            }
+            EdgeLabel::Transform(rule, t) => match rev_of(vars, t) {
+                Some(rev) => PacketVars::transform_pre(bdd, rev, rule, set),
+                None => NodeId::FALSE,
+            },
         }
     }
 
     /// Forward fixed point from `sources` (node, packet set) seeds.
     pub fn forward(&self, bdd: &mut Bdd, sources: &[(usize, NodeId)]) -> ReachResult {
+        self.forward_governed(bdd, sources, &ResourceGovernor::unlimited())
+            .into_value()
+    }
+
+    /// Forward fixed point under a [`ResourceGovernor`]. When a limit
+    /// trips (including the BDD manager's own node ceiling) the sets
+    /// computed so far are returned as [`Outcome::Partial`], with the
+    /// devices still on the worklist listed as abandoned.
+    pub fn forward_governed(
+        &self,
+        bdd: &mut Bdd,
+        sources: &[(usize, NodeId)],
+        gov: &ResourceGovernor,
+    ) -> Outcome<ReachResult> {
         let n = self.graph.nodes.len();
         let mut reach = vec![NodeId::FALSE; n];
         let mut worklist: BTreeSet<usize> = BTreeSet::new();
@@ -77,7 +95,13 @@ impl<'g> ReachAnalysis<'g> {
             }
         }
         let mut relaxations = 0u64;
+        let mut why: Option<Exhaustion> = None;
         while let Some(node) = worklist.pop_first() {
+            if let Some(e) = self.out_of_budget(bdd, gov, "reach-forward", relaxations) {
+                worklist.insert(node);
+                why = Some(e);
+                break;
+            }
             let current = reach[node];
             for &eid in &self.graph.out_edges[node] {
                 relaxations += 1;
@@ -93,7 +117,7 @@ impl<'g> ReachAnalysis<'g> {
                 }
             }
         }
-        ReachResult { reach, relaxations }
+        self.finish(reach, relaxations, worklist, why)
     }
 
     /// Backward fixed point: the packets that, placed at each node, can
@@ -105,13 +129,34 @@ impl<'g> ReachAnalysis<'g> {
         target: usize,
         target_set: NodeId,
     ) -> ReachResult {
+        self.backward_governed(bdd, vars, target, target_set, &ResourceGovernor::unlimited())
+            .into_value()
+    }
+
+    /// Backward fixed point under a [`ResourceGovernor`]; see
+    /// [`ReachAnalysis::forward_governed`] for the partial-result
+    /// contract.
+    pub fn backward_governed(
+        &self,
+        bdd: &mut Bdd,
+        vars: &PacketVars,
+        target: usize,
+        target_set: NodeId,
+        gov: &ResourceGovernor,
+    ) -> Outcome<ReachResult> {
         let n = self.graph.nodes.len();
         let mut reach = vec![NodeId::FALSE; n];
         reach[target] = target_set;
         let mut worklist: BTreeSet<usize> = BTreeSet::new();
         worklist.insert(target);
         let mut relaxations = 0u64;
+        let mut why: Option<Exhaustion> = None;
         while let Some(node) = worklist.pop_first() {
+            if let Some(e) = self.out_of_budget(bdd, gov, "reach-backward", relaxations) {
+                worklist.insert(node);
+                why = Some(e);
+                break;
+            }
             let current = reach[node];
             for &eid in &self.graph.in_edges[node] {
                 relaxations += 1;
@@ -127,7 +172,56 @@ impl<'g> ReachAnalysis<'g> {
                 }
             }
         }
-        ReachResult { reach, relaxations }
+        self.finish(reach, relaxations, worklist, why)
+    }
+
+    /// Budget poll shared by the governed fixed points: the governor's
+    /// own limits plus the BDD manager's sticky exhaustion (node
+    /// ceiling), amortized over relaxations.
+    fn out_of_budget(
+        &self,
+        bdd: &mut Bdd,
+        gov: &ResourceGovernor,
+        stage: &str,
+        relaxations: u64,
+    ) -> Option<Exhaustion> {
+        if let Some(e) = bdd.exhausted() {
+            return Some(e.clone());
+        }
+        if let Err(e) = gov.tick(stage, 1) {
+            return Some(e);
+        }
+        if relaxations & 0x3F == 0 {
+            if let Err(e) = gov.check(stage) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Packages a (possibly aborted) fixed point into an [`Outcome`].
+    fn finish(
+        &self,
+        reach: Vec<NodeId>,
+        relaxations: u64,
+        pending: BTreeSet<usize>,
+        why: Option<Exhaustion>,
+    ) -> Outcome<ReachResult> {
+        let result = ReachResult { reach, relaxations };
+        match why {
+            None => Outcome::Complete(result),
+            Some(why) => {
+                let mut abandoned: BTreeSet<String> = BTreeSet::new();
+                for node in pending {
+                    abandoned.insert(self.graph.nodes[node].device().to_string());
+                }
+                Outcome::Partial {
+                    completed: result,
+                    abandoned: abandoned.into_iter().collect(),
+                    why,
+                }
+            }
+        }
     }
 
     /// Convenience: seeds every `IfaceSrc` node with `set` and runs
@@ -211,18 +305,17 @@ impl<'g> ReachAnalysis<'g> {
     }
 }
 
-/// The reverse data for a registered transform handle.
-fn rev_of(vars: &PacketVars, t: Transform) -> crate::vars::TransformRev {
+/// The reverse data for a registered transform handle, or `None` for a
+/// handle this variable layout never registered.
+fn rev_of(vars: &PacketVars, t: Transform) -> Option<crate::vars::TransformRev> {
     if t == vars.nat_transform {
-        vars.nat_rev
+        Some(vars.nat_rev)
     } else if t == vars.zone_transform {
-        vars.zone_rev
+        Some(vars.zone_rev)
     } else {
-        let idx = vars
-            .waypoint_transforms
+        vars.waypoint_transforms
             .iter()
             .position(|&w| w == t)
-            .expect("unknown transform handle");
-        vars.waypoint_revs[idx]
+            .and_then(|idx| vars.waypoint_revs.get(idx).copied())
     }
 }

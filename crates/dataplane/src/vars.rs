@@ -195,7 +195,9 @@ impl PacketVars {
             2 * (off + i) + u32::from(primed)
         } else {
             debug_assert!(!primed, "fixed fields have no primed copy");
-            FIXED_BASE + field.fixed_offset().expect("fixed field") + i
+            // Every non-transformable field has a fixed offset; stay
+            // total regardless.
+            FIXED_BASE + field.fixed_offset().unwrap_or(0) + i
         }
     }
 

@@ -11,13 +11,17 @@
 //! Everything here is `std`-only, deterministic, and free of I/O.
 
 pub mod bgp;
+pub mod governor;
 pub mod headers;
 pub mod headerspace;
 pub mod intern;
 pub mod ip;
+pub mod rng;
 
 pub use bgp::{AsPath, Asn, Community};
+pub use governor::{Exhaustion, Limit, Outcome, ResourceGovernor};
 pub use headers::{Flow, IpProtocol, PortRange, TcpFlags};
 pub use headerspace::HeaderSpace;
 pub use intern::{InternStats, Interned, Interner};
 pub use ip::{Ip, IpRange, Prefix};
+pub use rng::Rng;

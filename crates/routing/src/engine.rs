@@ -29,8 +29,10 @@ use crate::routes::{BgpRoute, MainNextHop, MainRoute, PeerKey};
 use crate::scheduler::{color_graph, color_groups, SchedulerMode};
 use batnet_config::vi::{Device, NextHop, RouteAttrs, RouteOrigin, RouteProtocol};
 use batnet_config::Topology;
+use batnet_net::governor::{Exhaustion, Outcome, ResourceGovernor};
 use batnet_net::{Asn, Prefix};
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::AssertUnwindSafe;
 
 /// Engine options. The defaults are the production configuration; the
 /// ablation benchmarks flip individual fields.
@@ -73,6 +75,15 @@ pub struct ConvergenceReport {
     /// converged). This is the §4.1.2 "detects and reports
     /// non-convergence" surface.
     pub unstable_prefixes: Vec<Prefix>,
+    /// Set when a [`ResourceGovernor`] limit stopped the fixed point
+    /// before the sweep budget: the generalized form of the sweep-budget
+    /// mechanism (deadline, shared iteration budget).
+    pub aborted: Option<Exhaustion>,
+    /// Devices whose per-node computation panicked during the fixed
+    /// point. The panic is contained (the device contributes nothing from
+    /// that point on) and the caller is expected to quarantine these and
+    /// re-simulate the healthy subset.
+    pub poisoned_devices: Vec<String>,
 }
 
 /// Memory accounting for the A-2 ablation (§4.1.3).
@@ -153,8 +164,24 @@ impl DataPlane {
     }
 }
 
-/// Runs the full simulation.
+/// Runs the full simulation (ungoverned: no deadline, no shared budget;
+/// the sweep budget in `opts` still applies).
 pub fn simulate(devices: &[Device], env: &Environment, opts: &SimOptions) -> DataPlane {
+    simulate_governed(devices, env, opts, &ResourceGovernor::unlimited()).into_value()
+}
+
+/// Runs the full simulation under a [`ResourceGovernor`].
+///
+/// When a limit trips mid-fixed-point the engine stops where it is and
+/// returns [`Outcome::Partial`]: the data plane computed so far (with
+/// `convergence.aborted` set), and the still-churning prefixes listed as
+/// abandoned work — a partial-but-honest result instead of a hang.
+pub fn simulate_governed(
+    devices: &[Device],
+    env: &Environment,
+    opts: &SimOptions,
+    gov: &ResourceGovernor,
+) -> Outcome<DataPlane> {
     // Phase 0: apply environment link failures.
     let mut devices: Vec<Device> = devices.to_vec();
     for d in devices.iter_mut() {
@@ -200,11 +227,21 @@ pub fn simulate(devices: &[Device], env: &Environment, opts: &SimOptions) -> Dat
             }
         }
         nodes = init_bgp_nodes(&devices, &sessions, &mut ribs, env, &pools, opts);
-        let r = run_bgp_fixed_point(&devices, &mut nodes, &mut ribs, &pools, opts);
+        let r = run_bgp_fixed_point(&devices, &mut nodes, &mut ribs, &pools, opts, gov);
         report.converged = r.converged;
         report.sweeps += r.sweeps;
         report.colors = r.colors;
         report.unstable_prefixes = r.unstable_prefixes;
+        report.aborted = r.aborted;
+        for d in r.poisoned_devices {
+            if !report.poisoned_devices.contains(&d) {
+                report.poisoned_devices.push(d);
+            }
+        }
+        if report.aborted.is_some() {
+            // Out of budget: no further re-evaluation rounds.
+            break;
+        }
         // Re-evaluate viability against the fuller data plane.
         let now = evaluate_sessions(&devices, &ribs, &mut sessions);
         if now == established || round == opts.session_reeval_rounds {
@@ -267,11 +304,27 @@ pub fn simulate(devices: &[Device], env: &Environment, opts: &SimOptions) -> Dat
             fib,
         })
         .collect();
-    DataPlane {
+    let dp = DataPlane {
         devices,
         index,
         convergence: report,
         mem,
+    };
+    match dp.convergence.aborted.clone() {
+        Some(why) => {
+            let abandoned: Vec<String> = dp
+                .convergence
+                .unstable_prefixes
+                .iter()
+                .map(|p| p.to_string())
+                .collect();
+            Outcome::Partial {
+                completed: dp,
+                abandoned,
+                why,
+            }
+        }
+        None => Outcome::Complete(dp),
     }
 }
 
@@ -506,6 +559,9 @@ struct NodeChanges {
     node: usize,
     updates: Vec<RibInUpdate>,
     new_clock: u64,
+    /// The node's computation panicked; the panic was contained and the
+    /// node contributes nothing (here and in later sweeps).
+    poisoned: bool,
 }
 
 /// Runs the colored (or lockstep) fixed point. Returns the report.
@@ -515,6 +571,7 @@ fn run_bgp_fixed_point(
     ribs: &mut [MainRib],
     pools: &BgpPools,
     opts: &SimOptions,
+    gov: &ResourceGovernor,
 ) -> ConvergenceReport {
     let n = devices.len();
     // BGP adjacency graph (device level) over established sessions.
@@ -545,19 +602,49 @@ fn run_bgp_fixed_point(
     }
 
     let mut report = ConvergenceReport {
-        converged: false,
-        sweeps: 0,
         colors,
-        unstable_prefixes: Vec::new(),
+        ..ConvergenceReport::default()
     };
 
-    for _sweep in 0..opts.max_sweeps {
+    let mut poisoned: BTreeSet<usize> = BTreeSet::new();
+    'sweeps: for _sweep in 0..opts.max_sweeps {
+        // Governor gate: a sweep only starts while within budget.
+        if let Err(e) = gov.check("bgp-fixed-point") {
+            report.aborted = Some(e);
+            break;
+        }
         report.sweeps += 1;
         for group in &groups {
+            // One iteration of shared budget per node processed.
+            if let Err(e) = gov.tick("bgp-fixed-point", group.len() as u64) {
+                report.aborted = Some(e);
+                break 'sweeps;
+            }
             // Compute phase: read-only over all nodes; parallel when the
-            // group is large enough to pay for threads.
+            // group is large enough to pay for threads. A panicking node
+            // is contained here (not propagated): it yields no updates
+            // and is flagged for quarantine by the caller.
+            let poisoned_now = &poisoned;
             let compute = |&ni: &usize| -> NodeChanges {
-                compute_pulls(ni, devices, nodes, ribs, pools, &rank_of, opts)
+                if poisoned_now.contains(&ni) {
+                    return NodeChanges {
+                        node: ni,
+                        updates: Vec::new(),
+                        new_clock: nodes[ni].clock,
+                        poisoned: false,
+                    };
+                }
+                match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    compute_pulls(ni, devices, nodes, ribs, pools, &rank_of, opts)
+                })) {
+                    Ok(ch) => ch,
+                    Err(_) => NodeChanges {
+                        node: ni,
+                        updates: Vec::new(),
+                        new_clock: nodes[ni].clock,
+                        poisoned: true,
+                    },
+                }
             };
             let changes: Vec<NodeChanges> = if opts.parallel && group.len() >= 8 {
                 parallel_map(group, compute)
@@ -566,6 +653,14 @@ fn run_bgp_fixed_point(
             };
             // Apply phase: sequential, ascending node order (deterministic).
             for ch in changes {
+                if ch.poisoned {
+                    poisoned.insert(ch.node);
+                    let name = devices[ch.node].name.clone();
+                    if !report.poisoned_devices.contains(&name) {
+                        report.poisoned_devices.push(name);
+                    }
+                    continue;
+                }
                 let node = &mut nodes[ch.node];
                 node.clock = ch.new_clock;
                 let mut touched: BTreeSet<Prefix> = BTreeSet::new();
@@ -592,10 +687,14 @@ fn run_bgp_fixed_point(
         }
     }
     if !report.converged {
+        // Both delta generations matter: an abort mid-sweep leaves work in
+        // delta_cur that was never rotated.
         let mut unstable: BTreeSet<Prefix> = BTreeSet::new();
         for node in nodes.iter() {
             unstable.extend(node.delta_prev.added.iter().map(|r| r.attrs.prefix));
             unstable.extend(node.delta_prev.removed.iter().copied());
+            unstable.extend(node.delta_cur.added.iter().map(|r| r.attrs.prefix));
+            unstable.extend(node.delta_cur.removed.iter().copied());
         }
         report.unstable_prefixes = unstable.into_iter().collect();
     }
@@ -698,6 +797,7 @@ fn compute_pulls(
         node: ni,
         updates,
         new_clock: clock,
+        poisoned: false,
     }
 }
 
@@ -720,12 +820,19 @@ fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Ve
             }));
         }
         for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                out[i] = Some(r);
+            // A worker can only die if `f` itself panicked past its own
+            // containment; its chunk is recomputed serially below.
+            if let Ok(rs) = h.join() {
+                for (i, r) in rs {
+                    out[i] = Some(r);
+                }
             }
         }
     });
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    out.into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| f(&items[i])))
+        .collect()
 }
 
 #[cfg(test)]

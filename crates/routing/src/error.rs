@@ -1,0 +1,70 @@
+//! Typed errors for the routing stage.
+//!
+//! Lesson 3 applied to the simulator: unexpected model states are values,
+//! not aborts. Every reachable failure on a library path maps to a
+//! [`RoutingError`] variant so callers (the facade, the chaos harness, CI)
+//! can quarantine the offending device or degrade the query instead of
+//! crashing the whole analysis.
+
+use batnet_net::governor::Exhaustion;
+use batnet_net::{Ip, Prefix};
+use std::fmt;
+
+/// What went wrong inside the routing stage.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RoutingError {
+    /// A lookup named a device the data plane does not contain.
+    UnknownDevice {
+        /// The requested device name.
+        device: String,
+    },
+    /// A FIB lookup found no entry covering the destination.
+    NoRoute {
+        /// The destination that missed.
+        dst: Ip,
+    },
+    /// A FIB entry was expected to forward but drops instead
+    /// (discard route, or a next hop that never resolved).
+    NotForwarding {
+        /// The entry's prefix.
+        prefix: Prefix,
+        /// `"discard"` or `"unresolved"`.
+        action: &'static str,
+    },
+    /// The fixed point (or another governed loop) hit a resource budget.
+    Exhausted(Exhaustion),
+    /// A per-device computation panicked and was contained. The device
+    /// should be quarantined by the caller.
+    DevicePoisoned {
+        /// The device whose computation panicked.
+        device: String,
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::UnknownDevice { device } => {
+                write!(f, "unknown device {device:?}")
+            }
+            RoutingError::NoRoute { dst } => write!(f, "no route to {dst}"),
+            RoutingError::NotForwarding { prefix, action } => {
+                write!(f, "entry for {prefix} does not forward ({action})")
+            }
+            RoutingError::Exhausted(e) => write!(f, "{e}"),
+            RoutingError::DevicePoisoned { device, detail } => {
+                write!(f, "device {device:?} poisoned the simulation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+impl From<Exhaustion> for RoutingError {
+    fn from(e: Exhaustion) -> RoutingError {
+        RoutingError::Exhausted(e)
+    }
+}

@@ -6,6 +6,7 @@
 //! Resolution is recursive: a BGP route's next hop may itself resolve
 //! through an IGP route, which resolves to a connected interface.
 
+use crate::error::RoutingError;
 use crate::rib::MainRib;
 use crate::routes::{MainNextHop, MainRoute};
 use batnet_net::{Ip, Prefix};
@@ -48,6 +49,25 @@ pub struct FibEntry {
     pub protocol: batnet_config::vi::RouteProtocol,
 }
 
+impl FibEntry {
+    /// The ECMP next-hop set, or a typed error when the entry does not
+    /// forward. Callers that previously pattern-matched and panicked on
+    /// "unexpected action" states use this instead.
+    pub fn forward_hops(&self) -> Result<&[FibNextHop], RoutingError> {
+        match &self.action {
+            FibAction::Forward(hops) => Ok(hops),
+            FibAction::Discard => Err(RoutingError::NotForwarding {
+                prefix: self.prefix,
+                action: "discard",
+            }),
+            FibAction::Unresolved => Err(RoutingError::NotForwarding {
+                prefix: self.prefix,
+                action: "unresolved",
+            }),
+        }
+    }
+}
+
 /// A device's forwarding table.
 #[derive(Clone, Debug, Default)]
 pub struct Fib {
@@ -83,6 +103,13 @@ impl Fib {
             });
         }
         Fib { entries }
+    }
+
+    /// Longest-prefix-match lookup with a typed miss: like
+    /// [`Fib::lookup`] but a missing entry is a [`RoutingError::NoRoute`]
+    /// rather than `None`, for callers that treat a miss as a failure.
+    pub fn resolve(&self, ip: Ip) -> Result<&FibEntry, RoutingError> {
+        self.lookup(ip).ok_or(RoutingError::NoRoute { dst: ip })
     }
 
     /// Longest-prefix-match lookup.
@@ -196,19 +223,15 @@ mod tests {
     }
 
     #[test]
-    fn connected_entry_has_no_gateway() {
+    fn connected_entry_has_no_gateway() -> Result<(), RoutingError> {
         let mut rib = MainRib::new();
         rib.offer(connected("10.0.0.0/24", "e1"));
         let fib = Fib::build(&rib);
-        let e = fib.lookup("10.0.0.7".parse().unwrap()).unwrap();
-        match &e.action {
-            FibAction::Forward(hops) => {
-                assert_eq!(hops.len(), 1);
-                assert_eq!(hops[0].iface, "e1");
-                assert_eq!(hops[0].gateway, None);
-            }
-            other => panic!("unexpected action {other:?}"),
-        }
+        let hops = fib.resolve("10.0.0.7".parse().unwrap())?.forward_hops()?;
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].iface, "e1");
+        assert_eq!(hops[0].gateway, None);
+        Ok(())
     }
 
     #[test]
@@ -220,16 +243,12 @@ mod tests {
         // BGP route whose next hop resolves through the static route.
         rib.offer(via("172.16.0.0/12", 20, RouteProtocol::Ebgp, "10.9.1.1"));
         let fib = Fib::build(&rib);
-        let e = fib.lookup("172.16.5.5".parse().unwrap()).unwrap();
-        match &e.action {
-            FibAction::Forward(hops) => {
-                assert_eq!(hops[0].iface, "e1");
-                // Gateway = the hop on the connected subnet (the ARP
-                // target): 10.0.0.2, not the BGP next hop 10.9.1.1.
-                assert_eq!(hops[0].gateway, Some("10.0.0.2".parse().unwrap()));
-            }
-            other => panic!("unexpected action {other:?}"),
-        }
+        let e = fib.resolve("172.16.5.5".parse().unwrap()).expect("entry");
+        let hops = e.forward_hops().expect("forwarding entry");
+        assert_eq!(hops[0].iface, "e1");
+        // Gateway = the hop on the connected subnet (the ARP target):
+        // 10.0.0.2, not the BGP next hop 10.9.1.1.
+        assert_eq!(hops[0].gateway, Some("10.0.0.2".parse().unwrap()));
         assert_eq!(e.protocol, RouteProtocol::Ebgp);
     }
 
@@ -265,15 +284,13 @@ mod tests {
         rib.offer(via("10.9.0.0/16", 110, RouteProtocol::Ospf, "10.0.0.1"));
         rib.offer(via("10.9.0.0/16", 110, RouteProtocol::Ospf, "10.0.1.1"));
         let fib = Fib::build(&rib);
-        let e = fib.lookup("10.9.0.1".parse().unwrap()).unwrap();
-        match &e.action {
-            FibAction::Forward(hops) => {
-                assert_eq!(hops.len(), 2);
-                let ifaces: Vec<_> = hops.iter().map(|h| h.iface.as_str()).collect();
-                assert_eq!(ifaces, vec!["e1", "e2"]);
-            }
-            other => panic!("unexpected action {other:?}"),
-        }
+        let hops = fib
+            .resolve("10.9.0.1".parse().unwrap())
+            .and_then(|e| e.forward_hops())
+            .expect("ECMP entry");
+        assert_eq!(hops.len(), 2);
+        let ifaces: Vec<_> = hops.iter().map(|h| h.iface.as_str()).collect();
+        assert_eq!(ifaces, vec!["e1", "e2"]);
     }
 
     #[test]
@@ -282,21 +299,16 @@ mod tests {
         rib.offer(connected("10.0.0.0/24", "e1"));
         rib.offer(connected("10.0.0.128/25", "e2"));
         let fib = Fib::build(&rib);
-        assert_eq!(
-            match &fib.lookup("10.0.0.200".parse().unwrap()).unwrap().action {
-                FibAction::Forward(h) => h[0].iface.clone(),
-                _ => panic!(),
-            },
-            "e2"
-        );
-        assert_eq!(
-            match &fib.lookup("10.0.0.5".parse().unwrap()).unwrap().action {
-                FibAction::Forward(h) => h[0].iface.clone(),
-                _ => panic!(),
-            },
-            "e1"
-        );
-        assert!(fib.lookup("9.9.9.9".parse().unwrap()).is_none());
+        let iface_of = |ip: &str| -> Result<String, RoutingError> {
+            let hops = fib.resolve(ip.parse().expect("ip"))?.forward_hops()?;
+            Ok(hops[0].iface.clone())
+        };
+        assert_eq!(iface_of("10.0.0.200").expect("routed"), "e2");
+        assert_eq!(iface_of("10.0.0.5").expect("routed"), "e1");
+        assert!(matches!(
+            iface_of("9.9.9.9"),
+            Err(RoutingError::NoRoute { .. })
+        ));
     }
 
     #[test]

@@ -27,13 +27,17 @@
 pub mod bgp;
 pub mod engine;
 pub mod env;
+pub mod error;
 pub mod fib;
 pub mod ospf;
 pub mod rib;
 pub mod routes;
 pub mod scheduler;
 
-pub use engine::{simulate, ConvergenceReport, DataPlane, DeviceDataPlane, SimOptions};
+pub use engine::{
+    simulate, simulate_governed, ConvergenceReport, DataPlane, DeviceDataPlane, SimOptions,
+};
+pub use error::RoutingError;
 pub use env::{Environment, ExternalAnnouncement};
 pub use fib::{Fib, FibAction, FibEntry, FibNextHop};
 pub use rib::{MainRib, RibDelta};

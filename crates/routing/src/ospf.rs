@@ -243,7 +243,8 @@ fn dijkstra(graph: &[Vec<Adjacency>], src: usize) -> (Vec<Option<u32>>, Vec<BTre
     let mut order: Vec<usize> = (0..n).filter(|&v| dist[v].is_some()).collect();
     order.sort_by_key(|&v| (dist[v], v));
     for &u in &order {
-        let du = dist[u].expect("filtered to reachable");
+        // `order` is filtered to reachable nodes; stay total anyway.
+        let Some(du) = dist[u] else { continue };
         for adj in &graph[u] {
             if dist[adj.to] == Some(du + adj.cost) {
                 if u == src {

@@ -44,10 +44,12 @@ pub fn color_graph(adj: &[Vec<usize>]) -> Vec<u32> {
                 }
             }
         }
-        let c = (0..).find(|&c| !used[c as usize]).expect("color exists");
+        // With n+1 slots and at most n neighbors a free color always
+        // exists; the fallback keeps this total without a panic path.
+        let c = (0..=n as u32).find(|&c| !used[c as usize]).unwrap_or(0);
         colors[v] = Some(c);
     }
-    colors.into_iter().map(|c| c.expect("all colored")).collect()
+    colors.into_iter().map(|c| c.unwrap_or(0)).collect()
 }
 
 /// Groups node indices by color, colors ascending, node order ascending

@@ -1,38 +1,49 @@
-//! Property tests for the main RIB: longest-prefix-match against a
-//! brute-force oracle, and offer/withdraw algebra.
+//! Randomized property tests for the main RIB: longest-prefix-match
+//! against a brute-force oracle, and offer/withdraw algebra. Routes are
+//! generated from the workspace's seeded PRNG (deterministic across
+//! runs; failures name the case index).
 
 use batnet_config::vi::RouteProtocol;
-use batnet_net::{Ip, Prefix};
+use batnet_net::{Ip, Prefix, Rng};
 use batnet_routing::{MainNextHop, MainRib, MainRoute};
-use proptest::prelude::*;
 
-fn arb_route() -> impl Strategy<Value = MainRoute> {
-    (
-        any::<u32>(),
-        0u8..=32,
-        prop::sample::select(vec![
-            (RouteProtocol::Connected, 0u8),
-            (RouteProtocol::Static, 1),
-            (RouteProtocol::Ebgp, 20),
-            (RouteProtocol::Ospf, 110),
-            (RouteProtocol::Ibgp, 200),
-        ]),
-        0u32..4,
-        any::<u32>(),
-    )
-        .prop_map(|(net, len, (protocol, ad), metric, nh)| MainRoute {
-            prefix: Prefix::new(Ip(net), len),
-            admin_distance: ad,
-            metric,
-            protocol,
-            next_hop: if protocol == RouteProtocol::Connected {
-                MainNextHop::Connected {
-                    iface: format!("e{}", nh % 4),
-                }
-            } else {
-                MainNextHop::Via(Ip(nh))
-            },
-        })
+const CASES: u64 = 256;
+
+fn case_rng(test: u64, case: u64) -> Rng {
+    Rng::new(0x51B_0B0E ^ (test << 32) ^ case)
+}
+
+fn gen_route(rng: &mut Rng) -> MainRoute {
+    const PROTOS: [(RouteProtocol, u8); 5] = [
+        (RouteProtocol::Connected, 0),
+        (RouteProtocol::Static, 1),
+        (RouteProtocol::Ebgp, 20),
+        (RouteProtocol::Ospf, 110),
+        (RouteProtocol::Ibgp, 200),
+    ];
+    let net = rng.next_u32();
+    let len = rng.below(33) as u8;
+    let (protocol, ad) = PROTOS[rng.index(PROTOS.len())];
+    let metric = rng.below(4) as u32;
+    let nh = rng.next_u32();
+    MainRoute {
+        prefix: Prefix::new(Ip(net), len),
+        admin_distance: ad,
+        metric,
+        protocol,
+        next_hop: if protocol == RouteProtocol::Connected {
+            MainNextHop::Connected {
+                iface: format!("e{}", nh % 4),
+            }
+        } else {
+            MainNextHop::Via(Ip(nh))
+        },
+    }
+}
+
+fn gen_routes(rng: &mut Rng, min: usize, max: usize) -> Vec<MainRoute> {
+    let n = min + rng.index(max - min);
+    (0..n).map(|_| gen_route(rng)).collect()
 }
 
 /// Oracle: best routes for `ip` computed by scanning all candidates.
@@ -58,11 +69,12 @@ fn oracle<'r>(routes: &'r [MainRoute], ip: Ip) -> Vec<&'r MainRoute> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lpm_matches_oracle(routes in prop::collection::vec(arb_route(), 1..40), probe in any::<u32>()) {
+#[test]
+fn lpm_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let routes = gen_routes(&mut rng, 1, 40);
+        let probe = rng.next_u32();
         let mut rib = MainRib::new();
         for r in &routes {
             rib.offer(r.clone());
@@ -80,11 +92,15 @@ proptest! {
         let mut want_set: Vec<String> = want.iter().map(|r| format!("{r}")).collect();
         want_set.sort();
         want_set.dedup();
-        prop_assert_eq!(got_set, want_set);
+        assert_eq!(got_set, want_set, "case {case}: probe {ip}");
     }
+}
 
-    #[test]
-    fn withdraw_restores_runner_up(routes in prop::collection::vec(arb_route(), 1..20)) {
+#[test]
+fn withdraw_restores_runner_up() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let routes = gen_routes(&mut rng, 1, 20);
         // Offer everything, withdraw all eBGP routes; the RIB must behave
         // as if they were never offered.
         let mut with_all = MainRib::new();
@@ -102,12 +118,16 @@ proptest! {
         for p in &prefixes {
             let a: Vec<_> = with_all.best(p).to_vec();
             let b: Vec<_> = without.best(p).to_vec();
-            prop_assert_eq!(a, b, "prefix {}", p);
+            assert_eq!(a, b, "case {case}: prefix {p}");
         }
     }
+}
 
-    #[test]
-    fn offer_is_idempotent(routes in prop::collection::vec(arb_route(), 1..20)) {
+#[test]
+fn offer_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let routes = gen_routes(&mut rng, 1, 20);
         let mut once = MainRib::new();
         let mut twice = MainRib::new();
         for r in &routes {
@@ -115,6 +135,6 @@ proptest! {
             twice.offer(r.clone());
             twice.offer(r.clone());
         }
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
 }

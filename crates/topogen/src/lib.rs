@@ -15,6 +15,12 @@
 //! convergence gadgets and the Figure 2 example network — and `NET1`, the
 //! stand-in for the original paper's evaluation network.
 
+// Fixture-generation code: unwraps are on literal prefixes/addresses and
+// a panic on a malformed fixture is the desired failure mode. This keeps
+// the workspace-wide `-D clippy::unwrap_used -D clippy::panic` robustness
+// gate (which sweeps dependencies in) scoped to production crates.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
 pub mod dc;
 pub mod enterprise;
 pub mod gadgets;
@@ -54,7 +60,7 @@ impl GeneratedNetwork {
             .iter()
             .map(|(name, text)| {
                 let (device, diags) = batnet_config::parse_device(name, text);
-                for d in diags.items() {
+                if let Some(d) = diags.items().first() {
                     panic!("{name}: generated config produced diagnostic: {d}");
                 }
                 device

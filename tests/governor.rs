@@ -1,0 +1,81 @@
+//! Resource-governor integration tests: the Figure 1b oscillating
+//! gadget under a budget must come back as `Outcome::Partial` naming the
+//! churning prefixes — reported, never hung and never panicking.
+
+use batnet::net::governor::{Limit, Outcome, ResourceGovernor};
+use batnet::routing::{simulate_governed, SchedulerMode, SimOptions};
+use batnet_topogen::gadgets::fig1b;
+use batnet_topogen::suite;
+use std::time::Duration;
+
+fn lockstep() -> SimOptions {
+    SimOptions {
+        scheduler: SchedulerMode::Lockstep,
+        ..SimOptions::default()
+    }
+}
+
+/// The fig1b gadget oscillates forever under lockstep; an iteration
+/// budget must cut it off with a Partial outcome listing the prefix
+/// that never settled.
+#[test]
+fn fig1b_iteration_budget_yields_partial() {
+    let net = fig1b();
+    let devices = net.parse();
+    let gov = ResourceGovernor::with_iteration_budget(50);
+    match simulate_governed(&devices, &net.env, &lockstep(), &gov) {
+        Outcome::Partial {
+            completed,
+            abandoned,
+            why,
+        } => {
+            assert!(matches!(why.limit, Limit::Iterations { .. }), "{why:?}");
+            assert!(
+                abandoned.iter().any(|p| p == "10.0.0.0/8"),
+                "churning prefix must be listed, got {abandoned:?}"
+            );
+            assert!(completed.convergence.aborted.is_some());
+            assert!(!completed.convergence.converged);
+        }
+        Outcome::Complete(_) => panic!("budget must abort the oscillator"),
+    }
+}
+
+/// Same gadget, wall-clock deadline instead of an iteration budget.
+#[test]
+fn fig1b_deadline_yields_partial() {
+    let net = fig1b();
+    let devices = net.parse();
+    let gov = ResourceGovernor::with_deadline(Duration::ZERO);
+    let outcome = simulate_governed(&devices, &net.env, &lockstep(), &gov);
+    match outcome {
+        Outcome::Partial { why, .. } => {
+            assert!(matches!(why.limit, Limit::Deadline { .. }), "{why:?}")
+        }
+        Outcome::Complete(_) => panic!("a zero deadline must abort"),
+    }
+}
+
+/// A convergent network under a generous governor is Complete and equals
+/// the ungoverned result.
+#[test]
+fn governed_complete_matches_ungoverned() {
+    let net = suite::n2();
+    let devices = net.parse();
+    let opts = SimOptions::default();
+    let governed = simulate_governed(
+        &devices,
+        &net.env,
+        &opts,
+        &ResourceGovernor::with_deadline(Duration::from_secs(600)),
+    );
+    let Outcome::Complete(governed) = governed else {
+        panic!("a generous deadline must not abort a convergent network");
+    };
+    let plain = batnet::routing::simulate(&devices, &net.env, &opts);
+    for d in &plain.devices {
+        let g = governed.device(&d.name).expect("device present");
+        assert_eq!(g.main_rib, d.main_rib, "{}", d.name);
+        assert_eq!(g.fib.entries(), d.fib.entries(), "{}", d.name);
+    }
+}

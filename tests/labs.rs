@@ -9,7 +9,7 @@
 //! replayed on every test run — including deviations from recommended
 //! configuration, the paper's main fidelity lesson.
 
-use batnet::net::{Flow, Ip, TcpFlags};
+use batnet::net::{Flow, TcpFlags};
 use batnet::traceroute::Disposition;
 use batnet::{validate_lab, Expectation, Snapshot};
 

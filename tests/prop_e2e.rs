@@ -1,14 +1,13 @@
 //! End-to-end property tests: on a fixed fixture network, for *random*
 //! flows the two engines must agree — a randomized, continuous version of
-//! the §4.3.2 differential protocol.
+//! the §4.3.2 differential protocol. Flows come from the workspace's
+//! seeded PRNG (deterministic; failures name the case index).
 
 use batnet::bdd::NodeId;
 use batnet::dataplane::{NodeKind, ReachAnalysis};
-use batnet::net::{Flow, Ip, IpProtocol, TcpFlags};
+use batnet::net::{Flow, Ip, IpProtocol, Rng, TcpFlags};
 use batnet::traceroute::{Disposition, StartLocation};
 use batnet::{Analysis, Snapshot};
-use proptest::prelude::*;
-use std::cell::RefCell;
 
 fn fixture() -> Analysis {
     let snapshot = Snapshot::from_configs(vec![
@@ -43,127 +42,122 @@ fn fixture() -> Analysis {
     snapshot.analyze()
 }
 
-thread_local! {
-    static WORLD: RefCell<Option<Analysis>> = const { RefCell::new(None) };
+fn gen_flow(rng: &mut Rng) -> Flow {
+    const PROTOS: [u8; 4] = [1, 6, 17, 47];
+    let src = rng.next_u32();
+    // Destinations biased towards the fixture's interesting space.
+    let dst = match rng.below(4) {
+        0 => 0x0a010000 + rng.below(0x200) as u32, // 10.1.x
+        1 => 0x0a020000 + rng.below(0x200) as u32, // 10.2.x
+        2 => 0x0a040000 + rng.below(0x200) as u32, // 10.4.x (null routed)
+        _ => rng.next_u32(),
+    };
+    let proto = PROTOS[rng.index(PROTOS.len())];
+    let protocol = IpProtocol::from_number(proto);
+    Flow {
+        src_ip: Ip(src),
+        dst_ip: Ip(dst),
+        src_port: if protocol.has_ports() {
+            rng.below(1 << 16) as u16
+        } else {
+            0
+        },
+        dst_port: if protocol.has_ports() {
+            rng.below(1 << 16) as u16
+        } else {
+            0
+        },
+        protocol,
+        icmp_type: if proto == 1 { 8 } else { 0 },
+        icmp_code: 0,
+        tcp_flags: if proto == 6 {
+            TcpFlags(rng.below(64) as u8)
+        } else {
+            TcpFlags::EMPTY
+        },
+    }
 }
 
-fn with_world<R>(f: impl FnOnce(&mut Analysis) -> R) -> R {
-    WORLD.with(|w| {
-        let mut slot = w.borrow_mut();
-        if slot.is_none() {
-            *slot = Some(fixture());
-        }
-        f(slot.as_mut().expect("initialized"))
-    })
-}
-
-fn arb_flow() -> impl Strategy<Value = Flow> {
-    (
-        any::<u32>(),
-        any::<u16>(),
-        // Destinations biased towards the fixture's interesting space.
-        prop_oneof![
-            (0u32..0x200u32).prop_map(|v| 0x0a010000 + v), // 10.1.x
-            (0u32..0x200u32).prop_map(|v| 0x0a020000 + v), // 10.2.x
-            (0u32..0x200u32).prop_map(|v| 0x0a040000 + v), // 10.4.x (null routed)
-            any::<u32>(),
-        ],
-        any::<u16>(),
-        prop::sample::select(vec![1u8, 6, 17, 47]),
-        0u8..64,
-    )
-        .prop_map(|(src, sport, dst, dport, proto, flags)| {
-            let protocol = IpProtocol::from_number(proto);
-            Flow {
-                src_ip: Ip(src),
-                dst_ip: Ip(dst),
-                src_port: if protocol.has_ports() { sport } else { 0 },
-                dst_port: if protocol.has_ports() { dport } else { 0 },
-                protocol,
-                icmp_type: if proto == 1 { 8 } else { 0 },
-                icmp_code: 0,
-                tcp_flags: if proto == 6 { TcpFlags(flags) } else { TcpFlags::EMPTY },
-            }
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// For any flow entering at the edge's host port, every disposition
-    /// the concrete engine reports must be a symbolic sink the BDD engine
-    /// reaches with that flow, and vice versa.
-    #[test]
-    fn engines_agree_on_random_flows(flow in arb_flow()) {
-        with_world(|w| {
-            let tracer_dispositions: Vec<Disposition> = {
-                let tracer = w.tracer();
-                let t = tracer.trace(&StartLocation::ingress("edge", "hosts"), &flow);
-                t.paths.iter().map(|p| p.disposition.clone()).collect()
-            };
-            let src = w
-                .graph
-                .node(&NodeKind::IfaceSrc("edge".into(), "hosts".into()))
-                .expect("source node");
-            let fset = w.vars.flow(&mut w.bdd, &flow);
-            let reach = {
-                let a = ReachAnalysis::new(&w.graph);
-                a.forward(&mut w.bdd, &[(src, fset)])
-            };
-            // Direction A: every concrete disposition has a non-empty
-            // symbolic counterpart.
-            for d in &tracer_dispositions {
-                let node = match d {
-                    Disposition::Accepted { device } => w.graph.node(&NodeKind::Accept(device.clone())),
-                    Disposition::DeliveredToSubnet { device, iface } => {
-                        w.graph.node(&NodeKind::DeliveredToSubnet(device.clone(), iface.clone()))
-                    }
-                    Disposition::ExitsNetwork { device, iface } => {
-                        w.graph.node(&NodeKind::ExitsNetwork(device.clone(), iface.clone()))
-                    }
-                    Disposition::NoRoute { device } => w
-                        .graph
-                        .node(&NodeKind::Drop(device.clone(), batnet::dataplane::DropKind::NoRoute)),
-                    Disposition::NullRouted { device } => w
-                        .graph
-                        .node(&NodeKind::Drop(device.clone(), batnet::dataplane::DropKind::NullRouted)),
-                    Disposition::DeniedIn { device, acl: _ } => w
-                        .graph
-                        .nodes_where(|k| matches!(k, NodeKind::Drop(dd, batnet::dataplane::DropKind::AclIn(_)) if dd == device))
-                        .first()
-                        .copied(),
-                    other => panic!("fixture should not produce {other:?}"),
-                };
-                let node = node.unwrap_or_else(|| panic!("no node for {d:?}"));
-                prop_assert_ne!(reach.at(node), NodeId::FALSE, "symbolic missed {:?} for {}", d, flow);
-            }
-            // Direction B: every success sink the symbolic engine reaches
-            // with this singleton flow must appear concretely.
-            for (ni, kind) in w.graph.nodes.iter().enumerate() {
-                if reach.at(ni) == NodeId::FALSE || !kind.is_success_sink() {
-                    continue;
+/// For any flow entering at the edge's host port, every disposition
+/// the concrete engine reports must be a symbolic sink the BDD engine
+/// reaches with that flow, and vice versa.
+#[test]
+fn engines_agree_on_random_flows() {
+    let mut w = fixture();
+    for case in 0..96u64 {
+        let mut rng = Rng::new(0xE2E_F10 ^ case);
+        let flow = gen_flow(&mut rng);
+        let tracer_dispositions: Vec<Disposition> = {
+            let tracer = w.tracer();
+            let t = tracer.trace(&StartLocation::ingress("edge", "hosts"), &flow);
+            t.paths.iter().map(|p| p.disposition.clone()).collect()
+        };
+        let src = w
+            .graph
+            .node(&NodeKind::IfaceSrc("edge".into(), "hosts".into()))
+            .expect("source node");
+        let fset = w.vars.flow(&mut w.bdd, &flow);
+        let reach = {
+            let a = ReachAnalysis::new(&w.graph);
+            a.forward(&mut w.bdd, &[(src, fset)])
+        };
+        // Direction A: every concrete disposition has a non-empty
+        // symbolic counterpart.
+        for d in &tracer_dispositions {
+            let node = match d {
+                Disposition::Accepted { device } => w.graph.node(&NodeKind::Accept(device.clone())),
+                Disposition::DeliveredToSubnet { device, iface } => {
+                    w.graph
+                        .node(&NodeKind::DeliveredToSubnet(device.clone(), iface.clone()))
                 }
-                let expected = match kind {
-                    NodeKind::Accept(d) => Disposition::Accepted { device: d.clone() },
-                    NodeKind::DeliveredToSubnet(d, i) => Disposition::DeliveredToSubnet {
-                        device: d.clone(),
-                        iface: i.clone(),
-                    },
-                    NodeKind::ExitsNetwork(d, i) => Disposition::ExitsNetwork {
-                        device: d.clone(),
-                        iface: i.clone(),
-                    },
-                    _ => unreachable!(),
-                };
-                prop_assert!(
-                    tracer_dispositions.contains(&expected),
-                    "concrete missed {:?} for {} (got {:?})",
-                    expected,
-                    flow,
-                    tracer_dispositions
-                );
+                Disposition::ExitsNetwork { device, iface } => {
+                    w.graph
+                        .node(&NodeKind::ExitsNetwork(device.clone(), iface.clone()))
+                }
+                Disposition::NoRoute { device } => w.graph.node(&NodeKind::Drop(
+                    device.clone(),
+                    batnet::dataplane::DropKind::NoRoute,
+                )),
+                Disposition::NullRouted { device } => w.graph.node(&NodeKind::Drop(
+                    device.clone(),
+                    batnet::dataplane::DropKind::NullRouted,
+                )),
+                Disposition::DeniedIn { device, acl: _ } => w
+                    .graph
+                    .nodes_where(|k| matches!(k, NodeKind::Drop(dd, batnet::dataplane::DropKind::AclIn(_)) if dd == device))
+                    .first()
+                    .copied(),
+                other => panic!("case {case}: fixture should not produce {other:?}"),
+            };
+            let node = node.unwrap_or_else(|| panic!("case {case}: no node for {d:?}"));
+            assert_ne!(
+                reach.at(node),
+                NodeId::FALSE,
+                "case {case}: symbolic missed {d:?} for {flow}"
+            );
+        }
+        // Direction B: every success sink the symbolic engine reaches
+        // with this singleton flow must appear concretely.
+        for (ni, kind) in w.graph.nodes.iter().enumerate() {
+            if reach.at(ni) == NodeId::FALSE || !kind.is_success_sink() {
+                continue;
             }
-            Ok(())
-        })?;
+            let expected = match kind {
+                NodeKind::Accept(d) => Disposition::Accepted { device: d.clone() },
+                NodeKind::DeliveredToSubnet(d, i) => Disposition::DeliveredToSubnet {
+                    device: d.clone(),
+                    iface: i.clone(),
+                },
+                NodeKind::ExitsNetwork(d, i) => Disposition::ExitsNetwork {
+                    device: d.clone(),
+                    iface: i.clone(),
+                },
+                _ => unreachable!(),
+            };
+            assert!(
+                tracer_dispositions.contains(&expected),
+                "case {case}: concrete missed {expected:?} for {flow} (got {tracer_dispositions:?})"
+            );
+        }
     }
 }
