@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy bench
+.PHONY: ci build test chaos clippy obs-smoke bench
 
-ci: build test chaos clippy
+ci: build test chaos clippy obs-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -22,9 +22,19 @@ chaos: build
 
 # No unwrap/panic on library paths of the facade and chaos crates (their
 # dependency closure is swept in by cargo, so this effectively covers
-# every production crate; topogen exempts itself as fixture-only).
+# every production crate; topogen exempts itself as fixture-only). The
+# second invocation enforces the workspace-wide timing discipline from
+# clippy.toml: `Instant::now` is disallowed outside batnet_obs::clock.
 clippy:
 	$(CARGO) clippy --offline -p batnet -p batnet-chaos -- -D clippy::unwrap_used -D clippy::panic
+	$(CARGO) clippy --offline --workspace --all-targets -- -D clippy::disallowed_methods
+
+# Observability smoke gate: run the harness pipeline on the smallest
+# suite network and validate the emitted JSON with the in-tree
+# validator — schema drift fails CI.
+obs-smoke: build
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- smoke
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_smoke.json
 
 bench:
 	$(CARGO) bench --offline -p batnet-bench

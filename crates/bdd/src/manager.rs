@@ -432,6 +432,50 @@ impl Bdd {
         }
     }
 
+    /// Nodes currently in the arena (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Entries in the unique table (hash-consed decision nodes).
+    pub fn unique_table_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Apply/ITE/not-cache hits since creation or the last
+    /// [`Bdd::take_stats`].
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Cache misses since creation or the last [`Bdd::take_stats`].
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Cache hit rate in `[0, 1]` over the current accounting window
+    /// (0 when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Returns the statistics accumulated since the last call (or
+    /// creation) and resets the hit/miss counters, so per-snapshot
+    /// reports see per-snapshot numbers rather than process-lifetime
+    /// accumulation. The node count is a level, not a flow, and is not
+    /// reset.
+    pub fn take_stats(&mut self) -> BddStats {
+        let stats = self.stats();
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        stats
+    }
+
     /// Drops all operation caches (not the arena). Useful between analysis
     /// phases when the cached operands will not recur.
     pub fn clear_caches(&mut self) {
@@ -642,6 +686,30 @@ mod tests {
         let y = b2.var(1);
         b2.and(x, y);
         assert!(b2.exhausted().is_none());
+    }
+
+    #[test]
+    fn take_stats_resets_cache_counters_not_nodes() {
+        let mut b = Bdd::new(8);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        b.and(x, y); // cache hit
+        let first = b.take_stats();
+        assert!(first.cache_hits >= 1, "repeat apply must hit the cache");
+        assert!(first.cache_misses >= 1);
+        let nodes_before = b.node_count();
+        // After the take, the window restarts at zero…
+        assert_eq!(b.cache_hits(), 0);
+        assert_eq!(b.cache_misses(), 0);
+        assert_eq!(b.cache_hit_rate(), 0.0);
+        // …but the arena and unique table are untouched.
+        assert_eq!(b.node_count(), nodes_before);
+        assert_eq!(b.unique_table_len(), nodes_before - 2, "terminals are not hash-consed");
+        // A fresh window counts only new activity.
+        b.and(x, y);
+        assert!(b.cache_hits() >= 1);
+        assert!(b.eval(f, &[true, true]));
     }
 
     #[test]

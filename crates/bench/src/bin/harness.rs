@@ -3,20 +3,29 @@
 //!
 //! ```text
 //! harness fig1                 # Figure 1: convergence gadgets
-//! harness fig3                 # Figure 3: current vs original engines (NET1)
+//! harness fig3 [--json]        # Figure 3: current vs original engines (NET1)
 //! harness table1               # Table 1: the 11-network suite
-//! harness table2 [--full]     # Table 2: pipeline performance per network
+//! harness table2 [--full] [--json]  # Table 2: pipeline performance
+//! harness smoke                # smallest network, always writes JSON
 //! harness apt                  # §6.2: APT comparison (92 nodes)
 //! harness ablate-convergence   # A-1: coloring / logical clocks
 //! harness ablate-memory        # A-2: attribute interning
 //! harness ablate-varorder      # A-3: BDD variable order
 //! harness ablate-dataflow      # A-4: graph compression & backward walk
 //! harness ablate-transform     # A-5: fused vs 3-step NAT transform
-//! harness all [--full]        # everything above
+//! harness all [--full] [--json]  # everything above
 //! ```
 //!
 //! `table2` runs the four smallest networks by default; `--full` runs
 //! all eleven (minutes of wall clock on the biggest).
+//!
+//! `--json` additionally writes machine-readable results —
+//! `BENCH_table2.json` / `BENCH_fig3.json` at the repo root — with the
+//! stable `{bench, network, stage, ms, meta}` row schema and the full
+//! run report (span tree, metrics, events) embedded. `smoke` always
+//! writes `target/BENCH_smoke.json` (the CI `obs-smoke` gate validates
+//! it). Every text report ends with a provenance stamp: git commit,
+//! command line, and total wall time from the root span.
 
 use batnet::baselines::{AptEngine, CubeNetwork};
 use batnet::bdd::NodeId;
@@ -25,17 +34,23 @@ use batnet::dataplane::compress::compress;
 use batnet::dataplane::{NodeKind, ReachAnalysis};
 use batnet::routing::{simulate, SchedulerMode, SimOptions};
 use batnet_bench::*;
-use std::time::Instant;
+use batnet_obs::clock;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
+    batnet_obs::reset();
+    let root = batnet_obs::Span::enter("harness");
+    let mut rows: Vec<Row> = Vec::new();
     match cmd {
         "fig1" => fig1(),
-        "fig3" => fig3(),
+        "fig3" => fig3(&mut rows),
         "table1" => table1(full),
-        "table2" => table2(full),
+        "table2" => table2(full, &mut rows),
+        "smoke" => smoke(&mut rows),
         "apt" => apt(),
         "ablate-convergence" => ablate_convergence(),
         "ablate-memory" => ablate_memory(),
@@ -44,9 +59,9 @@ fn main() {
         "ablate-transform" => ablate_transform(),
         "all" => {
             fig1();
-            fig3();
+            fig3(&mut rows);
             table1(full);
-            table2(full);
+            table2(full, &mut rows);
             apt();
             ablate_convergence();
             ablate_memory();
@@ -59,10 +74,104 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let wall = root.close();
+    let commit = git_commit();
+    let cmdline = format!("harness {}", args.join(" "));
+    println!(
+        "\n--- provenance: commit {commit} | cmd \"{}\" | wall {:.2}s ---",
+        cmdline.trim_end(),
+        wall.as_secs_f64()
+    );
+    if json || cmd == "smoke" {
+        emit_json(cmd, &rows, &commit, &cmdline);
+    }
+}
+
+/// Writes `BENCH_<bench>.json` for each bench that produced rows. The
+/// repo-root baselines (`table2`, `fig3`) are written on `--json`; the
+/// `smoke` bench always lands in `target/` so CI never dirties the
+/// committed baselines.
+fn emit_json(cmd: &str, rows: &[Row], commit: &str, cmdline: &str) {
+    let report = batnet_obs::capture();
+    let meta = vec![
+        ("commit".to_string(), commit.to_string()),
+        ("cmd".to_string(), cmdline.trim_end().to_string()),
+    ];
+    let benches: Vec<&str> = match cmd {
+        "all" => vec!["table2", "fig3"],
+        b => vec![b],
+    };
+    for bench in benches {
+        let subset: Vec<Row> = rows.iter().filter(|r| r.bench == bench).cloned().collect();
+        if subset.is_empty() {
+            continue;
+        }
+        let path = if bench == "smoke" {
+            repo_root().join("target").join("BENCH_smoke.json")
+        } else {
+            repo_root().join(format!("BENCH_{bench}.json"))
+        };
+        let text = bench_json(bench, &meta, &subset, &report);
+        match std::fs::write(&path, &text) {
+            Ok(()) => println!("wrote {} ({} rows)", path.display(), subset.len()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn banner(s: &str) {
     println!("\n=== {s} ===");
+}
+
+/// One full pipeline measurement over a network: the five Table-2 stage
+/// windows under a per-network root span, pushed as rows (the `total`
+/// row is the root span, so per-stage times sum to it by construction).
+struct PipelineMeasure {
+    nodes: usize,
+    routes: usize,
+    parse: Duration,
+    dpgen: Duration,
+    graph: Duration,
+    dest: Duration,
+    dest_n: usize,
+    mp: Duration,
+    mp_n: usize,
+}
+
+fn measure_pipeline(
+    bench: &str,
+    id: &str,
+    net: batnet_topogen::GeneratedNetwork,
+    rows: &mut Vec<Row>,
+) -> PipelineMeasure {
+    let span = batnet_obs::Span::enter(format!("network.{id}"));
+    let world = build_world(net);
+    let (mut bdd, vars, graph, graph_time) = build_graph(&world, 0);
+    let (dest_time, dest_n) = dest_reachability(&mut bdd, &vars, &graph, 3);
+    let (mp_time, mp_n, _) = multipath_consistency(&mut bdd, &graph, 8);
+    let total = span.close();
+    let m = PipelineMeasure {
+        nodes: world.net.node_count(),
+        routes: world.dp.total_routes(),
+        parse: world.parse_time,
+        dpgen: world.dpgen_time,
+        graph: graph_time,
+        dest: dest_time,
+        dest_n,
+        mp: mp_time,
+        mp_n,
+    };
+    rows.push(Row::new(bench, id, "parse", m.parse));
+    rows.push(Row::new(bench, id, "dpgen", m.dpgen).with("routes", m.routes));
+    rows.push(Row::new(bench, id, "graph", m.graph));
+    rows.push(Row::new(bench, id, "dest-reach", m.dest).with("queries", m.dest_n));
+    rows.push(Row::new(bench, id, "multipath", m.mp).with("queries", m.mp_n));
+    rows.push(
+        Row::new(bench, id, "total", total)
+            .with("nodes", m.nodes)
+            .with("routes", m.routes),
+    );
+    m
 }
 
 /// Figure 1: the convergence gadgets under both schedulers.
@@ -95,7 +204,7 @@ fn fig1() {
 
 /// Figure 3: current vs original Batfish on NET1 — parsing, data plane
 /// generation (imperative vs Datalog), verification (BDD vs cube engine).
-fn fig3() {
+fn fig3(rows: &mut Vec<Row>) {
     banner("E-F3 (Figure 3): current vs original engines on NET1");
     let net = batnet_topogen::suite::net1();
     println!(
@@ -106,10 +215,12 @@ fn fig3() {
     let world = build_world(net);
     println!("parse (current frontend):        {}", fmt_dur(world.parse_time));
     println!("DP generation (imperative):      {}", fmt_dur(world.dpgen_time));
+    rows.push(Row::new("fig3", "NET1", "parse", world.parse_time));
+    rows.push(Row::new("fig3", "NET1", "dpgen", world.dpgen_time).with("engine", "imperative"));
 
     // Original DP generation: the Datalog model.
     let inputs = RoutingInputs::for_network(&world.devices, &world.topo);
-    let t = Instant::now();
+    let t = clock::now();
     let dl = datalog_routes(&world.devices, &world.topo, &inputs);
     let datalog_time = t.elapsed();
     let total_routes: usize = dl.routes.values().map(Vec::len).sum();
@@ -123,21 +234,32 @@ fn fig3() {
         "  -> DP generation speedup:      {}  (paper: ~1500x)",
         fmt_speedup(datalog_time, world.dpgen_time)
     );
+    rows.push(
+        Row::new("fig3", "NET1", "dpgen-datalog", datalog_time)
+            .with("engine", "datalog")
+            .with("facts", dl.fact_count),
+    );
 
     // Verification: multipath consistency, BDD vs cubes.
     let (mut bdd, _vars, graph, graph_time) = build_graph(&world, 0);
     println!("dataflow graph build (BDD):      {}", fmt_dur(graph_time));
+    rows.push(Row::new("fig3", "NET1", "graph", graph_time));
     let (bdd_time, starts, bdd_viol) = multipath_consistency(&mut bdd, &graph, 24);
     println!(
         "verification (BDD engine):       {}  ({starts} starts, {bdd_viol} inconsistent)",
         fmt_dur(bdd_time)
     );
-    let t = Instant::now();
+    rows.push(
+        Row::new("fig3", "NET1", "multipath", bdd_time)
+            .with("engine", "bdd")
+            .with("queries", starts),
+    );
+    let t = clock::now();
     let cube_net = CubeNetwork::build(&world.devices, &world.dp, &world.topo);
     let cube_build = t.elapsed();
     let ingresses = cube_net.ingresses();
     let step = (ingresses.len() / 24).max(1);
-    let t = Instant::now();
+    let t = clock::now();
     let mut cube_viol = 0;
     let mut cube_starts = 0;
     for (d, i) in ingresses.iter().step_by(step).take(24) {
@@ -155,6 +277,11 @@ fn fig3() {
     println!(
         "  -> verification speedup:       {}  (paper: ~12x)",
         fmt_speedup(cube_time + cube_build, bdd_time + graph_time)
+    );
+    rows.push(
+        Row::new("fig3", "NET1", "multipath-cubes", cube_time + cube_build)
+            .with("engine", "cubes")
+            .with("queries", cube_starts),
     );
 }
 
@@ -192,7 +319,7 @@ fn table1(full: bool) {
 }
 
 /// Table 2: pipeline performance per network.
-fn table2(full: bool) {
+fn table2(full: bool, rows: &mut Vec<Row>) {
     banner("E-T2 (Table 2): pipeline performance");
     println!(
         "{:<6} {:>6} {:>9} {:>10} {:>10} {:>11} {:>12} {:>10}",
@@ -203,24 +330,39 @@ fn table2(full: bool) {
             continue;
         }
         let net = (entry.build)();
-        let world = build_world(net);
-        let (mut bdd, vars, graph, graph_time) = build_graph(&world, 0);
-        let (dest_time, dest_n) = dest_reachability(&mut bdd, &vars, &graph, 3);
-        let (mp_time, mp_n, _) = multipath_consistency(&mut bdd, &graph, 8);
+        let m = measure_pipeline("table2", entry.id, net, rows);
         println!(
             "{:<6} {:>6} {:>9} {:>10} {:>10} {:>11} {:>12} {:>10}",
             entry.id,
-            world.net.node_count(),
-            world.dp.total_routes(),
-            fmt_dur(world.parse_time),
-            fmt_dur(world.dpgen_time),
-            fmt_dur(graph_time),
-            format!("{}/{}q", fmt_dur(dest_time), dest_n),
-            format!("{}/{}q", fmt_dur(mp_time), mp_n),
+            m.nodes,
+            m.routes,
+            fmt_dur(m.parse),
+            fmt_dur(m.dpgen),
+            fmt_dur(m.graph),
+            format!("{}/{}q", fmt_dur(m.dest), m.dest_n),
+            format!("{}/{}q", fmt_dur(m.mp), m.mp_n),
         );
     }
     println!("(times are wall clock on this machine; the paper's claim is");
     println!(" minutes even at thousands of nodes — compare shapes, not values)");
+}
+
+/// The CI smoke bench: the full pipeline on the smallest suite network,
+/// always emitting `target/BENCH_smoke.json` for the validator.
+fn smoke(rows: &mut Vec<Row>) {
+    banner("obs-smoke: pipeline on N2");
+    let net = batnet_topogen::suite::n2();
+    let m = measure_pipeline("smoke", "N2", net, rows);
+    println!(
+        "N2: {} nodes, {} routes — parse {} | dpgen {} | graph {} | dest-reach {} | multipath {}",
+        m.nodes,
+        m.routes,
+        fmt_dur(m.parse),
+        fmt_dur(m.dpgen),
+        fmt_dur(m.graph),
+        fmt_dur(m.dest),
+        fmt_dur(m.mp),
+    );
 }
 
 /// §6.2: the APT comparison on the 92-node network.
@@ -235,10 +377,10 @@ fn apt() {
         fmt_dur(graph_time),
         fmt_dur(dest_time)
     );
-    let t = Instant::now();
+    let t = clock::now();
     let apt = AptEngine::build(&mut bdd, &graph).expect("suite networks carry no transform edges");
     let apt_build = t.elapsed();
-    let t = Instant::now();
+    let t = clock::now();
     let sinks = apt.dest_reachability(&graph);
     let apt_query = t.elapsed();
     println!(
@@ -271,7 +413,7 @@ fn ablate_convergence() {
             max_sweeps: 100,
             ..SimOptions::default()
         };
-        let t = Instant::now();
+        let t = clock::now();
         let dp = simulate(&devices, &net.env, &opts);
         println!(
             "{label:32} converged={} sweeps={:>3} time={}",
@@ -352,7 +494,7 @@ fn ablate_varorder() {
     ];
     for (label, map) in &orders {
         let mut bdd = batnet::bdd::Bdd::new(32);
-        let t = Instant::now();
+        let t = clock::now();
         let mut acc = NodeId::FALSE;
         for p in &prefixes {
             let mut cube = NodeId::TRUE;
@@ -378,7 +520,7 @@ fn ablate_dataflow() {
     let world = build_world(net);
     let (mut bdd, vars, graph, _) = build_graph(&world, 0);
     let (n0, e0) = graph.size();
-    let t = Instant::now();
+    let t = clock::now();
     let (cgraph, stats) = compress(&mut bdd, &graph);
     let ct = t.elapsed();
     println!(
@@ -391,7 +533,7 @@ fn ablate_dataflow() {
     // Same forward query on both graphs.
     for (label, g) in [("uncompressed", &graph), ("compressed", &cgraph)] {
         let analysis = ReachAnalysis::new(g);
-        let t = Instant::now();
+        let t = clock::now();
         let r = analysis.forward_from_all_sources(&mut bdd, NodeId::TRUE);
         println!(
             "forward all-sources ({label:12}): {}  ({} relaxations)",
@@ -406,10 +548,10 @@ fn ablate_dataflow() {
         .next()
         .expect("a delivery sink");
     let analysis = ReachAnalysis::new(&graph);
-    let t = Instant::now();
+    let t = clock::now();
     let b = analysis.backward(&mut bdd, &vars, sink, NodeId::TRUE);
     let bt = t.elapsed();
-    let t = Instant::now();
+    let t = clock::now();
     let f = analysis.forward_from_all_sources(&mut bdd, NodeId::TRUE);
     let ft = t.elapsed();
     println!(
@@ -452,7 +594,7 @@ fn ablate_transform() {
         let p = batnet::net::Prefix::new(batnet::net::Ip(k << 20), 12);
         sets.push(vars.ip_prefix(&mut bdd, Field::SrcIp, p));
     }
-    let t = Instant::now();
+    let t = clock::now();
     let mut acc1 = NodeId::FALSE;
     for &s in &sets {
         let o = bdd.transform(s, rel, vars.nat_transform);
@@ -460,7 +602,7 @@ fn ablate_transform() {
     }
     let fused = t.elapsed();
     bdd.clear_caches();
-    let t = Instant::now();
+    let t = clock::now();
     let mut acc2 = NodeId::FALSE;
     for &s in &sets {
         let o = bdd.transform_3step(s, rel, vars.nat_transform);

@@ -1,13 +1,19 @@
 //! Shared experiment plumbing for the harness binary and the Criterion
 //! benches: world construction, timing, and the per-experiment
 //! measurement routines that regenerate the paper's tables and figures.
+//!
+//! Timing flows through [`batnet_obs`] spans: every measured window is a
+//! span, so the same numbers that print in the text tables appear in the
+//! machine-readable run report (`BENCH_<cmd>.json`, see [`bench_json`]).
 
 use batnet::bdd::{Bdd, NodeId};
 use batnet::config::Topology;
 use batnet::dataplane::{ForwardingGraph, NodeKind, PacketVars, ReachAnalysis};
 use batnet::routing::{simulate, DataPlane, SimOptions};
+use batnet_obs::Span;
 use batnet_topogen::GeneratedNetwork;
-use std::time::{Duration, Instant};
+use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A built world for measurement.
 pub struct World {
@@ -21,7 +27,8 @@ pub struct World {
     pub dp: DataPlane,
     /// Wall-clock of the parse stage.
     pub parse_time: Duration,
-    /// Wall-clock of data plane generation.
+    /// Wall-clock of data plane generation (topology inference included,
+    /// so the per-stage times partition the pipeline wall clock).
     pub dpgen_time: Duration,
 }
 
@@ -32,13 +39,13 @@ pub fn build_world(net: GeneratedNetwork) -> World {
 
 /// [`build_world`] with explicit engine options (for the ablations).
 pub fn build_world_with(net: GeneratedNetwork, opts: &SimOptions) -> World {
-    let t0 = Instant::now();
+    let span = Span::enter("parse");
     let devices = net.parse();
-    let parse_time = t0.elapsed();
+    let parse_time = span.close();
+    let span = Span::enter("dpgen");
     let topo = Topology::infer(&devices);
-    let t1 = Instant::now();
     let dp = simulate(&devices, &net.env, opts);
-    let dpgen_time = t1.elapsed();
+    let dpgen_time = span.close();
     World {
         net,
         devices,
@@ -52,9 +59,9 @@ pub fn build_world_with(net: GeneratedNetwork, opts: &SimOptions) -> World {
 /// Builds the BDD forwarding graph, timed.
 pub fn build_graph(world: &World, waypoints: u32) -> (Bdd, PacketVars, ForwardingGraph, Duration) {
     let (mut bdd, vars) = PacketVars::new(waypoints);
-    let t = Instant::now();
+    let span = Span::enter("graph");
     let graph = ForwardingGraph::build(&mut bdd, &vars, &world.devices, &world.dp, &world.topo);
-    let dt = t.elapsed();
+    let dt = span.close();
     (bdd, vars, graph, dt)
 }
 
@@ -71,12 +78,12 @@ pub fn dest_reachability(
     let step = (sinks.len() / count.max(1)).max(1);
     let chosen: Vec<usize> = sinks.iter().copied().step_by(step).take(count).collect();
     let analysis = ReachAnalysis::new(graph);
-    let t = Instant::now();
+    let span = Span::enter("dest-reach");
     for &s in &chosen {
         let r = analysis.backward(bdd, vars, s, NodeId::TRUE);
         std::hint::black_box(&r.reach);
     }
-    (t.elapsed(), chosen.len())
+    (span.close(), chosen.len())
 }
 
 /// Multipath-consistency measurement over up to `max_starts` interface
@@ -90,14 +97,14 @@ pub fn multipath_consistency(
     let step = (sources.len() / max_starts.max(1)).max(1);
     let chosen: Vec<usize> = sources.iter().copied().step_by(step).take(max_starts).collect();
     let analysis = ReachAnalysis::new(graph);
-    let t = Instant::now();
+    let span = Span::enter("multipath");
     let mut violations = 0usize;
     for &s in &chosen {
         if analysis.multipath_inconsistency(bdd, s) != NodeId::FALSE {
             violations += 1;
         }
     }
-    (t.elapsed(), chosen.len(), violations)
+    (span.close(), chosen.len(), violations)
 }
 
 /// Pretty-prints a duration for tables.
@@ -129,7 +136,7 @@ pub fn bench_fn<R>(group: &str, name: &str, samples: usize, mut f: impl FnMut() 
     std::hint::black_box(f()); // warm-up
     let mut times: Vec<Duration> = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let t = std::time::Instant::now();
+        let t = batnet_obs::clock::now();
         std::hint::black_box(f());
         times.push(t.elapsed());
     }
@@ -140,4 +147,134 @@ pub fn bench_fn<R>(group: &str, name: &str, samples: usize, mut f: impl FnMut() 
         fmt_dur(times[0]),
         fmt_dur(times[times.len() - 1]),
     );
+}
+
+/// One measurement row of the machine-readable bench output. The schema
+/// is stable: `{bench, network, stage, ms, meta}` — CI and external
+/// dashboards key on these five fields.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The experiment this row belongs to (`table2`, `fig3`, `smoke`).
+    pub bench: String,
+    /// Network id (`NET1`, `N2`, ...).
+    pub network: String,
+    /// Pipeline stage (`parse`, `dpgen`, `graph`, `dest-reach`,
+    /// `multipath`, or `total` for the per-network root span).
+    pub stage: String,
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+    /// Free-form string annotations (node counts, query counts, ...).
+    pub meta: Vec<(String, String)>,
+}
+
+impl Row {
+    /// A row from a timed duration.
+    pub fn new(bench: &str, network: &str, stage: &str, d: Duration) -> Row {
+        Row {
+            bench: bench.to_string(),
+            network: network.to_string(),
+            stage: stage.to_string(),
+            ms: d.as_secs_f64() * 1e3,
+            meta: Vec::new(),
+        }
+    }
+
+    /// Attaches one meta annotation (builder style).
+    pub fn with(mut self, key: &str, value: impl ToString) -> Row {
+        self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// Serializes a bench document: schema version, provenance meta, the
+/// measurement rows, and the embedded run report captured from the
+/// observability registry. The in-tree validator
+/// (`batnet_obs::report::validate_bench`) accepts exactly this shape.
+pub fn bench_json(
+    bench: &str,
+    meta: &[(String, String)],
+    rows: &[Row],
+    report: &batnet_obs::RunReport,
+) -> String {
+    use batnet_obs::json;
+    let mut out = String::with_capacity(8192);
+    let _ = write!(out, "{{\"schema\": {}", batnet_obs::report::SCHEMA_VERSION);
+    out.push_str(", \"bench\": ");
+    json::write_str(&mut out, bench);
+    out.push_str(", \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json::write_str(&mut out, k);
+        out.push_str(": ");
+        json::write_str(&mut out, v);
+    }
+    out.push_str("}, \"rows\": [");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"bench\": ");
+        json::write_str(&mut out, &row.bench);
+        out.push_str(", \"network\": ");
+        json::write_str(&mut out, &row.network);
+        out.push_str(", \"stage\": ");
+        json::write_str(&mut out, &row.stage);
+        out.push_str(", \"ms\": ");
+        json::write_f64(&mut out, row.ms);
+        out.push_str(", \"meta\": {");
+        for (j, (k, v)) in row.meta.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            json::write_str(&mut out, k);
+            out.push_str(": ");
+            json::write_str(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("], \"report\": ");
+    out.push_str(&report.to_json());
+    out.push('}');
+    out
+}
+
+/// The current git commit (short hash), or `"unknown"` outside a
+/// checkout — every emitted report and text table is stamped with it.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The workspace root (where `BENCH_<cmd>.json` baselines live),
+/// resolved from this crate's manifest directory.
+pub fn repo_root() -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_validates() {
+        let rows = vec![
+            Row::new("table2", "N2", "parse", Duration::from_millis(2)).with("nodes", 75),
+            Row::new("table2", "N2", "total", Duration::from_millis(120)),
+        ];
+        let meta = vec![("commit".to_string(), "abc123".to_string())];
+        let report = batnet_obs::capture();
+        let text = bench_json("table2", &meta, &rows, &report);
+        let v = batnet_obs::json::parse(&text).expect("bench JSON parses");
+        batnet_obs::report::validate_bench(&v).expect("bench JSON validates");
+    }
 }

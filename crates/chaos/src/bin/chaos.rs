@@ -102,7 +102,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let t0 = std::time::Instant::now();
+    let t0 = batnet_obs::clock::now();
     let report = run_chaos(&nets, &cfg);
     let elapsed = t0.elapsed();
     println!(
@@ -119,7 +119,7 @@ fn main() -> ExitCode {
     );
     let violations = report.violations();
     if violations.is_empty() {
-        println!("chaos: PASS — zero panics, monotone degradation held");
+        println!("chaos: PASS — zero panics, monotone degradation, valid run reports");
         ExitCode::SUCCESS
     } else {
         for v in &violations {

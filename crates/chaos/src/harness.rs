@@ -14,6 +14,10 @@
 //!    results for the surviving devices are byte-identical to analyzing
 //!    the surviving subset alone: broken inputs cannot bend healthy
 //!    state.
+//! 4. **Report validation** — the analysis's [`batnet_obs::RunReport`]
+//!    serializes to JSON that parses and passes the schema-1 validator
+//!    even under faults, and every quarantined device is accounted for
+//!    in it with its reason code.
 
 use crate::mutate::{mutate, MutationClass};
 use batnet::{ResourceGovernor, Snapshot};
@@ -125,6 +129,9 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
     let configs = m.configs.clone();
     let env = m.env.clone();
     let deadline = cfg.deadline;
+    // One observability run per chaos run: the captured report must
+    // describe exactly this (network, class, seed) triple.
+    batnet_obs::reset();
 
     // Invariant 1: the entire pipeline, end to end, must not panic.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -183,6 +190,33 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
     for q in &analysis.quarantined {
         if !run.quarantined.iter().any(|(d, _)| d == &q.device) {
             run.quarantined.push((q.device.clone(), q.reason.code()));
+        }
+    }
+
+    // Invariant 4: the run report is machine-readable even under faults
+    // and accounts for every quarantined device.
+    let report_text = analysis.report.to_json();
+    match batnet_obs::json::parse(&report_text) {
+        Err(e) => run
+            .violations
+            .push(format!("run report does not parse as JSON: {e}")),
+        Ok(v) => {
+            if let Err(e) = batnet_obs::report::validate_run_report(&v) {
+                run.violations.push(format!("run report fails schema: {e}"));
+            }
+        }
+    }
+    for q in &analysis.quarantined {
+        let accounted = analysis
+            .report
+            .quarantined
+            .iter()
+            .any(|e| e.device == q.device && e.code == q.reason.code());
+        if !accounted {
+            run.violations.push(format!(
+                "{}: quarantined but missing from the run report",
+                q.device
+            ));
         }
     }
 

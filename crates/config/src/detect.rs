@@ -75,8 +75,43 @@ impl Dialect {
 /// Parses a device config, auto-detecting the dialect. `name` is the
 /// fallback hostname (usually the file name) if the config does not set
 /// one.
+///
+/// Parse coverage is recorded per dialect in the observability registry
+/// (`parse.devices.<dialect>`, `parse.lines.total.<dialect>`,
+/// `parse.lines.missed.<dialect>`, and the `parse.coverage.permille`
+/// histogram) — the §4.1 "red flag" surface: a dialect whose coverage
+/// sags is a dialect whose model silently thinned out.
 pub fn parse_device(name: &str, text: &str) -> (Device, Diagnostics) {
-    Dialect::detect(text).parse(name, text)
+    let dialect = Dialect::detect(text);
+    let (device, diags) = dialect.parse(name, text);
+    let meaningful = text
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('!') && !t.starts_with('#')
+        })
+        .count();
+    let missed = diags.count(crate::diag::Severity::UnrecognizedLine)
+        + diags.count(crate::diag::Severity::ParseError);
+    batnet_obs::counter_add(&format!("parse.devices.{dialect}"), 1);
+    batnet_obs::counter_add(&format!("parse.lines.total.{dialect}"), meaningful as u64);
+    batnet_obs::counter_add(&format!("parse.lines.missed.{dialect}"), missed as u64);
+    batnet_obs::observe(
+        "parse.coverage.permille",
+        (diags.coverage(meaningful).max(0.0) * 1000.0) as u64,
+    );
+    for severity in [
+        crate::diag::Severity::Info,
+        crate::diag::Severity::UnrecognizedLine,
+        crate::diag::Severity::UndefinedReference,
+        crate::diag::Severity::ParseError,
+    ] {
+        let n = diags.count(severity);
+        if n > 0 {
+            batnet_obs::counter_add(&format!("parse.diag.{severity}"), n as u64);
+        }
+    }
+    (device, diags)
 }
 
 #[cfg(test)]

@@ -74,6 +74,7 @@ pub fn validate(analysis: &Analysis, expectations: &[Expectation]) -> FidelityRe
             ));
         }
     }
+    publish_fidelity(&report);
     report
 }
 
@@ -231,7 +232,14 @@ pub fn differential_test(analysis: &mut Analysis, max_starts: usize) -> Fidelity
             }
         }
     }
+    publish_fidelity(&report);
     report
+}
+
+/// Feeds a fidelity outcome into the observability registry.
+fn publish_fidelity(report: &FidelityReport) {
+    batnet_obs::counter_add("fidelity.checks", report.checks as u64);
+    batnet_obs::counter_add("fidelity.mismatches", report.mismatches.len() as u64);
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@ pub use batnet_datalog as datalog;
 pub use batnet_dataplane as dataplane;
 pub use batnet_lint as lint;
 pub use batnet_net as net;
+pub use batnet_obs as obs;
 pub use batnet_queries as queries;
 pub use batnet_routing as routing;
 pub use batnet_traceroute as traceroute;

@@ -107,6 +107,18 @@ pub struct Quarantine {
     pub reason: QuarantineReason,
 }
 
+impl Quarantine {
+    /// The run-report form of this entry (see [`batnet_obs::report`]).
+    pub fn report_entry(&self) -> batnet_obs::report::QuarantineEntry {
+        batnet_obs::report::QuarantineEntry {
+            device: self.device.clone(),
+            stage: self.stage.to_string(),
+            code: self.reason.code().to_string(),
+            detail: self.reason.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for Quarantine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

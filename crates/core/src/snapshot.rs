@@ -9,8 +9,10 @@ use crate::error::Error;
 use crate::quarantine::{panic_detail, Quarantine, QuarantineReason, QuarantineStage};
 use batnet_config::{parse_device, Diagnostic, Severity, Topology};
 use batnet_dataplane::{ForwardingGraph, PacketVars};
-use batnet_net::governor::{Outcome, ResourceGovernor};
+use batnet_net::governor::{Exhaustion, Outcome, ResourceGovernor};
 use batnet_net::Flow;
+use batnet_obs::report::{PartialOutcome, SnapshotSummary};
+use batnet_obs::RunReport;
 use batnet_queries::QueryContext;
 use batnet_routing::{simulate, simulate_governed, DataPlane, Environment, SimOptions};
 use batnet_traceroute::{StartLocation, Trace, Tracer};
@@ -44,6 +46,7 @@ impl Snapshot {
     /// no usable model are quarantined rather than aborting the
     /// snapshot.
     pub fn from_configs(configs: Vec<(String, String)>) -> Snapshot {
+        let _span = batnet_obs::Span::enter("snapshot.parse");
         let mut devices = Vec::with_capacity(configs.len());
         let mut diagnostics = Vec::new();
         let mut quarantined = Vec::new();
@@ -102,6 +105,9 @@ impl Snapshot {
                     }
                 }
             }
+        }
+        for q in &quarantined {
+            batnet_obs::event("quarantine", &q.device, q.reason.code());
         }
         Snapshot {
             devices,
@@ -195,6 +201,9 @@ impl Snapshot {
                 },
             }
         }
+        for q in &quarantined {
+            batnet_obs::event("quarantine", &q.device, q.reason.code());
+        }
         let mut snapshot = Snapshot::from_configs(configs);
         snapshot.diagnostics.extend(skipped);
         // Load-stage quarantines come first: they happened first.
@@ -222,10 +231,21 @@ impl Snapshot {
 
     /// Runs the full pipeline with explicit options.
     pub fn analyze_with(&self, opts: &SimOptions, waypoints: u32) -> Analysis {
+        let root = batnet_obs::Span::enter("pipeline");
+        let topo_span = batnet_obs::Span::enter("topology.infer");
         let topo = Topology::infer(&self.devices);
+        topo_span.close();
         let dp = simulate(&self.devices, &self.env, opts);
         let (mut bdd, vars) = PacketVars::new(waypoints);
         let graph = ForwardingGraph::build(&mut bdd, &vars, &self.devices, &dp, &topo);
+        publish_bdd_gauges(&mut bdd);
+        root.close();
+        let report = finish_report(
+            self.devices.len(),
+            self.diagnostic_count(),
+            &self.quarantined,
+            None,
+        );
         Analysis {
             devices: self.devices.clone(),
             topo,
@@ -234,6 +254,7 @@ impl Snapshot {
             vars,
             graph,
             quarantined: self.quarantined.clone(),
+            report,
         }
     }
 
@@ -257,6 +278,7 @@ impl Snapshot {
         if devices.is_empty() {
             return Err(Error::EmptySnapshot);
         }
+        let root = batnet_obs::Span::enter("pipeline");
 
         let mut outcome: Option<Outcome<DataPlane>> = None;
         for _round in 0..MAX_ROUTE_RETRIES {
@@ -268,6 +290,7 @@ impl Snapshot {
             }
             for name in poisoned {
                 devices.retain(|d| d.name != name);
+                batnet_obs::event("quarantine", &name, QuarantineReason::RoutePanic.code());
                 quarantined.push(Quarantine {
                     device: name,
                     stage: QuarantineStage::Route,
@@ -303,8 +326,13 @@ impl Snapshot {
                 why,
             } => (completed, Some((abandoned, why))),
         };
+        if let Some((_, why)) = &partial {
+            batnet_obs::event("governor-trip", &why.stage, &why.limit.to_string());
+        }
 
+        let topo_span = batnet_obs::Span::enter("topology.infer");
         let topo = Topology::infer(&devices);
+        topo_span.close();
         let (mut bdd, vars) = PacketVars::new(waypoints);
         let graph = catch_unwind(AssertUnwindSafe(|| {
             ForwardingGraph::build(&mut bdd, &vars, &devices, &dp, &topo)
@@ -315,6 +343,14 @@ impl Snapshot {
                 panic_detail(payload)
             ))
         })?;
+        publish_bdd_gauges(&mut bdd);
+        root.close();
+        let report = finish_report(
+            devices.len(),
+            self.diagnostic_count(),
+            &quarantined,
+            partial.as_ref().map(|(a, w)| (a.as_slice(), w)),
+        );
 
         let analysis = Analysis {
             devices,
@@ -324,6 +360,7 @@ impl Snapshot {
             vars,
             graph,
             quarantined,
+            report,
         };
         Ok(match partial {
             None => Outcome::Complete(analysis),
@@ -339,6 +376,41 @@ impl Snapshot {
     pub fn lint(&self) -> Vec<batnet_lint::Finding> {
         batnet_lint::run_all(&self.devices)
     }
+}
+
+/// Publishes the BDD manager's end-of-build statistics as gauges, then
+/// resets the apply-cache window so later queries (reach, traceroute)
+/// accumulate their own hit rates.
+fn publish_bdd_gauges(bdd: &mut batnet_bdd::Bdd) {
+    batnet_obs::gauge_set("bdd.nodes", bdd.node_count() as f64);
+    batnet_obs::gauge_set("bdd.unique-table", bdd.unique_table_len() as f64);
+    batnet_obs::gauge_set("bdd.cache.hit-rate", bdd.cache_hit_rate());
+    let window = bdd.take_stats();
+    batnet_obs::counter_add("bdd.cache.hits", window.cache_hits);
+    batnet_obs::counter_add("bdd.cache.misses", window.cache_misses);
+}
+
+/// Captures the observability state into a [`RunReport`] and fills the
+/// pipeline-side accounting sections.
+fn finish_report(
+    devices: usize,
+    diagnostics: usize,
+    quarantined: &[Quarantine],
+    partial: Option<(&[String], &Exhaustion)>,
+) -> RunReport {
+    let mut report = batnet_obs::capture();
+    report.quarantined = quarantined.iter().map(Quarantine::report_entry).collect();
+    report.partial = partial.map(|(abandoned, why)| PartialOutcome {
+        stage: why.stage.clone(),
+        limit: why.limit.to_string(),
+        abandoned: abandoned.to_vec(),
+    });
+    report.snapshot = Some(SnapshotSummary {
+        devices,
+        quarantined: quarantined.len(),
+        diagnostics,
+    });
+    report
 }
 
 /// A fully analyzed snapshot: simulated data plane plus the symbolic
@@ -360,6 +432,9 @@ pub struct Analysis {
     /// Everything isolated on the way here (load, parse, and route
     /// stages), with machine-readable reasons.
     pub quarantined: Vec<Quarantine>,
+    /// The machine-readable run report: span tree, metric snapshot,
+    /// events, and quarantine/partial accounting for this analysis.
+    pub report: RunReport,
 }
 
 impl Analysis {

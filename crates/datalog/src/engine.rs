@@ -206,7 +206,7 @@ impl Engine {
                 let before = self.facts.len();
                 let trace = std::env::var_os("BATNET_DL_TRACE").is_some();
                 for (ri, rule) in stratum.iter().enumerate() {
-                    let t0 = std::time::Instant::now();
+                    let t0 = batnet_obs::clock::now();
                     if first_pass {
                         firings += self.fire(rule, (si, ri), None, &frontier);
                     } else {

@@ -216,6 +216,7 @@ impl ForwardingGraph {
         dp: &DataPlane,
         topo: &Topology,
     ) -> ForwardingGraph {
+        let _span = batnet_obs::Span::enter("graph.build");
         let mut g = ForwardingGraph {
             nodes: Vec::new(),
             edges: Vec::new(),
@@ -473,6 +474,8 @@ impl ForwardingGraph {
                 }
             }
         }
+        batnet_obs::gauge_set("graph.nodes", g.nodes.len() as f64);
+        batnet_obs::gauge_set("graph.edges", g.edges.len() as f64);
         g
     }
 

@@ -85,6 +85,7 @@ impl<'g> ReachAnalysis<'g> {
         sources: &[(usize, NodeId)],
         gov: &ResourceGovernor,
     ) -> Outcome<ReachResult> {
+        let span = batnet_obs::Span::enter("reach.forward");
         let n = self.graph.nodes.len();
         let mut reach = vec![NodeId::FALSE; n];
         let mut worklist: BTreeSet<usize> = BTreeSet::new();
@@ -117,6 +118,9 @@ impl<'g> ReachAnalysis<'g> {
                 }
             }
         }
+        span.close();
+        batnet_obs::counter_add("reach.queries", 1);
+        batnet_obs::observe("reach.relaxations", relaxations);
         self.finish(reach, relaxations, worklist, why)
     }
 
@@ -144,6 +148,7 @@ impl<'g> ReachAnalysis<'g> {
         target_set: NodeId,
         gov: &ResourceGovernor,
     ) -> Outcome<ReachResult> {
+        let span = batnet_obs::Span::enter("reach.backward");
         let n = self.graph.nodes.len();
         let mut reach = vec![NodeId::FALSE; n];
         reach[target] = target_set;
@@ -172,6 +177,9 @@ impl<'g> ReachAnalysis<'g> {
                 }
             }
         }
+        span.close();
+        batnet_obs::counter_add("reach.queries", 1);
+        batnet_obs::observe("reach.relaxations", relaxations);
         self.finish(reach, relaxations, worklist, why)
     }
 

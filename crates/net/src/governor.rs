@@ -15,6 +15,7 @@
 //! budget can span the whole pipeline: iterations consumed by routing count
 //! against the same budget the dataplane stage inherits.
 
+use batnet_obs::clock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -137,7 +138,7 @@ impl ResourceGovernor {
     /// A governor with only a wall-clock deadline, measured from now.
     pub fn with_deadline(budget: Duration) -> ResourceGovernor {
         ResourceGovernor::build(
-            Some(Instant::now() + budget),
+            Some(clock::now() + budget),
             budget.as_millis() as u64,
             None,
             None,
@@ -159,7 +160,7 @@ impl ResourceGovernor {
     /// Builder: adds a wall-clock deadline (from now).
     pub fn and_deadline(self, budget: Duration) -> ResourceGovernor {
         ResourceGovernor::build(
-            Some(Instant::now() + budget),
+            Some(clock::now() + budget),
             budget.as_millis() as u64,
             self.inner.iteration_budget,
             self.inner.node_ceiling,
@@ -198,7 +199,7 @@ impl ResourceGovernor {
     /// work). `Err` carries the stage name and the limit that tripped.
     pub fn check(&self, stage: &str) -> Result<(), Exhaustion> {
         if let Some(deadline) = self.inner.deadline {
-            if Instant::now() >= deadline {
+            if clock::now() >= deadline {
                 return Err(Exhaustion {
                     stage: stage.to_string(),
                     limit: Limit::Deadline {

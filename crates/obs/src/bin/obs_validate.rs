@@ -1,0 +1,76 @@
+//! Validates batnet observability JSON files against the schema.
+//!
+//! ```text
+//! obs-validate [--kind bench|report] FILE...
+//! ```
+//!
+//! `--kind bench` (default for `BENCH_*.json` names) checks the stable
+//! `{bench, network, stage, ms, meta}` row schema plus the embedded run
+//! report; `--kind report` checks a bare run report. Exits non-zero on
+//! the first invalid file, so `make ci` fails on schema drift.
+
+use batnet_obs::json;
+use batnet_obs::report::{validate_bench, validate_run_report};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut kind: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--kind" => match args.next() {
+                Some(k) if k == "bench" || k == "report" => kind = Some(k),
+                _ => {
+                    eprintln!("--kind wants 'bench' or 'report'");
+                    return ExitCode::from(2);
+                }
+            },
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: obs-validate [--kind bench|report] FILE...");
+        return ExitCode::from(2);
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-validate: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let value = match json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("obs-validate: {file}: not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let is_bench = match kind.as_deref() {
+            Some("bench") => true,
+            Some(_) => false,
+            None => {
+                let base = file.rsplit('/').next().unwrap_or(file);
+                base.starts_with("BENCH_")
+            }
+        };
+        let result = if is_bench {
+            validate_bench(&value)
+        } else {
+            validate_run_report(&value)
+        };
+        match result {
+            Ok(()) => println!(
+                "obs-validate: {file}: OK ({})",
+                if is_bench { "bench schema" } else { "run report" }
+            ),
+            Err(e) => {
+                eprintln!("obs-validate: {file}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,16 @@
+//! The one place in the workspace allowed to read the monotonic clock.
+//!
+//! A clippy `disallowed-methods` gate (see `clippy.toml` at the
+//! workspace root) rejects `std::time::Instant::now()` in every other
+//! crate, so ad-hoc timing cannot bypass the observability layer: code
+//! either opens a [`crate::Span`] (observable in the run report) or
+//! takes an explicit [`now`] timestamp (greppable, reviewable).
+
+use std::time::Instant;
+
+/// Returns the current monotonic instant. The only sanctioned
+/// `Instant::now` in the workspace.
+#[allow(clippy::disallowed_methods)]
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,51 @@
+//! # batnet-obs — zero-dependency observability
+//!
+//! The paper's evaluation (§6, Table 2) is built on *per-stage* pipeline
+//! measurements, and its Lesson-3 experience is that operators only trust
+//! an analyzer that can account for what it did to each input (parse
+//! coverage red flags, §4.1). This crate is that accounting layer,
+//! in-tree and dependency-free (the workspace is offline):
+//!
+//! * **Spans** ([`span`]) — RAII wall-clock timing with nesting, cheap
+//!   enough to be always-on. Every pipeline stage (`snapshot.parse`,
+//!   `route.simulate`, `graph.build`, `reach.*`) opens a span.
+//! * **Metrics** ([`metrics`]) — a typed registry of counters, gauges,
+//!   and log2-bucketed histograms fed from the stages: parse line
+//!   coverage per dialect, routing sweeps and RIB deltas, BDD node
+//!   counts and apply-cache hit rates, reach query sizes.
+//! * **Events** ([`metrics::event`]) — bridged quarantine reasons and
+//!   governor trips, timestamped against the run epoch.
+//! * **Run reports** ([`report`]) — one JSON document per run capturing
+//!   the span tree, metric snapshot, events, and quarantine/partial
+//!   accounting. Serialization is a hand-rolled writer ([`json`], no
+//!   serde); the same module carries a minimal parser so reports can be
+//!   validated in-tree (the `obs-validate` bin and the chaos harness).
+//!
+//! All state is process-global and reset with [`reset`]: a *run* is
+//! "reset → build snapshot → analyze → [`report::capture`]". The
+//! recorder is thread-safe (spans opened on worker threads become roots
+//! of their own subtrees), but `reset` must not race with open spans —
+//! call it only at orchestration points.
+//!
+//! Timing discipline: a workspace clippy gate disallows
+//! `std::time::Instant::now` everywhere else, so all timing flows
+//! through [`clock::now`] or spans and is therefore observable.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use clock::now;
+pub use metrics::{counter_add, event, gauge_set, observe};
+pub use report::{capture, RunReport};
+pub use span::Span;
+
+/// Clears all recorded spans, metrics, and events and restarts the run
+/// epoch. Call at the start of a run (harness iteration, chaos run,
+/// test); must not race with open spans.
+pub fn reset() {
+    span::reset_spans();
+    metrics::reset_metrics();
+}

@@ -1,0 +1,293 @@
+//! The typed metrics registry: counters, gauges, histograms, events.
+//!
+//! Metrics are named with dotted lowercase paths (`parse.lines.total.ios`,
+//! `bdd.cache.hits`); the full taxonomy is documented in DESIGN.md
+//! ("Observability"). A name is bound to one type on first use; a
+//! mismatched re-use is recorded in the `obs.type-conflicts` counter
+//! rather than panicking (observability must never take the pipeline
+//! down).
+//!
+//! Histograms use fixed log2 buckets: bucket 0 holds the value 0 and
+//! bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i)`. 65 buckets cover the
+//! full `u64` range with no configuration and no allocation per
+//! observation.
+
+use crate::clock;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log2 histogram buckets (value 0 plus one per bit).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Cap on retained events; later events are counted but dropped.
+const MAX_EVENTS: usize = 4096;
+
+/// A log2-bucketed histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// `buckets[bucket_index(v)]` counts observations of `v`.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive-exclusive value range `[lo, hi)` of a bucket (bucket 0 is
+/// `[0, 1)`).
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+    }
+}
+
+/// One metric's current value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone sum.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Log2-bucketed distribution.
+    Histogram(Histogram),
+}
+
+/// One recorded event (quarantine, governor trip, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Offset from the run epoch in nanoseconds.
+    pub at_ns: u64,
+    /// Event class, e.g. `quarantine`, `governor-trip`.
+    pub kind: String,
+    /// What the event is about (device name, stage).
+    pub subject: String,
+    /// Machine-readable detail (reason code, limit description).
+    pub detail: String,
+}
+
+struct State {
+    epoch: Instant,
+    metrics: BTreeMap<String, MetricValue>,
+    events: Vec<Event>,
+    events_dropped: u64,
+}
+
+fn state() -> &'static Mutex<State> {
+    static S: OnceLock<Mutex<State>> = OnceLock::new();
+    S.get_or_init(|| {
+        Mutex::new(State {
+            epoch: clock::now(),
+            metrics: BTreeMap::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+        })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, State> {
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn type_conflict(st: &mut State) {
+    match st
+        .metrics
+        .entry("obs.type-conflicts".to_string())
+        .or_insert(MetricValue::Counter(0))
+    {
+        MetricValue::Counter(c) => *c += 1,
+        _ => {}
+    }
+}
+
+/// Adds `n` to the counter `name`, creating it at 0 first.
+pub fn counter_add(name: &str, n: u64) {
+    let mut st = lock();
+    match st.metrics.get_mut(name) {
+        None => {
+            st.metrics
+                .insert(name.to_string(), MetricValue::Counter(n));
+        }
+        Some(MetricValue::Counter(c)) => *c += n,
+        Some(_) => type_conflict(&mut st),
+    }
+}
+
+/// Sets the gauge `name` to `v`.
+pub fn gauge_set(name: &str, v: f64) {
+    let mut st = lock();
+    match st.metrics.get_mut(name) {
+        None => {
+            st.metrics.insert(name.to_string(), MetricValue::Gauge(v));
+        }
+        Some(MetricValue::Gauge(g)) => *g = v,
+        Some(_) => type_conflict(&mut st),
+    }
+}
+
+/// Records `v` in the histogram `name`.
+pub fn observe(name: &str, v: u64) {
+    let mut st = lock();
+    let entry = match st.metrics.get_mut(name) {
+        None => {
+            st.metrics
+                .insert(name.to_string(), MetricValue::Histogram(Histogram::new()));
+            match st.metrics.get_mut(name) {
+                Some(MetricValue::Histogram(h)) => h,
+                _ => return,
+            }
+        }
+        Some(MetricValue::Histogram(h)) => h,
+        Some(_) => {
+            type_conflict(&mut st);
+            return;
+        }
+    };
+    entry.count += 1;
+    entry.sum = entry.sum.saturating_add(v);
+    entry.buckets[bucket_index(v)] += 1;
+}
+
+/// Records an event. Events beyond the retention cap are counted in the
+/// report's `events_dropped` field instead of growing without bound.
+pub fn event(kind: &str, subject: &str, detail: &str) {
+    let mut st = lock();
+    if st.events.len() >= MAX_EVENTS {
+        st.events_dropped += 1;
+        return;
+    }
+    let at_ns = clock::now()
+        .saturating_duration_since(st.epoch)
+        .as_nanos() as u64;
+    st.events.push(Event {
+        at_ns,
+        kind: kind.to_string(),
+        subject: subject.to_string(),
+        detail: detail.to_string(),
+    });
+}
+
+/// Snapshot of the registry since the last reset.
+pub(crate) fn snapshot_metrics() -> (BTreeMap<String, MetricValue>, Vec<Event>, u64) {
+    let st = lock();
+    (st.metrics.clone(), st.events.clone(), st.events_dropped)
+}
+
+/// Clears all metrics and events and restarts the event epoch.
+pub(crate) fn reset_metrics() {
+    let mut st = lock();
+    st.epoch = clock::now();
+    st.metrics.clear();
+    st.events.clear();
+    st.events_dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's range round-trips through bucket_index.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            if hi > lo && i < 64 {
+                assert_eq!(bucket_index(hi - 1), i, "hi-1 of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let _g = crate::span::test_guard();
+        crate::reset();
+        for v in [0u64, 1, 1, 3, 8, 1000] {
+            observe("test.hist", v);
+        }
+        let (metrics, _, _) = snapshot_metrics();
+        let Some(MetricValue::Histogram(h)) = metrics.get("test.hist") else {
+            panic!("histogram missing");
+        };
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1013);
+        assert_eq!(h.buckets[bucket_index(0)], 1);
+        assert_eq!(h.buckets[bucket_index(1)], 2);
+        assert_eq!(h.buckets[bucket_index(3)], 1);
+        assert_eq!(h.buckets[bucket_index(8)], 1);
+        assert_eq!(h.buckets[bucket_index(1000)], 1);
+        assert!((h.mean() - 1013.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_gauges_and_conflicts() {
+        let _g = crate::span::test_guard();
+        crate::reset();
+        counter_add("c", 2);
+        counter_add("c", 3);
+        gauge_set("g", 1.5);
+        gauge_set("g", 2.5);
+        // A type conflict is absorbed, not panicked on.
+        gauge_set("c", 9.0);
+        let (metrics, _, _) = snapshot_metrics();
+        assert_eq!(metrics.get("c"), Some(&MetricValue::Counter(5)));
+        assert_eq!(metrics.get("g"), Some(&MetricValue::Gauge(2.5)));
+        assert_eq!(
+            metrics.get("obs.type-conflicts"),
+            Some(&MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn events_record_and_reset() {
+        let _g = crate::span::test_guard();
+        crate::reset();
+        event("quarantine", "r1", "parse-panic");
+        let (_, events, dropped) = snapshot_metrics();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "quarantine");
+        assert_eq!(dropped, 0);
+        crate::reset();
+        let (m, events, _) = snapshot_metrics();
+        assert!(m.is_empty());
+        assert!(events.is_empty());
+    }
+}

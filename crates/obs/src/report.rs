@@ -1,0 +1,567 @@
+//! Machine-readable run reports: one JSON document that accounts for a
+//! whole pipeline run — the span tree, the metric snapshot, events, and
+//! quarantine / partial-outcome bookkeeping.
+//!
+//! Schema (version 1; the in-tree validator fails on drift):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "meta":   { "commit": "...", "cmd": "..." },
+//!   "spans":  [ {"name": "...", "start_ms": 0.0, "ms": 1.5, "children": [...]} ],
+//!   "metrics": {
+//!     "route.sweeps":   {"type": "counter", "value": 12},
+//!     "bdd.nodes":      {"type": "gauge", "value": 4096},
+//!     "reach.relaxations": {"type": "histogram", "count": 3, "sum": 90,
+//!                            "mean": 30.0, "buckets": [[16, 32, 2], [32, 64, 1]]}
+//!   },
+//!   "events": [ {"at_ms": 0.2, "kind": "quarantine", "subject": "r9",
+//!                "detail": "parse-panic"} ],
+//!   "events_dropped": 0,
+//!   "quarantined": [ {"device": "r9", "stage": "parse",
+//!                     "code": "parse-panic", "detail": "..."} ],
+//!   "partial": null,
+//!   "snapshot": {"devices": 84, "quarantined": 1, "diagnostics": 3}
+//! }
+//! ```
+//!
+//! An open span (`Span` alive at capture) serializes `"ms": null`;
+//! histogram buckets list only non-empty `[lo, hi, count]` triples.
+
+use crate::json::{self, Value};
+use crate::metrics::{bucket_range, Event, MetricValue};
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Current report schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One quarantined device as reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Device (or file stem).
+    pub device: String,
+    /// Pipeline stage (`load`, `parse`, `route`).
+    pub stage: String,
+    /// Stable machine-readable reason code.
+    pub code: String,
+    /// Free-text detail.
+    pub detail: String,
+}
+
+/// Partial-outcome accounting: what a governor trip abandoned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialOutcome {
+    /// Stage that observed the exhaustion.
+    pub stage: String,
+    /// The limit that tripped (display form).
+    pub limit: String,
+    /// Machine-readable identifiers of abandoned work.
+    pub abandoned: Vec<String>,
+}
+
+/// Input-accounting summary for the snapshot that was analyzed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SnapshotSummary {
+    /// Devices that survived to analysis.
+    pub devices: usize,
+    /// Devices quarantined on the way.
+    pub quarantined: usize,
+    /// Total parse diagnostics.
+    pub diagnostics: usize,
+}
+
+/// A captured run report. [`capture`] fills the observability sections;
+/// callers (the snapshot pipeline, the bench harness) fill the rest.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Provenance key/values (commit, command line, network).
+    pub meta: BTreeMap<String, String>,
+    /// Recorded spans (flat; parent indices define the tree).
+    pub spans: Vec<SpanRecord>,
+    /// Metric snapshot.
+    pub metrics: BTreeMap<String, MetricValue>,
+    /// Recorded events.
+    pub events: Vec<Event>,
+    /// Events beyond the retention cap.
+    pub events_dropped: u64,
+    /// Quarantine accounting.
+    pub quarantined: Vec<QuarantineEntry>,
+    /// Partial-outcome accounting, when a governor limit tripped.
+    pub partial: Option<PartialOutcome>,
+    /// Snapshot input summary.
+    pub snapshot: Option<SnapshotSummary>,
+}
+
+/// Captures everything recorded since the last [`crate::reset`].
+pub fn capture() -> RunReport {
+    let (metrics, events, events_dropped) = crate::metrics::snapshot_metrics();
+    RunReport {
+        meta: BTreeMap::new(),
+        spans: crate::span::snapshot_spans(),
+        metrics,
+        events,
+        events_dropped,
+        quarantined: Vec::new(),
+        partial: None,
+        snapshot: None,
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    (ns / 1_000) as f64 / 1000.0
+}
+
+impl RunReport {
+    /// How many spans carry this exact name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Duration in milliseconds of the first span with this name, if it
+    /// closed.
+    pub fn span_ms(&self, name: &str) -> Option<f64> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| s.dur_ns)
+            .map(ms)
+    }
+
+    /// The counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Serializes to schema-1 JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\": ");
+        let _ = write!(out, "{SCHEMA_VERSION}");
+        out.push_str(", \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_str(&mut out, k);
+            out.push_str(": ");
+            json::write_str(&mut out, v);
+        }
+        out.push_str("}, \"spans\": ");
+        self.write_span_forest(&mut out);
+        out.push_str(", \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_str(&mut out, name);
+            out.push_str(": ");
+            write_metric(&mut out, value);
+        }
+        out.push_str("}, \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"at_ms\": ");
+            json::write_f64(&mut out, ms(e.at_ns));
+            out.push_str(", \"kind\": ");
+            json::write_str(&mut out, &e.kind);
+            out.push_str(", \"subject\": ");
+            json::write_str(&mut out, &e.subject);
+            out.push_str(", \"detail\": ");
+            json::write_str(&mut out, &e.detail);
+            out.push('}');
+        }
+        out.push_str("], \"events_dropped\": ");
+        let _ = write!(out, "{}", self.events_dropped);
+        out.push_str(", \"quarantined\": [");
+        for (i, q) in self.quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"device\": ");
+            json::write_str(&mut out, &q.device);
+            out.push_str(", \"stage\": ");
+            json::write_str(&mut out, &q.stage);
+            out.push_str(", \"code\": ");
+            json::write_str(&mut out, &q.code);
+            out.push_str(", \"detail\": ");
+            json::write_str(&mut out, &q.detail);
+            out.push('}');
+        }
+        out.push_str("], \"partial\": ");
+        match &self.partial {
+            None => out.push_str("null"),
+            Some(p) => {
+                out.push_str("{\"stage\": ");
+                json::write_str(&mut out, &p.stage);
+                out.push_str(", \"limit\": ");
+                json::write_str(&mut out, &p.limit);
+                out.push_str(", \"abandoned\": [");
+                for (i, a) in p.abandoned.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    json::write_str(&mut out, a);
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str(", \"snapshot\": ");
+        match &self.snapshot {
+            None => out.push_str("null"),
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"devices\": {}, \"quarantined\": {}, \"diagnostics\": {}}}",
+                    s.devices, s.quarantined, s.diagnostics
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    fn write_span_forest(&self, out: &mut String) {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) if p < self.spans.len() => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        self.write_span_list(out, &roots, &children);
+    }
+
+    fn write_span_list(&self, out: &mut String, idxs: &[usize], children: &[Vec<usize>]) {
+        out.push('[');
+        for (i, &idx) in idxs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let s = &self.spans[idx];
+            out.push_str("{\"name\": ");
+            json::write_str(out, &s.name);
+            out.push_str(", \"start_ms\": ");
+            json::write_f64(out, ms(s.start_ns));
+            out.push_str(", \"ms\": ");
+            match s.dur_ns {
+                Some(d) => json::write_f64(out, ms(d)),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"children\": ");
+            self.write_span_list(out, &children[idx], children);
+            out.push('}');
+        }
+        out.push(']');
+    }
+}
+
+fn write_metric(out: &mut String, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(c) => {
+            let _ = write!(out, "{{\"type\": \"counter\", \"value\": {c}}}");
+        }
+        MetricValue::Gauge(g) => {
+            out.push_str("{\"type\": \"gauge\", \"value\": ");
+            json::write_f64(out, *g);
+            out.push('}');
+        }
+        MetricValue::Histogram(h) => {
+            let _ = write!(
+                out,
+                "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"mean\": ",
+                h.count, h.sum
+            );
+            json::write_f64(out, h.mean());
+            out.push_str(", \"buckets\": [");
+            let mut first = true;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let (lo, hi) = bucket_range(i);
+                let _ = write!(out, "[{lo}, {hi}, {n}]");
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Validates a parsed schema-1 run report. Returns the first problem
+/// found; `Ok` means the document has every required section with the
+/// required shape.
+pub fn validate_run_report(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_f64)
+        .ok_or("missing numeric \"schema\"")?;
+    if schema != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema drift: expected {SCHEMA_VERSION}, found {schema}"
+        ));
+    }
+    if !matches!(v.get("meta"), Some(Value::Obj(_))) {
+        return Err("missing object \"meta\"".to_string());
+    }
+    let spans = v
+        .get("spans")
+        .and_then(Value::as_arr)
+        .ok_or("missing array \"spans\"")?;
+    for s in spans {
+        validate_span(s)?;
+    }
+    let Some(Value::Obj(metrics)) = v.get("metrics") else {
+        return Err("missing object \"metrics\"".to_string());
+    };
+    for (name, m) in metrics {
+        let ty = m
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("metric {name}: missing \"type\""))?;
+        match ty {
+            "counter" | "gauge" => {
+                if m.get("value").and_then(Value::as_f64).is_none() {
+                    return Err(format!("metric {name}: missing numeric \"value\""));
+                }
+            }
+            "histogram" => {
+                for k in ["count", "sum", "mean"] {
+                    if m.get(k).and_then(Value::as_f64).is_none() {
+                        return Err(format!("metric {name}: missing numeric \"{k}\""));
+                    }
+                }
+                let buckets = m
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| format!("metric {name}: missing \"buckets\""))?;
+                for b in buckets {
+                    let triple = b.as_arr().unwrap_or(&[]);
+                    if triple.len() != 3 || triple.iter().any(|t| t.as_f64().is_none()) {
+                        return Err(format!("metric {name}: bucket is not [lo, hi, count]"));
+                    }
+                }
+            }
+            other => return Err(format!("metric {name}: unknown type {other:?}")),
+        }
+    }
+    let events = v
+        .get("events")
+        .and_then(Value::as_arr)
+        .ok_or("missing array \"events\"")?;
+    for e in events {
+        for k in ["kind", "subject", "detail"] {
+            if e.get(k).and_then(Value::as_str).is_none() {
+                return Err(format!("event missing string \"{k}\""));
+            }
+        }
+        if e.get("at_ms").and_then(Value::as_f64).is_none() {
+            return Err("event missing numeric \"at_ms\"".to_string());
+        }
+    }
+    let quarantined = v
+        .get("quarantined")
+        .and_then(Value::as_arr)
+        .ok_or("missing array \"quarantined\"")?;
+    for q in quarantined {
+        for k in ["device", "stage", "code"] {
+            match q.get(k).and_then(Value::as_str) {
+                Some(s) if !s.is_empty() => {}
+                _ => return Err(format!("quarantine entry missing non-empty \"{k}\"")),
+            }
+        }
+    }
+    match v.get("partial") {
+        Some(Value::Null) => {}
+        Some(p @ Value::Obj(_)) => {
+            for k in ["stage", "limit"] {
+                if p.get(k).and_then(Value::as_str).is_none() {
+                    return Err(format!("partial missing string \"{k}\""));
+                }
+            }
+            if p.get("abandoned").and_then(Value::as_arr).is_none() {
+                return Err("partial missing array \"abandoned\"".to_string());
+            }
+        }
+        _ => return Err("missing \"partial\" (object or null)".to_string()),
+    }
+    match v.get("snapshot") {
+        Some(Value::Null) | None => {}
+        Some(s @ Value::Obj(_)) => {
+            for k in ["devices", "quarantined", "diagnostics"] {
+                if s.get(k).and_then(Value::as_f64).is_none() {
+                    return Err(format!("snapshot missing numeric \"{k}\""));
+                }
+            }
+        }
+        _ => return Err("\"snapshot\" must be object or null".to_string()),
+    }
+    Ok(())
+}
+
+fn validate_span(s: &Value) -> Result<(), String> {
+    if s.get("name").and_then(Value::as_str).is_none() {
+        return Err("span missing string \"name\"".to_string());
+    }
+    if s.get("start_ms").and_then(Value::as_f64).is_none() {
+        return Err("span missing numeric \"start_ms\"".to_string());
+    }
+    match s.get("ms") {
+        Some(Value::Num(_)) | Some(Value::Null) => {}
+        _ => return Err("span \"ms\" must be number or null".to_string()),
+    }
+    let children = s
+        .get("children")
+        .and_then(Value::as_arr)
+        .ok_or("span missing array \"children\"")?;
+    for c in children {
+        validate_span(c)?;
+    }
+    Ok(())
+}
+
+/// Validates a bench JSON file (`BENCH_<cmd>.json`): the stable
+/// `{bench, network, stage, ms, meta}` row schema plus an embedded run
+/// report.
+pub fn validate_bench(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_f64)
+        .ok_or("missing numeric \"schema\"")?;
+    if schema != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema drift: expected {SCHEMA_VERSION}, found {schema}"
+        ));
+    }
+    if v.get("bench").and_then(Value::as_str).is_none() {
+        return Err("missing string \"bench\"".to_string());
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or("missing array \"rows\"")?;
+    if rows.is_empty() {
+        return Err("\"rows\" is empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for k in ["bench", "network", "stage"] {
+            match row.get(k).and_then(Value::as_str) {
+                Some(s) if !s.is_empty() => {}
+                _ => return Err(format!("row {i}: missing non-empty string \"{k}\"")),
+            }
+        }
+        match row.get("ms").and_then(Value::as_f64) {
+            Some(ms) if ms >= 0.0 => {}
+            _ => return Err(format!("row {i}: missing non-negative numeric \"ms\"")),
+        }
+        if !matches!(row.get("meta"), Some(Value::Obj(_))) {
+            return Err(format!("row {i}: missing object \"meta\""));
+        }
+    }
+    let report = v.get("report").ok_or("missing \"report\"")?;
+    validate_run_report(report).map_err(|e| format!("embedded report: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn capture_serialize_validate_roundtrip() {
+        let _g = crate::span::test_guard();
+        crate::reset();
+        {
+            let _root = Span::enter("pipeline");
+            let _child = Span::enter("route.simulate");
+            crate::counter_add("route.sweeps", 7);
+            crate::gauge_set("bdd.nodes", 42.0);
+            crate::observe("reach.relaxations", 30);
+            crate::event("quarantine", "r9", "parse-panic");
+        }
+        let mut report = capture();
+        report.meta.insert("commit".into(), "abc123".into());
+        report.quarantined.push(QuarantineEntry {
+            device: "r9".into(),
+            stage: "parse".into(),
+            code: "parse-panic".into(),
+            detail: "index out of bounds".into(),
+        });
+        report.partial = Some(PartialOutcome {
+            stage: "bgp-fixed-point".into(),
+            limit: "deadline (120000 ms)".into(),
+            abandoned: vec!["10.0.0.0/8".into()],
+        });
+        report.snapshot = Some(SnapshotSummary {
+            devices: 3,
+            quarantined: 1,
+            diagnostics: 2,
+        });
+        let text = report.to_json();
+        let parsed = json::parse(&text).expect("report JSON parses");
+        validate_run_report(&parsed).expect("report validates");
+        // The span tree nests route.simulate under pipeline.
+        let spans = parsed.get("spans").and_then(Value::as_arr).expect("spans");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("pipeline"));
+        let kids = spans[0]
+            .get("children")
+            .and_then(Value::as_arr)
+            .expect("children");
+        assert_eq!(
+            kids[0].get("name").and_then(Value::as_str),
+            Some("route.simulate")
+        );
+        // Accessors see the same data.
+        assert_eq!(report.span_count("pipeline"), 1);
+        assert_eq!(report.counter("route.sweeps"), Some(7));
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let good = r#"{"schema": 1, "meta": {}, "spans": [], "metrics": {},
+                       "events": [], "events_dropped": 0, "quarantined": [],
+                       "partial": null, "snapshot": null}"#;
+        let v = json::parse(good).expect("parses");
+        validate_run_report(&v).expect("valid");
+        let drifted = good.replace("\"schema\": 1", "\"schema\": 2");
+        let v = json::parse(&drifted).expect("parses");
+        assert!(validate_run_report(&v).unwrap_err().contains("drift"));
+        let missing = good.replace("\"quarantined\": []", "\"quarantined\": 5");
+        let v = json::parse(&missing).expect("parses");
+        assert!(validate_run_report(&v).is_err());
+    }
+
+    #[test]
+    fn bench_schema_validates() {
+        let doc = r#"{"schema": 1, "bench": "table2", "meta": {},
+          "rows": [{"bench": "table2", "network": "N2", "stage": "parse",
+                    "ms": 1.25, "meta": {}}],
+          "report": {"schema": 1, "meta": {}, "spans": [], "metrics": {},
+                     "events": [], "events_dropped": 0, "quarantined": [],
+                     "partial": null, "snapshot": null}}"#;
+        let v = json::parse(doc).expect("parses");
+        validate_bench(&v).expect("valid bench file");
+        let bad = doc.replace("\"ms\": 1.25", "\"ms\": -1");
+        let v = json::parse(&bad).expect("parses");
+        assert!(validate_bench(&v).is_err());
+        let empty = doc.replace(
+            r#""rows": [{"bench": "table2", "network": "N2", "stage": "parse",
+                    "ms": 1.25, "meta": {}}]"#,
+            r#""rows": []"#,
+        );
+        if let Ok(v) = json::parse(&empty) {
+            assert!(validate_bench(&v).is_err());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Lightweight always-on spans: RAII wall-clock timing with nesting.
+//!
+//! A [`Span`] records one named region of work. Nesting is tracked per
+//! thread (a span opened while another is open on the same thread
+//! becomes its child), so the pipeline's natural call structure becomes
+//! the report's span tree. Spans opened on worker threads have no
+//! parent and appear as additional roots — coarse-grained stages are
+//! opened on the orchestrating thread, so in practice the tree mirrors
+//! the pipeline.
+//!
+//! Cost model: one mutex lock at open and one at close. Spans wrap
+//! *stages* (parse, route, graph build, one reach query), not inner
+//! loops, so the recorder never becomes a hot path.
+
+use crate::clock;
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One finished-or-open span as recorded.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name, e.g. `route.simulate`.
+    pub name: String,
+    /// Index of the parent span in the same recording, if nested.
+    pub parent: Option<usize>,
+    /// Start offset from the run epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; `None` while the span is still open.
+    pub dur_ns: Option<u64>,
+}
+
+struct State {
+    epoch: Instant,
+    generation: u64,
+    spans: Vec<SpanRecord>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static S: OnceLock<Mutex<State>> = OnceLock::new();
+    S.get_or_init(|| {
+        Mutex::new(State {
+            epoch: clock::now(),
+            generation: 0,
+            spans: Vec::new(),
+        })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, State> {
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; closing (drop or [`Span::close`]) records the
+/// duration.
+pub struct Span {
+    idx: usize,
+    generation: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span. The parent is the innermost span still open on
+    /// this thread.
+    pub fn enter(name: impl Into<String>) -> Span {
+        let start = clock::now();
+        let mut st = lock();
+        let parent = STACK.with(|s| s.borrow().last().copied());
+        let idx = st.spans.len();
+        let start_ns = start.saturating_duration_since(st.epoch).as_nanos() as u64;
+        st.spans.push(SpanRecord {
+            name: name.into(),
+            parent,
+            start_ns,
+            dur_ns: None,
+        });
+        let generation = st.generation;
+        drop(st);
+        STACK.with(|s| s.borrow_mut().push(idx));
+        Span {
+            idx,
+            generation,
+            start,
+        }
+    }
+
+    /// Wall clock since this span opened (the span stays open).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span now and returns its duration. Equivalent to
+    /// dropping, but hands the caller the measured time (the bench
+    /// harness builds its rows from this).
+    pub fn close(self) -> Duration {
+        let d = self.start.elapsed();
+        drop(self);
+        d
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        let mut st = lock();
+        // A reset between enter and drop invalidates the index; skip.
+        if st.generation == self.generation {
+            if let Some(rec) = st.spans.get_mut(self.idx) {
+                rec.dur_ns = Some(dur.as_nanos() as u64);
+            }
+        }
+        drop(st);
+        let idx = self.idx;
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&i| i == idx) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Snapshot of every span recorded since the last reset.
+pub(crate) fn snapshot_spans() -> Vec<SpanRecord> {
+    lock().spans.clone()
+}
+
+/// Clears recorded spans and restarts the epoch.
+pub(crate) fn reset_spans() {
+    let mut st = lock();
+    st.epoch = clock::now();
+    st.generation += 1;
+    st.spans.clear();
+    drop(st);
+    STACK.with(|s| s.borrow_mut().clear());
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    // Serializes tests that reset the global recorder.
+    static G: OnceLock<Mutex<()>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_ordering() {
+        let _g = test_guard();
+        crate::reset();
+        {
+            let _root = Span::enter("root");
+            {
+                let _a = Span::enter("a");
+            }
+            {
+                let _b = Span::enter("b");
+                let _c = Span::enter("c");
+            }
+        }
+        let spans = snapshot_spans();
+        assert_eq!(spans.len(), 4);
+        let by_name = |n: &str| spans.iter().position(|s| s.name == n).expect(n);
+        let (root, a, b, c) = (by_name("root"), by_name("a"), by_name("b"), by_name("c"));
+        assert_eq!(spans[root].parent, None);
+        assert_eq!(spans[a].parent, Some(root));
+        assert_eq!(spans[b].parent, Some(root));
+        assert_eq!(spans[c].parent, Some(b));
+        // Records appear in open order and all closed.
+        assert!(spans.iter().all(|s| s.dur_ns.is_some()));
+        assert!(spans[a].start_ns >= spans[root].start_ns);
+        assert!(spans[b].start_ns >= spans[a].start_ns);
+        // Children close within (or equal to) the parent's window.
+        let end = |i: usize| spans[i].start_ns + spans[i].dur_ns.unwrap();
+        assert!(end(c) <= end(root));
+    }
+
+    #[test]
+    fn close_returns_duration_and_records() {
+        let _g = test_guard();
+        crate::reset();
+        let s = Span::enter("timed");
+        std::thread::sleep(Duration::from_millis(2));
+        let d = s.close();
+        assert!(d >= Duration::from_millis(2));
+        let spans = snapshot_spans();
+        assert_eq!(spans.len(), 1);
+        let rec = spans[0].dur_ns.expect("closed");
+        assert!(rec >= 2_000_000, "recorded {rec}ns");
+    }
+
+    #[test]
+    fn reset_invalidates_open_spans_safely() {
+        let _g = test_guard();
+        crate::reset();
+        let s = Span::enter("stale");
+        crate::reset();
+        drop(s); // must not panic or resurrect the record
+        assert!(snapshot_spans().is_empty());
+    }
+
+    #[test]
+    fn worker_thread_spans_are_roots() {
+        let _g = test_guard();
+        crate::reset();
+        let _root = Span::enter("main-thread");
+        std::thread::spawn(|| {
+            let _w = Span::enter("worker");
+        })
+        .join()
+        .expect("worker thread");
+        let spans = snapshot_spans();
+        let w = spans.iter().find(|s| s.name == "worker").expect("worker");
+        assert_eq!(w.parent, None, "cross-thread spans do not inherit parents");
+    }
+}

@@ -182,6 +182,7 @@ pub fn simulate_governed(
     opts: &SimOptions,
     gov: &ResourceGovernor,
 ) -> Outcome<DataPlane> {
+    let _span = batnet_obs::Span::enter("route.simulate");
     // Phase 0: apply environment link failures.
     let mut devices: Vec<Device> = devices.to_vec();
     for d in devices.iter_mut() {
@@ -194,18 +195,19 @@ pub fn simulate_governed(
     }
     let topo = Topology::infer(&devices);
 
-    // Phase 1: connected + static.
+    // Phases 1+2: connected + static, then OSPF.
+    let igp_span = batnet_obs::Span::enter("route.igp");
     let mut ribs: Vec<MainRib> = devices.iter().map(local_routes).collect();
-
-    // Phase 2: OSPF.
     let ospf = OspfGraph::build(&devices, &topo);
     for (di, rib) in ribs.iter_mut().enumerate() {
         for r in ospf.routes_for(di, &devices) {
             rib.offer(r);
         }
     }
+    igp_span.close();
 
     // Phase 3+4+5: BGP with session re-evaluation.
+    let bgp_span = batnet_obs::Span::enter("route.bgp");
     let pools = BgpPools::default();
     let mut report = ConvergenceReport::default();
     let external_peers = external_peer_map(&devices, env);
@@ -249,9 +251,21 @@ pub fn simulate_governed(
         }
         established = now;
     }
+    bgp_span.close();
+    batnet_obs::counter_add("route.sweeps", report.sweeps as u64);
+    batnet_obs::gauge_set("route.colors", report.colors as f64);
+    batnet_obs::gauge_set(
+        "route.sessions.established",
+        established.len() as f64,
+    );
+    if !report.poisoned_devices.is_empty() {
+        batnet_obs::counter_add("route.poisoned", report.poisoned_devices.len() as u64);
+    }
 
     // Phase 6: FIBs.
+    let fib_span = batnet_obs::Span::enter("route.fib");
     let fibs: Vec<Fib> = ribs.iter().map(Fib::build).collect();
+    fib_span.close();
 
     let stats = pools.attrs.stats();
     let total_bgp_routes: u64 = nodes
@@ -676,12 +690,13 @@ fn run_bgp_fixed_point(
             }
         }
         // Sweep end: rotate deltas; converged when nothing changed.
-        let mut any = false;
+        let mut delta_total = 0u64;
         for node in nodes.iter_mut() {
-            any |= !node.delta_cur.is_empty();
+            delta_total += (node.delta_cur.added.len() + node.delta_cur.removed.len()) as u64;
             node.delta_prev = std::mem::take(&mut node.delta_cur);
         }
-        if !any {
+        batnet_obs::observe("route.sweep.rib-delta", delta_total);
+        if delta_total == 0 {
             report.converged = true;
             break;
         }
