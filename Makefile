@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy obs-smoke bench
+.PHONY: ci build test chaos clippy obs-smoke lint-smoke bench
 
-ci: build test chaos clippy obs-smoke
+ci: build test chaos clippy obs-smoke lint-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -35,6 +35,16 @@ clippy:
 obs-smoke: build
 	$(CARGO) run --release --offline -p batnet-bench --bin harness -- smoke
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_smoke.json
+
+# Lint gate: SARIF output on the smallest suite network validates
+# against the in-tree checker, the clean network passes `--deny error`,
+# and the planted undefined-reference fixture fails it — proving the
+# exit gate actually gates.
+lint-smoke: build
+	$(CARGO) run --release --offline -p batnet-lint --bin batnet-lint -- --net n2 --format sarif --out target/lint-n2.sarif
+	$(CARGO) run --release --offline -p batnet-lint --bin batnet-lint -- --validate target/lint-n2.sarif
+	$(CARGO) run --release --offline -p batnet-lint --bin batnet-lint -- --net n2 --deny error --out /dev/null
+	! $(CARGO) run --release --offline -p batnet-lint --bin batnet-lint -- --dir fixtures/lint-bad --deny error --out /dev/null
 
 bench:
 	$(CARGO) bench --offline -p batnet-bench

@@ -7,6 +7,7 @@
 //! harness table1               # Table 1: the 11-network suite
 //! harness table2 [--full] [--json]  # Table 2: pipeline performance
 //! harness smoke                # smallest network, always writes JSON
+//! harness lint [--full]        # lint engine throughput, writes BENCH_lint.json
 //! harness apt                  # §6.2: APT comparison (92 nodes)
 //! harness ablate-convergence   # A-1: coloring / logical clocks
 //! harness ablate-memory        # A-2: attribute interning
@@ -51,6 +52,7 @@ fn main() {
         "table1" => table1(full),
         "table2" => table2(full, &mut rows),
         "smoke" => smoke(&mut rows),
+        "lint" => lint_bench(full, &mut rows),
         "apt" => apt(),
         "ablate-convergence" => ablate_convergence(),
         "ablate-memory" => ablate_memory(),
@@ -82,7 +84,7 @@ fn main() {
         cmdline.trim_end(),
         wall.as_secs_f64()
     );
-    if json || cmd == "smoke" {
+    if json || cmd == "smoke" || cmd == "lint" {
         emit_json(cmd, &rows, &commit, &cmdline);
     }
 }
@@ -363,6 +365,55 @@ fn smoke(rows: &mut Vec<Row>) {
         fmt_dur(m.dest),
         fmt_dur(m.mp),
     );
+}
+
+/// The lint bench: parse + full static-analysis pass per suite network,
+/// finding counts in the row metadata. Always writes `BENCH_lint.json`
+/// (lint reports are deterministic, so the baseline is reproducible).
+fn lint_bench(full: bool, rows: &mut Vec<Row>) {
+    banner("E-L: lint engine throughput");
+    println!(
+        "{:<6} {:>7} {:>10} {:>10} {:>9} {:>9}",
+        "net", "devices", "parse", "lint", "findings", "errors"
+    );
+    for entry in batnet_topogen::suite::suite() {
+        if !full && entry.nominal_nodes > 520 {
+            continue;
+        }
+        let net = (entry.build)();
+        let id = entry.id;
+        let t = clock::now();
+        let mut devices = Vec::with_capacity(net.configs.len());
+        let mut diags = Vec::with_capacity(net.configs.len());
+        for (name, text) in &net.configs {
+            let (device, dg) = batnet::config::parse_device(name, text);
+            devices.push(device);
+            diags.push((name.clone(), dg));
+        }
+        let parse = t.elapsed();
+        let t = clock::now();
+        let findings = batnet::lint::run_network(&devices, &diags);
+        let lint = t.elapsed();
+        let errors = findings
+            .iter()
+            .filter(|f| f.severity >= batnet::lint::Severity::Error)
+            .count();
+        println!(
+            "{:<6} {:>7} {:>10} {:>10} {:>9} {:>9}",
+            id,
+            devices.len(),
+            fmt_dur(parse),
+            fmt_dur(lint),
+            findings.len(),
+            errors
+        );
+        rows.push(Row::new("lint", id, "parse", parse).with("devices", devices.len()));
+        rows.push(
+            Row::new("lint", id, "lint", lint)
+                .with("findings", findings.len())
+                .with("errors", errors),
+        );
+    }
 }
 
 /// §6.2: the APT comparison on the 92-node network.

@@ -18,6 +18,10 @@
 //!    serializes to JSON that parses and passes the schema-1 validator
 //!    even under faults, and every quarantined device is accounted for
 //!    in it with its reason code.
+//! 5. **Lint robustness** — the lint engine never panics on mutated
+//!    configs, and its finding fingerprints are identical across two
+//!    runs over the same devices (reproducible reports are what the CI
+//!    baseline gate stands on).
 
 use crate::mutate::{mutate, MutationClass};
 use batnet::{ResourceGovernor, Snapshot};
@@ -167,6 +171,34 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
         if !diag_names.iter().any(|n| n == device) {
             run.violations
                 .push(format!("{device}: quarantined but absent from diagnostics"));
+        }
+    }
+
+    // Invariant 5: the lint engine never panics on mutated configs, and
+    // its finding fingerprints are deterministic across runs over the
+    // same parsed devices (the CI gate depends on reproducible reports).
+    let lint_outcome = catch_unwind(AssertUnwindSafe(|| {
+        let devices: Vec<batnet_config::vi::Device> = m
+            .configs
+            .iter()
+            .map(|(name, text)| batnet_config::parse_device(name, text).0)
+            .collect();
+        let fingerprints = |findings: &[batnet::lint::Finding]| -> Vec<String> {
+            findings.iter().map(batnet::lint::Finding::fingerprint).collect()
+        };
+        let first = fingerprints(&batnet::lint::run_all(&devices));
+        let second = fingerprints(&batnet::lint::run_all(&devices));
+        (first, second)
+    }));
+    match lint_outcome {
+        Err(_) => run
+            .violations
+            .push("lint panicked on mutated configs".to_string()),
+        Ok((first, second)) => {
+            if first != second {
+                run.violations
+                    .push("lint fingerprints differ across identical runs".to_string());
+            }
         }
     }
 

@@ -83,7 +83,11 @@ impl Dialect {
 /// sags is a dialect whose model silently thinned out.
 pub fn parse_device(name: &str, text: &str) -> (Device, Diagnostics) {
     let dialect = Dialect::detect(text);
-    let (device, diags) = dialect.parse(name, text);
+    let (mut device, diags) = dialect.parse(name, text);
+    // Source locations recorded by the dialect frontend get the artifact
+    // name; lint findings carry it as their `file`.
+    device.stamp_source_file(name);
+    let device = device;
     let meaningful = text
         .lines()
         .filter(|l| {

@@ -221,6 +221,7 @@ pub fn parse(name: &str, text: &str) -> (Device, Diagnostics) {
             acl,
         });
     }
+    d.lint_suppressions = crate::suppress::scan_suppressions(text);
     (d, diags)
 }
 
@@ -301,6 +302,7 @@ fn parse_bgp_neighbor(words: &[&str], no: usize, d: &mut Device, diags: &mut Dia
         return;
     };
     let mut nb = BgpNeighbor::new(peer, batnet_net::Asn(0));
+    nb.src = SourceSpan::at(no);
     for w in &words[2..] {
         match kv(w) {
             ("remote-as", Some(v)) => match v.parse() {
@@ -467,6 +469,7 @@ fn parse_route_map(words: &[&str], no: usize, d: &mut Device, diags: &mut Diagno
         .or_insert_with(|| RouteMap {
             name: name.to_string(),
             clauses: Vec::new(),
+            src: SourceSpan::at(no),
         });
     rm.clauses.push(clause);
     rm.clauses.sort_by_key(|c| c.seq);
@@ -522,10 +525,11 @@ fn parse_acl(words: &[&str], no: usize, line: &str, d: &mut Device, diags: &mut 
             _ => diags.push(Severity::UnrecognizedLine, no, format!("acl option {w}")),
         }
     }
-    let acl = d
-        .acls
-        .entry(name.to_string())
-        .or_insert_with(|| Acl::new(name.to_string()));
+    let acl = d.acls.entry(name.to_string()).or_insert_with(|| {
+        let mut a = Acl::new(name.to_string());
+        a.src = SourceSpan::at(no);
+        a
+    });
     acl.lines.push(AclLine {
         seq,
         action,

@@ -141,6 +141,7 @@ pub fn parse(name: &str, text: &str) -> (Device, Diagnostics) {
         convert_section(s, &mut device, &mut diags, &pools);
     }
     expand_nat_lists(&mut device, &mut diags);
+    device.lint_suppressions = crate::suppress::scan_suppressions(text);
     (device, diags)
 }
 
@@ -430,7 +431,9 @@ fn convert_bgp_neighbor(l: &Line, proc: &mut BgpProcess, diags: &mut Diagnostics
                 if let Some(n) = proc.neighbors.iter_mut().find(|n| n.peer_ip == peer) {
                     n.remote_as = asn;
                 } else {
-                    proc.neighbors.push(BgpNeighbor::new(peer, asn));
+                    let mut nb = BgpNeighbor::new(peer, asn);
+                    nb.src = SourceSpan::at(l.no);
+                    proc.neighbors.push(nb);
                 }
             }
             Err(_) => diags.push(Severity::ParseError, l.no, "bad remote-as"),
@@ -644,6 +647,7 @@ fn convert_route_map(s: &Section, d: &mut Device, diags: &mut Diagnostics) {
         .or_insert_with(|| RouteMap {
             name,
             clauses: Vec::new(),
+            src: SourceSpan::at(s.header.no),
         });
     rm.clauses.push(clause);
     // Keep clauses ordered by sequence number regardless of file order.
@@ -715,6 +719,9 @@ fn convert_acl(s: &Section, d: &mut Device, diags: &mut Diagnostics) {
     }
     let name = s.header.word(3).to_string();
     let mut acl = d.acls.remove(&name).unwrap_or_else(|| Acl::new(name.clone()));
+    if !acl.src.is_known() {
+        acl.src = SourceSpan::at(s.header.no);
+    }
     for l in &s.body {
         let mut i = 0;
         let seq = if let Ok(n) = l.word(0).parse::<u32>() {

@@ -138,6 +138,7 @@ pub fn parse(name: &str, text: &str) -> (Device, Diagnostics) {
     // independent, unlike the single-pass ios dialect), NAT rule assembly,
     // and the router id for processes configured after `routing-options`.
     finish(&mut d, &mut diags, state);
+    d.lint_suppressions = crate::suppress::scan_suppressions(text);
     (d, diags)
 }
 
@@ -372,6 +373,7 @@ fn convert_bgp(p: &Path, d: &mut Device, diags: &mut Diagnostics, st: &mut Conve
                         let mut nb = BgpNeighbor::new(peer, default_as);
                         nb.import_policy = gs.import.clone();
                         nb.export_policy = gs.export.clone();
+                        nb.src = SourceSpan::at(p.no);
                         proc.neighbors.push(nb);
                         proc.neighbors.last_mut().expect("just pushed")
                     };
@@ -448,6 +450,7 @@ fn convert_policy_options(
                 .or_insert_with(|| RouteMap {
                     name: policy,
                     clauses: Vec::new(),
+                    src: SourceSpan::at(p.no),
                 });
             let clause = if let Some(c) = rm.clauses.iter_mut().find(|c| c.seq == seq) {
                 c
@@ -547,7 +550,11 @@ fn convert_firewall(p: &Path, d: &mut Device, diags: &mut Diagnostics, st: &mut 
     let fname = p.word(2).to_string();
     let term = p.word(4);
     let seq = term_seq(st.filter_terms.entry(fname.clone()).or_default(), term);
-    let acl = d.acls.entry(fname.clone()).or_insert_with(|| Acl::new(fname));
+    let acl = d.acls.entry(fname.clone()).or_insert_with(|| {
+        let mut a = Acl::new(fname);
+        a.src = SourceSpan::at(p.no);
+        a
+    });
     let line = if let Some(l) = acl.lines.iter_mut().find(|l| l.seq == seq) {
         l
     } else {

@@ -28,9 +28,11 @@ pub mod diag;
 pub mod flat;
 pub mod ios;
 pub mod junos;
+pub mod suppress;
 pub mod topology;
 pub mod vi;
 
 pub use detect::{parse_device, Dialect};
 pub use diag::{Diagnostic, Severity};
+pub use suppress::scan_suppressions;
 pub use topology::{InterfaceRef, Topology};

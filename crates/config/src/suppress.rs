@@ -1,0 +1,65 @@
+//! The inline lint-suppression directive.
+//!
+//! Network operators silence a known-and-accepted lint finding where it
+//! lives — in the config — with a comment the dialect lexers would
+//! otherwise skip:
+//!
+//! ```text
+//! ! batnet-lint-disable unused-structure          (ios comments)
+//! # batnet-lint-disable ntp-consistency mtu-mismatch   (flat / junos)
+//! ```
+//!
+//! The directive names one or more check ids (or `all`) and applies to
+//! every finding of those checks on the device whose config carries it.
+//! Directives ride on comment syntax so configs with directives still
+//! parse cleanly on devices and on older batnet versions.
+
+/// The directive keyword, shared by all three dialect lexers.
+pub const DIRECTIVE: &str = "batnet-lint-disable";
+
+/// Scans config text for suppression directives inside `!` or `#`
+/// comments. Returns the named check ids, sorted and deduped.
+pub fn scan_suppressions(text: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        let Some(body) = t.strip_prefix('!').or_else(|| t.strip_prefix('#')) else {
+            continue;
+        };
+        // Tolerate repeated comment markers ("!!", "##") and whitespace.
+        let body = body.trim_start_matches(['!', '#']).trim();
+        if let Some(rest) = body.strip_prefix(DIRECTIVE) {
+            for check in rest.split_whitespace() {
+                out.push(check.to_string());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_directives_in_both_comment_styles() {
+        let text = "hostname r1\n! batnet-lint-disable unused-structure\n# batnet-lint-disable ntp-consistency mtu-mismatch\ninterface e0\n";
+        assert_eq!(
+            scan_suppressions(text),
+            vec!["mtu-mismatch", "ntp-consistency", "unused-structure"]
+        );
+    }
+
+    #[test]
+    fn ignores_plain_comments_and_dedupes() {
+        let text = "! just a note\n!! batnet-lint-disable x\n# batnet-lint-disable x\nnot a comment batnet-lint-disable y\n";
+        assert_eq!(scan_suppressions(text), vec!["x"]);
+    }
+
+    #[test]
+    fn empty_when_absent() {
+        assert!(scan_suppressions("hostname r1\n! comment\n").is_empty());
+    }
+}

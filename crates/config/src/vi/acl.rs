@@ -7,6 +7,7 @@
 //! lives in `batnet-dataplane` and is deliberately a separate code path
 //! (§4.3.2).
 
+use super::device::SourceSpan;
 use batnet_net::{Flow, HeaderSpace};
 use std::fmt;
 
@@ -51,6 +52,8 @@ pub struct Acl {
     pub name: String,
     /// Lines in match order.
     pub lines: Vec<AclLine>,
+    /// Where the ACL was defined in the source config.
+    pub src: SourceSpan,
 }
 
 impl Acl {
@@ -59,6 +62,7 @@ impl Acl {
         Acl {
             name: name.into(),
             lines: Vec::new(),
+            src: SourceSpan::default(),
         }
     }
 
@@ -73,6 +77,7 @@ impl Acl {
                 space: HeaderSpace::any(),
                 text: "permit ip any any".into(),
             }],
+            src: SourceSpan::default(),
         }
     }
 
@@ -117,6 +122,7 @@ mod tests {
                     text: "permit tcp any any".into(),
                 },
             ],
+            src: SourceSpan::default(),
         }
     }
 

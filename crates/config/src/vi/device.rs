@@ -6,6 +6,37 @@ use super::policy::{CommunityList, PrefixList, RouteMap};
 use batnet_net::{Asn, Ip, Prefix};
 use std::collections::BTreeMap;
 
+/// Where a VI structure came from in the original configuration text.
+///
+/// Dialect parsers record the 1-based line number of the defining
+/// statement at construction time; the `file` component is stamped once
+/// per device by [`Device::stamp_source_file`] (the detect-layer entry
+/// point does this with the device name). A default span (`line == 0`)
+/// means "location unknown" — hand-built models and documented-default
+/// structures carry it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SourceSpan {
+    /// Source artifact the structure was parsed from (device/file stem).
+    pub file: String,
+    /// 1-based line number of the defining statement; 0 = unknown.
+    pub line: u32,
+}
+
+impl SourceSpan {
+    /// A span at `line` with the file left for later stamping.
+    pub fn at(line: usize) -> SourceSpan {
+        SourceSpan {
+            file: String::new(),
+            line: line as u32,
+        }
+    }
+
+    /// Is this a real location (as opposed to the unknown default)?
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
 /// A layer-3 interface.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Interface {
@@ -126,6 +157,8 @@ pub struct BgpNeighbor {
     pub send_community: bool,
     /// Free-text description.
     pub description: Option<String>,
+    /// Where the neighbor block was defined.
+    pub src: SourceSpan,
 }
 
 impl BgpNeighbor {
@@ -139,6 +172,7 @@ impl BgpNeighbor {
             next_hop_self: false,
             send_community: true,
             description: None,
+            src: SourceSpan::default(),
         }
     }
 }
@@ -240,6 +274,9 @@ pub struct Device {
     pub ntp_servers: Vec<Ip>,
     /// Configured DNS servers.
     pub dns_servers: Vec<Ip>,
+    /// Lint checks disabled in this config via the inline
+    /// `batnet-lint-disable <check>` comment directive (sorted, deduped).
+    pub lint_suppressions: Vec<String>,
 }
 
 impl Device {
@@ -262,6 +299,32 @@ impl Device {
             stateful: false,
             ntp_servers: Vec::new(),
             dns_servers: Vec::new(),
+            lint_suppressions: Vec::new(),
+        }
+    }
+
+    /// Stamps `file` onto every structure source span whose line is
+    /// known. Called once after dialect parsing, when the caller knows
+    /// which artifact the text came from.
+    pub fn stamp_source_file(&mut self, file: &str) {
+        let stamp = |src: &mut SourceSpan| {
+            if src.is_known() && src.file.is_empty() {
+                src.file = file.to_string();
+            }
+        };
+        for acl in self.acls.values_mut() {
+            stamp(&mut acl.src);
+        }
+        for rm in self.route_maps.values_mut() {
+            stamp(&mut rm.src);
+        }
+        if let Some(bgp) = &mut self.bgp {
+            for nb in &mut bgp.neighbors {
+                stamp(&mut nb.src);
+            }
+        }
+        for zp in &mut self.zone_policies {
+            stamp(&mut zp.acl.src);
         }
     }
 

@@ -12,8 +12,8 @@ mod policy;
 
 pub use acl::{Acl, AclAction, AclLine};
 pub use device::{
-    BgpNeighbor, BgpProcess, Device, Interface, NextHop, OspfProcess, StaticRoute, Zone,
-    ZonePolicy,
+    BgpNeighbor, BgpProcess, Device, Interface, NextHop, OspfProcess, SourceSpan, StaticRoute,
+    Zone, ZonePolicy,
 };
 pub use nat::{NatKind, NatRule};
 pub use policy::{

@@ -263,6 +263,8 @@ pub struct RouteMap {
     pub name: String,
     /// Clauses in sequence order.
     pub clauses: Vec<RouteMapClause>,
+    /// Where the map's first clause was defined in the source config.
+    pub src: super::device::SourceSpan,
 }
 
 /// Outcome of route-map evaluation.
@@ -344,6 +346,7 @@ fn apply_set(set: &RouteMapSet, attrs: &mut RouteAttrs) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vi::SourceSpan;
 
     fn pfx(s: &str) -> Prefix {
         s.parse().unwrap()
@@ -448,6 +451,7 @@ mod tests {
     fn simple_map() -> RouteMap {
         RouteMap {
             name: "RM".into(),
+            src: SourceSpan::default(),
             clauses: vec![
                 RouteMapClause {
                     seq: 10,
@@ -507,6 +511,7 @@ mod tests {
     fn route_map_implicit_deny_without_clauses() {
         let map = RouteMap {
             name: "EMPTY".into(),
+            src: SourceSpan::default(),
             clauses: vec![],
         };
         let mut attrs = RouteAttrs::new(pfx("10.0.0.0/8"), RouteProtocol::Ebgp);
@@ -520,6 +525,7 @@ mod tests {
     fn as_path_regex_match_line() {
         let map = RouteMap {
             name: "RM".into(),
+            src: SourceSpan::default(),
             clauses: vec![RouteMapClause {
                 seq: 10,
                 action: AclAction::Permit,

@@ -73,6 +73,7 @@ mod tests {
                     text: "permit icmp".into(),
                 },
             ],
+            ..Acl::default()
         }
     }
 

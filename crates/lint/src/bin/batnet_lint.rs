@@ -1,0 +1,195 @@
+//! `batnet-lint` — run the configuration static-analysis engine from the
+//! command line.
+//!
+//! ```text
+//! batnet-lint --net N2 [--format text|json|sarif] [--deny SEV]
+//!             [--baseline FILE] [--out FILE] [--drift DEVICE]
+//! batnet-lint --dir path/to/configs [...same flags]
+//! batnet-lint --validate report.sarif
+//! ```
+//!
+//! Exit codes: 0 clean (or everything below the `--deny` threshold),
+//! 1 findings at or above the threshold, 2 usage or I/O error. The
+//! binary never panics on input: configs are parsed through the
+//! diagnostic-collecting `parse_device`, and parse problems become
+//! findings, not aborts.
+
+use batnet_config::parse_device;
+use batnet_config::vi::Device;
+use batnet_lint::output;
+use batnet_lint::{run_network, Severity};
+use std::process::ExitCode;
+
+struct Args {
+    net: Option<String>,
+    dir: Option<String>,
+    drift: Option<String>,
+    format: String,
+    deny: Option<Severity>,
+    baseline: Option<String>,
+    out: Option<String>,
+    validate: Option<String>,
+    write_baseline: Option<String>,
+}
+
+const USAGE: &str = "usage: batnet-lint (--net ID | --dir PATH) [--format text|json|sarif] \
+[--deny info|warning|error] [--baseline FILE] [--write-baseline FILE] [--out FILE] [--drift DEVICE]
+       batnet-lint --validate FILE.sarif";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        net: None,
+        dir: None,
+        drift: None,
+        format: "text".into(),
+        deny: None,
+        baseline: None,
+        out: None,
+        validate: None,
+        write_baseline: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--net" => args.net = Some(value("--net")?),
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--drift" => args.drift = Some(value("--drift")?),
+            "--format" => args.format = value("--format")?,
+            "--deny" => args.deny = Some(value("--deny")?.parse::<Severity>()?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--validate" => args.validate = Some(value("--validate")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if !matches!(args.format.as_str(), "text" | "json" | "sarif") {
+        return Err(format!("--format must be text|json|sarif, got '{}'", args.format));
+    }
+    if args.validate.is_none() && args.net.is_none() && args.dir.is_none() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+/// Loads the configs to lint: a suite network by id, or every regular
+/// file in a directory (sorted by name; the file name is the device
+/// name).
+fn load_configs(args: &Args) -> Result<(String, Vec<(String, String)>), String> {
+    if let Some(id) = &args.net {
+        let entry = batnet_topogen::suite::suite()
+            .into_iter()
+            .find(|e| e.id.eq_ignore_ascii_case(id))
+            .ok_or_else(|| {
+                let ids: Vec<&str> = batnet_topogen::suite::suite().iter().map(|e| e.id).collect();
+                format!("unknown network '{id}' (known: {})", ids.join(", "))
+            })?;
+        let mut net = (entry.build)();
+        if let Some(victim) = &args.drift {
+            if !net.seed_policy_drift(victim) {
+                return Err(format!("--drift: no DNS ACL line to perturb on '{victim}'"));
+            }
+        }
+        Ok((net.name, net.configs))
+    } else if let Some(dir) = &args.dir {
+        let mut entries: Vec<(String, String)> = Vec::new();
+        let rd = std::fs::read_dir(dir).map_err(|e| format!("--dir {dir}: {e}"))?;
+        for entry in rd {
+            let entry = entry.map_err(|e| format!("--dir {dir}: {e}"))?;
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("unnamed")
+                .to_string();
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            entries.push((name, text));
+        }
+        if entries.is_empty() {
+            return Err(format!("--dir {dir}: no config files"));
+        }
+        entries.sort();
+        Ok((dir.clone(), entries))
+    } else {
+        Err(USAGE.to_string())
+    }
+}
+
+fn write_output(out: Option<&str>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if let Some(path) = &args.validate {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        output::validate_sarif(&text).map_err(|e| format!("{path}: invalid SARIF: {e}"))?;
+        println!("{path}: ok");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let (network, configs) = load_configs(&args)?;
+    let span = batnet_obs::Span::enter("lint.cli");
+    let mut devices: Vec<Device> = Vec::with_capacity(configs.len());
+    let mut diags = Vec::with_capacity(configs.len());
+    for (name, text) in &configs {
+        let (device, dg) = parse_device(name, text);
+        devices.push(device);
+        diags.push((name.clone(), dg));
+    }
+    let mut findings = run_network(&devices, &diags);
+    span.close();
+
+    if let Some(path) = &args.write_baseline {
+        std::fs::write(path, output::write_baseline(&findings)).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let fps = output::parse_baseline(&text).map_err(|e| format!("{path}: {e}"))?;
+        let (kept, muted) = output::apply_baseline(findings, &fps);
+        findings = kept;
+        batnet_obs::counter_add("lint.baselined", muted as u64);
+    }
+
+    let rendered = match args.format.as_str() {
+        "json" => output::render_json(&network, &findings),
+        "sarif" => output::render_sarif(&findings),
+        _ => output::render_text(&findings),
+    };
+    write_output(args.out.as_deref(), &rendered)?;
+
+    if let Some(deny) = args.deny {
+        let over = findings.iter().filter(|f| f.severity >= deny).count();
+        if over > 0 {
+            eprintln!("batnet-lint: {over} finding(s) at or above --deny {deny}");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("batnet-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

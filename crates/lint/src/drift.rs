@@ -1,0 +1,341 @@
+//! Cross-device policy-drift detection.
+//!
+//! In a well-run network, devices playing the same topology role (leaf,
+//! spine, border…) carry the *same* policy: the SERVERS ACL on leaf 17
+//! should mean the same thing as on leaf 4, even if the text differs.
+//! Drift — one device quietly diverging from its peers — is a classic
+//! slow-burn outage source, and it is invisible to purely local checks
+//! because every individual config is well-formed.
+//!
+//! The pass groups devices by role, compiles each role-peer's ACLs and
+//! route-map accept-sets to BDDs *in one shared manager per group* (so
+//! semantically equal policies hash-cons to the same node id), and flags
+//! devices whose policy differs from the role majority, with a concrete
+//! witness flow (ACLs) or prefix (route maps) from the symmetric
+//! difference. Devices missing a structure that a strict majority of
+//! peers define are flagged too.
+//!
+//! Role inference is deliberately cheap: the longest alphabetic run in
+//! the device name ("leaf17" → "leaf", "agg0-1" → "agg"), falling back to
+//! a degree bucket (`degree-N` by BGP session count) for names with no
+//! letters. Groups smaller than three devices are skipped — with two
+//! members there is no majority, only a tie.
+
+use crate::routemap::{cube_route, permit_set, RouteVars};
+use crate::Finding;
+use batnet_bdd::NodeId;
+use batnet_config::vi::Device;
+use batnet_dataplane::acl::compile_acl;
+use batnet_dataplane::PacketVars;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The inferred role of a device: longest alphabetic run of its name
+/// (ties broken toward the last run), lowercased; `degree-<n>` when the
+/// name has no letters.
+pub fn role_of(d: &Device) -> String {
+    let mut best: &str = "";
+    let mut start = None;
+    let name = d.name.as_str();
+    for (i, c) in name.char_indices().chain([(name.len(), '0')]) {
+        match (start, c.is_ascii_alphabetic()) {
+            (None, true) => start = Some(i),
+            (Some(s), false) => {
+                let run = &name[s..i];
+                if run.len() >= best.len() {
+                    best = run;
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if best.is_empty() {
+        format!("degree-{}", d.bgp.as_ref().map_or(0, |b| b.neighbors.len()))
+    } else {
+        best.to_ascii_lowercase()
+    }
+}
+
+/// The drift pass: see the module docs.
+pub fn policy_drift(devices: &[Device]) -> Vec<Finding> {
+    let mut groups: BTreeMap<String, Vec<&Device>> = BTreeMap::new();
+    for d in devices {
+        groups.entry(role_of(d)).or_default().push(d);
+    }
+    let mut out = Vec::new();
+    for (role, mut members) in groups {
+        if members.len() < 3 {
+            continue;
+        }
+        // Sort by name so results are independent of input order.
+        members.sort_by(|a, b| a.name.cmp(&b.name));
+        drift_acls(&role, &members, &mut out);
+        drift_route_maps(&role, &members, &mut out);
+    }
+    out
+}
+
+/// Buckets `holders` (device, compiled-policy) pairs by policy function
+/// and returns the bucket index of the majority. Equal functions share a
+/// node id (one manager per group), so bucketing is a pointer compare;
+/// ties break toward the bucket containing the alphabetically smallest
+/// device, which keeps the result independent of input order.
+fn majority_bucket<'a>(holders: &[(&'a Device, NodeId)]) -> Vec<(NodeId, Vec<&'a Device>)> {
+    let mut buckets: Vec<(NodeId, Vec<&'a Device>)> = Vec::new();
+    for (d, f) in holders {
+        match buckets.iter_mut().find(|(g, _)| g == f) {
+            Some((_, devs)) => devs.push(d),
+            None => buckets.push((*f, vec![d])),
+        }
+    }
+    // Move the majority bucket to index 0.
+    if let Some(maj) = (0..buckets.len()).max_by(|&i, &j| {
+        buckets[i]
+            .1
+            .len()
+            .cmp(&buckets[j].1.len())
+            .then_with(|| buckets[j].1[0].name.cmp(&buckets[i].1[0].name))
+    }) {
+        buckets.swap(0, maj);
+    }
+    buckets
+}
+
+fn drift_acls(role: &str, members: &[&Device], out: &mut Vec<Finding>) {
+    let names: BTreeSet<&str> = members
+        .iter()
+        .flat_map(|d| d.acls.keys().map(String::as_str))
+        .collect();
+    if names.is_empty() {
+        return;
+    }
+    let (mut bdd, vars) = PacketVars::new(0);
+    for name in names {
+        let mut holders: Vec<(&Device, NodeId)> = Vec::new();
+        let mut missing: Vec<&Device> = Vec::new();
+        for d in members {
+            match d.acls.get(name) {
+                Some(acl) => holders.push((d, compile_acl(&mut bdd, &vars, acl).permits)),
+                None => missing.push(d),
+            }
+        }
+        // Only a structure a strict majority of the role defines is a
+        // role norm worth comparing against.
+        if holders.len() * 2 <= members.len() {
+            continue;
+        }
+        for d in &missing {
+            out.push(Finding::new(
+                "policy-drift",
+                &d.name,
+                format!("acl {name}/missing"),
+                format!(
+                    "role '{role}': {} of {} peers define acl {name} but this device does not",
+                    holders.len(),
+                    members.len()
+                ),
+            ));
+        }
+        let buckets = majority_bucket(&holders);
+        if buckets.len() < 2 {
+            continue; // consensus
+        }
+        let (maj_fn, maj_devs) = (buckets[0].0, buckets[0].1.len());
+        for (g, devs) in &buckets[1..] {
+            for d in devs {
+                let extra = bdd.diff(*g, maj_fn);
+                let (region, verdict) = if extra != NodeId::FALSE {
+                    (extra, "permits")
+                } else {
+                    (bdd.diff(maj_fn, *g), "denies")
+                };
+                let witness = bdd
+                    .pick_cube(region)
+                    .map(|c| vars.cube_to_flow(&c).to_string())
+                    .unwrap_or_default();
+                out.push(
+                    Finding::new(
+                        "policy-drift",
+                        &d.name,
+                        format!("acl {name}"),
+                        format!(
+                            "role '{role}': acl {name} diverges from the role majority \
+                             ({maj_devs} of {} peers agree); this device {verdict} traffic the majority does not",
+                            holders.len()
+                        ),
+                    )
+                    .at(&d.acls[name].src)
+                    .with_witness(witness),
+                );
+            }
+        }
+    }
+}
+
+fn drift_route_maps(role: &str, members: &[&Device], out: &mut Vec<Finding>) {
+    let names: BTreeSet<&str> = members
+        .iter()
+        .flat_map(|d| d.route_maps.keys().map(String::as_str))
+        .collect();
+    if names.is_empty() {
+        return;
+    }
+    // One shared route space across the whole group: community/regex
+    // indicator bits span the union of what members mention.
+    let (mut bdd, vars) = RouteVars::for_devices(members);
+    for name in names {
+        let mut holders: Vec<(&Device, NodeId)> = Vec::new();
+        let mut missing: Vec<&Device> = Vec::new();
+        for d in members {
+            match d.route_maps.get(name) {
+                Some(rm) => holders.push((d, permit_set(&mut bdd, &vars, d, rm))),
+                None => missing.push(d),
+            }
+        }
+        if holders.len() * 2 <= members.len() {
+            continue;
+        }
+        for d in &missing {
+            out.push(Finding::new(
+                "policy-drift",
+                &d.name,
+                format!("route-map {name}/missing"),
+                format!(
+                    "role '{role}': {} of {} peers define route-map {name} but this device does not",
+                    holders.len(),
+                    members.len()
+                ),
+            ));
+        }
+        let buckets = majority_bucket(&holders);
+        if buckets.len() < 2 {
+            continue;
+        }
+        let (maj_fn, maj_devs) = (buckets[0].0, buckets[0].1.len());
+        for (g, devs) in &buckets[1..] {
+            for d in devs {
+                let extra = bdd.diff(*g, maj_fn);
+                let (region, verdict) = if extra != NodeId::FALSE {
+                    (extra, "accepts")
+                } else {
+                    (bdd.diff(maj_fn, *g), "rejects")
+                };
+                let witness = bdd.pick_cube(region).map(|c| cube_route(&c)).unwrap_or_default();
+                out.push(
+                    Finding::new(
+                        "policy-drift",
+                        &d.name,
+                        format!("route-map {name}"),
+                        format!(
+                            "role '{role}': route-map {name} diverges from the role majority \
+                             ({maj_devs} of {} peers agree); this device {verdict} routes the majority does not",
+                            holders.len()
+                        ),
+                    )
+                    .at(&d.route_maps[name].src)
+                    .with_witness(witness),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::parse_device;
+
+    fn dev(name: &str, text: &str) -> Device {
+        parse_device(name, text).0
+    }
+
+    fn leaf(name: &str, dns_port: u16) -> Device {
+        dev(
+            name,
+            &format!(
+                "hostname {name}\ninterface servers\n ip access-group SERVERS in\n ip address 10.0.0.1/24\nip access-list extended SERVERS\n 10 permit tcp any any eq 80\n 20 permit udp any any eq {dns_port}\n 30 deny ip any any\n"
+            ),
+        )
+    }
+
+    #[test]
+    fn role_inference() {
+        for (name, want) in [
+            ("leaf17", "leaf"),
+            ("spine0", "spine"),
+            ("agg0-1", "agg"),
+            ("a-leaf3", "leaf"),
+            ("border_a", "border"),
+            ("core", "core"),
+            ("Access9", "access"),
+        ] {
+            let d = dev(name, &format!("hostname {name}\n"));
+            assert_eq!(role_of(&d), want, "{name}");
+        }
+        // No letters at all: degree bucket.
+        let d = dev("17", "hostname 17\nrouter bgp 65000\n neighbor 10.0.0.1 remote-as 65001\n");
+        assert_eq!(role_of(&d), "degree-1");
+    }
+
+    #[test]
+    fn detects_acl_drift_with_witness() {
+        let devices = vec![leaf("leaf0", 53), leaf("leaf1", 53), leaf("leaf2", 53), leaf("leaf3", 5353)];
+        let f = policy_drift(&devices);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].check, "policy-drift");
+        assert_eq!(f[0].device, "leaf3");
+        assert!(f[0].message.contains("3 of 4 peers agree"), "{}", f[0].message);
+        assert!(!f[0].witness.is_empty());
+        // The witness flow names one of the diverging DNS ports.
+        assert!(
+            f[0].witness.contains(":53") || f[0].witness.contains(":5353"),
+            "witness: {}",
+            f[0].witness
+        );
+    }
+
+    #[test]
+    fn identical_policies_are_clean_and_order_insensitive() {
+        let mut devices = vec![leaf("leaf0", 53), leaf("leaf1", 53), leaf("leaf2", 53)];
+        assert!(policy_drift(&devices).is_empty());
+        // Add drift, then shuffle the input order: same single finding.
+        devices.push(leaf("leaf3", 5353));
+        let forward = policy_drift(&devices);
+        devices.reverse();
+        let reversed = policy_drift(&devices);
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn missing_structure_is_drift() {
+        let bare = dev("leaf9", "hostname leaf9\ninterface servers\n ip address 10.0.9.1/24\n");
+        let devices = vec![leaf("leaf0", 53), leaf("leaf1", 53), leaf("leaf2", 53), bare];
+        let f = policy_drift(&devices);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].device, "leaf9");
+        assert!(f[0].path.ends_with("/missing"));
+    }
+
+    #[test]
+    fn small_groups_are_skipped() {
+        let devices = vec![leaf("leaf0", 53), leaf("leaf1", 5353)];
+        assert!(policy_drift(&devices).is_empty());
+    }
+
+    #[test]
+    fn route_map_drift_detected() {
+        let rm_dev = |name: &str, tag: u32| {
+            dev(
+                name,
+                &format!(
+                    "hostname {name}\nrouter bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n neighbor 10.0.0.2 route-map EXPORT out\nroute-map EXPORT permit 10\n match tag {tag}\n"
+                ),
+            )
+        };
+        let devices = vec![rm_dev("bdr0", 7), rm_dev("bdr1", 7), rm_dev("bdr2", 9)];
+        let f = policy_drift(&devices);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].device, "bdr2");
+        assert!(f[0].path.contains("route-map EXPORT"));
+    }
+}

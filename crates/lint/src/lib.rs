@@ -10,13 +10,33 @@
 //! root cause (*"much easier to find this error by checking for
 //! undefined route-maps than by debugging … a data plane verification
 //! query"*).
+//!
+//! This crate grew from a bag of functions into a small static-analysis
+//! engine:
+//!
+//! * every check is registered in the [`CHECKS`] catalog and dispatched
+//!   through the [`PASSES`] table, so a check cannot silently fall out of
+//!   [`run_all`];
+//! * findings carry a stable [`Finding::fingerprint`] (check + device +
+//!   structure path — insensitive to message wording), a [`Severity`], a
+//!   source location, and, for the symbolic checks, a concrete witness;
+//! * devices can mute checks with inline `! batnet-lint-disable <check>`
+//!   directives (scanned by every dialect parser), and whole runs can be
+//!   baselined by fingerprint so CI gates on *new* findings only;
+//! * parse diagnostics bridge into the same finding stream
+//!   ([`diagnostics_findings`]), so one report covers both what the
+//!   parser could not model and what the model reveals.
 
+pub mod drift;
+pub mod output;
 pub mod routemap;
 
+pub use drift::{policy_drift, role_of};
 pub use routemap::{dead_clauses, route_map_dead_clauses};
 
 use batnet_bdd::NodeId;
-use batnet_config::vi::{Device, RouteMapMatch};
+use batnet_config::diag::{self, Diagnostics};
+use batnet_config::vi::{Device, RouteMapMatch, SourceSpan};
 use batnet_config::Topology;
 use batnet_dataplane::acl::compile_acl;
 use batnet_dataplane::PacketVars;
@@ -24,15 +44,129 @@ use batnet_net::Ip;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// How serious a finding is. Ordered: `Info < Warning < Error`, so
+/// `--deny warning` means "warning or worse".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Advisory: worth a look, usually intentional.
+    Info,
+    /// Likely misconfiguration; the network still functions.
+    Warning,
+    /// Definite error: a referenced structure is missing, an address is
+    /// double-assigned, a config could not be parsed.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (also the SARIF `level`, except `Info`
+    /// which SARIF spells `note`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// SARIF result level.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Severity {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Severity, String> {
+        match s {
+            "info" | "note" => Ok(Severity::Info),
+            "warning" | "warn" => Ok(Severity::Warning),
+            "error" => Ok(Severity::Error),
+            other => Err(format!("unknown severity '{other}' (expected info|warning|error)")),
+        }
+    }
+}
+
 /// One finding.
+///
+/// `check`, `device`, and `path` identify *what* is wrong structurally
+/// and feed the fingerprint; `message` is free prose and may change
+/// between versions without invalidating baselines.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct Finding {
-    /// Which check produced it.
+    /// Which check produced it (an id from [`CHECKS`]).
     pub check: &'static str,
     /// Device concerned ("" for network-wide findings).
     pub device: String,
+    /// Structure path within the device ("acl SERVERS/line 30",
+    /// "neighbor 10.0.0.1/half-open", …). Stable across message rewords.
+    pub path: String,
+    /// How serious it is (from the [`CHECKS`] catalog).
+    pub severity: Severity,
     /// Human-readable description.
     pub message: String,
+    /// Source file the finding points into ("" when unknown).
+    pub file: String,
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// Concrete witness for symbolic checks: a flow or prefix that
+    /// demonstrates the problem ("" when not applicable).
+    pub witness: String,
+}
+
+impl Finding {
+    /// A finding with severity looked up from the catalog and no source
+    /// location or witness yet.
+    pub fn new(
+        check: &'static str,
+        device: impl Into<String>,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            check,
+            severity: severity_of(check),
+            device: device.into(),
+            path: path.into(),
+            message: message.into(),
+            file: String::new(),
+            line: 0,
+            witness: String::new(),
+        }
+    }
+
+    /// Attaches a source location (no-op for unknown spans).
+    pub fn at(mut self, src: &SourceSpan) -> Finding {
+        if src.is_known() {
+            self.file = src.file.clone();
+            self.line = src.line;
+        }
+        self
+    }
+
+    /// Attaches a concrete witness.
+    pub fn with_witness(mut self, witness: impl Into<String>) -> Finding {
+        self.witness = witness.into();
+        self
+    }
+
+    /// Stable fingerprint: 16 hex chars of FNV-1a 64 over
+    /// `check \0 device \0 path`. Deliberately excludes the message (so
+    /// rewording does not invalidate baselines), the location (so
+    /// re-ordering a config does not either), and the witness (which
+    /// depends on BDD internals).
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", fnv1a64(&[self.check, &self.device, &self.path]))
+    }
 }
 
 impl fmt::Display for Finding {
@@ -45,20 +179,173 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Runs every network-wide check.
+fn fnv1a64(parts: &[&str]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            // NUL separator so ("ab","c") != ("a","bc").
+            h ^= 0;
+            h = h.wrapping_mul(PRIME);
+        }
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Catalog entry for one check.
+pub struct CheckInfo {
+    /// Stable check id (the `check` field of findings it emits).
+    pub id: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// True when the check is bridged from parse diagnostics rather than
+    /// run as a VI-model pass.
+    pub bridged: bool,
+    /// One-line description.
+    pub what: &'static str,
+}
+
+/// Every check the engine knows, with its severity. The registry test
+/// asserts that every non-bridged entry is wired into [`PASSES`].
+pub const CHECKS: &[CheckInfo] = &[
+    CheckInfo { id: "undefined-reference", severity: Severity::Error, bridged: false, what: "a used structure (acl, route-map, prefix-list, community-list) is not defined" },
+    CheckInfo { id: "duplicate-ip", severity: Severity::Error, bridged: false, what: "the same interface address is assigned on more than one device" },
+    CheckInfo { id: "unused-structure", severity: Severity::Warning, bridged: false, what: "a defined structure is referenced nowhere" },
+    CheckInfo { id: "bgp-compat", severity: Severity::Warning, bridged: false, what: "a BGP session is not configured compatibly on both ends" },
+    CheckInfo { id: "ntp-consistency", severity: Severity::Warning, bridged: false, what: "a device's NTP servers differ from the network majority" },
+    CheckInfo { id: "mtu-mismatch", severity: Severity::Warning, bridged: false, what: "the two ends of a link disagree on MTU" },
+    CheckInfo { id: "acl-shadowing", severity: Severity::Warning, bridged: false, what: "an ACL line can never match (fully covered by earlier lines)" },
+    CheckInfo { id: "acl-partial-shadow", severity: Severity::Info, bridged: false, what: "an ACL line matches strictly less than written because earlier opposite-action lines steal part of its space" },
+    CheckInfo { id: "route-map-dead-clause", severity: Severity::Warning, bridged: false, what: "a route-map clause can never match (covered by earlier clauses)" },
+    CheckInfo { id: "dead-device", severity: Severity::Warning, bridged: false, what: "a device cannot do anything: all interfaces shutdown, or a BGP process with no sessions" },
+    CheckInfo { id: "policy-drift", severity: Severity::Warning, bridged: false, what: "a device's policy semantically diverges from the majority of its role peers" },
+    CheckInfo { id: "parse-info", severity: Severity::Info, bridged: true, what: "parser note (deprecated form, implicit default)" },
+    CheckInfo { id: "unrecognized-line", severity: Severity::Warning, bridged: true, what: "a config line outside the model was skipped" },
+    CheckInfo { id: "parse-error", severity: Severity::Error, bridged: true, what: "a malformed config line was dropped" },
+];
+
+/// Severity of a check id, from the catalog (unknown ids are warnings —
+/// only possible if a pass emits an unregistered id, which the registry
+/// test rejects).
+pub fn severity_of(check: &str) -> Severity {
+    CHECKS
+        .iter()
+        .find(|c| c.id == check)
+        .map(|c| c.severity)
+        .unwrap_or(Severity::Warning)
+}
+
+/// One dispatchable pass: per-device or network-wide.
+pub enum Pass {
+    /// Runs once per device.
+    Device(fn(&Device) -> Vec<Finding>),
+    /// Runs once over the whole device list.
+    Network(fn(&[Device]) -> Vec<Finding>),
+}
+
+/// The dispatch table: (pass name, check ids it may emit, entry point).
+/// [`run_all`] iterates this table, so adding a check here is all it
+/// takes to have it run everywhere — the historical bug where
+/// `acl_shadowing` was exported but never invoked cannot recur.
+pub const PASSES: &[(&str, &[&str], Pass)] = &[
+    ("undefined-references", &["undefined-reference"], Pass::Device(undefined_references)),
+    ("unused-structures", &["unused-structure"], Pass::Device(unused_structures)),
+    ("route-map-dead-clauses", &["route-map-dead-clause"], Pass::Device(route_map_dead_clauses)),
+    ("acl-shadowing", &["acl-shadowing", "acl-partial-shadow"], Pass::Device(acl_shadowing)),
+    ("dead-device", &["dead-device"], Pass::Device(dead_device)),
+    ("duplicate-ips", &["duplicate-ip"], Pass::Network(duplicate_ips)),
+    ("bgp-compatibility", &["bgp-compat"], Pass::Network(bgp_compatibility)),
+    ("ntp-consistency", &["ntp-consistency"], Pass::Network(ntp_consistency)),
+    ("mtu-mismatch", &["mtu-mismatch"], Pass::Network(mtu_mismatch)),
+    ("policy-drift", &["policy-drift"], Pass::Network(policy_drift)),
+];
+
+/// Runs every registered pass, applies device-level suppressions, and
+/// returns the sorted finding list. Emits one `lint.<pass>` span and a
+/// `lint.findings.<pass>` counter per pass.
 pub fn run_all(devices: &[Device]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for d in devices {
-        findings.extend(undefined_references(d));
-        findings.extend(unused_structures(d));
-        findings.extend(route_map_dead_clauses(d));
+    for (name, _, pass) in PASSES {
+        let span = batnet_obs::Span::enter(format!("lint.{name}"));
+        let produced = match pass {
+            Pass::Device(f) => devices.iter().flat_map(f).collect::<Vec<_>>(),
+            Pass::Network(f) => f(devices),
+        };
+        span.close();
+        batnet_obs::counter_add(&format!("lint.findings.{name}"), produced.len() as u64);
+        findings.extend(produced);
     }
-    findings.extend(duplicate_ips(devices));
-    findings.extend(bgp_compatibility(devices));
-    findings.extend(ntp_consistency(devices));
-    findings.extend(mtu_mismatch(devices));
+    apply_suppressions(devices, &mut findings);
     findings.sort();
+    findings.dedup();
     findings
+}
+
+/// [`run_all`] plus parse diagnostics bridged into the same stream, for
+/// callers (the CLI) that hold the per-device [`Diagnostics`].
+pub fn run_network(devices: &[Device], diags: &[(String, Diagnostics)]) -> Vec<Finding> {
+    let mut findings = run_all(devices);
+    let mut bridged: Vec<Finding> = diags
+        .iter()
+        .flat_map(|(name, dg)| diagnostics_findings(name, dg))
+        .collect();
+    batnet_obs::counter_add("lint.findings.bridged", bridged.len() as u64);
+    apply_suppressions(devices, &mut bridged);
+    findings.extend(bridged);
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Bridges one device's parse diagnostics into findings, with the same
+/// fingerprint scheme as VI-model checks (path = `line <n>`).
+pub fn diagnostics_findings(device: &str, diags: &Diagnostics) -> Vec<Finding> {
+    diags
+        .items()
+        .iter()
+        .map(|d| {
+            let check = match d.severity {
+                diag::Severity::Info => "parse-info",
+                diag::Severity::UnrecognizedLine => "unrecognized-line",
+                diag::Severity::UndefinedReference => "undefined-reference",
+                diag::Severity::ParseError => "parse-error",
+            };
+            let mut f = Finding::new(
+                check,
+                device,
+                format!("line {}", d.line),
+                d.message.clone(),
+            );
+            f.file = device.to_string();
+            f.line = d.line as u32;
+            f
+        })
+        .collect()
+}
+
+/// Drops findings whose check the owning device muted with an inline
+/// `! batnet-lint-disable <check>` directive.
+fn apply_suppressions(devices: &[Device], findings: &mut Vec<Finding>) {
+    let muted: BTreeMap<&str, &[String]> = devices
+        .iter()
+        .filter(|d| !d.lint_suppressions.is_empty())
+        .map(|d| (d.name.as_str(), d.lint_suppressions.as_slice()))
+        .collect();
+    if muted.is_empty() {
+        return;
+    }
+    let before = findings.len();
+    findings.retain(|f| {
+        !muted
+            .get(f.device.as_str())
+            .is_some_and(|checks| checks.iter().any(|c| c == f.check))
+    });
+    batnet_obs::counter_add("lint.suppressed", (before - findings.len()) as u64);
 }
 
 /// Undefined references: route maps, ACLs, prefix lists, and community
@@ -66,18 +353,23 @@ pub fn run_all(devices: &[Device]) -> Vec<Finding> {
 /// Lesson-5 example).
 pub fn undefined_references(d: &Device) -> Vec<Finding> {
     let mut out = Vec::new();
-    let mut missing = |kind: &str, name: &str, site: String| {
-        out.push(Finding {
-            check: "undefined-reference",
-            device: d.name.clone(),
-            message: format!("{kind} {name} referenced by {site} is not defined"),
-        });
+    let mut missing = |kind: &str, name: &str, site: String, src: Option<&SourceSpan>| {
+        let mut f = Finding::new(
+            "undefined-reference",
+            &d.name,
+            format!("{site}/{kind} {name}"),
+            format!("{kind} {name} referenced by {site} is not defined"),
+        );
+        if let Some(s) = src {
+            f = f.at(s);
+        }
+        out.push(f);
     };
     for iface in d.interfaces.values() {
         for (dir, acl) in [("in", &iface.acl_in), ("out", &iface.acl_out)] {
             if let Some(name) = acl {
                 if !d.acls.contains_key(name) {
-                    missing("acl", name, format!("interface {} ({dir})", iface.name));
+                    missing("acl", name, format!("interface {} ({dir})", iface.name), None);
                 }
             }
         }
@@ -87,7 +379,12 @@ pub fn undefined_references(d: &Device) -> Vec<Finding> {
             for (dir, policy) in [("in", &nb.import_policy), ("out", &nb.export_policy)] {
                 if let Some(name) = policy {
                     if !d.route_maps.contains_key(name) {
-                        missing("route-map", name, format!("neighbor {} ({dir})", nb.peer_ip));
+                        missing(
+                            "route-map",
+                            name,
+                            format!("neighbor {} ({dir})", nb.peer_ip),
+                            Some(&nb.src),
+                        );
                     }
                 }
             }
@@ -100,14 +397,14 @@ pub fn undefined_references(d: &Device) -> Vec<Finding> {
                     RouteMapMatch::PrefixLists(names) => {
                         for n in names {
                             if !d.prefix_lists.contains_key(n) {
-                                missing("prefix-list", n, format!("route-map {}", rm.name));
+                                missing("prefix-list", n, format!("route-map {}", rm.name), Some(&rm.src));
                             }
                         }
                     }
                     RouteMapMatch::CommunityLists(names) => {
                         for n in names {
                             if !d.community_lists.contains_key(n) {
-                                missing("community-list", n, format!("route-map {}", rm.name));
+                                missing("community-list", n, format!("route-map {}", rm.name), Some(&rm.src));
                             }
                         }
                     }
@@ -150,32 +447,41 @@ pub fn unused_structures(d: &Device) -> Vec<Finding> {
         }
     }
     let mut out = Vec::new();
-    for name in d.acls.keys() {
+    for (name, acl) in &d.acls {
         let zone_used = d.zone_policies.iter().any(|zp| zp.acl.name == *name);
         if !used_acls.contains(&name.as_str()) && !zone_used && !nat_text.contains(name) {
-            out.push(Finding {
-                check: "unused-structure",
-                device: d.name.clone(),
-                message: format!("acl {name} is defined but never used"),
-            });
+            out.push(
+                Finding::new(
+                    "unused-structure",
+                    &d.name,
+                    format!("acl {name}"),
+                    format!("acl {name} is defined but never used"),
+                )
+                .at(&acl.src),
+            );
         }
     }
-    for name in d.route_maps.keys() {
+    for (name, rm) in &d.route_maps {
         if !used_maps.contains(&name.as_str()) {
-            out.push(Finding {
-                check: "unused-structure",
-                device: d.name.clone(),
-                message: format!("route-map {name} is defined but never used"),
-            });
+            out.push(
+                Finding::new(
+                    "unused-structure",
+                    &d.name,
+                    format!("route-map {name}"),
+                    format!("route-map {name} is defined but never used"),
+                )
+                .at(&rm.src),
+            );
         }
     }
     for name in d.prefix_lists.keys() {
         if !used_lists.contains(&name.as_str()) {
-            out.push(Finding {
-                check: "unused-structure",
-                device: d.name.clone(),
-                message: format!("prefix-list {name} is defined but never used"),
-            });
+            out.push(Finding::new(
+                "unused-structure",
+                &d.name,
+                format!("prefix-list {name}"),
+                format!("prefix-list {name} is defined but never used"),
+            ));
         }
     }
     out
@@ -198,10 +504,13 @@ pub fn duplicate_ips(devices: &[Device]) -> Vec<Finding> {
     owners
         .into_iter()
         .filter(|(_, sites)| sites.len() > 1)
-        .map(|(ip, sites)| Finding {
-            check: "duplicate-ip",
-            device: String::new(),
-            message: format!("{ip} assigned at {}", sites.join(", ")),
+        .map(|(ip, sites)| {
+            Finding::new(
+                "duplicate-ip",
+                "",
+                format!("ip {ip}"),
+                format!("{ip} assigned at {}", sites.join(", ")),
+            )
         })
         .collect()
 }
@@ -233,49 +542,62 @@ pub fn bgp_compatibility(devices: &[Device]) -> Vec<Finding> {
                     let q: batnet_net::Prefix = "172.16.0.0/12".parse().expect("const");
                     let r: batnet_net::Prefix = "192.168.0.0/16".parse().expect("const");
                     if p.contains(nb.peer_ip) || q.contains(nb.peer_ip) || r.contains(nb.peer_ip) {
-                        out.push(Finding {
-                            check: "bgp-compat",
-                            device: d.name.clone(),
-                            message: format!(
-                                "neighbor {} is in private space but no device owns it",
-                                nb.peer_ip
-                            ),
-                        });
+                        out.push(
+                            Finding::new(
+                                "bgp-compat",
+                                &d.name,
+                                format!("neighbor {}/missing-peer", nb.peer_ip),
+                                format!(
+                                    "neighbor {} is in private space but no device owns it",
+                                    nb.peer_ip
+                                ),
+                            )
+                            .at(&nb.src),
+                        );
                     }
                 }
                 Some(peer) => match &peer.bgp {
-                    None => out.push(Finding {
-                        check: "bgp-compat",
-                        device: d.name.clone(),
-                        message: format!(
-                            "neighbor {} ({}) does not run BGP",
-                            nb.peer_ip, peer.name
-                        ),
-                    }),
+                    None => out.push(
+                        Finding::new(
+                            "bgp-compat",
+                            &d.name,
+                            format!("neighbor {}/no-bgp", nb.peer_ip),
+                            format!("neighbor {} ({}) does not run BGP", nb.peer_ip, peer.name),
+                        )
+                        .at(&nb.src),
+                    ),
                     Some(pb) => {
                         if pb.asn != nb.remote_as {
-                            out.push(Finding {
-                                check: "bgp-compat",
-                                device: d.name.clone(),
-                                message: format!(
-                                    "neighbor {} expects AS {} but {} is AS {}",
-                                    nb.peer_ip, nb.remote_as, peer.name, pb.asn
-                                ),
-                            });
+                            out.push(
+                                Finding::new(
+                                    "bgp-compat",
+                                    &d.name,
+                                    format!("neighbor {}/as-mismatch", nb.peer_ip),
+                                    format!(
+                                        "neighbor {} expects AS {} but {} is AS {}",
+                                        nb.peer_ip, nb.remote_as, peer.name, pb.asn
+                                    ),
+                                )
+                                .at(&nb.src),
+                            );
                         }
                         let points_back = pb
                             .neighbors
                             .iter()
                             .any(|pn| my_ips.contains(&pn.peer_ip) && pn.remote_as == bgp.asn);
                         if !points_back {
-                            out.push(Finding {
-                                check: "bgp-compat",
-                                device: d.name.clone(),
-                                message: format!(
-                                    "session to {} is not configured on {} (half-open)",
-                                    nb.peer_ip, peer.name
-                                ),
-                            });
+                            out.push(
+                                Finding::new(
+                                    "bgp-compat",
+                                    &d.name,
+                                    format!("neighbor {}/half-open", nb.peer_ip),
+                                    format!(
+                                        "session to {} is not configured on {} (half-open)",
+                                        nb.peer_ip, peer.name
+                                    ),
+                                )
+                                .at(&nb.src),
+                            );
                         }
                     }
                 },
@@ -305,13 +627,16 @@ pub fn ntp_consistency(devices: &[Device]) -> Vec<Finding> {
             s.sort();
             s != majority
         })
-        .map(|d| Finding {
-            check: "ntp-consistency",
-            device: d.name.clone(),
-            message: format!(
-                "ntp servers {:?} differ from the majority {:?}",
-                d.ntp_servers, majority
-            ),
+        .map(|d| {
+            Finding::new(
+                "ntp-consistency",
+                &d.name,
+                "ntp",
+                format!(
+                    "ntp servers {:?} differ from the majority {:?}",
+                    d.ntp_servers, majority
+                ),
+            )
         })
         .collect()
 }
@@ -335,7 +660,7 @@ pub fn mtu_mismatch(devices: &[Device]) -> Vec<Finding> {
             if seen.contains(&key) {
                 continue;
             }
-            seen.push(key);
+            seen.push(key.clone());
             let (Some(a), Some(b)) = (by_name.get(iface_ref.device.as_str()), by_name.get(nb.device.as_str()))
             else {
                 continue;
@@ -347,40 +672,123 @@ pub fn mtu_mismatch(devices: &[Device]) -> Vec<Finding> {
                 continue;
             };
             if ia.mtu != ib.mtu {
-                out.push(Finding {
-                    check: "mtu-mismatch",
-                    device: String::new(),
-                    message: format!(
-                        "{iface_ref} mtu {} != {nb} mtu {}",
-                        ia.mtu, ib.mtu
-                    ),
-                });
+                out.push(Finding::new(
+                    "mtu-mismatch",
+                    "",
+                    format!("link {} ~ {}", key.0, key.1),
+                    format!("{iface_ref} mtu {} != {nb} mtu {}", ia.mtu, ib.mtu),
+                ));
             }
         }
     }
     out
 }
 
-/// ACL shadowing via BDDs: lines that can never match because earlier
-/// lines cover them — the symbolic Lesson-5 analysis, and the building
-/// block of the §5.3 ACL-refactoring use-case (dead entries are safe to
-/// delete).
+/// ACL shadowing via BDDs — the symbolic Lesson-5 analysis, and the
+/// building block of the §5.3 ACL-refactoring use-case.
+///
+/// Two flavors:
+/// * **full shadow** (`acl-shadowing`, warning): the line can never match
+///   — every packet it names is claimed by earlier lines; it is safe to
+///   delete.
+/// * **partial shadow** (`acl-partial-shadow`, info): the line is
+///   reachable but matches strictly less than written, *and* the stolen
+///   region goes to earlier lines with the opposite action — i.e. the
+///   overlap changes behaviour, not just bookkeeping. The finding's
+///   witness is a concrete flow from the lost region. Catch-all tails
+///   (`deny ip any any`) are exempt: their written space is the full
+///   universe by idiom, not by intent.
 pub fn acl_shadowing(d: &Device) -> Vec<Finding> {
     let (mut bdd, vars) = PacketVars::new(0);
     let mut out = Vec::new();
     for acl in d.acls.values() {
         let compiled = compile_acl(&mut bdd, &vars, acl);
-        for (i, hit) in compiled.line_hits.iter().enumerate() {
-            if *hit == NodeId::FALSE {
-                out.push(Finding {
-                    check: "acl-shadowing",
-                    device: d.name.clone(),
-                    message: format!(
-                        "acl {} line {} ({}) is fully shadowed by earlier lines",
-                        acl.name, acl.lines[i].seq, acl.lines[i].text
-                    ),
-                });
+        for (i, line) in acl.lines.iter().enumerate() {
+            let hit = compiled.line_hits[i];
+            if hit == NodeId::FALSE {
+                out.push(
+                    Finding::new(
+                        "acl-shadowing",
+                        &d.name,
+                        format!("acl {}/line {}", acl.name, line.seq),
+                        format!(
+                            "acl {} line {} ({}) is fully shadowed by earlier lines",
+                            acl.name, line.seq, line.text
+                        ),
+                    )
+                    .at(&acl.src),
+                );
+                continue;
             }
+            let written = vars.headerspace(&mut bdd, &line.space);
+            if written == NodeId::TRUE {
+                continue; // catch-all idiom: written space is everything
+            }
+            let lost = bdd.diff(written, hit);
+            if lost == NodeId::FALSE {
+                continue;
+            }
+            // Only report when the lost region lands on earlier lines of
+            // the *opposite* action: same-action overlap is harmless.
+            let mut conflict = NodeId::FALSE;
+            for (j, earlier) in acl.lines.iter().enumerate().take(i) {
+                if earlier.action != line.action {
+                    let stolen = bdd.and(lost, compiled.line_hits[j]);
+                    conflict = bdd.or(conflict, stolen);
+                }
+            }
+            if conflict == NodeId::FALSE {
+                continue;
+            }
+            let witness = bdd
+                .pick_cube(conflict)
+                .map(|c| vars.cube_to_flow(&c).to_string())
+                .unwrap_or_default();
+            out.push(
+                Finding::new(
+                    "acl-partial-shadow",
+                    &d.name,
+                    format!("acl {}/line {}", acl.name, line.seq),
+                    format!(
+                        "acl {} line {} ({}) is partially shadowed: earlier opposite-action lines take part of its match set",
+                        acl.name, line.seq, line.text
+                    ),
+                )
+                .at(&acl.src)
+                .with_witness(witness),
+            );
+        }
+    }
+    out
+}
+
+/// Dead devices: configured but unable to do anything. Reuses the
+/// quarantine vocabulary (kebab-case reason codes in the witness field)
+/// so operators see one set of names across quarantine and lint.
+pub fn dead_device(d: &Device) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !d.interfaces.is_empty() && d.active_interfaces().next().is_none() {
+        out.push(
+            Finding::new(
+                "dead-device",
+                &d.name,
+                "interfaces",
+                "every interface is shutdown; the device cannot forward or peer",
+            )
+            .with_witness("all-interfaces-shutdown"),
+        );
+    }
+    if let Some(bgp) = &d.bgp {
+        if bgp.neighbors.is_empty() {
+            out.push(
+                Finding::new(
+                    "dead-device",
+                    &d.name,
+                    "bgp",
+                    format!("BGP process (AS {}) has no configured sessions", bgp.asn),
+                )
+                .with_witness("no-bgp-sessions"),
+            );
         }
     }
     out
@@ -430,6 +838,13 @@ mod tests {
         assert!(checks.contains(&"route-map"));
         assert!(checks.contains(&"prefix-list"));
         assert_eq!(f.len(), 3);
+        // All carry the error severity from the catalog.
+        assert!(f.iter().all(|x| x.severity == Severity::Error));
+        // The BGP-sourced one has a source location (file stamped by
+        // parse_device, line by the parser).
+        let rm = f.iter().find(|x| x.path.contains("route-map MISSING")).unwrap();
+        assert_eq!(rm.file, "t");
+        assert!(rm.line > 0);
     }
 
     #[test]
@@ -502,6 +917,46 @@ mod tests {
         let f = acl_shadowing(&d);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("line 20"));
+        assert_eq!(f[0].check, "acl-shadowing");
+    }
+
+    #[test]
+    fn partial_shadow_reports_lost_region_with_witness() {
+        // Line 20 wants all TCP but line 10 already denied port 22: a
+        // behaviour-relevant partial shadow with a concrete witness.
+        let d = dev(
+            "hostname r1\nip access-list extended A\n 10 deny tcp any any eq 22\n 20 permit tcp any any\n",
+        );
+        let f = acl_shadowing(&d);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].check, "acl-partial-shadow");
+        assert_eq!(f[0].severity, Severity::Info);
+        assert!(f[0].path.contains("line 20"));
+        assert!(f[0].witness.contains(":22"), "witness names port 22: {}", f[0].witness);
+    }
+
+    #[test]
+    fn partial_shadow_ignores_same_action_overlap_and_catch_alls() {
+        // Same-action overlap (both permit) and an unconstrained final
+        // deny: neither is worth a report.
+        let d = dev(
+            "hostname r1\nip access-list extended A\n 10 permit tcp any any eq 80\n 20 permit tcp any any\n 30 deny ip any any\n",
+        );
+        assert!(acl_shadowing(&d).is_empty());
+    }
+
+    #[test]
+    fn dead_device_findings() {
+        let d = dev(
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\n shutdown\nrouter bgp 65001\n",
+        );
+        let f = dead_device(&d);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.witness == "all-interfaces-shutdown"));
+        assert!(f.iter().any(|x| x.witness == "no-bgp-sessions"));
+        // A live device is clean.
+        let live = dev("hostname r2\ninterface e0\n ip address 10.0.0.2/24\n");
+        assert!(dead_device(&live).is_empty());
     }
 
     #[test]
@@ -525,5 +980,87 @@ mod tests {
         let a = dev("hostname a\nntp server 1.1.1.1\ninterface e0\n ip address 10.0.0.1/24\n ip access-group NOPE in\n");
         let f = run_all(std::slice::from_ref(&a));
         assert!(f.iter().any(|x| x.check == "undefined-reference"));
+    }
+
+    /// The registry invariant: every non-bridged catalog check is wired
+    /// into PASSES, every PASSES check id is in the catalog, and no pass
+    /// is registered twice. This is the regression test for the historical
+    /// bug where `acl_shadowing` was exported but never run.
+    #[test]
+    fn registry_covers_every_check() {
+        let mut from_passes: Vec<&str> = PASSES.iter().flat_map(|(_, ids, _)| ids.iter().copied()).collect();
+        from_passes.sort();
+        let dup = from_passes.windows(2).find(|w| w[0] == w[1]);
+        assert!(dup.is_none(), "check id owned by two passes: {dup:?}");
+        for c in CHECKS.iter().filter(|c| !c.bridged) {
+            assert!(
+                from_passes.contains(&c.id),
+                "catalog check '{}' is not dispatched by any pass",
+                c.id
+            );
+        }
+        for id in &from_passes {
+            assert!(
+                CHECKS.iter().any(|c| c.id == *id && !c.bridged),
+                "pass emits unregistered check '{id}'"
+            );
+        }
+        let mut names: Vec<&str> = PASSES.iter().map(|(n, _, _)| *n).collect();
+        names.sort();
+        assert!(names.windows(2).all(|w| w[0] != w[1]), "duplicate pass name");
+        // Specifically: the shadowing pass is present.
+        assert!(PASSES.iter().any(|(n, _, _)| *n == "acl-shadowing"));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_message_insensitive() {
+        let mut a = Finding::new("acl-shadowing", "leaf1", "acl SERVERS/line 20", "old wording");
+        let b = Finding::new("acl-shadowing", "leaf1", "acl SERVERS/line 20", "completely new wording");
+        a.line = 7; // location does not participate either
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint().len(), 16);
+        // Known-answer so the scheme cannot drift silently.
+        assert_eq!(a.fingerprint(), format!("{:016x}", fnv1a64(&["acl-shadowing", "leaf1", "acl SERVERS/line 20"])));
+        // Different path → different fingerprint.
+        let c = Finding::new("acl-shadowing", "leaf1", "acl SERVERS/line 30", "x");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Separator matters: ("ab","c","") vs ("a","bc","").
+        assert_ne!(fnv1a64(&["ab", "c", ""]), fnv1a64(&["a", "bc", ""]));
+    }
+
+    #[test]
+    fn inline_suppression_mutes_a_check() {
+        let text = "hostname a\n! batnet-lint-disable unused-structure\ninterface e0\n ip address 10.0.0.1/24\nip access-list extended DEAD\n 10 permit ip any any\n";
+        let noisy = dev("hostname a\ninterface e0\n ip address 10.0.0.1/24\nip access-list extended DEAD\n 10 permit ip any any\n");
+        assert!(run_all(std::slice::from_ref(&noisy)).iter().any(|f| f.check == "unused-structure"));
+        let quiet = dev(text);
+        let f = run_all(std::slice::from_ref(&quiet));
+        assert!(
+            !f.iter().any(|x| x.check == "unused-structure"),
+            "directive should mute the check: {f:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_bridge_maps_severities() {
+        let mut dg = Diagnostics::new();
+        dg.push(diag::Severity::UnrecognizedLine, 3, "mystery knob");
+        dg.push(diag::Severity::UndefinedReference, 9, "route-map NOPE");
+        dg.push(diag::Severity::ParseError, 12, "garbled");
+        let f = diagnostics_findings("r1", &dg);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().any(|x| x.check == "unrecognized-line" && x.severity == Severity::Warning));
+        assert!(f.iter().any(|x| x.check == "undefined-reference" && x.severity == Severity::Error));
+        assert!(f.iter().any(|x| x.check == "parse-error" && x.line == 12 && x.file == "r1"));
+    }
+
+    #[test]
+    fn severity_parses_and_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!("warn".parse::<Severity>().unwrap(), Severity::Warning);
+        assert_eq!("note".parse::<Severity>().unwrap(), Severity::Info);
+        assert!("loud".parse::<Severity>().is_err());
+        assert_eq!(Severity::Info.sarif_level(), "note");
     }
 }

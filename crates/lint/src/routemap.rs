@@ -11,13 +11,17 @@
 //! the route-map half of the §5.3 refactoring use-case.
 
 use crate::Finding;
-use batnet_bdd::{Bdd, NodeId};
-use batnet_config::vi::{Device, PrefixListEntry, RouteMap, RouteMapMatch};
+use batnet_bdd::{Bdd, Cube, NodeId};
+use batnet_config::vi::{AclAction, Device, PrefixListEntry, RouteMap, RouteMapMatch};
 use batnet_net::Community;
 use std::collections::BTreeMap;
 
 /// Variable layout for the route space.
-struct RouteVars {
+///
+/// Crate-visible so the policy-drift pass can compile route maps from
+/// *several* devices into one shared manager (equal functions then get
+/// equal node ids, which makes semantic comparison a pointer compare).
+pub(crate) struct RouteVars {
     /// Network address bits (MSB first): vars 0..32.
     /// Prefix length (6 bits): vars 32..38.
     /// Tag (16 bits): vars 38..54.
@@ -35,27 +39,40 @@ const EXTRA_BASE: u32 = 70;
 
 impl RouteVars {
     fn new(device: &Device) -> (Bdd, RouteVars) {
+        RouteVars::for_devices(&[device])
+    }
+
+    /// Allocates a route space covering every community and AS-path regex
+    /// any of `devices` mentions. The same community (or regex string) on
+    /// two devices shares one indicator bit, so their compiled policies
+    /// are directly comparable. Callers must pass `devices` in a
+    /// deterministic order (the drift pass sorts by name).
+    pub(crate) fn for_devices(devices: &[&Device]) -> (Bdd, RouteVars) {
         let mut community_bits = BTreeMap::new();
         let mut next = EXTRA_BASE;
-        for cl in device.community_lists.values() {
-            for e in &cl.entries {
-                community_bits.entry(e.community).or_insert_with(|| {
-                    let v = next;
-                    next += 1;
-                    v
-                });
+        for device in devices {
+            for cl in device.community_lists.values() {
+                for e in &cl.entries {
+                    community_bits.entry(e.community).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    });
+                }
             }
         }
         let mut regex_bits = BTreeMap::new();
-        for rm in device.route_maps.values() {
-            for clause in &rm.clauses {
-                for m in &clause.matches {
-                    if let RouteMapMatch::AsPathRegex(re) = m {
-                        regex_bits.entry(re.clone()).or_insert_with(|| {
-                            let v = next;
-                            next += 1;
-                            v
-                        });
+        for device in devices {
+            for rm in device.route_maps.values() {
+                for clause in &rm.clauses {
+                    for m in &clause.matches {
+                        if let RouteMapMatch::AsPathRegex(re) = m {
+                            regex_bits.entry(re.clone()).or_insert_with(|| {
+                                let v = next;
+                                next += 1;
+                                v
+                            });
+                        }
                     }
                 }
             }
@@ -83,10 +100,6 @@ impl RouteVars {
             let align = if cur == 0 { bits } else { cur.trailing_zeros().min(bits) };
             let span = 64 - (hi - cur + 1).leading_zeros() - 1;
             let take = align.min(span);
-            let cube = bdd.prefix_cube(base, bits, cur << (64 - bits).min(0), bits - take);
-            // prefix_cube expects the value left-aligned within `bits`;
-            // build directly instead for clarity.
-            let _ = cube;
             let mut block = NodeId::TRUE;
             for i in 0..bits - take {
                 let bit = (cur >> (bits - 1 - i)) & 1 == 1;
@@ -192,6 +205,39 @@ impl RouteVars {
     }
 }
 
+/// The set of routes a route map *accepts*: union of the fresh (not yet
+/// claimed) match sets of its permit clauses, by first-match carving.
+/// `set` actions are attribute rewrites and do not change acceptance, so
+/// they are ignored here; this is the comparison function the
+/// policy-drift pass uses.
+pub(crate) fn permit_set(bdd: &mut Bdd, vars: &RouteVars, device: &Device, rm: &RouteMap) -> NodeId {
+    let mut claimed = NodeId::FALSE;
+    let mut permits = NodeId::FALSE;
+    for clause in &rm.clauses {
+        let set = vars.clause(bdd, device, &clause.matches);
+        let fresh = bdd.diff(set, claimed);
+        if clause.action == AclAction::Permit {
+            permits = bdd.or(permits, fresh);
+        }
+        claimed = bdd.or(claimed, set);
+    }
+    permits
+}
+
+/// Renders a route-space cube as a concrete witness prefix (don't-care
+/// bits resolve to 0, the numerically smallest completion).
+pub(crate) fn cube_route(cube: &Cube) -> String {
+    let net = cube.field(NET_BASE, 32) as u32;
+    let len = cube.field(LEN_BASE, 6).min(32);
+    format!(
+        "{}.{}.{}.{}/{len}",
+        net >> 24,
+        (net >> 16) & 0xff,
+        (net >> 8) & 0xff,
+        net & 0xff
+    )
+}
+
 /// Dead clauses of one route map: clauses whose match set is fully
 /// covered by earlier clauses.
 pub fn dead_clauses(device: &Device, rm: &RouteMap) -> Vec<u32> {
@@ -214,14 +260,18 @@ pub fn route_map_dead_clauses(device: &Device) -> Vec<Finding> {
     let mut out = Vec::new();
     for rm in device.route_maps.values() {
         for seq in dead_clauses(device, rm) {
-            out.push(Finding {
-                check: "route-map-dead-clause",
-                device: device.name.clone(),
-                message: format!(
-                    "route-map {} clause {} can never match (covered by earlier clauses)",
-                    rm.name, seq
-                ),
-            });
+            out.push(
+                Finding::new(
+                    "route-map-dead-clause",
+                    &device.name,
+                    format!("route-map {}/clause {seq}", rm.name),
+                    format!(
+                        "route-map {} clause {seq} can never match (covered by earlier clauses)",
+                        rm.name
+                    ),
+                )
+                .at(&rm.src),
+            );
         }
     }
     out

@@ -691,6 +691,7 @@ mod tests {
                     space: HeaderSpace::any().protocol(batnet_net::IpProtocol::Tcp).dst_port(179),
                     text: "deny tcp any any eq 179".into(),
                 }],
+                ..Acl::default()
             },
         );
         d.interfaces.get_mut("e1").unwrap().acl_out = Some("NOBGP".into());

@@ -67,4 +67,19 @@ impl GeneratedNetwork {
             })
             .collect()
     }
+
+    /// Seeds a semantic policy drift: rewrites the victim device's DNS
+    /// ACL line from port 53 to 5353, so the victim's policy diverges
+    /// from its role peers while staying perfectly well-formed — the
+    /// fixture for the `policy-drift` lint check. Returns false when the
+    /// victim does not exist or carries no such line.
+    pub fn seed_policy_drift(&mut self, victim: &str) -> bool {
+        for (name, text) in &mut self.configs {
+            if name == victim && text.contains("eq 53\n") {
+                *text = text.replacen("eq 53\n", "eq 5353\n", 1);
+                return true;
+            }
+        }
+        false
+    }
 }
