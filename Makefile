@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy obs-smoke lint-smoke bench
+.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke bench
 
-ci: build test chaos clippy obs-smoke lint-smoke
+ci: build test chaos clippy obs-smoke lint-smoke perf-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -45,6 +45,17 @@ lint-smoke: build
 	$(CARGO) run --release --offline -p batnet-lint --bin batnet-lint -- --validate target/lint-n2.sarif
 	$(CARGO) run --release --offline -p batnet-lint --bin batnet-lint -- --net n2 --deny error --out /dev/null
 	! $(CARGO) run --release --offline -p batnet-lint --bin batnet-lint -- --dir fixtures/lint-bad --deny error --out /dev/null
+
+# Performance regression gate (structure mode): re-measure the N2 rows
+# of Table 2 with 3 repeats, validate the emitted file, and diff it
+# against the committed baseline. `--structure-only` skips the timing
+# comparison (CI machines are too noisy for that; run obs-diff without
+# the flag locally) but still fails on schema drift, missing stages, or
+# rows that appear from nowhere.
+perf-smoke: build
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- table2 --json --repeat 3 --net N2 --out target/BENCH_perf_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_perf_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_table2.json target/BENCH_perf_smoke.json
 
 bench:
 	$(CARGO) bench --offline -p batnet-bench

@@ -476,6 +476,19 @@ impl Bdd {
         stats
     }
 
+    /// Total entries across every operation cache — the memory-accounting
+    /// proxy for cache footprint that the bench harness surfaces as the
+    /// `bdd.cache.entries` gauge (each entry is a fixed-size key/value
+    /// pair, so entries × entry size ≈ cache bytes).
+    pub fn cache_entries(&self) -> usize {
+        self.apply_cache.len()
+            + self.not_cache.len()
+            + self.ite_cache.len()
+            + self.quant_cache.len()
+            + self.rename_cache.len()
+            + self.transform_cache.len()
+    }
+
     /// Drops all operation caches (not the arena). Useful between analysis
     /// phases when the cached operands will not recur.
     pub fn clear_caches(&mut self) {

@@ -11,11 +11,22 @@
 //! harness apt                  # §6.2: APT comparison (92 nodes)
 //! harness ablate-convergence   # A-1: coloring / logical clocks
 //! harness ablate-memory        # A-2: attribute interning
-//! harness ablate-varorder      # A-3: BDD variable order
+//! harness ablate-varorder     # A-3: BDD variable order
 //! harness ablate-dataflow      # A-4: graph compression & backward walk
 //! harness ablate-transform     # A-5: fused vs 3-step NAT transform
 //! harness all [--full] [--json]  # everything above
 //! ```
+//!
+//! Cross-cutting flags:
+//!
+//! * `--repeat N` — run a row-producing bench (`fig3`, `table2`,
+//!   `smoke`, `lint`) N times and emit one row per `(network, stage)`
+//!   with the **median** time plus `mad_ms` / `repeat` meta, so
+//!   `obs-diff` can tell regressions from noise.
+//! * `--net ID` — restrict `table2` / `lint` to one suite network
+//!   (the CI `perf-smoke` gate runs `table2 --net N2`).
+//! * `--out PATH` — write the JSON somewhere other than the committed
+//!   repo-root baseline (CI writes under `target/`).
 //!
 //! `table2` runs the four smallest networks by default; `--full` runs
 //! all eleven (minutes of wall clock on the biggest).
@@ -23,10 +34,14 @@
 //! `--json` additionally writes machine-readable results —
 //! `BENCH_table2.json` / `BENCH_fig3.json` at the repo root — with the
 //! stable `{bench, network, stage, ms, meta}` row schema and the full
-//! run report (span tree, metrics, events) embedded. `smoke` always
-//! writes `target/BENCH_smoke.json` (the CI `obs-smoke` gate validates
-//! it). Every text report ends with a provenance stamp: git commit,
-//! command line, and total wall time from the root span.
+//! run report (span tree, metrics, events) embedded. Rows carry
+//! per-stage peak/delta heap meta (`peak_kb` / `delta_kb`, from the
+//! counting allocator) and the file meta stamps commit, command line,
+//! rustc version, and build profile — `obs-diff` refuses cross-profile
+//! comparisons. `smoke` always writes `target/BENCH_smoke.json` (the CI
+//! `obs-smoke` gate validates it). Every text report ends with a
+//! provenance stamp: git commit, command line, and total wall time from
+//! the root span.
 
 use batnet::baselines::{AptEngine, CubeNetwork};
 use batnet::bdd::NodeId;
@@ -43,16 +58,71 @@ fn main() {
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let repeat = match flag_value(&args, "--repeat") {
+        None => 1,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--repeat wants a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let net_filter = flag_value(&args, "--net");
+    let out = flag_value(&args, "--out");
     batnet_obs::reset();
     let root = batnet_obs::Span::enter("harness");
-    let mut rows: Vec<Row> = Vec::new();
+    // Repeats only make sense for the row-producing benches; everything
+    // else (ablations, text-only tables) runs once.
+    let repeat = if matches!(cmd, "fig3" | "table2" | "smoke" | "lint") {
+        repeat
+    } else {
+        1
+    };
+    let mut runs: Vec<Vec<Row>> = Vec::new();
+    for i in 0..repeat {
+        if repeat > 1 {
+            println!("\n### repeat {}/{repeat} ###", i + 1);
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        run_cmd(cmd, full, net_filter.as_deref(), &mut rows);
+        runs.push(rows);
+    }
+    let rows = if repeat > 1 {
+        aggregate_repeats(&runs)
+    } else {
+        runs.pop().unwrap_or_default()
+    };
+    let wall = root.close();
+    let commit = git_commit();
+    let cmdline = format!("harness {}", args.join(" "));
+    println!(
+        "\n--- provenance: commit {commit} | cmd \"{}\" | wall {:.2}s ---",
+        cmdline.trim_end(),
+        wall.as_secs_f64()
+    );
+    if json || cmd == "smoke" || cmd == "lint" {
+        emit_json(cmd, &rows, &commit, &cmdline, repeat, out.as_deref());
+    }
+}
+
+/// The value following `flag` on the command line, if any.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Dispatches one run of an experiment command.
+fn run_cmd(cmd: &str, full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
     match cmd {
         "fig1" => fig1(),
-        "fig3" => fig3(&mut rows),
+        "fig3" => fig3(rows),
         "table1" => table1(full),
-        "table2" => table2(full, &mut rows),
-        "smoke" => smoke(&mut rows),
-        "lint" => lint_bench(full, &mut rows),
+        "table2" => table2(full, net, rows),
+        "smoke" => smoke(rows),
+        "lint" => lint_bench(full, net, rows),
         "apt" => apt(),
         "ablate-convergence" => ablate_convergence(),
         "ablate-memory" => ablate_memory(),
@@ -61,9 +131,9 @@ fn main() {
         "ablate-transform" => ablate_transform(),
         "all" => {
             fig1();
-            fig3(&mut rows);
+            fig3(rows);
             table1(full);
-            table2(full, &mut rows);
+            table2(full, net, rows);
             apt();
             ablate_convergence();
             ablate_memory();
@@ -76,48 +146,60 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let wall = root.close();
-    let commit = git_commit();
-    let cmdline = format!("harness {}", args.join(" "));
-    println!(
-        "\n--- provenance: commit {commit} | cmd \"{}\" | wall {:.2}s ---",
-        cmdline.trim_end(),
-        wall.as_secs_f64()
-    );
-    if json || cmd == "smoke" || cmd == "lint" {
-        emit_json(cmd, &rows, &commit, &cmdline);
-    }
 }
 
 /// Writes `BENCH_<bench>.json` for each bench that produced rows. The
 /// repo-root baselines (`table2`, `fig3`) are written on `--json`; the
 /// `smoke` bench always lands in `target/` so CI never dirties the
-/// committed baselines.
-fn emit_json(cmd: &str, rows: &[Row], commit: &str, cmdline: &str) {
+/// committed baselines. `--out` redirects the (single) output file —
+/// the CI `perf-smoke` gate uses it to write under `target/`.
+fn emit_json(cmd: &str, rows: &[Row], commit: &str, cmdline: &str, repeat: usize, out: Option<&str>) {
     let report = batnet_obs::capture();
     let meta = vec![
         ("commit".to_string(), commit.to_string()),
         ("cmd".to_string(), cmdline.trim_end().to_string()),
+        ("rustc".to_string(), rustc_version()),
+        ("profile".to_string(), build_profile().to_string()),
+        ("repeat".to_string(), repeat.to_string()),
     ];
     let benches: Vec<&str> = match cmd {
         "all" => vec!["table2", "fig3"],
         b => vec![b],
     };
-    for bench in benches {
-        let subset: Vec<Row> = rows.iter().filter(|r| r.bench == bench).cloned().collect();
+    if out.is_some() && benches.len() > 1 {
+        eprintln!("--out applies to single-bench commands; ignoring it for `all`");
+    }
+    for bench in &benches {
+        let subset: Vec<Row> = rows.iter().filter(|r| r.bench == *bench).cloned().collect();
         if subset.is_empty() {
             continue;
         }
-        let path = if bench == "smoke" {
-            repo_root().join("target").join("BENCH_smoke.json")
-        } else {
-            repo_root().join(format!("BENCH_{bench}.json"))
+        let path = match out {
+            Some(p) if benches.len() == 1 => std::path::PathBuf::from(p),
+            _ if *bench == "smoke" => repo_root().join("target").join("BENCH_smoke.json"),
+            _ => repo_root().join(format!("BENCH_{bench}.json")),
         };
         let text = bench_json(bench, &meta, &subset, &report);
         match std::fs::write(&path, &text) {
             Ok(()) => println!("wrote {} ({} rows)", path.display(), subset.len()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
+    }
+}
+
+/// Attaches the stage's heap accounting — published as
+/// `mem.<stage>.peak_bytes` / `mem.<stage>.delta_bytes` gauges by the
+/// bench library's memory windows — to a row as `peak_kb` / `delta_kb`
+/// meta. Leaves the row untouched when the counting allocator is absent.
+fn with_mem(row: Row, stage: &str) -> Row {
+    let read = |key: &str| batnet_obs::metrics::gauge(&format!("mem.{stage}.{key}"));
+    let row = match read("peak_bytes") {
+        Some(v) => row.with("peak_kb", format!("{:.0}", v / 1024.0)),
+        None => row,
+    };
+    match read("delta_bytes") {
+        Some(v) => row.with("delta_kb", format!("{:.0}", v / 1024.0)),
+        None => row,
     }
 }
 
@@ -163,11 +245,25 @@ fn measure_pipeline(
         mp: mp_time,
         mp_n,
     };
-    rows.push(Row::new(bench, id, "parse", m.parse));
-    rows.push(Row::new(bench, id, "dpgen", m.dpgen).with("routes", m.routes));
-    rows.push(Row::new(bench, id, "graph", m.graph));
-    rows.push(Row::new(bench, id, "dest-reach", m.dest).with("queries", m.dest_n));
-    rows.push(Row::new(bench, id, "multipath", m.mp).with("queries", m.mp_n));
+    let gauge = |name: &str| batnet_obs::metrics::gauge(name).unwrap_or(0.0);
+    rows.push(with_mem(Row::new(bench, id, "parse", m.parse), "parse"));
+    rows.push(with_mem(
+        Row::new(bench, id, "dpgen", m.dpgen).with("routes", m.routes),
+        "dpgen",
+    ));
+    rows.push(with_mem(
+        Row::new(bench, id, "graph", m.graph)
+            .with("bdd_nodes", format!("{:.0}", gauge("bdd.graph.nodes"))),
+        "graph",
+    ));
+    rows.push(with_mem(
+        Row::new(bench, id, "dest-reach", m.dest).with("queries", m.dest_n),
+        "dest-reach",
+    ));
+    rows.push(with_mem(
+        Row::new(bench, id, "multipath", m.mp).with("queries", m.mp_n),
+        "multipath",
+    ));
     rows.push(
         Row::new(bench, id, "total", total)
             .with("nodes", m.nodes)
@@ -222,9 +318,9 @@ fn fig3(rows: &mut Vec<Row>) {
 
     // Original DP generation: the Datalog model.
     let inputs = RoutingInputs::for_network(&world.devices, &world.topo);
-    let t = clock::now();
+    let span = batnet_obs::Span::enter("dpgen-datalog");
     let dl = datalog_routes(&world.devices, &world.topo, &inputs);
-    let datalog_time = t.elapsed();
+    let datalog_time = span.close();
     let total_routes: usize = dl.routes.values().map(Vec::len).sum();
     println!(
         "DP generation (Datalog):         {}  ({} facts retained, {} routes)",
@@ -256,12 +352,13 @@ fn fig3(rows: &mut Vec<Row>) {
             .with("engine", "bdd")
             .with("queries", starts),
     );
-    let t = clock::now();
+    let outer = batnet_obs::Span::enter("multipath-cubes");
+    let span = batnet_obs::Span::enter("cube-build");
     let cube_net = CubeNetwork::build(&world.devices, &world.dp, &world.topo);
-    let cube_build = t.elapsed();
+    let cube_build = span.close();
     let ingresses = cube_net.ingresses();
     let step = (ingresses.len() / 24).max(1);
-    let t = clock::now();
+    let span = batnet_obs::Span::enter("cube-query");
     let mut cube_viol = 0;
     let mut cube_starts = 0;
     for (d, i) in ingresses.iter().step_by(step).take(24) {
@@ -270,7 +367,8 @@ fn fig3(rows: &mut Vec<Row>) {
             cube_viol += 1;
         }
     }
-    let cube_time = t.elapsed();
+    let cube_time = span.close();
+    drop(outer);
     println!(
         "verification (cube engine):      {}  (+{} build; {cube_starts} starts, {cube_viol} inconsistent)",
         fmt_dur(cube_time),
@@ -320,15 +418,22 @@ fn table1(full: bool) {
     }
 }
 
-/// Table 2: pipeline performance per network.
-fn table2(full: bool, rows: &mut Vec<Row>) {
+/// Table 2: pipeline performance per network. `net` restricts the run
+/// to one suite network (by id, case-insensitive) — the CI `perf-smoke`
+/// gate uses it to measure only N2.
+fn table2(full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
     banner("E-T2 (Table 2): pipeline performance");
     println!(
         "{:<6} {:>6} {:>9} {:>10} {:>10} {:>11} {:>12} {:>10}",
         "net", "nodes", "routes", "parse", "DP gen", "graph", "dest-reach", "multipath"
     );
+    let before = rows.len();
     for entry in batnet_topogen::suite::suite() {
-        if !full && entry.nominal_nodes > 520 {
+        if let Some(filter) = net {
+            if !entry.id.eq_ignore_ascii_case(filter) {
+                continue;
+            }
+        } else if !full && entry.nominal_nodes > 520 {
             continue;
         }
         let net = (entry.build)();
@@ -344,6 +449,11 @@ fn table2(full: bool, rows: &mut Vec<Row>) {
             format!("{}/{}q", fmt_dur(m.dest), m.dest_n),
             format!("{}/{}q", fmt_dur(m.mp), m.mp_n),
         );
+    }
+    if let Some(filter) = net {
+        if rows.len() == before {
+            eprintln!("--net {filter} matched no suite network");
+        }
     }
     println!("(times are wall clock on this machine; the paper's claim is");
     println!(" minutes even at thousands of nodes — compare shapes, not values)");
@@ -370,14 +480,18 @@ fn smoke(rows: &mut Vec<Row>) {
 /// The lint bench: parse + full static-analysis pass per suite network,
 /// finding counts in the row metadata. Always writes `BENCH_lint.json`
 /// (lint reports are deterministic, so the baseline is reproducible).
-fn lint_bench(full: bool, rows: &mut Vec<Row>) {
+fn lint_bench(full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
     banner("E-L: lint engine throughput");
     println!(
         "{:<6} {:>7} {:>10} {:>10} {:>9} {:>9}",
         "net", "devices", "parse", "lint", "findings", "errors"
     );
     for entry in batnet_topogen::suite::suite() {
-        if !full && entry.nominal_nodes > 520 {
+        if let Some(filter) = net {
+            if !entry.id.eq_ignore_ascii_case(filter) {
+                continue;
+            }
+        } else if !full && entry.nominal_nodes > 520 {
             continue;
         }
         let net = (entry.build)();

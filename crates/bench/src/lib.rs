@@ -37,15 +37,44 @@ pub fn build_world(net: GeneratedNetwork) -> World {
     build_world_with(net, &SimOptions::default())
 }
 
+/// Opens a memory window and, on close, publishes the stage's peak and
+/// retained-delta bytes as `mem.<stage>.peak_bytes` /
+/// `mem.<stage>.delta_bytes` gauges. Windows reset the global
+/// high-water mark, so stages must be sequential (see
+/// `batnet_obs::mem`) — which the harness pipeline is.
+fn mem_stage<R>(stage: &str, f: impl FnOnce() -> R) -> R {
+    let w = batnet_obs::MemWindow::open();
+    let r = f();
+    let m = w.close();
+    batnet_obs::gauge_set(&format!("mem.{stage}.peak_bytes"), m.peak_bytes as f64);
+    batnet_obs::gauge_set(&format!("mem.{stage}.delta_bytes"), m.delta_bytes as f64);
+    r
+}
+
+/// Publishes the BDD manager's per-stage accounting window: node count
+/// (a level) and apply-cache hits/misses since the last call (flows,
+/// reset via `take_stats`).
+fn bdd_stage_stats(stage: &str, bdd: &mut Bdd) {
+    let stats = bdd.take_stats();
+    batnet_obs::gauge_set(&format!("bdd.{stage}.nodes"), stats.nodes as f64);
+    batnet_obs::gauge_set(&format!("bdd.{stage}.cache_hits"), stats.cache_hits as f64);
+    batnet_obs::gauge_set(&format!("bdd.{stage}.cache_misses"), stats.cache_misses as f64);
+    batnet_obs::gauge_set("bdd.cache.entries", bdd.cache_entries() as f64);
+}
+
 /// [`build_world`] with explicit engine options (for the ablations).
 pub fn build_world_with(net: GeneratedNetwork, opts: &SimOptions) -> World {
-    let span = Span::enter("parse");
-    let devices = net.parse();
-    let parse_time = span.close();
-    let span = Span::enter("dpgen");
-    let topo = Topology::infer(&devices);
-    let dp = simulate(&devices, &net.env, opts);
-    let dpgen_time = span.close();
+    let (devices, parse_time) = mem_stage("parse", || {
+        let span = Span::enter("parse");
+        let devices = net.parse();
+        (devices, span.close())
+    });
+    let ((topo, dp), dpgen_time) = mem_stage("dpgen", || {
+        let span = Span::enter("dpgen");
+        let topo = Topology::infer(&devices);
+        let dp = simulate(&devices, &net.env, opts);
+        ((topo, dp), span.close())
+    });
     World {
         net,
         devices,
@@ -59,9 +88,12 @@ pub fn build_world_with(net: GeneratedNetwork, opts: &SimOptions) -> World {
 /// Builds the BDD forwarding graph, timed.
 pub fn build_graph(world: &World, waypoints: u32) -> (Bdd, PacketVars, ForwardingGraph, Duration) {
     let (mut bdd, vars) = PacketVars::new(waypoints);
-    let span = Span::enter("graph");
-    let graph = ForwardingGraph::build(&mut bdd, &vars, &world.devices, &world.dp, &world.topo);
-    let dt = span.close();
+    let (graph, dt) = mem_stage("graph", || {
+        let span = Span::enter("graph");
+        let graph = ForwardingGraph::build(&mut bdd, &vars, &world.devices, &world.dp, &world.topo);
+        (graph, span.close())
+    });
+    bdd_stage_stats("graph", &mut bdd);
     (bdd, vars, graph, dt)
 }
 
@@ -78,12 +110,16 @@ pub fn dest_reachability(
     let step = (sinks.len() / count.max(1)).max(1);
     let chosen: Vec<usize> = sinks.iter().copied().step_by(step).take(count).collect();
     let analysis = ReachAnalysis::new(graph);
-    let span = Span::enter("dest-reach");
-    for &s in &chosen {
-        let r = analysis.backward(bdd, vars, s, NodeId::TRUE);
-        std::hint::black_box(&r.reach);
-    }
-    (span.close(), chosen.len())
+    let dt = mem_stage("dest-reach", || {
+        let span = Span::enter("dest-reach");
+        for &s in &chosen {
+            let r = analysis.backward(bdd, vars, s, NodeId::TRUE);
+            std::hint::black_box(&r.reach);
+        }
+        span.close()
+    });
+    bdd_stage_stats("dest-reach", bdd);
+    (dt, chosen.len())
 }
 
 /// Multipath-consistency measurement over up to `max_starts` interface
@@ -97,14 +133,18 @@ pub fn multipath_consistency(
     let step = (sources.len() / max_starts.max(1)).max(1);
     let chosen: Vec<usize> = sources.iter().copied().step_by(step).take(max_starts).collect();
     let analysis = ReachAnalysis::new(graph);
-    let span = Span::enter("multipath");
     let mut violations = 0usize;
-    for &s in &chosen {
-        if analysis.multipath_inconsistency(bdd, s) != NodeId::FALSE {
-            violations += 1;
+    let dt = mem_stage("multipath", || {
+        let span = Span::enter("multipath");
+        for &s in &chosen {
+            if analysis.multipath_inconsistency(bdd, s) != NodeId::FALSE {
+                violations += 1;
+            }
         }
-    }
-    (span.close(), chosen.len(), violations)
+        span.close()
+    });
+    bdd_stage_stats("multipath", bdd);
+    (dt, chosen.len(), violations)
 }
 
 /// Pretty-prints a duration for tables.
@@ -240,6 +280,92 @@ pub fn bench_json(
     out
 }
 
+/// Median of a sample list (mean of the middle two for even counts;
+/// 0 for empty input).
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        (s[mid - 1] + s[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation from the median — the robust noise
+/// estimate `obs-diff` scales its thresholds with.
+pub fn mad(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let med = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Collapses `N` repeated runs of the same bench into one row set:
+/// rows are grouped on `(bench, network, stage)` in first-run order,
+/// `ms` becomes the median across runs, and each row's meta gains
+/// `mad_ms` (the noise estimate) and `repeat` (the sample count).
+/// Non-timing meta is taken from the first run.
+pub fn aggregate_repeats(runs: &[Vec<Row>]) -> Vec<Row> {
+    let Some(first) = runs.first() else {
+        return Vec::new();
+    };
+    first
+        .iter()
+        .map(|proto| {
+            let samples: Vec<f64> = runs
+                .iter()
+                .filter_map(|run| {
+                    run.iter()
+                        .find(|r| {
+                            r.bench == proto.bench
+                                && r.network == proto.network
+                                && r.stage == proto.stage
+                        })
+                        .map(|r| r.ms)
+                })
+                .collect();
+            let mut row = proto.clone();
+            row.ms = median(&samples);
+            row.meta.push(("repeat".to_string(), samples.len().to_string()));
+            row.meta
+                .push(("mad_ms".to_string(), format!("{:.6}", mad(&samples))));
+            row
+        })
+        .collect()
+}
+
+/// The rustc that built this binary (`rustc --version` of the ambient
+/// toolchain — the workspace pins one toolchain, so the runtime query
+/// matches the compiler), or `"unknown"`. Stamped into bench
+/// provenance so `obs-diff` can flag cross-toolchain comparisons.
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The build profile of this binary. `obs-diff` refuses to compare
+/// debug numbers against a release baseline.
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
 /// The current git commit (short hash), or `"unknown"` outside a
 /// checkout — every emitted report and text table is stamped with it.
 pub fn git_commit() -> String {
@@ -264,6 +390,47 @@ pub fn repo_root() -> std::path::PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[5.0]), 5.0);
+        assert_eq!(median(&[1.0, 9.0]), 5.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        // One wild outlier barely moves the median and the MAD.
+        let samples = [10.0, 11.0, 10.5, 500.0, 10.2];
+        assert_eq!(median(&samples), 10.5);
+        assert!(mad(&samples) < 1.0, "mad = {}", mad(&samples));
+        assert_eq!(mad(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn aggregate_repeats_takes_median_and_stamps_noise() {
+        let run = |ms_parse: f64, ms_total: f64| {
+            vec![
+                Row::new("t", "N2", "parse", Duration::from_secs_f64(ms_parse / 1e3))
+                    .with("nodes", 75),
+                Row::new("t", "N2", "total", Duration::from_secs_f64(ms_total / 1e3)),
+            ]
+        };
+        let rows = aggregate_repeats(&[run(2.0, 100.0), run(8.0, 130.0), run(3.0, 110.0)]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].ms - 3.0).abs() < 1e-9, "median parse, got {}", rows[0].ms);
+        assert!((rows[1].ms - 110.0).abs() < 1e-9);
+        let meta = |row: &Row, key: &str| -> String {
+            row.meta
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(meta(&rows[0], "repeat"), "3");
+        assert_eq!(meta(&rows[0], "nodes"), "75");
+        // MAD of [2, 8, 3] around 3 is median([1, 5, 0]) = 1.
+        let mad_ms: f64 = meta(&rows[0], "mad_ms").parse().expect("numeric mad");
+        assert!((mad_ms - 1.0).abs() < 1e-6, "mad = {mad_ms}");
+        assert!(aggregate_repeats(&[]).is_empty());
+    }
 
     #[test]
     fn bench_json_validates() {

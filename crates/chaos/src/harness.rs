@@ -2,7 +2,7 @@
 //! and degrades monotonically.
 //!
 //! For every `(network, class, seed)` triple the harness mutates the
-//! network, runs the fault-tolerant pipeline, and checks three
+//! network, runs the fault-tolerant pipeline, and checks six
 //! invariants:
 //!
 //! 1. **Zero panics** — no panic escapes the pipeline (containment via
@@ -22,6 +22,11 @@
 //!    configs, and its finding fingerprints are identical across two
 //!    runs over the same devices (reproducible reports are what the CI
 //!    baseline gate stands on).
+//! 6. **Tooling round trip** — under every mutation class the run
+//!    report exports to Chrome trace JSON that passes the in-tree
+//!    trace validator, and `obs-diff` of the report against itself is
+//!    empty (the regression gate never invents findings from a
+//!    degraded run).
 
 use crate::mutate::{mutate, MutationClass};
 use batnet::{ResourceGovernor, Snapshot};
@@ -236,6 +241,7 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
             if let Err(e) = batnet_obs::report::validate_run_report(&v) {
                 run.violations.push(format!("run report fails schema: {e}"));
             }
+            check_trace_and_self_diff(&v, &mut run.violations);
         }
     }
     for q in &analysis.quarantined {
@@ -290,4 +296,40 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
         }
     }
     run
+}
+
+/// Invariant 6: a faulted run's report still round-trips through the
+/// performance tooling — its span forest exports to Chrome trace JSON
+/// that passes the in-tree trace validator, and `obs-diff` comparing
+/// the report against itself reports nothing (the regression gate can
+/// never hallucinate a finding out of a degraded run).
+fn check_trace_and_self_diff(report: &batnet_obs::json::Value, violations: &mut Vec<String>) {
+    let forest = match batnet_obs::trace::forest_from_json(report) {
+        Ok(f) => f,
+        Err(e) => {
+            violations.push(format!("span forest does not export: {e}"));
+            return;
+        }
+    };
+    match batnet_obs::json::parse(&batnet_obs::trace::chrome_trace(&forest)) {
+        Err(e) => violations.push(format!("chrome trace does not parse: {e}")),
+        Ok(t) => {
+            if let Err(e) = batnet_obs::trace::validate_chrome_trace(&t) {
+                violations.push(format!("chrome trace fails validation: {e}"));
+            }
+        }
+    }
+    match batnet_obs::diff::diff_reports(report, report, &batnet_obs::diff::DiffOptions::default())
+    {
+        Err(e) => violations.push(format!("self-diff refused to compare: {e}")),
+        Ok(d) => {
+            if !d.findings.is_empty() {
+                violations.push(format!(
+                    "self-diff is not empty: {} findings (first: {})",
+                    d.findings.len(),
+                    d.findings[0].render()
+                ));
+            }
+        }
+    }
 }

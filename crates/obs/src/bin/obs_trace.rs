@@ -1,0 +1,148 @@
+//! Exports batnet run reports as Chrome trace JSON or folded-stack
+//! flamegraph text.
+//!
+//! ```text
+//! obs-trace [--format chrome|folded] [--out FILE] INPUT
+//! obs-trace --validate TRACE.json
+//! ```
+//!
+//! `INPUT` is a run-report JSON file or a `BENCH_*.json` bench file (the
+//! embedded report is used). The Chrome output loads in Perfetto or
+//! `chrome://tracing` (open the UI, drag the file in); it is validated
+//! against the in-tree checker before it is written, so `obs-trace`
+//! never emits a trace Perfetto would reject. `--validate` checks an
+//! existing trace file and exits non-zero if it is not loadable.
+
+use batnet_obs::json::{self, Value};
+use batnet_obs::trace::{chrome_trace, folded, forest_from_json, validate_chrome_trace};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obs-trace [--format chrome|folded] [--out FILE] INPUT");
+    eprintln!("       obs-trace --validate TRACE.json");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut format = "chrome".to_string();
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "chrome" || f == "folded" => format = f,
+                _ => {
+                    eprintln!("--format wants 'chrome' or 'folded'");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => return usage(),
+            },
+            "--validate" => match args.next() {
+                Some(p) => validate = Some(p),
+                None => return usage(),
+            },
+            other if !other.starts_with("--") && input.is_none() => input = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+
+    if let Some(path) = validate {
+        let v = match load(&path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("obs-trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_chrome_trace(&v) {
+            Ok(()) => {
+                let n = v
+                    .get("traceEvents")
+                    .and_then(Value::as_arr)
+                    .map(<[Value]>::len)
+                    .unwrap_or(0);
+                println!("obs-trace: {path}: OK ({n} events)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("obs-trace: {path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(input) = input else { return usage() };
+    let doc = match load(&input) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A bench file embeds its run report under "report".
+    let report = if doc.get("bench").is_some() {
+        match doc.get("report") {
+            Some(r) => r.clone(),
+            None => {
+                eprintln!("obs-trace: {input}: bench file has no embedded report");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        doc
+    };
+    let forest = match forest_from_json(&report) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs-trace: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = if format == "chrome" {
+        let text = chrome_trace(&forest);
+        // Never emit a trace the validator would reject.
+        match json::parse(&text).map_err(|e| e.to_string()).and_then(|v| {
+            validate_chrome_trace(&v).map(|()| {
+                v.get("traceEvents")
+                    .and_then(Value::as_arr)
+                    .map(<[Value]>::len)
+                    .unwrap_or(0)
+            })
+        }) {
+            Ok(n) => eprintln!("obs-trace: {n} events, validated"),
+            Err(e) => {
+                eprintln!("obs-trace: internal error, rendered trace invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        text
+    } else {
+        folded(&forest)
+    };
+    match out {
+        Some(path) => match std::fs::write(&path, rendered) {
+            Ok(()) => {
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("obs-trace: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Noise-aware performance diffing: compare two bench files or two run
+//! reports and say whether anything got slower — without crying wolf
+//! over timer jitter.
+//!
+//! A row regresses only when `|Δmedian|` exceeds
+//! `max(k·MAD, pct·base, min_ms)`: the MAD term comes from
+//! `--repeat`-derived baselines (per-row `mad_ms` meta), the percentage
+//! floor covers baselines recorded without repeats (MAD 0), and the
+//! absolute floor keeps sub-millisecond noise from ever flagging.
+//! Improvements are reported but never fail; structural drift (a stage
+//! present in the baseline but missing from the new file, or vice
+//! versa) always fails — a silently vanished stage is how perf bugs
+//! hide.
+//!
+//! Bench files are compared row-by-row on the `(bench, network, stage)`
+//! key; run reports are compared on aggregated span paths
+//! ([`crate::attr::path_totals`]). Comparing a debug-profile file
+//! against a release baseline is refused outright (the numbers are not
+//! comparable) unless forced.
+
+use crate::attr;
+use crate::json::{self, Value};
+use crate::report::{validate_bench, validate_run_report};
+use crate::trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Diff thresholds and modes.
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// MAD multiplier in the noise threshold.
+    pub k: f64,
+    /// Relative floor: a fraction of the baseline value.
+    pub pct: f64,
+    /// Absolute floor in milliseconds.
+    pub min_ms: f64,
+    /// Structure/schema gate only: check keys and shapes, ignore time.
+    pub structure_only: bool,
+    /// Compare even across build profiles.
+    pub force: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            k: 4.0,
+            pct: 0.25,
+            min_ms: 0.01,
+            structure_only: false,
+            force: false,
+        }
+    }
+}
+
+/// What kind of drift a finding reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Slower than the noise threshold allows. Fails.
+    Regression,
+    /// Faster than the noise threshold. Informational.
+    Improvement,
+    /// Key in the baseline but not the new file. Fails.
+    MissingInNew,
+    /// Key in the new file but not the baseline. Fails for bench files
+    /// (schema drift), informational for run reports (span structure
+    /// may legitimately grow).
+    ExtraInNew,
+}
+
+/// One diff finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Drift class.
+    pub kind: FindingKind,
+    /// The `(bench, network, stage)` key or span path.
+    pub key: String,
+    /// Baseline milliseconds (0 for `ExtraInNew`).
+    pub base_ms: f64,
+    /// New milliseconds (0 for `MissingInNew`).
+    pub new_ms: f64,
+    /// The threshold that was exceeded (0 for structural findings).
+    pub threshold_ms: f64,
+}
+
+impl Finding {
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        match self.kind {
+            FindingKind::Regression | FindingKind::Improvement => {
+                let word = if self.kind == FindingKind::Regression {
+                    "REGRESSION"
+                } else {
+                    "improvement"
+                };
+                let pct = if self.base_ms > 0.0 {
+                    (self.new_ms - self.base_ms) / self.base_ms * 100.0
+                } else {
+                    0.0
+                };
+                format!(
+                    "{word} {}: {:.3}ms -> {:.3}ms ({:+.0}%, threshold {:.3}ms)",
+                    self.key, self.base_ms, self.new_ms, pct, self.threshold_ms
+                )
+            }
+            FindingKind::MissingInNew => {
+                format!("MISSING {}: in baseline ({:.3}ms) but not in new file", self.key, self.base_ms)
+            }
+            FindingKind::ExtraInNew => {
+                format!("EXTRA {}: in new file ({:.3}ms) but not in baseline", self.key, self.new_ms)
+            }
+        }
+    }
+}
+
+/// The full diff outcome.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// All findings, in key order.
+    pub findings: Vec<Finding>,
+    /// Non-failing notes (networks absent from the new file, rustc
+    /// version drift, …).
+    pub warnings: Vec<String>,
+    /// Keys compared on both sides.
+    pub compared: usize,
+    /// Whether structural findings fail (bench mode) or inform (report
+    /// mode).
+    strict_structure: bool,
+}
+
+impl DiffReport {
+    /// Findings that should fail a CI gate.
+    pub fn failures(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| match f.kind {
+                FindingKind::Regression => true,
+                FindingKind::Improvement => false,
+                FindingKind::MissingInNew => true,
+                FindingKind::ExtraInNew => self.strict_structure,
+            })
+            .collect()
+    }
+
+    /// True when the gate should pass.
+    pub fn ok(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Text rendering, one line per finding plus warnings.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for w in &self.warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
+        for f in &self.findings {
+            let _ = writeln!(out, "{}", f.render());
+        }
+        let _ = writeln!(
+            out,
+            "compared {} keys: {} failing, {} informational",
+            self.compared,
+            self.failures().len(),
+            self.findings.len() - self.failures().len()
+        );
+        out
+    }
+
+    /// JSON rendering (`{ok, compared, findings, warnings}`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(out, "{{\"ok\": {}, \"compared\": {}", self.ok(), self.compared);
+        out.push_str(", \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"kind\": ");
+            let kind = match f.kind {
+                FindingKind::Regression => "regression",
+                FindingKind::Improvement => "improvement",
+                FindingKind::MissingInNew => "missing",
+                FindingKind::ExtraInNew => "extra",
+            };
+            json::write_str(&mut out, kind);
+            out.push_str(", \"key\": ");
+            json::write_str(&mut out, &f.key);
+            out.push_str(", \"base_ms\": ");
+            json::write_f64(&mut out, f.base_ms);
+            out.push_str(", \"new_ms\": ");
+            json::write_f64(&mut out, f.new_ms);
+            out.push_str(", \"threshold_ms\": ");
+            json::write_f64(&mut out, f.threshold_ms);
+            out.push('}');
+        }
+        out.push_str("], \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_str(&mut out, w);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One comparable measurement.
+#[derive(Clone, Copy, Debug, Default)]
+struct Sample {
+    ms: f64,
+    mad_ms: f64,
+}
+
+fn threshold(base: Sample, opts: &DiffOptions) -> f64 {
+    (opts.k * base.mad_ms).max(opts.pct * base.ms).max(opts.min_ms)
+}
+
+fn compare(
+    base: &BTreeMap<String, Sample>,
+    new: &BTreeMap<String, Sample>,
+    opts: &DiffOptions,
+    strict_structure: bool,
+    skip_missing: impl Fn(&str) -> bool,
+) -> DiffReport {
+    let mut report = DiffReport {
+        strict_structure,
+        ..DiffReport::default()
+    };
+    for (key, b) in base {
+        let Some(n) = new.get(key) else {
+            if skip_missing(key) {
+                continue;
+            }
+            report.findings.push(Finding {
+                kind: FindingKind::MissingInNew,
+                key: key.clone(),
+                base_ms: b.ms,
+                new_ms: 0.0,
+                threshold_ms: 0.0,
+            });
+            continue;
+        };
+        report.compared += 1;
+        if opts.structure_only {
+            continue;
+        }
+        let thr = threshold(*b, opts);
+        let delta = n.ms - b.ms;
+        if delta.abs() > thr {
+            report.findings.push(Finding {
+                kind: if delta > 0.0 {
+                    FindingKind::Regression
+                } else {
+                    FindingKind::Improvement
+                },
+                key: key.clone(),
+                base_ms: b.ms,
+                new_ms: n.ms,
+                threshold_ms: thr,
+            });
+        }
+    }
+    for (key, n) in new {
+        if !base.contains_key(key) {
+            report.findings.push(Finding {
+                kind: FindingKind::ExtraInNew,
+                key: key.clone(),
+                base_ms: 0.0,
+                new_ms: n.ms,
+                threshold_ms: 0.0,
+            });
+        }
+    }
+    report
+}
+
+fn meta_str<'v>(doc: &'v Value, key: &str) -> Option<&'v str> {
+    doc.get("meta").and_then(|m| m.get(key)).and_then(Value::as_str)
+}
+
+fn bench_samples(doc: &Value) -> (BTreeMap<String, Sample>, std::collections::BTreeSet<String>) {
+    let mut samples = BTreeMap::new();
+    let mut networks = std::collections::BTreeSet::new();
+    let rows = doc.get("rows").and_then(Value::as_arr).unwrap_or(&[]);
+    for row in rows {
+        let get = |k: &str| row.get(k).and_then(Value::as_str).unwrap_or("?");
+        let key = format!("{}/{}/{}", get("bench"), get("network"), get("stage"));
+        networks.insert(get("network").to_string());
+        let ms = row.get("ms").and_then(Value::as_f64).unwrap_or(0.0);
+        let mad_ms = row
+            .get("meta")
+            .and_then(|m| m.get("mad_ms"))
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        samples.insert(key, Sample { ms, mad_ms });
+    }
+    (samples, networks)
+}
+
+/// Diffs two parsed bench documents (`BENCH_*.json`). Both must pass
+/// the bench schema validator; a build-profile mismatch is refused
+/// unless `opts.force`. Networks wholly absent from the new file are
+/// warnings (a subset run, like the CI perf smoke, is legitimate);
+/// a missing *stage* for a network both files cover is a failure.
+pub fn diff_bench(base: &Value, new: &Value, opts: &DiffOptions) -> Result<DiffReport, String> {
+    validate_bench(base).map_err(|e| format!("baseline: {e}"))?;
+    validate_bench(new).map_err(|e| format!("new file: {e}"))?;
+    let mut warnings = Vec::new();
+    match (meta_str(base, "profile"), meta_str(new, "profile")) {
+        (Some(b), Some(n)) if b != n && !opts.force => {
+            return Err(format!(
+                "refusing to compare build profiles {b:?} (baseline) vs {n:?} (new); \
+                 regenerate with matching profiles or pass --force"
+            ));
+        }
+        (Some(b), Some(n)) if b != n => {
+            warnings.push(format!("comparing across build profiles ({b} vs {n})"));
+        }
+        (None, _) | (_, None) => {
+            warnings.push("a file has no build-profile provenance; comparison may be bogus".into());
+        }
+        _ => {}
+    }
+    if let (Some(b), Some(n)) = (meta_str(base, "rustc"), meta_str(new, "rustc")) {
+        if b != n {
+            warnings.push(format!("rustc versions differ ({b} vs {n})"));
+        }
+    }
+    let (base_samples, _) = bench_samples(base);
+    let (new_samples, new_networks) = bench_samples(new);
+    let absent: std::collections::BTreeSet<&str> = base_samples
+        .keys()
+        .filter_map(|k| k.split('/').nth(1))
+        .filter(|n| !new_networks.contains(*n))
+        .collect();
+    for n in &absent {
+        warnings.push(format!("network {n} absent from the new file; its rows were skipped"));
+    }
+    let mut report = compare(&base_samples, &new_samples, opts, true, |key| {
+        key.split('/').nth(1).is_some_and(|n| absent.contains(n))
+    });
+    report.warnings.splice(0..0, warnings);
+    Ok(report)
+}
+
+/// Diffs two parsed run reports by aggregated span path. Extra paths in
+/// the new report are informational (structure may grow); a path that
+/// vanished, or one past the noise threshold, fails. Diffing a report
+/// against itself is always empty.
+pub fn diff_reports(base: &Value, new: &Value, opts: &DiffOptions) -> Result<DiffReport, String> {
+    validate_run_report(base).map_err(|e| format!("baseline: {e}"))?;
+    validate_run_report(new).map_err(|e| format!("new report: {e}"))?;
+    let samples = |doc: &Value| -> Result<BTreeMap<String, Sample>, String> {
+        let forest = trace::forest_from_json(doc)?;
+        let mut flat: Vec<crate::span::SpanRecord> = Vec::new();
+        fn push(
+            node: &trace::SpanNode,
+            parent: Option<usize>,
+            flat: &mut Vec<crate::span::SpanRecord>,
+        ) {
+            let idx = flat.len();
+            flat.push(crate::span::SpanRecord {
+                name: node.name.clone(),
+                parent,
+                start_ns: node.start_ns,
+                dur_ns: Some(node.dur_ns),
+            });
+            for c in &node.children {
+                push(c, Some(idx), flat);
+            }
+        }
+        for root in &forest {
+            push(root, None, &mut flat);
+        }
+        Ok(attr::path_totals(&flat)
+            .into_iter()
+            .map(|(path, t)| {
+                (
+                    path,
+                    Sample {
+                        ms: t.total_ns as f64 / 1e6,
+                        mad_ms: 0.0,
+                    },
+                )
+            })
+            .collect())
+    };
+    Ok(compare(&samples(base)?, &samples(new)?, opts, false, |_| false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(graph_ms: f64, mad: &str, profile: &str, extra_stage: bool) -> Value {
+        let extra = if extra_stage {
+            r#", {"bench": "t", "network": "N2", "stage": "bonus", "ms": 1.0, "meta": {}}"#
+        } else {
+            ""
+        };
+        let doc = format!(
+            r#"{{"schema": 1, "bench": "t", "meta": {{"profile": "{profile}", "rustc": "rustc 1.0"}},
+              "rows": [
+                {{"bench": "t", "network": "N2", "stage": "parse", "ms": 2.0,
+                  "meta": {{"mad_ms": "{mad}"}}}},
+                {{"bench": "t", "network": "N2", "stage": "graph", "ms": {graph_ms},
+                  "meta": {{"mad_ms": "{mad}"}}}}{extra}],
+              "report": {{"schema": 1, "meta": {{}}, "spans": [], "metrics": {{}},
+                         "events": [], "events_dropped": 0, "quarantined": [],
+                         "partial": null, "snapshot": null}}}}"#
+        );
+        json::parse(&doc).expect("test doc parses")
+    }
+
+    #[test]
+    fn self_diff_is_empty() {
+        let doc = bench_doc(50.0, "0.5", "release", false);
+        let d = diff_bench(&doc, &doc, &DiffOptions::default()).expect("comparable");
+        assert!(d.findings.is_empty(), "{:?}", d.findings);
+        assert!(d.ok());
+        assert_eq!(d.compared, 2);
+    }
+
+    #[test]
+    fn two_x_slowdown_names_the_row() {
+        let base = bench_doc(50.0, "0.5", "release", false);
+        let new = bench_doc(100.0, "0.5", "release", false);
+        let d = diff_bench(&base, &new, &DiffOptions::default()).expect("comparable");
+        assert!(!d.ok());
+        let fails = d.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].kind, FindingKind::Regression);
+        assert_eq!(fails[0].key, "t/N2/graph");
+        assert!(fails[0].render().contains("t/N2/graph"));
+    }
+
+    #[test]
+    fn mad_widens_the_threshold() {
+        let base = bench_doc(50.0, "20.0", "release", false);
+        let new = bench_doc(75.0, "20.0", "release", false);
+        // Δ = 25ms < max(4·20, 0.25·50) = 80ms → noise, not a regression.
+        let d = diff_bench(&base, &new, &DiffOptions::default()).expect("comparable");
+        assert!(d.ok(), "{:?}", d.findings);
+        // With MAD 0 the same Δ exceeds the 25% floor and flags.
+        let base = bench_doc(50.0, "0", "release", false);
+        let new = bench_doc(75.0, "0", "release", false);
+        let d = diff_bench(&base, &new, &DiffOptions::default()).expect("comparable");
+        assert!(!d.ok());
+    }
+
+    #[test]
+    fn cross_profile_refused_unless_forced() {
+        let base = bench_doc(50.0, "0", "release", false);
+        let new = bench_doc(50.0, "0", "debug", false);
+        assert!(diff_bench(&base, &new, &DiffOptions::default()).is_err());
+        let forced = DiffOptions {
+            force: true,
+            ..DiffOptions::default()
+        };
+        let d = diff_bench(&base, &new, &forced).expect("forced comparison");
+        assert!(d.warnings.iter().any(|w| w.contains("profiles")));
+    }
+
+    #[test]
+    fn structural_drift_fails_even_structure_only() {
+        let base = bench_doc(50.0, "0", "release", true);
+        let new = bench_doc(5000.0, "0", "release", false);
+        let opts = DiffOptions {
+            structure_only: true,
+            ..DiffOptions::default()
+        };
+        let d = diff_bench(&base, &new, &opts).expect("comparable");
+        // The missing "bonus" stage fails; the 100× slowdown does not
+        // (structure-only ignores time).
+        let fails = d.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].kind, FindingKind::MissingInNew);
+        assert!(fails[0].key.contains("bonus"));
+        // Extra stages in the new file are schema drift too.
+        let d = diff_bench(&new, &base, &opts).expect("comparable");
+        assert!(!d.ok());
+        assert_eq!(d.failures()[0].kind, FindingKind::ExtraInNew);
+    }
+
+    #[test]
+    fn subset_networks_warn_but_pass() {
+        let base_doc = r#"{"schema": 1, "bench": "t", "meta": {"profile": "release"},
+              "rows": [
+                {"bench": "t", "network": "N2", "stage": "parse", "ms": 2.0, "meta": {}},
+                {"bench": "t", "network": "N9", "stage": "parse", "ms": 9.0, "meta": {}}],
+              "report": {"schema": 1, "meta": {}, "spans": [], "metrics": {},
+                         "events": [], "events_dropped": 0, "quarantined": [],
+                         "partial": null, "snapshot": null}}"#;
+        let base = json::parse(base_doc).expect("parses");
+        let new = bench_doc(50.0, "0", "release", false);
+        // New covers only N2 (plus a graph stage the baseline lacks).
+        let d = diff_bench(&base, &new, &DiffOptions::default()).expect("comparable");
+        assert!(d.warnings.iter().any(|w| w.contains("N9")));
+        assert!(!d.findings.iter().any(|f| f.key.contains("N9")));
+    }
+
+    #[test]
+    fn report_self_diff_is_empty_and_json_renders() {
+        let doc = r#"{"schema": 1, "meta": {}, "spans":
+            [{"name": "run", "start_ms": 0, "ms": 10.0, "children":
+              [{"name": "stage", "start_ms": 1, "ms": 4.0, "children": []}]}],
+            "metrics": {}, "events": [], "events_dropped": 0,
+            "quarantined": [], "partial": null, "snapshot": null}"#;
+        let v = json::parse(doc).expect("parses");
+        let d = diff_reports(&v, &v, &DiffOptions::default()).expect("comparable");
+        assert!(d.findings.is_empty());
+        assert!(d.ok());
+        let rendered = json::parse(&d.render_json()).expect("diff JSON parses");
+        assert_eq!(rendered.get("ok"), Some(&Value::Bool(true)));
+    }
+}

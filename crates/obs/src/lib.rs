@@ -20,6 +20,18 @@
 //!   accounting. Serialization is a hand-rolled writer ([`json`], no
 //!   serde); the same module carries a minimal parser so reports can be
 //!   validated in-tree (the `obs-validate` bin and the chaos harness).
+//! * **Attribution** ([`attr`]) — per-span self time (exclusive of
+//!   children) and the critical path, so reports answer "which phase
+//!   inside a stage costs the time", not only stage totals.
+//! * **Trace export** ([`trace`]) — any span forest renders as Chrome
+//!   `trace.json` (Perfetto-loadable) or folded-stack flamegraph text;
+//!   the `obs-trace` bin exports committed reports after the fact.
+//! * **Memory accounting** ([`mem`]) — a counting global allocator
+//!   behind the `alloc-track` feature, with windowed peak/delta
+//!   measurement for per-stage memory gauges.
+//! * **Regression diffing** ([`diff`]) — noise-aware comparison of two
+//!   bench files or run reports (`max(k·MAD, pct·base, abs floor)`
+//!   thresholds); the `obs-diff` bin is the CI gate built on it.
 //!
 //! All state is process-global and reset with [`reset`]: a *run* is
 //! "reset → build snapshot → analyze → [`report::capture`]". The
@@ -31,13 +43,18 @@
 //! `std::time::Instant::now` everywhere else, so all timing flows
 //! through [`clock::now`] or spans and is therefore observable.
 
+pub mod attr;
 pub mod clock;
+pub mod diff;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use clock::now;
+pub use mem::{MemStats, MemWindow};
 pub use metrics::{counter_add, event, gauge_set, observe};
 pub use report::{capture, RunReport};
 pub use span::Span;

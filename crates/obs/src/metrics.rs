@@ -8,9 +8,11 @@
 //! down).
 //!
 //! Histograms use fixed log2 buckets: bucket 0 holds the value 0 and
-//! bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i)`. 65 buckets cover the
-//! full `u64` range with no configuration and no allocation per
-//! observation.
+//! bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i)`, except the top
+//! bucket (64), which is inclusive `[2^63, u64::MAX]` since 2^64 does
+//! not fit in a `u64`. 65 buckets cover the full `u64` range with no
+//! configuration and no allocation per observation, and every observed
+//! value lands in exactly one bucket (`count == sum(buckets)` always).
 
 use crate::clock;
 use std::collections::BTreeMap;
@@ -62,14 +64,24 @@ pub fn bucket_index(v: u64) -> usize {
     }
 }
 
-/// Inclusive-exclusive value range `[lo, hi)` of a bucket (bucket 0 is
-/// `[0, 1)`).
+/// Value range of a bucket. Buckets 0..=63 are inclusive-exclusive
+/// `[lo, hi)`; the top bucket (64) is inclusive `[2^63, u64::MAX]`
+/// because its upper bound, 2^64, is not representable — the old
+/// saturating computation returned `[2^63, u64::MAX)` and thereby
+/// excluded `u64::MAX` from the very bucket [`bucket_index`] files it
+/// under. Bucket 0 is `[0, 1)`, i.e. exactly the value 0.
 pub fn bucket_range(i: usize) -> (u64, u64) {
-    if i == 0 {
-        (0, 1)
-    } else {
-        (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+    match i {
+        0 => (0, 1),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), 1u64 << i),
     }
+}
+
+/// Whether value `v` belongs to bucket `i` — the single source of truth
+/// for the boundary semantics above (top bucket hi-inclusive).
+pub fn bucket_contains(i: usize, v: u64) -> bool {
+    bucket_index(v) == i
 }
 
 /// One metric's current value.
@@ -178,6 +190,16 @@ pub fn observe(name: &str, v: u64) {
     entry.buckets[bucket_index(v)] += 1;
 }
 
+/// Reads a gauge's current value (None when unset or a different
+/// type). The bench harness uses this to lift per-stage gauges into
+/// row metadata without re-capturing the whole registry.
+pub fn gauge(name: &str) -> Option<f64> {
+    match lock().metrics.get(name) {
+        Some(MetricValue::Gauge(g)) => Some(*g),
+        _ => None,
+    }
+}
+
 /// Records an event. Events beyond the retention cap are counted in the
 /// report's `events_dropped` field instead of growing without bound.
 pub fn event(kind: &str, subject: &str, detail: &str) {
@@ -230,10 +252,53 @@ mod tests {
         for i in 0..HISTOGRAM_BUCKETS {
             let (lo, hi) = bucket_range(i);
             assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
-            if hi > lo && i < 64 {
+            if i < 64 {
                 assert_eq!(bucket_index(hi - 1), i, "hi-1 of bucket {i}");
+            } else {
+                // Top bucket: hi is inclusive, not one-past-the-end.
+                assert_eq!(bucket_index(hi), i, "top bucket holds u64::MAX");
             }
         }
+    }
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        // Exact power-of-two boundaries: 2^k - 1 stays in bucket k,
+        // 2^k opens bucket k + 1.
+        for k in 1..64usize {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v - 1), k, "2^{k} - 1");
+            assert_eq!(bucket_index(v), k + 1, "2^{k}");
+            assert!(bucket_contains(k + 1, v));
+            assert!(!bucket_contains(k, v));
+        }
+        // The two edge values the old range computation mishandled.
+        assert!(bucket_contains(0, 0));
+        assert!(bucket_contains(64, u64::MAX));
+        let (lo, hi) = bucket_range(64);
+        assert_eq!(lo, 1u64 << 63);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_edge_values_and_count_sum_invariant() {
+        let _g = crate::span::test_guard();
+        crate::reset();
+        for v in [0u64, 0, 1, u64::MAX, u64::MAX, 1u64 << 63, (1u64 << 63) - 1] {
+            observe("test.edges", v);
+        }
+        let (metrics, _, _) = snapshot_metrics();
+        let Some(MetricValue::Histogram(h)) = metrics.get("test.edges") else {
+            panic!("histogram missing");
+        };
+        assert_eq!(h.count, 7);
+        // count == sum(buckets): nothing falls outside the bucket array.
+        assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+        assert_eq!(h.buckets[0], 2, "both zeros in bucket 0");
+        assert_eq!(h.buckets[64], 3, "u64::MAX ×2 and 2^63 in the top bucket");
+        assert_eq!(h.buckets[63], 1, "2^63 - 1 one bucket down");
+        // The sum saturates instead of wrapping on extreme inputs.
+        assert_eq!(h.sum, u64::MAX);
     }
 
     #[test]

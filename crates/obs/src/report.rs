@@ -8,7 +8,8 @@
 //! {
 //!   "schema": 1,
 //!   "meta":   { "commit": "...", "cmd": "..." },
-//!   "spans":  [ {"name": "...", "start_ms": 0.0, "ms": 1.5, "children": [...]} ],
+//!   "spans":  [ {"name": "...", "start_ms": 0.0, "ms": 1.5, "self_ms": 0.5,
+//!                "children": [...]} ],
 //!   "metrics": {
 //!     "route.sweeps":   {"type": "counter", "value": 12},
 //!     "bdd.nodes":      {"type": "gauge", "value": 4096},
@@ -137,6 +138,20 @@ impl RunReport {
         }
     }
 
+    /// Self time (exclusive of children) in milliseconds of the first
+    /// span with this name, if it closed.
+    pub fn self_ms(&self, name: &str) -> Option<f64> {
+        let idx = self.spans.iter().position(|s| s.name == name)?;
+        self.spans[idx].dur_ns?;
+        Some(ms(crate::attr::self_times_ns(&self.spans)[idx]))
+    }
+
+    /// The critical path through the span forest: the chain from the
+    /// most expensive root through each level's most expensive child.
+    pub fn critical_path(&self) -> Vec<crate::attr::PathStep> {
+        crate::attr::critical_path(&self.spans)
+    }
+
     /// Serializes to schema-1 JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
@@ -236,10 +251,17 @@ impl RunReport {
                 _ => roots.push(i),
             }
         }
-        self.write_span_list(out, &roots, &children);
+        let self_ns = crate::attr::self_times_ns(&self.spans);
+        self.write_span_list(out, &roots, &children, &self_ns);
     }
 
-    fn write_span_list(&self, out: &mut String, idxs: &[usize], children: &[Vec<usize>]) {
+    fn write_span_list(
+        &self,
+        out: &mut String,
+        idxs: &[usize],
+        children: &[Vec<usize>],
+        self_ns: &[u64],
+    ) {
         out.push('[');
         for (i, &idx) in idxs.iter().enumerate() {
             if i > 0 {
@@ -255,8 +277,10 @@ impl RunReport {
                 Some(d) => json::write_f64(out, ms(d)),
                 None => out.push_str("null"),
             }
+            out.push_str(", \"self_ms\": ");
+            json::write_f64(out, ms(self_ns[idx]));
             out.push_str(", \"children\": ");
-            self.write_span_list(out, &children[idx], children);
+            self.write_span_list(out, &children[idx], children, self_ns);
             out.push('}');
         }
         out.push(']');
@@ -419,6 +443,12 @@ fn validate_span(s: &Value) -> Result<(), String> {
     match s.get("ms") {
         Some(Value::Num(_)) | Some(Value::Null) => {}
         _ => return Err("span \"ms\" must be number or null".to_string()),
+    }
+    // `self_ms` is optional (pre-attribution reports lack it) but must
+    // be numeric when present.
+    match s.get("self_ms") {
+        None | Some(Value::Num(_)) => {}
+        _ => return Err("span \"self_ms\" must be a number when present".to_string()),
     }
     let children = s
         .get("children")
