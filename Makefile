@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke bench
+.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke bench
 
-ci: build test chaos clippy obs-smoke lint-smoke perf-smoke
+ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -56,6 +56,22 @@ perf-smoke: build
 	$(CARGO) run --release --offline -p batnet-bench --bin harness -- table2 --json --repeat 3 --net N2 --out target/BENCH_perf_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_perf_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_table2.json target/BENCH_perf_smoke.json
+
+# Differential-analysis gate: (1) self-diff of the N2 suite network is
+# empty, exits 0, and its JSON is byte-identical across two runs
+# (determinism is the contract pre-deployment gating stands on);
+# (2) the committed fixture pair with one planted ACL edit reports the
+# delta and fails under `--deny any` — proving the gate actually gates;
+# (3) the diff bench re-measures its stages, the emitted file validates,
+# and its structure matches the committed BENCH_diff.json baseline.
+diff-smoke: build
+	$(CARGO) run --release --offline -p batnet-repro --bin batnet-diff -- --net N2 --format json --out target/diff-self-1.json --deny any
+	$(CARGO) run --release --offline -p batnet-repro --bin batnet-diff -- --net N2 --format json --out target/diff-self-2.json
+	cmp target/diff-self-1.json target/diff-self-2.json
+	! $(CARGO) run --release --offline -p batnet-repro --bin batnet-diff -- --before fixtures/diff-pair/before --after fixtures/diff-pair/after --deny any --out target/diff-pair.txt
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- diff --out target/BENCH_diff_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_diff_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_diff.json target/BENCH_diff_smoke.json
 
 bench:
 	$(CARGO) bench --offline -p batnet-bench

@@ -8,6 +8,7 @@
 //! harness table2 [--full] [--json]  # Table 2: pipeline performance
 //! harness smoke                # smallest network, always writes JSON
 //! harness lint [--full]        # lint engine throughput, writes BENCH_lint.json
+//! harness diff                 # differential analysis on N2, writes BENCH_diff.json
 //! harness apt                  # §6.2: APT comparison (92 nodes)
 //! harness ablate-convergence   # A-1: coloring / logical clocks
 //! harness ablate-memory        # A-2: attribute interning
@@ -74,7 +75,7 @@ fn main() {
     let root = batnet_obs::Span::enter("harness");
     // Repeats only make sense for the row-producing benches; everything
     // else (ablations, text-only tables) runs once.
-    let repeat = if matches!(cmd, "fig3" | "table2" | "smoke" | "lint") {
+    let repeat = if matches!(cmd, "fig3" | "table2" | "smoke" | "lint" | "diff") {
         repeat
     } else {
         1
@@ -101,7 +102,7 @@ fn main() {
         cmdline.trim_end(),
         wall.as_secs_f64()
     );
-    if json || cmd == "smoke" || cmd == "lint" {
+    if json || cmd == "smoke" || cmd == "lint" || cmd == "diff" {
         emit_json(cmd, &rows, &commit, &cmdline, repeat, out.as_deref());
     }
 }
@@ -123,6 +124,7 @@ fn run_cmd(cmd: &str, full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
         "table2" => table2(full, net, rows),
         "smoke" => smoke(rows),
         "lint" => lint_bench(full, net, rows),
+        "diff" => diff_bench(rows),
         "apt" => apt(),
         "ablate-convergence" => ablate_convergence(),
         "ablate-memory" => ablate_memory(),
@@ -528,6 +530,78 @@ fn lint_bench(full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
                 .with("errors", errors),
         );
     }
+}
+
+/// The diff bench: the three differential-analysis stages on N2 with a
+/// seeded `acl-attach-peering` perturbation (one ACL attach that kills a
+/// BGP session, so every layer has real work). Mirrors the staging of
+/// `batnet_diff::diff` but times each layer separately. Always writes
+/// `BENCH_diff.json` for the obs-diff perf gate.
+fn diff_bench(rows: &mut Vec<Row>) {
+    use batnet::diff::reach::{diff_reach, ReachInputs};
+    banner("E-D: differential analysis (acl-attach-peering on N2)");
+    let net = batnet_topogen::suite::n2();
+    let p = batnet_topogen::perturb::perturb(
+        &net,
+        batnet_topogen::perturb::Scenario::AclAttachPeering,
+        3,
+    )
+    .expect("a leaf is always eligible");
+    println!("perturbation: {} on {}", p.description, p.victim);
+
+    let t = clock::now();
+    let before = batnet::Snapshot::from_configs(net.configs.clone()).with_env(net.env.clone());
+    let after = batnet::Snapshot::from_configs(p.configs).with_env(net.env.clone());
+    let parse = t.elapsed();
+
+    let t = clock::now();
+    let structural = batnet::diff::structural::diff_structural(&before.devices, &after.devices);
+    let configs_time = t.elapsed();
+
+    let opts = batnet::DiffOptions::default();
+    let t = clock::now();
+    let dp_b = simulate(&before.devices, &before.env, &opts.sim);
+    let dp_a = simulate(&after.devices, &after.env, &opts.sim);
+    let routes = batnet::diff::routes::diff_routes(&dp_b, &dp_a, opts.max_route_changes);
+    let routes_time = t.elapsed();
+
+    let t = clock::now();
+    let mut changed = structural.changed_devices();
+    changed.extend(routes.changed_devices.iter().cloned());
+    let reach = diff_reach(
+        &ReachInputs {
+            devices_before: &before.devices,
+            dp_before: &dp_b,
+            devices_after: &after.devices,
+            dp_after: &dp_a,
+            changed_devices: &changed,
+        },
+        &opts,
+    );
+    let reach_time = t.elapsed();
+
+    println!(
+        "N2: parse {} | configs {} ({} changes) | routes {} ({} deltas) | reach {} ({}/{} starts, {} changed)",
+        fmt_dur(parse),
+        fmt_dur(configs_time),
+        structural.change_count(),
+        fmt_dur(routes_time),
+        routes.change_count(),
+        fmt_dur(reach_time),
+        reach.starts_compared,
+        reach.starts_total,
+        reach.changed_starts,
+    );
+    rows.push(Row::new("diff", "N2", "parse", parse));
+    rows.push(
+        Row::new("diff", "N2", "configs", configs_time).with("changes", structural.change_count()),
+    );
+    rows.push(Row::new("diff", "N2", "routes", routes_time).with("changes", routes.change_count()));
+    rows.push(
+        Row::new("diff", "N2", "reach", reach_time)
+            .with("starts", reach.starts_compared)
+            .with("changed", reach.changed_starts),
+    );
 }
 
 /// §6.2: the APT comparison on the 92-node network.

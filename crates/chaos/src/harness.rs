@@ -2,7 +2,7 @@
 //! and degrades monotonically.
 //!
 //! For every `(network, class, seed)` triple the harness mutates the
-//! network, runs the fault-tolerant pipeline, and checks six
+//! network, runs the fault-tolerant pipeline, and checks seven
 //! invariants:
 //!
 //! 1. **Zero panics** — no panic escapes the pipeline (containment via
@@ -27,6 +27,11 @@
 //!    trace validator, and `obs-diff` of the report against itself is
 //!    empty (the regression gate never invents findings from a
 //!    degraded run).
+//! 7. **Differential robustness** — `Snapshot::diff` of the faulted
+//!    snapshot against itself never panics, is empty at every layer,
+//!    and accounts for every quarantined device on both sides of the
+//!    report (the change-validation gate cannot be confused by broken
+//!    inputs).
 
 use crate::mutate::{mutate, MutationClass};
 use batnet::{ResourceGovernor, Snapshot};
@@ -176,6 +181,45 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
         if !diag_names.iter().any(|n| n == device) {
             run.violations
                 .push(format!("{device}: quarantined but absent from diagnostics"));
+        }
+    }
+
+    // Invariant 7: differential analysis of the faulted snapshot
+    // against itself never panics, reports no differences, and carries
+    // the quarantine accounting on both sides.
+    let diff_outcome = catch_unwind(AssertUnwindSafe(|| {
+        let opts = batnet::DiffOptions {
+            max_flow_deltas: 4,
+            max_starts: 8,
+            ..batnet::DiffOptions::default()
+        };
+        snapshot.diff_with(&snapshot, &opts)
+    }));
+    match diff_outcome {
+        Err(_) => run
+            .violations
+            .push("diff panicked on the faulted snapshot".to_string()),
+        Ok(diff) => {
+            if !diff.is_empty() {
+                run.violations.push(format!(
+                    "self-diff of faulted snapshot is not empty: {} change(s)",
+                    diff.change_count()
+                ));
+            }
+            for q in &snapshot.quarantined {
+                let on_both = [&diff.quarantined_before, &diff.quarantined_after]
+                    .iter()
+                    .all(|side| {
+                        side.iter()
+                            .any(|e| e.device == q.device && e.code == q.reason.code())
+                    });
+                if !on_both {
+                    run.violations.push(format!(
+                        "{}: quarantined but missing from the self-diff report",
+                        q.device
+                    ));
+                }
+            }
         }
     }
 

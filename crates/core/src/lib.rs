@@ -41,6 +41,10 @@ pub use fidelity::{differential_test, validate as validate_lab, Expectation, Fid
 pub use quarantine::{Quarantine, QuarantineReason, QuarantineStage};
 pub use snapshot::{Analysis, Snapshot};
 
+// The differential-analysis vocabulary (PR 5): `Snapshot::diff` returns
+// these.
+pub use batnet_diff::{DiffOptions, SnapshotDiff};
+
 // Fault-tolerance vocabulary shared with the sub-crates.
 pub use batnet_net::governor::{Exhaustion, Limit, Outcome, ResourceGovernor};
 
@@ -50,6 +54,7 @@ pub use batnet_bdd as bdd;
 pub use batnet_config as config;
 pub use batnet_datalog as datalog;
 pub use batnet_dataplane as dataplane;
+pub use batnet_diff as diff;
 pub use batnet_lint as lint;
 pub use batnet_net as net;
 pub use batnet_obs as obs;

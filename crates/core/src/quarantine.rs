@@ -44,6 +44,13 @@ pub enum QuarantineReason {
     },
     /// The file was not valid UTF-8.
     NotUtf8,
+    /// Another file in the same snapshot directory produced the same
+    /// device name (e.g. `r1.ios` next to `r1.flat`); the first file in
+    /// sorted order wins and the rest are isolated.
+    DuplicateName {
+        /// The file whose config was kept for this device name.
+        kept: String,
+    },
     /// The parser panicked on this input; the panic was contained.
     ParsePanic {
         /// The panic payload, when it was a string.
@@ -66,6 +73,7 @@ impl QuarantineReason {
         match self {
             QuarantineReason::UnreadableFile { .. } => "unreadable-file",
             QuarantineReason::NotUtf8 => "not-utf8",
+            QuarantineReason::DuplicateName { .. } => "duplicate-name",
             QuarantineReason::ParsePanic { .. } => "parse-panic",
             QuarantineReason::Unintelligible { .. } => "unintelligible",
             QuarantineReason::RoutePanic => "route-panic",
@@ -80,6 +88,9 @@ impl fmt::Display for QuarantineReason {
                 write!(f, "unreadable-file: {detail}")
             }
             QuarantineReason::NotUtf8 => write!(f, "not-utf8"),
+            QuarantineReason::DuplicateName { kept } => {
+                write!(f, "duplicate-name: kept {kept}")
+            }
             QuarantineReason::ParsePanic { detail } => {
                 write!(f, "parse-panic: {detail}")
             }

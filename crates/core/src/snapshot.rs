@@ -138,10 +138,21 @@ impl Snapshot {
         let mut configs: Vec<(String, String)> = Vec::new();
         let mut skipped: Vec<(String, Vec<Diagnostic>)> = Vec::new();
         let mut quarantined: Vec<Quarantine> = Vec::new();
+        // Device name (file stem) -> the file that claimed it. `r1.ios`
+        // next to `r1.flat` must not silently produce two devices named
+        // `r1`: the first file in sorted order wins, the rest are
+        // quarantined with a machine-readable reason.
+        let mut claimed: std::collections::BTreeMap<String, String> =
+            std::collections::BTreeMap::new();
         for entry in entries {
             let path = entry.path();
             let name = path
                 .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("device")
+                .to_string();
+            let file_name = path
+                .file_name()
                 .and_then(|s| s.to_str())
                 .unwrap_or("device")
                 .to_string();
@@ -182,7 +193,32 @@ impl Snapshot {
                     });
                 }
                 Ok(bytes) => match String::from_utf8(bytes) {
-                    Ok(text) => configs.push((name, text)),
+                    Ok(text) => {
+                        if let Some(kept) = claimed.get(&name) {
+                            skipped.push((
+                                name.clone(),
+                                vec![Diagnostic::new(
+                                    Severity::ParseError,
+                                    0,
+                                    format!(
+                                        "skipped {}: device name {name:?} already \
+                                         claimed by {kept}",
+                                        path.display()
+                                    ),
+                                )],
+                            ));
+                            quarantined.push(Quarantine {
+                                device: name,
+                                stage: QuarantineStage::Load,
+                                reason: QuarantineReason::DuplicateName {
+                                    kept: kept.clone(),
+                                },
+                            });
+                        } else {
+                            claimed.insert(name.clone(), file_name);
+                            configs.push((name, text));
+                        }
+                    }
                     Err(_) => {
                         skipped.push((
                             name.clone(),
@@ -376,6 +412,42 @@ impl Snapshot {
     pub fn lint(&self) -> Vec<batnet_lint::Finding> {
         batnet_lint::run_all(&self.devices)
     }
+
+    /// Compares this snapshot (the *before* side) with `other` (the
+    /// *after* side) across all three pipeline layers — structural,
+    /// control plane, and symbolic data plane — with default options.
+    /// The pre-deployment change-validation entry point (§5.1).
+    pub fn diff(&self, other: &Snapshot) -> batnet_diff::SnapshotDiff {
+        self.diff_with(other, &batnet_diff::DiffOptions::default())
+    }
+
+    /// [`Snapshot::diff`] with explicit options.
+    pub fn diff_with(
+        &self,
+        other: &Snapshot,
+        opts: &batnet_diff::DiffOptions,
+    ) -> batnet_diff::SnapshotDiff {
+        batnet_diff::diff(&self.diff_side(), &other.diff_side(), opts)
+    }
+
+    /// This snapshot as one side of a differential comparison: the
+    /// healthy devices plus the quarantine accounting, in the diff
+    /// crate's facade-independent vocabulary.
+    pub fn diff_side(&self) -> batnet_diff::DiffSide<'_> {
+        batnet_diff::DiffSide {
+            devices: &self.devices,
+            env: &self.env,
+            quarantined: self
+                .quarantined
+                .iter()
+                .map(|q| batnet_diff::QuarantinedDevice {
+                    device: q.device.clone(),
+                    stage: q.stage.to_string(),
+                    code: q.reason.code().to_string(),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Publishes the BDD manager's end-of-build statistics as gauges, then
@@ -524,6 +596,48 @@ mod tests {
             .diagnostics
             .iter()
             .any(|(n, d)| n == "sub" && d.iter().any(|x| x.message.contains("not a regular file"))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_dir_duplicate_stems_quarantined() {
+        let dir = std::env::temp_dir().join(format!("batnet-dup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // `r1.flat` sorts before `r1.ios`; both stem to device `r1`.
+        std::fs::write(
+            dir.join("r1.flat"),
+            "hostname r1\ninterface e0\n ip address 10.5.0.1/24\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("r1.ios"),
+            "hostname r1\ninterface e0\n ip address 10.6.0.1/24\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("r2.cfg"),
+            "hostname r2\ninterface e0\n ip address 10.7.0.1/24\n",
+        )
+        .unwrap();
+        let snapshot = Snapshot::from_dir(&dir).unwrap();
+        assert_eq!(snapshot.devices.len(), 2, "one r1 and one r2");
+        let r1 = snapshot.devices.iter().find(|d| d.name == "r1").unwrap();
+        // The first file in sorted order (r1.flat) won.
+        assert_eq!(
+            r1.interfaces["e0"].address.unwrap().0,
+            Ip::new(10, 5, 0, 1)
+        );
+        assert_eq!(snapshot.quarantined.len(), 1);
+        let q = &snapshot.quarantined[0];
+        assert_eq!(q.device, "r1");
+        assert_eq!(q.reason.code(), "duplicate-name");
+        assert!(matches!(q.stage, QuarantineStage::Load));
+        assert!(
+            matches!(&q.reason, QuarantineReason::DuplicateName { kept } if kept == "r1.flat")
+        );
+        // The losing file left a diagnostic trail.
+        assert!(snapshot.diagnostics.iter().any(|(n, d)| n == "r1"
+            && d.iter().any(|x| x.message.contains("already claimed"))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

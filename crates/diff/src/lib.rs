@@ -1,0 +1,164 @@
+//! # batnet-diff — differential snapshot analysis
+//!
+//! The workflow Batfish is actually deployed for is validating a
+//! *candidate change* against the running network before deployment.
+//! This crate compares two snapshots end to end, across all three
+//! pipeline layers:
+//!
+//! 1. **Structural** ([`structural`]) — the VI model, keyed by stable
+//!    structure paths with source spans on both sides.
+//! 2. **Control plane** ([`routes`]) — per-device RIB/FIB deltas from
+//!    the two simulated data planes.
+//! 3. **Data plane** ([`reach`]) — symbolic differential reachability:
+//!    both forwarding graphs in one shared BDD manager, per-start XOR of
+//!    the reachability relations, with a concrete example flow and
+//!    before/after traces for every delta.
+//!
+//! When the first two layers are empty, the forwarding graphs are equal
+//! by construction (the graph is a function of devices, FIBs, and the
+//! inferred topology — itself a function of the devices), so the
+//! symbolic stage is skipped and marked `skipped_equivalent`.
+//!
+//! Observability: the three stages run under the `diff.configs`,
+//! `diff.routes`, and `diff.reach` spans with change-count metrics.
+
+pub mod reach;
+pub mod report;
+pub mod routes;
+pub mod structural;
+
+pub use reach::{FlowDelta, FlowDirection, ReachDiff, ReachInputs};
+pub use report::{render_json, render_text, validate, SCHEMA};
+pub use routes::{RouteChange, RouteChangeKind, RouteDiff};
+pub use structural::{ChangeKind, StructChange, StructuralDiff};
+
+use batnet_config::vi::Device;
+use batnet_routing::{simulate, Environment, SimOptions};
+use std::collections::BTreeSet;
+
+/// Tuning knobs for a diff run.
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Cap on example-flow witnesses in the data-plane layer.
+    pub max_flow_deltas: usize,
+    /// Cap on start locations actually compared symbolically
+    /// (0 = unlimited). Pruned starts do not count.
+    pub max_starts: usize,
+    /// Cap on the detailed route-change list (totals stay exact).
+    pub max_route_changes: usize,
+    /// Route-simulation options (shared by both sides).
+    pub sim: SimOptions,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            max_flow_deltas: 16,
+            max_starts: 0,
+            max_route_changes: 200,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// A device excluded from the comparison, with its machine-readable
+/// quarantine accounting (mirrors `batnet`'s quarantine codes without
+/// depending on the facade crate).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QuarantinedDevice {
+    /// Device (or file stem).
+    pub device: String,
+    /// Pipeline stage ("load", "parse", "route", …).
+    pub stage: String,
+    /// Stable machine-readable reason code.
+    pub code: String,
+}
+
+/// One side of a diff: the healthy devices, their environment, and the
+/// quarantine accounting for everything that did not make it in.
+pub struct DiffSide<'a> {
+    /// Healthy parsed devices.
+    pub devices: &'a [Device],
+    /// External announcements and link state.
+    pub env: &'a Environment,
+    /// Devices excluded from this side.
+    pub quarantined: Vec<QuarantinedDevice>,
+}
+
+/// The full three-layer diff of two snapshots.
+#[derive(Clone, Default, Debug)]
+pub struct SnapshotDiff {
+    /// Layer 1: VI-model changes.
+    pub structural: StructuralDiff,
+    /// Layer 2: RIB/FIB deltas.
+    pub routes: RouteDiff,
+    /// Layer 3: changed reachability.
+    pub reach: ReachDiff,
+    /// Before-side quarantine accounting (not a difference per se: these
+    /// devices were never compared, and the report must say so).
+    pub quarantined_before: Vec<QuarantinedDevice>,
+    /// After-side quarantine accounting.
+    pub quarantined_after: Vec<QuarantinedDevice>,
+}
+
+impl SnapshotDiff {
+    /// No behavioral or structural differences? Quarantine lists do not
+    /// count: a self-diff of a degraded snapshot is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.structural.is_empty() && self.routes.is_empty() && self.reach.is_empty()
+    }
+
+    /// Total change count across the three layers.
+    pub fn change_count(&self) -> usize {
+        self.structural.change_count() + self.routes.change_count() + self.reach.changed_starts
+    }
+}
+
+/// Compares two snapshot sides across all three layers.
+pub fn diff(before: &DiffSide<'_>, after: &DiffSide<'_>, opts: &DiffOptions) -> SnapshotDiff {
+    // Layer 1: structural.
+    let span = batnet_obs::Span::enter("diff.configs");
+    let structural = structural::diff_structural(before.devices, after.devices);
+    batnet_obs::counter_add("diff.structural.changes", structural.change_count() as u64);
+    span.close();
+
+    // Layer 2: control plane (simulate both sides, then merge-join).
+    let span = batnet_obs::Span::enter("diff.routes");
+    let dp_before = simulate(before.devices, before.env, &opts.sim);
+    let dp_after = simulate(after.devices, after.env, &opts.sim);
+    let routes = routes::diff_routes(&dp_before, &dp_after, opts.max_route_changes);
+    batnet_obs::counter_add("diff.routes.changes", routes.change_count() as u64);
+    span.close();
+
+    // Layer 3: data plane. Equivalence fast path: identical devices and
+    // identical RIBs/FIBs make the graphs equal by construction.
+    let span = batnet_obs::Span::enter("diff.reach");
+    let reach = if structural.is_empty() && routes.is_empty() {
+        ReachDiff {
+            skipped_equivalent: true,
+            ..ReachDiff::default()
+        }
+    } else {
+        let mut changed: BTreeSet<String> = structural.changed_devices();
+        changed.extend(routes.changed_devices.iter().cloned());
+        reach::diff_reach(
+            &ReachInputs {
+                devices_before: before.devices,
+                dp_before: &dp_before,
+                devices_after: after.devices,
+                dp_after: &dp_after,
+                changed_devices: &changed,
+            },
+            opts,
+        )
+    };
+    span.close();
+
+    SnapshotDiff {
+        structural,
+        routes,
+        reach,
+        quarantined_before: before.quarantined.clone(),
+        quarantined_after: after.quarantined.clone(),
+    }
+}

@@ -1,0 +1,263 @@
+//! Layer 3: symbolic differential reachability.
+//!
+//! Both forwarding graphs are encoded in ONE shared BDD manager, so the
+//! per-start reachability relations live in the same node space and the
+//! delta is a plain XOR (computed as two set differences to keep the
+//! lost/gained split). Per changed start location the diff yields a
+//! concrete example flow (picked with the §4.4.3-style preferences) and
+//! a before/after trace from the concrete tracer.
+//!
+//! Cost is bounded by *cone pruning*: a start location whose node cannot
+//! even topologically reach a changed device — in either graph — is
+//! provably unchanged (outside the changed cone, the two graphs are
+//! identical by construction), so its fixed point is never computed.
+
+use crate::DiffOptions;
+use batnet_bdd::NodeId;
+use batnet_config::vi::Device;
+use batnet_config::Topology;
+use batnet_dataplane::{ForwardingGraph, NodeKind, PacketVars, ReachAnalysis};
+use batnet_queries::examples::{pick_flow, Preferences};
+use batnet_routing::DataPlane;
+use batnet_traceroute::{StartLocation, Trace, Tracer};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which way a flow's fate changed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowDirection {
+    /// Delivered before, not after.
+    Lost,
+    /// Not delivered before, delivered after.
+    Gained,
+}
+
+impl fmt::Display for FlowDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlowDirection::Lost => "lost",
+            FlowDirection::Gained => "gained",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One changed-flow witness: a concrete example flow whose delivery fate
+/// flipped between the snapshots, with both traces.
+#[derive(Clone, Debug)]
+pub struct FlowDelta {
+    /// Start device.
+    pub device: String,
+    /// Start (ingress) interface.
+    pub iface: String,
+    /// Lost or gained.
+    pub direction: FlowDirection,
+    /// The example flow, rendered.
+    pub flow: String,
+    /// Dispositions of the before trace, rendered.
+    pub before_disposition: String,
+    /// Dispositions of the after trace, rendered.
+    pub after_disposition: String,
+    /// Full before trace (§4.4.3-style annotated paths).
+    pub before_trace: String,
+    /// Full after trace.
+    pub after_trace: String,
+}
+
+/// The data-plane layer of a snapshot diff.
+#[derive(Clone, Default, Debug)]
+pub struct ReachDiff {
+    /// Start locations common to both snapshots.
+    pub starts_total: usize,
+    /// Starts whose fixed point was actually computed (the rest were
+    /// pruned as provably unchanged, or dropped by `max_starts`).
+    pub starts_compared: usize,
+    /// Starts whose five-tuple success set changed.
+    pub changed_starts: usize,
+    /// Example-flow witnesses (capped; see `truncated`).
+    pub deltas: Vec<FlowDelta>,
+    /// Witnesses were dropped to honor `max_flow_deltas`.
+    pub truncated: bool,
+    /// The structural + control-plane layers were both empty, so the
+    /// graphs are identical by construction and the symbolic stage was
+    /// skipped outright.
+    pub skipped_equivalent: bool,
+}
+
+impl ReachDiff {
+    /// No changed flows?
+    pub fn is_empty(&self) -> bool {
+        self.changed_starts == 0
+    }
+}
+
+/// Everything the symbolic stage needs from the two snapshots.
+pub struct ReachInputs<'a> {
+    /// Before devices (healthy subset).
+    pub devices_before: &'a [Device],
+    /// Before data plane.
+    pub dp_before: &'a DataPlane,
+    /// After devices.
+    pub devices_after: &'a [Device],
+    /// After data plane.
+    pub dp_after: &'a DataPlane,
+    /// Devices touched by the structural or control-plane layers — the
+    /// seed of the changed cone.
+    pub changed_devices: &'a BTreeSet<String>,
+}
+
+/// Expands the changed-device set with every device adjacent to it in
+/// `graph` (cross-device edges carry neighbor-dependent labels, so the
+/// frontier devices' subgraphs are not provably identical).
+fn expand_adjacent(graph: &ForwardingGraph, changed: &mut BTreeSet<String>) {
+    let mut frontier: Vec<String> = Vec::new();
+    for e in &graph.edges {
+        let (df, dt) = (graph.nodes[e.from].device(), graph.nodes[e.to].device());
+        if df != dt {
+            if changed.contains(df) && !changed.contains(dt) {
+                frontier.push(dt.to_string());
+            } else if changed.contains(dt) && !changed.contains(df) {
+                frontier.push(df.to_string());
+            }
+        }
+    }
+    changed.extend(frontier);
+}
+
+/// Node-level reverse BFS: which nodes can (topologically) reach any
+/// node of a changed device? Starts outside this set are unchanged.
+fn cone_of(graph: &ForwardingGraph, changed: &BTreeSet<String>) -> Vec<bool> {
+    let mut in_cone = vec![false; graph.nodes.len()];
+    let mut work: Vec<usize> = Vec::new();
+    for (i, k) in graph.nodes.iter().enumerate() {
+        if changed.contains(k.device()) {
+            in_cone[i] = true;
+            work.push(i);
+        }
+    }
+    while let Some(n) = work.pop() {
+        for &ei in &graph.in_edges[n] {
+            let from = graph.edges[ei].from;
+            if !in_cone[from] {
+                in_cone[from] = true;
+                work.push(from);
+            }
+        }
+    }
+    in_cone
+}
+
+/// `(device, iface) -> node id` for every ingress start location.
+fn start_map(graph: &ForwardingGraph) -> BTreeMap<(String, String), usize> {
+    let mut map = BTreeMap::new();
+    for (i, k) in graph.nodes.iter().enumerate() {
+        if let NodeKind::IfaceSrc(d, ifc) = k {
+            map.insert((d.clone(), ifc.clone()), i);
+        }
+    }
+    map
+}
+
+fn dispositions_of(trace: &Trace) -> String {
+    let ds: Vec<String> = trace.dispositions().iter().map(|d| d.to_string()).collect();
+    if ds.is_empty() {
+        "no path".to_string()
+    } else {
+        ds.join("; ")
+    }
+}
+
+/// Runs the symbolic differential-reachability stage.
+pub fn diff_reach(inputs: &ReachInputs<'_>, opts: &DiffOptions) -> ReachDiff {
+    let topo_b = Topology::infer(inputs.devices_before);
+    let topo_a = Topology::infer(inputs.devices_after);
+    // One shared manager: both graphs' edge predicates and both sides'
+    // reach sets live in the same node space, so set algebra across the
+    // snapshots is direct.
+    let (mut bdd, vars) = PacketVars::new(0);
+    let graph_b =
+        ForwardingGraph::build(&mut bdd, &vars, inputs.devices_before, inputs.dp_before, &topo_b);
+    let graph_a =
+        ForwardingGraph::build(&mut bdd, &vars, inputs.devices_after, inputs.dp_after, &topo_a);
+
+    let mut changed = inputs.changed_devices.clone();
+    expand_adjacent(&graph_b, &mut changed);
+    expand_adjacent(&graph_a, &mut changed);
+    let cone_b = cone_of(&graph_b, &changed);
+    let cone_a = cone_of(&graph_a, &changed);
+
+    let starts_b = start_map(&graph_b);
+    let starts_a = start_map(&graph_a);
+    let common: Vec<(&(String, String), usize, usize)> = starts_b
+        .iter()
+        .filter_map(|(k, &nb)| starts_a.get(k).map(|&na| (k, nb, na)))
+        .collect();
+
+    let mut diff = ReachDiff {
+        starts_total: common.len(),
+        ..ReachDiff::default()
+    };
+    let analysis_b = ReachAnalysis::new(&graph_b);
+    let analysis_a = ReachAnalysis::new(&graph_a);
+    let tracer_b = Tracer::new(inputs.devices_before, inputs.dp_before, &topo_b);
+    let tracer_a = Tracer::new(inputs.devices_after, inputs.dp_after, &topo_a);
+    let prefs = Preferences::likely(&mut bdd, &vars);
+
+    let mut compared = 0usize;
+    for ((dev, ifc), nb, na) in common.into_iter().map(|(k, nb, na)| (k.clone(), nb, na)) {
+        // Cone pruning: a start that cannot reach the changed region in
+        // either graph is provably unchanged.
+        if !cone_b[nb] && !cone_a[na] {
+            continue;
+        }
+        if opts.max_starts != 0 && compared >= opts.max_starts {
+            diff.truncated = true;
+            break;
+        }
+        compared += 1;
+        let rb = analysis_b.forward(&mut bdd, &[(nb, NodeId::TRUE)]);
+        let ra = analysis_a.forward(&mut bdd, &[(na, NodeId::TRUE)]);
+        let sb = analysis_b.success_set(&mut bdd, &rb);
+        let sa = analysis_a.success_set(&mut bdd, &ra);
+        // Project away TCP flags / ICMP codes / zone & waypoint
+        // bookkeeping bits before comparing: deltas must be about the
+        // five-tuple, not internal encoding state.
+        let pb = vars.project_five_tuple(&mut bdd, sb);
+        let pa = vars.project_five_tuple(&mut bdd, sa);
+        if pb == pa {
+            continue;
+        }
+        diff.changed_starts += 1;
+        let lost = bdd.diff(pb, pa);
+        let gained = bdd.diff(pa, pb);
+        for (set, direction) in [(lost, FlowDirection::Lost), (gained, FlowDirection::Gained)] {
+            if set == NodeId::FALSE || diff.deltas.len() >= opts.max_flow_deltas {
+                if set != NodeId::FALSE {
+                    diff.truncated = true;
+                }
+                continue;
+            }
+            let Some(flow) = pick_flow(&mut bdd, &vars, set, &prefs) else {
+                continue;
+            };
+            let start = StartLocation::ingress(&dev, &ifc);
+            let before_trace = tracer_b.trace(&start, &flow);
+            let after_trace = tracer_a.trace(&start, &flow);
+            diff.deltas.push(FlowDelta {
+                device: dev.clone(),
+                iface: ifc.clone(),
+                direction,
+                flow: flow.to_string(),
+                before_disposition: dispositions_of(&before_trace),
+                after_disposition: dispositions_of(&after_trace),
+                before_trace: before_trace.to_string(),
+                after_trace: after_trace.to_string(),
+            });
+        }
+    }
+    diff.starts_compared = compared;
+    batnet_obs::gauge_set("diff.reach.starts", diff.starts_total as f64);
+    batnet_obs::gauge_set("diff.reach.compared", diff.starts_compared as f64);
+    batnet_obs::counter_add("diff.reach.changed-starts", diff.changed_starts as u64);
+    diff
+}

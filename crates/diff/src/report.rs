@@ -1,0 +1,327 @@
+//! Rendering: deterministic text and JSON forms of a [`SnapshotDiff`],
+//! plus a minimal validator for the JSON schema (`batnet-diff-1`).
+//!
+//! Both renderers iterate already-sorted structures and never consult
+//! clocks or randomness, so the same diff always renders byte-identical
+//! output — the CI determinism gate stands on this.
+
+use crate::{QuarantinedDevice, SnapshotDiff};
+use batnet_config::vi::SourceSpan;
+use batnet_obs::json::{write_str, Value};
+use std::fmt::Write as _;
+
+/// The JSON schema identifier emitted and accepted by this version.
+pub const SCHEMA: &str = "batnet-diff-1";
+
+fn render_span(s: &Option<SourceSpan>) -> String {
+    match s {
+        Some(s) if s.is_known() => format!("{}:{}", s.file, s.line),
+        _ => "?".to_string(),
+    }
+}
+
+fn indent(text: &str, pad: &str) -> String {
+    text.lines().map(|l| format!("{pad}{l}\n")).collect()
+}
+
+/// Renders the human-readable report.
+pub fn render_text(diff: &SnapshotDiff) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batnet-diff: {} structural, {} route, {} changed-start(s)",
+        diff.structural.change_count(),
+        diff.routes.change_count(),
+        diff.reach.changed_starts,
+    );
+    if diff.is_empty() {
+        let _ = writeln!(out, "no differences");
+    }
+    if !diff.structural.is_empty() {
+        let _ = writeln!(out, "\n== structural ==");
+        for d in &diff.structural.devices_removed {
+            let _ = writeln!(out, "- device {d}");
+        }
+        for d in &diff.structural.devices_added {
+            let _ = writeln!(out, "+ device {d}");
+        }
+        for c in &diff.structural.changes {
+            let _ = writeln!(
+                out,
+                "{}: {} {} ({}) [{} -> {}]",
+                c.device,
+                c.path,
+                c.kind,
+                c.detail,
+                render_span(&c.before_src),
+                render_span(&c.after_src),
+            );
+        }
+    }
+    if !diff.routes.is_empty() {
+        let _ = writeln!(out, "\n== control plane ==");
+        let _ = writeln!(
+            out,
+            "{} RIB / {} FIB prefix deltas across {} device(s)",
+            diff.routes.total_rib_changes,
+            diff.routes.total_fib_changes,
+            diff.routes.changed_devices.len(),
+        );
+        for c in &diff.routes.changes {
+            let detail = match (&c.before, &c.after) {
+                (Some(b), Some(a)) => format!("{b}  ->  {a}"),
+                (Some(b), None) => b.clone(),
+                (None, Some(a)) => a.clone(),
+                (None, None) => String::new(),
+            };
+            let _ = writeln!(out, "{} {} {} {}: {detail}", c.device, c.layer, c.prefix, c.kind);
+        }
+        if diff.routes.truncated > 0 {
+            let _ = writeln!(out, "({} more route deltas not shown)", diff.routes.truncated);
+        }
+    }
+    {
+        let r = &diff.reach;
+        let _ = writeln!(out, "\n== data plane ==");
+        if r.skipped_equivalent {
+            let _ = writeln!(
+                out,
+                "skipped: config and control-plane layers are identical, so the \
+                 forwarding graphs are equal by construction"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{} start location(s), {} compared (cone-pruned), {} changed",
+                r.starts_total, r.starts_compared, r.changed_starts
+            );
+            for d in &r.deltas {
+                let _ = writeln!(out, "{}/{} {}: {}", d.device, d.iface, d.direction, d.flow);
+                let _ = writeln!(out, "  before: {}", d.before_disposition);
+                out.push_str(&indent(&d.before_trace, "    "));
+                let _ = writeln!(out, "  after:  {}", d.after_disposition);
+                out.push_str(&indent(&d.after_trace, "    "));
+            }
+            if r.truncated {
+                let _ = writeln!(out, "(more changed flows not shown)");
+            }
+        }
+    }
+    let quarantined = !diff.quarantined_before.is_empty() || !diff.quarantined_after.is_empty();
+    if quarantined {
+        let _ = writeln!(out, "\n== quarantined (excluded from the comparison) ==");
+        for (side, list) in [("before", &diff.quarantined_before), ("after", &diff.quarantined_after)]
+        {
+            for q in list.iter() {
+                let _ = writeln!(out, "{side}: {} at {} ({})", q.device, q.stage, q.code);
+            }
+        }
+    }
+    out
+}
+
+fn write_quarantine_list(out: &mut String, list: &[QuarantinedDevice]) {
+    out.push('[');
+    for (i, q) in list.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"device\":");
+        write_str(out, &q.device);
+        out.push_str(",\"stage\":");
+        write_str(out, &q.stage);
+        out.push_str(",\"code\":");
+        write_str(out, &q.code);
+        out.push('}');
+    }
+    out.push(']');
+}
+
+fn write_opt_str(out: &mut String, v: &Option<String>) {
+    match v {
+        Some(s) => write_str(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+fn write_opt_span(out: &mut String, v: &Option<SourceSpan>) {
+    match v {
+        Some(s) => {
+            out.push_str("{\"file\":");
+            write_str(out, &s.file);
+            let _ = write!(out, ",\"line\":{}}}", s.line);
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// Renders the machine-readable report (schema `batnet-diff-1`).
+pub fn render_json(diff: &SnapshotDiff) -> String {
+    let mut o = String::with_capacity(4096);
+    o.push_str("{\"schema\":");
+    write_str(&mut o, SCHEMA);
+    let _ = write!(
+        o,
+        ",\"summary\":{{\"empty\":{},\"structural_changes\":{},\"route_changes\":{},\
+         \"changed_starts\":{},\"flow_deltas\":{},\"quarantined_before\":{},\
+         \"quarantined_after\":{}}}",
+        diff.is_empty(),
+        diff.structural.change_count(),
+        diff.routes.change_count(),
+        diff.reach.changed_starts,
+        diff.reach.deltas.len(),
+        diff.quarantined_before.len(),
+        diff.quarantined_after.len(),
+    );
+
+    o.push_str(",\"structural\":{\"devices_added\":[");
+    for (i, d) in diff.structural.devices_added.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        write_str(&mut o, d);
+    }
+    o.push_str("],\"devices_removed\":[");
+    for (i, d) in diff.structural.devices_removed.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        write_str(&mut o, d);
+    }
+    o.push_str("],\"changes\":[");
+    for (i, c) in diff.structural.changes.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"device\":");
+        write_str(&mut o, &c.device);
+        o.push_str(",\"path\":");
+        write_str(&mut o, &c.path);
+        o.push_str(",\"kind\":");
+        write_str(&mut o, &c.kind.to_string());
+        o.push_str(",\"detail\":");
+        write_str(&mut o, &c.detail);
+        o.push_str(",\"before_src\":");
+        write_opt_span(&mut o, &c.before_src);
+        o.push_str(",\"after_src\":");
+        write_opt_span(&mut o, &c.after_src);
+        o.push('}');
+    }
+    o.push_str("]}");
+
+    let _ = write!(
+        o,
+        ",\"routes\":{{\"total_rib_changes\":{},\"total_fib_changes\":{},\"truncated\":{},\
+         \"changes\":[",
+        diff.routes.total_rib_changes, diff.routes.total_fib_changes, diff.routes.truncated,
+    );
+    for (i, c) in diff.routes.changes.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"device\":");
+        write_str(&mut o, &c.device);
+        o.push_str(",\"layer\":");
+        write_str(&mut o, c.layer);
+        o.push_str(",\"prefix\":");
+        write_str(&mut o, &c.prefix.to_string());
+        o.push_str(",\"kind\":");
+        write_str(&mut o, &c.kind.to_string());
+        o.push_str(",\"before\":");
+        write_opt_str(&mut o, &c.before);
+        o.push_str(",\"after\":");
+        write_opt_str(&mut o, &c.after);
+        o.push('}');
+    }
+    o.push_str("]}");
+
+    let r = &diff.reach;
+    let _ = write!(
+        o,
+        ",\"reach\":{{\"starts_total\":{},\"starts_compared\":{},\"changed_starts\":{},\
+         \"truncated\":{},\"skipped_equivalent\":{},\"deltas\":[",
+        r.starts_total, r.starts_compared, r.changed_starts, r.truncated, r.skipped_equivalent,
+    );
+    for (i, d) in r.deltas.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"device\":");
+        write_str(&mut o, &d.device);
+        o.push_str(",\"iface\":");
+        write_str(&mut o, &d.iface);
+        o.push_str(",\"direction\":");
+        write_str(&mut o, &d.direction.to_string());
+        o.push_str(",\"flow\":");
+        write_str(&mut o, &d.flow);
+        o.push_str(",\"before_disposition\":");
+        write_str(&mut o, &d.before_disposition);
+        o.push_str(",\"after_disposition\":");
+        write_str(&mut o, &d.after_disposition);
+        o.push_str(",\"before_trace\":");
+        write_str(&mut o, &d.before_trace);
+        o.push_str(",\"after_trace\":");
+        write_str(&mut o, &d.after_trace);
+        o.push('}');
+    }
+    o.push_str("]}");
+
+    o.push_str(",\"quarantined_before\":");
+    write_quarantine_list(&mut o, &diff.quarantined_before);
+    o.push_str(",\"quarantined_after\":");
+    write_quarantine_list(&mut o, &diff.quarantined_after);
+    o.push_str("}\n");
+    o
+}
+
+/// Validates a parsed `batnet-diff-1` document: schema tag, required
+/// sections, and the summary's cross-checks against the section bodies.
+pub fn validate(v: &Value) -> Result<(), String> {
+    let Value::Obj(top) = v else {
+        return Err("top level is not an object".to_string());
+    };
+    match top.get("schema") {
+        Some(Value::Str(s)) if s == SCHEMA => {}
+        Some(Value::Str(s)) => return Err(format!("unknown schema {s:?}")),
+        _ => return Err("missing schema tag".to_string()),
+    }
+    for key in ["summary", "structural", "routes", "reach", "quarantined_before", "quarantined_after"]
+    {
+        if !top.contains_key(key) {
+            return Err(format!("missing section {key:?}"));
+        }
+    }
+    let Some(Value::Obj(summary)) = top.get("summary") else {
+        return Err("summary is not an object".to_string());
+    };
+    let Some(Value::Obj(reach)) = top.get("reach") else {
+        return Err("reach is not an object".to_string());
+    };
+    let deltas = match reach.get("deltas") {
+        Some(Value::Arr(a)) => a.len(),
+        _ => return Err("reach.deltas is not an array".to_string()),
+    };
+    match summary.get("flow_deltas") {
+        Some(Value::Num(n)) if *n as usize == deltas => Ok(()),
+        Some(Value::Num(n)) => Err(format!(
+            "summary.flow_deltas = {} but reach.deltas has {deltas} entries",
+            *n as usize
+        )),
+        _ => Err("summary.flow_deltas missing".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_diff_renders_and_validates() {
+        let diff = SnapshotDiff::default();
+        let text = render_text(&diff);
+        assert!(text.contains("no differences"), "{text}");
+        let json = render_json(&diff);
+        let v = batnet_obs::json::parse(&json).expect("emitted JSON parses");
+        validate(&v).expect("emitted JSON validates");
+    }
+}

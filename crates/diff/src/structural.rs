@@ -1,0 +1,816 @@
+//! Layer 1: structural diff of the vendor-independent model.
+//!
+//! Every change is keyed by the same stable structure paths the lint
+//! fingerprints use (`interface X`, `acl X`, `route-map X`,
+//! `bgp neighbor A.B.C.D`, …), so a behavioral delta downstream can be
+//! traced back to the configuration structure that moved. Where the VI
+//! model records where a structure was defined, both sides' spans ride
+//! along as witnesses.
+
+use batnet_config::vi::{
+    Acl, BgpNeighbor, BgpProcess, Device, Interface, NextHop, OspfProcess, RouteMap, SourceSpan,
+    StaticRoute, Zone, ZonePolicy,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How a structure changed between the two snapshots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChangeKind {
+    /// Present only in the after snapshot.
+    Added,
+    /// Present only in the before snapshot.
+    Removed,
+    /// Present in both, not equal.
+    Modified,
+}
+
+impl fmt::Display for ChangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChangeKind::Added => "added",
+            ChangeKind::Removed => "removed",
+            ChangeKind::Modified => "modified",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One structural change, keyed by a stable structure path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StructChange {
+    /// Device the structure lives on.
+    pub device: String,
+    /// Stable structure path (lint-fingerprint style), e.g. `acl SERVERS`.
+    pub path: String,
+    /// Added / removed / modified.
+    pub kind: ChangeKind,
+    /// Human-readable field-level summary of what moved.
+    pub detail: String,
+    /// Where the structure was defined in the before config, when known.
+    pub before_src: Option<SourceSpan>,
+    /// Where the structure was defined in the after config, when known.
+    pub after_src: Option<SourceSpan>,
+}
+
+/// The structural layer of a snapshot diff.
+#[derive(Clone, Default, Debug)]
+pub struct StructuralDiff {
+    /// Devices present only in the after snapshot.
+    pub devices_added: Vec<String>,
+    /// Devices present only in the before snapshot.
+    pub devices_removed: Vec<String>,
+    /// Per-structure changes on devices present in both.
+    pub changes: Vec<StructChange>,
+}
+
+impl StructuralDiff {
+    /// No device-set changes and no structure changes?
+    pub fn is_empty(&self) -> bool {
+        self.devices_added.is_empty() && self.devices_removed.is_empty() && self.changes.is_empty()
+    }
+
+    /// Total change count (device adds/removes count as one each).
+    pub fn change_count(&self) -> usize {
+        self.devices_added.len() + self.devices_removed.len() + self.changes.len()
+    }
+
+    /// Every device touched by a structural change (including adds and
+    /// removes) — the seed set for data-plane cone pruning.
+    pub fn changed_devices(&self) -> BTreeSet<String> {
+        let mut set: BTreeSet<String> = self.changes.iter().map(|c| c.device.clone()).collect();
+        set.extend(self.devices_added.iter().cloned());
+        set.extend(self.devices_removed.iter().cloned());
+        set
+    }
+}
+
+/// Diffs two device lists structure by structure.
+pub fn diff_structural(before: &[Device], after: &[Device]) -> StructuralDiff {
+    let b: BTreeMap<&str, &Device> = before.iter().map(|d| (d.name.as_str(), d)).collect();
+    let a: BTreeMap<&str, &Device> = after.iter().map(|d| (d.name.as_str(), d)).collect();
+    let mut diff = StructuralDiff::default();
+    for name in a.keys() {
+        if !b.contains_key(name) {
+            diff.devices_added.push((*name).to_string());
+        }
+    }
+    for name in b.keys() {
+        if !a.contains_key(name) {
+            diff.devices_removed.push((*name).to_string());
+        }
+    }
+    for (name, db) in &b {
+        if let Some(da) = a.get(name) {
+            diff_device(db, da, &mut diff.changes);
+        }
+    }
+    diff.changes.sort_by(|x, y| {
+        (x.device.as_str(), x.path.as_str()).cmp(&(y.device.as_str(), y.path.as_str()))
+    });
+    diff
+}
+
+/// A span worth reporting: known locations only.
+fn span(s: &SourceSpan) -> Option<SourceSpan> {
+    if s.is_known() {
+        Some(s.clone())
+    } else {
+        None
+    }
+}
+
+fn push(
+    changes: &mut Vec<StructChange>,
+    device: &str,
+    path: String,
+    kind: ChangeKind,
+    detail: String,
+    before_src: Option<SourceSpan>,
+    after_src: Option<SourceSpan>,
+) {
+    changes.push(StructChange {
+        device: device.to_string(),
+        path,
+        kind,
+        detail,
+        before_src,
+        after_src,
+    });
+}
+
+/// Generic keyed-map comparison: added / removed / modified entries.
+/// `same` is the equivalence test — span-insensitive for structures that
+/// record where they were defined, so an unrelated edit shifting line
+/// numbers does not read as a semantic change.
+fn diff_map<T>(
+    changes: &mut Vec<StructChange>,
+    device: &str,
+    prefix: &str,
+    before: &BTreeMap<String, T>,
+    after: &BTreeMap<String, T>,
+    same: impl Fn(&T, &T) -> bool,
+    describe: impl Fn(&T) -> String,
+    modified: impl Fn(&T, &T) -> String,
+    src_of: impl Fn(&T) -> Option<SourceSpan>,
+) {
+    for (k, vb) in before {
+        match after.get(k) {
+            None => push(
+                changes,
+                device,
+                format!("{prefix} {k}"),
+                ChangeKind::Removed,
+                describe(vb),
+                src_of(vb),
+                None,
+            ),
+            Some(va) if !same(vb, va) => push(
+                changes,
+                device,
+                format!("{prefix} {k}"),
+                ChangeKind::Modified,
+                modified(vb, va),
+                src_of(vb),
+                src_of(va),
+            ),
+            Some(_) => {}
+        }
+    }
+    for (k, va) in after {
+        if !before.contains_key(k) {
+            push(
+                changes,
+                device,
+                format!("{prefix} {k}"),
+                ChangeKind::Added,
+                describe(va),
+                None,
+                src_of(va),
+            );
+        }
+    }
+}
+
+fn fmt_opt<T: fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "none".to_string(),
+    }
+}
+
+/// Appends `field: before -> after` when the two values differ.
+fn field_change<T: PartialEq + fmt::Display>(out: &mut Vec<String>, name: &str, b: &T, a: &T) {
+    if b != a {
+        out.push(format!("{name}: {b} -> {a}"));
+    }
+}
+
+fn describe_interface(i: &Interface) -> String {
+    let mut parts = vec![match i.address {
+        Some((ip, len)) => format!("{ip}/{len}"),
+        None => "unaddressed".to_string(),
+    }];
+    if !i.enabled {
+        parts.push("shutdown".to_string());
+    }
+    if let Some(acl) = &i.acl_in {
+        parts.push(format!("acl-in {acl}"));
+    }
+    if let Some(acl) = &i.acl_out {
+        parts.push(format!("acl-out {acl}"));
+    }
+    parts.join(", ")
+}
+
+fn modified_interface(b: &Interface, a: &Interface) -> String {
+    let addr = |i: &Interface| match i.address {
+        Some((ip, len)) => format!("{ip}/{len}"),
+        None => "none".to_string(),
+    };
+    let mut out = Vec::new();
+    field_change(&mut out, "address", &addr(b), &addr(a));
+    field_change(&mut out, "enabled", &b.enabled, &a.enabled);
+    field_change(&mut out, "acl-in", &fmt_opt(&b.acl_in), &fmt_opt(&a.acl_in));
+    field_change(&mut out, "acl-out", &fmt_opt(&b.acl_out), &fmt_opt(&a.acl_out));
+    field_change(&mut out, "ospf-cost", &fmt_opt(&b.ospf_cost), &fmt_opt(&a.ospf_cost));
+    field_change(&mut out, "ospf-area", &fmt_opt(&b.ospf_area), &fmt_opt(&a.ospf_area));
+    field_change(&mut out, "ospf-passive", &b.ospf_passive, &a.ospf_passive);
+    field_change(&mut out, "zone", &fmt_opt(&b.zone), &fmt_opt(&a.zone));
+    field_change(&mut out, "mtu", &b.mtu, &a.mtu);
+    if b.secondary_addresses != a.secondary_addresses {
+        out.push(format!(
+            "secondaries: {} -> {}",
+            b.secondary_addresses.len(),
+            a.secondary_addresses.len()
+        ));
+    }
+    field_change(
+        &mut out,
+        "description",
+        &fmt_opt(&b.description),
+        &fmt_opt(&a.description),
+    );
+    if out.is_empty() {
+        "changed".to_string()
+    } else {
+        out.join("; ")
+    }
+}
+
+/// ACL equivalence ignoring the definition span.
+fn same_acl(b: &Acl, a: &Acl) -> bool {
+    b.name == a.name && b.lines == a.lines
+}
+
+/// Route-map equivalence ignoring the definition span.
+fn same_route_map(b: &RouteMap, a: &RouteMap) -> bool {
+    b.name == a.name && b.clauses == a.clauses
+}
+
+/// BGP-neighbor equivalence ignoring the definition span.
+fn same_bgp_neighbor(b: &BgpNeighbor, a: &BgpNeighbor) -> bool {
+    b.peer_ip == a.peer_ip
+        && b.remote_as == a.remote_as
+        && b.import_policy == a.import_policy
+        && b.export_policy == a.export_policy
+        && b.next_hop_self == a.next_hop_self
+        && b.send_community == a.send_community
+        && b.description == a.description
+}
+
+/// Line-level ACL delta: `+`/`-` prefixed config text, capped.
+fn modified_acl(b: &Acl, a: &Acl) -> String {
+    const MAX_LINES: usize = 8;
+    let btexts: Vec<&str> = b.lines.iter().map(|l| l.text.trim()).collect();
+    let atexts: Vec<&str> = a.lines.iter().map(|l| l.text.trim()).collect();
+    let mut out = Vec::new();
+    for t in &atexts {
+        if !btexts.contains(t) {
+            out.push(format!("+ {t}"));
+        }
+    }
+    for t in &btexts {
+        if !atexts.contains(t) {
+            out.push(format!("- {t}"));
+        }
+    }
+    if out.is_empty() {
+        // Same line texts, different order or metadata.
+        return format!("lines reordered ({} -> {})", b.lines.len(), a.lines.len());
+    }
+    let extra = out.len().saturating_sub(MAX_LINES);
+    out.truncate(MAX_LINES);
+    if extra > 0 {
+        out.push(format!("(+{extra} more)"));
+    }
+    out.join("; ")
+}
+
+fn describe_acl(a: &Acl) -> String {
+    format!("{} lines", a.lines.len())
+}
+
+fn modified_route_map(b: &RouteMap, a: &RouteMap) -> String {
+    let bseqs: BTreeSet<u32> = b.clauses.iter().map(|c| c.seq).collect();
+    let aseqs: BTreeSet<u32> = a.clauses.iter().map(|c| c.seq).collect();
+    let mut out = Vec::new();
+    for seq in aseqs.difference(&bseqs) {
+        out.push(format!("+ clause {seq}"));
+    }
+    for seq in bseqs.difference(&aseqs) {
+        out.push(format!("- clause {seq}"));
+    }
+    for seq in bseqs.intersection(&aseqs) {
+        let cb = b.clauses.iter().find(|c| c.seq == *seq);
+        let ca = a.clauses.iter().find(|c| c.seq == *seq);
+        if cb != ca {
+            out.push(format!("~ clause {seq}"));
+        }
+    }
+    if out.is_empty() {
+        "changed".to_string()
+    } else {
+        out.join("; ")
+    }
+}
+
+fn describe_bgp_neighbor(n: &BgpNeighbor) -> String {
+    format!("remote-as {}", n.remote_as)
+}
+
+fn modified_bgp_neighbor(b: &BgpNeighbor, a: &BgpNeighbor) -> String {
+    let mut out = Vec::new();
+    field_change(&mut out, "remote-as", &b.remote_as, &a.remote_as);
+    field_change(
+        &mut out,
+        "import-policy",
+        &fmt_opt(&b.import_policy),
+        &fmt_opt(&a.import_policy),
+    );
+    field_change(
+        &mut out,
+        "export-policy",
+        &fmt_opt(&b.export_policy),
+        &fmt_opt(&a.export_policy),
+    );
+    field_change(&mut out, "next-hop-self", &b.next_hop_self, &a.next_hop_self);
+    field_change(&mut out, "send-community", &b.send_community, &a.send_community);
+    if out.is_empty() {
+        "changed".to_string()
+    } else {
+        out.join("; ")
+    }
+}
+
+fn static_route_key(r: &StaticRoute) -> String {
+    let nh = match r.next_hop {
+        NextHop::Ip(ip) => ip.to_string(),
+        NextHop::Discard => "discard".to_string(),
+    };
+    format!("static {} -> {nh}", r.prefix)
+}
+
+fn diff_bgp(changes: &mut Vec<StructChange>, device: &str, b: &Option<BgpProcess>, a: &Option<BgpProcess>) {
+    match (b, a) {
+        (None, None) => {}
+        (Some(pb), None) => push(
+            changes,
+            device,
+            "bgp".to_string(),
+            ChangeKind::Removed,
+            format!("as {}", pb.asn),
+            None,
+            None,
+        ),
+        (None, Some(pa)) => push(
+            changes,
+            device,
+            "bgp".to_string(),
+            ChangeKind::Added,
+            format!("as {}", pa.asn),
+            None,
+            None,
+        ),
+        (Some(pb), Some(pa)) => {
+            let nb: BTreeMap<String, &BgpNeighbor> =
+                pb.neighbors.iter().map(|n| (n.peer_ip.to_string(), n)).collect();
+            let na: BTreeMap<String, &BgpNeighbor> =
+                pa.neighbors.iter().map(|n| (n.peer_ip.to_string(), n)).collect();
+            for (ip, vb) in &nb {
+                match na.get(ip) {
+                    None => push(
+                        changes,
+                        device,
+                        format!("bgp neighbor {ip}"),
+                        ChangeKind::Removed,
+                        describe_bgp_neighbor(vb),
+                        span(&vb.src),
+                        None,
+                    ),
+                    Some(va) if !same_bgp_neighbor(vb, va) => push(
+                        changes,
+                        device,
+                        format!("bgp neighbor {ip}"),
+                        ChangeKind::Modified,
+                        modified_bgp_neighbor(vb, va),
+                        span(&vb.src),
+                        span(&va.src),
+                    ),
+                    Some(_) => {}
+                }
+            }
+            for (ip, va) in &na {
+                if !nb.contains_key(ip) {
+                    push(
+                        changes,
+                        device,
+                        format!("bgp neighbor {ip}"),
+                        ChangeKind::Added,
+                        describe_bgp_neighbor(va),
+                        None,
+                        span(&va.src),
+                    );
+                }
+            }
+            // Process-level attributes.
+            let mut out = Vec::new();
+            field_change(&mut out, "asn", &pb.asn, &pa.asn);
+            field_change(
+                &mut out,
+                "router-id",
+                &fmt_opt(&pb.router_id),
+                &fmt_opt(&pa.router_id),
+            );
+            let bn: BTreeSet<String> = pb.networks.iter().map(|p| p.to_string()).collect();
+            let an: BTreeSet<String> = pa.networks.iter().map(|p| p.to_string()).collect();
+            for p in an.difference(&bn) {
+                out.push(format!("+ network {p}"));
+            }
+            for p in bn.difference(&an) {
+                out.push(format!("- network {p}"));
+            }
+            field_change(
+                &mut out,
+                "redistribute-connected",
+                &pb.redistribute_connected,
+                &pa.redistribute_connected,
+            );
+            field_change(
+                &mut out,
+                "redistribute-static",
+                &pb.redistribute_static,
+                &pa.redistribute_static,
+            );
+            field_change(
+                &mut out,
+                "redistribute-ospf",
+                &pb.redistribute_ospf,
+                &pa.redistribute_ospf,
+            );
+            if !out.is_empty() {
+                push(
+                    changes,
+                    device,
+                    "bgp".to_string(),
+                    ChangeKind::Modified,
+                    out.join("; "),
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+}
+
+fn diff_ospf(changes: &mut Vec<StructChange>, device: &str, b: &Option<OspfProcess>, a: &Option<OspfProcess>) {
+    match (b, a) {
+        (None, None) => {}
+        (Some(_), None) => push(
+            changes,
+            device,
+            "ospf".to_string(),
+            ChangeKind::Removed,
+            "process removed".to_string(),
+            None,
+            None,
+        ),
+        (None, Some(_)) => push(
+            changes,
+            device,
+            "ospf".to_string(),
+            ChangeKind::Added,
+            "process added".to_string(),
+            None,
+            None,
+        ),
+        (Some(pb), Some(pa)) if pb != pa => {
+            let mut out = Vec::new();
+            field_change(
+                &mut out,
+                "router-id",
+                &fmt_opt(&pb.router_id),
+                &fmt_opt(&pa.router_id),
+            );
+            field_change(
+                &mut out,
+                "reference-bandwidth",
+                &pb.reference_bandwidth_mbps,
+                &pa.reference_bandwidth_mbps,
+            );
+            field_change(
+                &mut out,
+                "redistribute-connected",
+                &pb.redistribute_connected,
+                &pa.redistribute_connected,
+            );
+            field_change(
+                &mut out,
+                "redistribute-static",
+                &pb.redistribute_static,
+                &pa.redistribute_static,
+            );
+            field_change(&mut out, "default-cost", &pb.default_cost, &pa.default_cost);
+            push(
+                changes,
+                device,
+                "ospf".to_string(),
+                ChangeKind::Modified,
+                if out.is_empty() { "changed".to_string() } else { out.join("; ") },
+                None,
+                None,
+            );
+        }
+        (Some(_), Some(_)) => {}
+    }
+}
+
+fn describe_zone(z: &Zone) -> String {
+    format!("{} interfaces", z.interfaces.len())
+}
+
+fn zone_policy_key(p: &ZonePolicy) -> String {
+    format!("zone-policy {} -> {}", p.from_zone, p.to_zone)
+}
+
+/// Diffs one device present in both snapshots.
+fn diff_device(b: &Device, a: &Device, changes: &mut Vec<StructChange>) {
+    let dev = b.name.as_str();
+    diff_map(
+        changes,
+        dev,
+        "interface",
+        &b.interfaces,
+        &a.interfaces,
+        |x, y| x == y,
+        describe_interface,
+        modified_interface,
+        |_| None,
+    );
+    diff_map(
+        changes,
+        dev,
+        "acl",
+        &b.acls,
+        &a.acls,
+        same_acl,
+        describe_acl,
+        modified_acl,
+        |acl| span(&acl.src),
+    );
+    diff_map(
+        changes,
+        dev,
+        "route-map",
+        &b.route_maps,
+        &a.route_maps,
+        same_route_map,
+        |rm| format!("{} clauses", rm.clauses.len()),
+        modified_route_map,
+        |rm| span(&rm.src),
+    );
+    diff_map(
+        changes,
+        dev,
+        "prefix-list",
+        &b.prefix_lists,
+        &a.prefix_lists,
+        |x, y| x == y,
+        |pl| format!("{} entries", pl.entries.len()),
+        |pl_b, pl_a| format!("entries: {} -> {}", pl_b.entries.len(), pl_a.entries.len()),
+        |_| None,
+    );
+    diff_map(
+        changes,
+        dev,
+        "community-list",
+        &b.community_lists,
+        &a.community_lists,
+        |x, y| x == y,
+        |cl| format!("{} entries", cl.entries.len()),
+        |cl_b, cl_a| format!("entries: {} -> {}", cl_b.entries.len(), cl_a.entries.len()),
+        |_| None,
+    );
+    diff_map(
+        changes,
+        dev,
+        "zone",
+        &b.zones,
+        &a.zones,
+        |x, y| x == y,
+        describe_zone,
+        |zb, za| format!("interfaces: {:?} -> {:?}", zb.interfaces, za.interfaces),
+        |_| None,
+    );
+
+    // Static routes: set semantics keyed by (prefix, next hop). An
+    // admin-distance change shows as remove+add of the same key pair.
+    let sb: BTreeMap<String, &StaticRoute> =
+        b.static_routes.iter().map(|r| (static_route_key(r), r)).collect();
+    let sa: BTreeMap<String, &StaticRoute> =
+        a.static_routes.iter().map(|r| (static_route_key(r), r)).collect();
+    for (k, rb) in &sb {
+        match sa.get(k) {
+            None => push(
+                changes,
+                dev,
+                k.clone(),
+                ChangeKind::Removed,
+                format!("distance {}", rb.admin_distance),
+                None,
+                None,
+            ),
+            Some(ra) if ra != rb => push(
+                changes,
+                dev,
+                k.clone(),
+                ChangeKind::Modified,
+                format!("distance {} -> {}", rb.admin_distance, ra.admin_distance),
+                None,
+                None,
+            ),
+            Some(_) => {}
+        }
+    }
+    for (k, ra) in &sa {
+        if !sb.contains_key(k) {
+            push(
+                changes,
+                dev,
+                k.clone(),
+                ChangeKind::Added,
+                format!("distance {}", ra.admin_distance),
+                None,
+                None,
+            );
+        }
+    }
+
+    diff_bgp(changes, dev, &b.bgp, &a.bgp);
+    diff_ospf(changes, dev, &b.ospf, &a.ospf);
+
+    // Zone policies: keyed by (from, to) pair.
+    let zb: BTreeMap<String, &ZonePolicy> =
+        b.zone_policies.iter().map(|p| (zone_policy_key(p), p)).collect();
+    let za: BTreeMap<String, &ZonePolicy> =
+        a.zone_policies.iter().map(|p| (zone_policy_key(p), p)).collect();
+    for (k, pb) in &zb {
+        match za.get(k) {
+            None => push(
+                changes,
+                dev,
+                k.clone(),
+                ChangeKind::Removed,
+                format!("acl {}", pb.acl.name),
+                span(&pb.acl.src),
+                None,
+            ),
+            Some(pa) if pa.from_zone != pb.from_zone
+                || pa.to_zone != pb.to_zone
+                || !same_acl(&pb.acl, &pa.acl) =>
+            {
+                push(
+                    changes,
+                    dev,
+                    k.clone(),
+                    ChangeKind::Modified,
+                    modified_acl(&pb.acl, &pa.acl),
+                    span(&pb.acl.src),
+                    span(&pa.acl.src),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    for (k, pa) in &za {
+        if !zb.contains_key(k) {
+            push(
+                changes,
+                dev,
+                k.clone(),
+                ChangeKind::Added,
+                format!("acl {}", pa.acl.name),
+                None,
+                span(&pa.acl.src),
+            );
+        }
+    }
+
+    // NAT rules: positional (evaluation order is semantic).
+    if b.nat_rules != a.nat_rules {
+        push(
+            changes,
+            dev,
+            "nat".to_string(),
+            ChangeKind::Modified,
+            format!("rules: {} -> {}", b.nat_rules.len(), a.nat_rules.len()),
+            None,
+            None,
+        );
+    }
+
+    // Device-level scalars.
+    let mut out = Vec::new();
+    field_change(&mut out, "zone-default-permit", &b.zone_default_permit, &a.zone_default_permit);
+    field_change(&mut out, "stateful", &b.stateful, &a.stateful);
+    if b.ntp_servers != a.ntp_servers {
+        out.push(format!("ntp-servers: {} -> {}", b.ntp_servers.len(), a.ntp_servers.len()));
+    }
+    if b.dns_servers != a.dns_servers {
+        out.push(format!("dns-servers: {} -> {}", b.dns_servers.len(), a.dns_servers.len()));
+    }
+    if !out.is_empty() {
+        push(
+            changes,
+            dev,
+            "device".to_string(),
+            ChangeKind::Modified,
+            out.join("; "),
+            None,
+            None,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::parse_device;
+
+    fn dev(name: &str, text: &str) -> Device {
+        parse_device(name, text).0
+    }
+
+    #[test]
+    fn identical_devices_diff_empty() {
+        let d = dev("r1", "hostname r1\ninterface e0\n ip address 10.0.0.1/24\n");
+        let diff = diff_structural(&[d.clone()], &[d]);
+        assert!(diff.is_empty(), "{:?}", diff.changes);
+    }
+
+    #[test]
+    fn added_acl_line_reported_with_spans() {
+        let before = dev(
+            "r1",
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\nip access-list extended A\n 10 permit ip any any\n",
+        );
+        let after = dev(
+            "r1",
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\nip access-list extended A\n 5 deny tcp any any eq 179\n 10 permit ip any any\n",
+        );
+        let diff = diff_structural(&[before], &[after]);
+        assert_eq!(diff.changes.len(), 1);
+        let c = &diff.changes[0];
+        assert_eq!(c.path, "acl A");
+        assert_eq!(c.kind, ChangeKind::Modified);
+        assert!(c.detail.contains("+ 5 deny tcp any any eq 179"), "{}", c.detail);
+        assert!(c.before_src.is_some() && c.after_src.is_some());
+        assert_eq!(diff.changed_devices().into_iter().collect::<Vec<_>>(), ["r1"]);
+    }
+
+    #[test]
+    fn device_set_changes_reported() {
+        let d1 = dev("r1", "hostname r1\ninterface e0\n ip address 10.0.0.1/24\n");
+        let d2 = dev("r2", "hostname r2\ninterface e0\n ip address 10.0.1.1/24\n");
+        let diff = diff_structural(&[d1.clone()], &[d1, d2]);
+        assert_eq!(diff.devices_added, ["r2"]);
+        assert!(diff.devices_removed.is_empty());
+        assert!(diff.changes.is_empty());
+    }
+
+    #[test]
+    fn swap_swaps_added_and_removed() {
+        let before = dev("r1", "hostname r1\ninterface e0\n ip address 10.0.0.1/24\n");
+        let after = dev(
+            "r1",
+            "hostname r1\ninterface e0\n ip address 10.0.0.1/24\ninterface e1\n ip address 10.9.0.1/24\n",
+        );
+        let fwd = diff_structural(std::slice::from_ref(&before), std::slice::from_ref(&after));
+        let rev = diff_structural(&[after], &[before]);
+        assert_eq!(fwd.changes.len(), 1);
+        assert_eq!(rev.changes.len(), 1);
+        assert_eq!(fwd.changes[0].kind, ChangeKind::Added);
+        assert_eq!(rev.changes[0].kind, ChangeKind::Removed);
+        assert_eq!(fwd.changes[0].path, rev.changes[0].path);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod dc;
 pub mod enterprise;
 pub mod gadgets;
+pub mod perturb;
 pub mod suite;
 pub mod wan;
 

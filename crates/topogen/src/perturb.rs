@@ -1,0 +1,333 @@
+//! Change-scenario generators: deterministic pre/post config pairs for
+//! differential analysis (`batnet-diff`) tests and benches.
+//!
+//! Each scenario is a small, realistic candidate change applied as a
+//! *text edit* to one victim device's config — the same thing an
+//! operator would push — so the perturbed snapshot exercises the full
+//! pipeline from parsing onwards. Victim selection is seeded and the
+//! edits are pure text surgery, so the same `(network, scenario, seed)`
+//! always yields byte-identical output.
+
+use crate::GeneratedNetwork;
+use batnet_net::rng::Rng;
+
+/// A candidate-change scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// Insert a new first line into the victim's first ACL
+    /// (` 5 deny tcp any any eq 443`).
+    AclAddLine,
+    /// Delete the first line of the victim's first ACL.
+    AclRemoveLine,
+    /// Attach the existing `SERVERS` ACL inbound on the victim's first
+    /// peering interface (`swp0`) — one ACL edit that kills the BGP
+    /// session riding that link (TCP/179 SYN is not `established`), so
+    /// the change cascades into FIB deltas and changed flows.
+    AclAttachPeering,
+    /// Flip the victim's first permit route-map clause to deny.
+    RouteMapEdit,
+    /// Drain the victim: shut down every interface.
+    DrainDevice,
+    /// Renumber the victim's first advertised `10.a.b.0/24` prefix to
+    /// `10.(a+100).b.0/24` (address + network statement together).
+    PrefixRenumber,
+}
+
+impl Scenario {
+    /// Every scenario, in a stable order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::AclAddLine,
+        Scenario::AclRemoveLine,
+        Scenario::AclAttachPeering,
+        Scenario::RouteMapEdit,
+        Scenario::DrainDevice,
+        Scenario::PrefixRenumber,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::AclAddLine => "acl-add-line",
+            Scenario::AclRemoveLine => "acl-remove-line",
+            Scenario::AclAttachPeering => "acl-attach-peering",
+            Scenario::RouteMapEdit => "route-map-edit",
+            Scenario::DrainDevice => "drain-device",
+            Scenario::PrefixRenumber => "prefix-renumber",
+        }
+    }
+
+    /// Parses a scenario name (the CLI's `--scenario` flag).
+    pub fn from_name(s: &str) -> Option<Scenario> {
+        Scenario::ALL.iter().copied().find(|sc| sc.name() == s)
+    }
+}
+
+/// One applied perturbation: the after-side configs plus provenance.
+pub struct Perturbation {
+    /// The scenario that was applied.
+    pub scenario: Scenario,
+    /// The device whose config was edited.
+    pub victim: String,
+    /// Human-readable summary of the edit.
+    pub description: String,
+    /// The full after-side config set (victim edited, rest untouched).
+    pub configs: Vec<(String, String)>,
+}
+
+/// Does this config text satisfy the scenario's precondition?
+fn eligible(scenario: Scenario, text: &str) -> bool {
+    match scenario {
+        Scenario::AclAddLine => text.contains("ip access-list extended "),
+        Scenario::AclRemoveLine => first_acl_body_line(text).is_some(),
+        Scenario::AclAttachPeering => {
+            text.contains("ip access-list extended SERVERS")
+                && text.contains("interface swp0\n ip address")
+        }
+        Scenario::RouteMapEdit => first_permit_route_map_line(text).is_some(),
+        Scenario::DrainDevice => text.contains("interface "),
+        Scenario::PrefixRenumber => first_network_24(text).is_some(),
+    }
+}
+
+/// The first body line of the first extended ACL, with its byte range.
+fn first_acl_body_line(text: &str) -> Option<(usize, usize)> {
+    let header = text.find("ip access-list extended ")?;
+    let body_start = header + text[header..].find('\n')? + 1;
+    let line_end = body_start + text[body_start..].find('\n')?;
+    if text[body_start..].starts_with(' ') {
+        Some((body_start, line_end + 1))
+    } else {
+        None
+    }
+}
+
+/// Byte range of the first `route-map <name> permit <seq>` line.
+fn first_permit_route_map_line(text: &str) -> Option<(usize, usize)> {
+    let mut offset = 0;
+    for line in text.split_inclusive('\n') {
+        if line.starts_with("route-map ") && line.contains(" permit ") {
+            return Some((offset, offset + line.len()));
+        }
+        offset += line.len();
+    }
+    None
+}
+
+/// The `10.a.b.` stem of the first `network 10.a.b.0/24` statement.
+fn first_network_24(text: &str) -> Option<(u8, u8)> {
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(" network 10.") else {
+            continue;
+        };
+        let mut parts = rest.split('.');
+        let (Some(a), Some(b)) = (
+            parts.next().and_then(|s| s.parse::<u8>().ok()),
+            parts.next().and_then(|s| s.parse::<u8>().ok()),
+        ) else {
+            continue;
+        };
+        if parts.next() == Some("0/24") && a < 100 {
+            return Some((a, b));
+        }
+    }
+    None
+}
+
+/// Applies the scenario's text edit. Returns the edited text and a
+/// description; `None` when the precondition unexpectedly fails.
+fn apply(scenario: Scenario, text: &str) -> Option<(String, String)> {
+    match scenario {
+        Scenario::AclAddLine => {
+            let header = text.find("ip access-list extended ")?;
+            let insert_at = header + text[header..].find('\n')? + 1;
+            let mut out = String::with_capacity(text.len() + 32);
+            out.push_str(&text[..insert_at]);
+            out.push_str(" 5 deny tcp any any eq 443\n");
+            out.push_str(&text[insert_at..]);
+            Some((out, "insert ` 5 deny tcp any any eq 443` as the first ACL line".to_string()))
+        }
+        Scenario::AclRemoveLine => {
+            let (start, end) = first_acl_body_line(text)?;
+            let removed = text[start..end].trim().to_string();
+            Some((
+                format!("{}{}", &text[..start], &text[end..]),
+                format!("remove ACL line `{removed}`"),
+            ))
+        }
+        Scenario::AclAttachPeering => {
+            if !text.contains("interface swp0\n ip address") {
+                return None;
+            }
+            let out = text.replacen(
+                "interface swp0\n ip address",
+                "interface swp0\n ip access-group SERVERS in\n ip address",
+                1,
+            );
+            Some((out, "attach ACL SERVERS inbound on peering interface swp0".to_string()))
+        }
+        Scenario::RouteMapEdit => {
+            let (start, end) = first_permit_route_map_line(text)?;
+            let edited = text[start..end].replacen(" permit ", " deny ", 1);
+            let name = text[start..end].trim().to_string();
+            Some((
+                format!("{}{edited}{}", &text[..start], &text[end..]),
+                format!("flip `{name}` to deny"),
+            ))
+        }
+        Scenario::DrainDevice => {
+            let mut out = String::with_capacity(text.len() + 64);
+            for line in text.split_inclusive('\n') {
+                out.push_str(line);
+                if line.starts_with("interface ") {
+                    out.push_str(" shutdown\n");
+                }
+            }
+            Some((out, "shut down every interface".to_string()))
+        }
+        Scenario::PrefixRenumber => {
+            let (a, b) = first_network_24(text)?;
+            let old = format!("10.{a}.{b}.");
+            let new = format!("10.{}.{b}.", a as u32 + 100);
+            Some((
+                text.replace(&old, &new),
+                format!("renumber {old}0/24 to {new}0/24"),
+            ))
+        }
+    }
+}
+
+/// Applies `scenario` to a seed-chosen eligible device of `net`,
+/// returning the after-side config set. `None` when no device satisfies
+/// the scenario's precondition.
+pub fn perturb(net: &GeneratedNetwork, scenario: Scenario, seed: u64) -> Option<Perturbation> {
+    let candidates: Vec<usize> = net
+        .configs
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, text))| eligible(scenario, text))
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    // Fold the scenario into the stream so the same seed picks
+    // independent victims across scenarios.
+    let mut rng = Rng::new(seed ^ (scenario as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let victim_idx = candidates[rng.index(candidates.len())];
+    let (victim, text) = &net.configs[victim_idx];
+    let (edited, description) = apply(scenario, text)?;
+    let configs = net
+        .configs
+        .iter()
+        .enumerate()
+        .map(|(i, (n, t))| {
+            if i == victim_idx {
+                (n.clone(), edited.clone())
+            } else {
+                (n.clone(), t.clone())
+            }
+        })
+        .collect();
+    Some(Perturbation {
+        scenario,
+        victim: victim.clone(),
+        description,
+        configs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{fat_tree, leaf_spine};
+
+    /// Do the two texts differ line-wise?
+    fn lines_differ(a: &str, b: &str) -> bool {
+        a.lines().ne(b.lines())
+    }
+
+    #[test]
+    fn same_seed_same_scenario_is_byte_identical() {
+        let net = leaf_spine("T", 2, 4);
+        for scenario in Scenario::ALL {
+            let Some(p1) = perturb(&net, scenario, 7) else {
+                continue;
+            };
+            let p2 = perturb(&net, scenario, 7).expect("eligible twice");
+            assert_eq!(p1.victim, p2.victim, "{}", scenario.name());
+            assert_eq!(p1.configs, p2.configs, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn every_pair_differs_in_at_least_one_line() {
+        // leaf_spine covers five scenarios; the pod fat-tree has
+        // route-maps for the sixth.
+        let nets = [leaf_spine("T", 2, 4), fat_tree("F", 2, 2, 2, 2)];
+        let mut applied = std::collections::BTreeSet::new();
+        for net in &nets {
+            for scenario in Scenario::ALL {
+                for seed in [1u64, 2, 3] {
+                    let Some(p) = perturb(net, scenario, seed) else {
+                        continue;
+                    };
+                    applied.insert(scenario.name());
+                    let before = net
+                        .configs
+                        .iter()
+                        .find(|(n, _)| n == &p.victim)
+                        .map(|(_, t)| t.as_str())
+                        .expect("victim exists");
+                    let after = p
+                        .configs
+                        .iter()
+                        .find(|(n, _)| n == &p.victim)
+                        .map(|(_, t)| t.as_str())
+                        .expect("victim survives");
+                    assert!(
+                        lines_differ(before, after),
+                        "{} seed {seed}: pair does not differ",
+                        scenario.name()
+                    );
+                    // Non-victim configs are untouched.
+                    for (n, t) in &p.configs {
+                        if n != &p.victim {
+                            let orig = net.configs.iter().find(|(m, _)| m == n).unwrap();
+                            assert_eq!(&orig.1, t);
+                        }
+                    }
+                }
+            }
+        }
+        // Every scenario fired somewhere across the two networks.
+        assert_eq!(applied.len(), Scenario::ALL.len(), "{applied:?}");
+    }
+
+    #[test]
+    fn perturbed_configs_still_parse() {
+        let net = leaf_spine("T", 2, 4);
+        for scenario in Scenario::ALL {
+            let Some(p) = perturb(&net, scenario, 11) else {
+                continue;
+            };
+            for (name, text) in &p.configs {
+                let (device, diags) = batnet_config::parse_device(name, text);
+                assert_eq!(device.name, *name);
+                assert!(
+                    diags.items().is_empty(),
+                    "{}: {name}: {:?}",
+                    scenario.name(),
+                    diags.items()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for scenario in Scenario::ALL {
+            assert_eq!(Scenario::from_name(scenario.name()), Some(scenario));
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! `batnet-diff` — differential snapshot analysis from the command line.
+//!
+//! ```text
+//! batnet-diff --before DIR --after DIR [flags]
+//! batnet-diff --net ID [--scenario NAME --seed N] [flags]
+//! ```
+//!
+//! The first form compares two snapshot directories (one config file per
+//! device, file stem = device name). The second builds a suite network;
+//! with `--scenario` it perturbs a seed-chosen victim and diffs the
+//! before/after pair, without it the network is diffed against itself (a
+//! determinism/CI smoke: the result must be empty).
+//!
+//! Flags: `--format text|json`, `--out FILE`, `--deny any|structural|
+//! routes|reach` (exit 1 when the named layer — or any layer — is
+//! non-empty), `--max-flows N`, `--max-starts N`.
+//!
+//! Exit codes: 0 clean (or no `--deny` given), 1 the denied layer has
+//! differences, 2 usage or I/O error. Unreadable or unparseable devices
+//! are quarantined, reported in the output, and excluded from the
+//! comparison — they never abort the run.
+
+use batnet::diff::{render_json, render_text, DiffOptions, SnapshotDiff};
+use batnet::Snapshot;
+use std::process::ExitCode;
+
+struct Args {
+    before: Option<String>,
+    after: Option<String>,
+    net: Option<String>,
+    scenario: Option<String>,
+    seed: u64,
+    format: String,
+    out: Option<String>,
+    deny: Option<String>,
+    max_flows: usize,
+    max_starts: usize,
+}
+
+const USAGE: &str = "usage: batnet-diff --before DIR --after DIR [--format text|json] \
+[--out FILE] [--deny any|structural|routes|reach] [--max-flows N] [--max-starts N]
+       batnet-diff --net ID [--scenario NAME --seed N] [...same flags]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let defaults = DiffOptions::default();
+    let mut args = Args {
+        before: None,
+        after: None,
+        net: None,
+        scenario: None,
+        seed: 1,
+        format: "text".into(),
+        out: None,
+        deny: None,
+        max_flows: defaults.max_flow_deltas,
+        max_starts: defaults.max_starts,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--before" => args.before = Some(value("--before")?),
+            "--after" => args.after = Some(value("--after")?),
+            "--net" => args.net = Some(value("--net")?),
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--format" => args.format = value("--format")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--deny" => args.deny = Some(value("--deny")?),
+            "--max-flows" => {
+                args.max_flows = value("--max-flows")?
+                    .parse()
+                    .map_err(|e| format!("--max-flows: {e}"))?;
+            }
+            "--max-starts" => {
+                args.max_starts = value("--max-starts")?
+                    .parse()
+                    .map_err(|e| format!("--max-starts: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if !matches!(args.format.as_str(), "text" | "json") {
+        return Err(format!("--format must be text|json, got '{}'", args.format));
+    }
+    if let Some(d) = &args.deny {
+        if !matches!(d.as_str(), "any" | "structural" | "routes" | "reach") {
+            return Err(format!("--deny must be any|structural|routes|reach, got '{d}'"));
+        }
+    }
+    let dir_mode = args.before.is_some() || args.after.is_some();
+    let net_mode = args.net.is_some();
+    match (dir_mode, net_mode) {
+        (true, true) => Err("--before/--after and --net are mutually exclusive".to_string()),
+        (false, false) => Err(USAGE.to_string()),
+        (true, false) if args.before.is_none() || args.after.is_none() => {
+            Err("--before and --after must be given together".to_string())
+        }
+        _ => {
+            if args.scenario.is_some() && args.net.is_none() {
+                return Err("--scenario requires --net".to_string());
+            }
+            Ok(args)
+        }
+    }
+}
+
+/// Builds the before/after snapshot pair.
+fn load_sides(args: &Args) -> Result<(Snapshot, Snapshot), String> {
+    if let (Some(before), Some(after)) = (&args.before, &args.after) {
+        let b = Snapshot::from_dir(std::path::Path::new(before))
+            .map_err(|e| format!("--before {before}: {e}"))?;
+        let a = Snapshot::from_dir(std::path::Path::new(after))
+            .map_err(|e| format!("--after {after}: {e}"))?;
+        return Ok((b, a));
+    }
+    let id = args.net.as_deref().unwrap_or_default();
+    let entry = batnet_topogen::suite::suite()
+        .into_iter()
+        .find(|e| e.id.eq_ignore_ascii_case(id))
+        .ok_or_else(|| {
+            let ids: Vec<&str> = batnet_topogen::suite::suite().iter().map(|e| e.id).collect();
+            format!("unknown network '{id}' (known: {})", ids.join(", "))
+        })?;
+    let net = (entry.build)();
+    let before = Snapshot::from_configs(net.configs.clone()).with_env(net.env.clone());
+    let after = match &args.scenario {
+        None => Snapshot::from_configs(net.configs.clone()).with_env(net.env.clone()),
+        Some(name) => {
+            let scenario = batnet_topogen::perturb::Scenario::from_name(name).ok_or_else(|| {
+                let names: Vec<&str> = batnet_topogen::perturb::Scenario::ALL
+                    .iter()
+                    .map(|s| s.name())
+                    .collect();
+                format!("unknown scenario '{name}' (known: {})", names.join(", "))
+            })?;
+            let p = batnet_topogen::perturb::perturb(&net, scenario, args.seed)
+                .ok_or_else(|| format!("no device on {id} is eligible for scenario '{name}'"))?;
+            eprintln!("batnet-diff: {}: {} on {}", scenario.name(), p.description, p.victim);
+            Snapshot::from_configs(p.configs).with_env(net.env.clone())
+        }
+    };
+    Ok((before, after))
+}
+
+/// Is the `--deny`-named layer non-empty?
+fn denied(diff: &SnapshotDiff, deny: &str) -> bool {
+    match deny {
+        "structural" => !diff.structural.is_empty(),
+        "routes" => !diff.routes.is_empty(),
+        "reach" => !diff.reach.is_empty(),
+        _ => !diff.is_empty(),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let (before, after) = load_sides(&args)?;
+
+    let opts = DiffOptions {
+        max_flow_deltas: args.max_flows,
+        max_starts: args.max_starts,
+        ..DiffOptions::default()
+    };
+    let diff = before.diff_with(&after, &opts);
+
+    let rendered = match args.format.as_str() {
+        "json" => render_json(&diff),
+        _ => render_text(&diff),
+    };
+    match args.out.as_deref() {
+        Some(path) => std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{rendered}"),
+    }
+
+    if let Some(deny) = &args.deny {
+        if denied(&diff, deny) {
+            eprintln!(
+                "batnet-diff: differences present (--deny {deny}): \
+{} structural, {} route, {} changed start(s)",
+                diff.structural.change_count(),
+                diff.routes.change_count(),
+                diff.reach.changed_starts
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("batnet-diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

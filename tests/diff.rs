@@ -1,0 +1,139 @@
+//! Differential-analysis integration tests: the diff-core properties
+//! from the PR-5 checklist — self-diff emptiness (including under
+//! quarantine), before/after swap symmetry, and a seeded perturbation
+//! whose changed-flow set is known exactly.
+
+use batnet::diff::{ChangeKind, FlowDirection, RouteChangeKind};
+use batnet::{DiffOptions, Snapshot};
+use batnet_topogen::dc::leaf_spine;
+use batnet_topogen::perturb::{perturb, Scenario};
+
+fn snapshot_of(configs: &[(String, String)], env: &batnet::routing::Environment) -> Snapshot {
+    Snapshot::from_configs(configs.to_vec()).with_env(env.clone())
+}
+
+/// diff(s, s) is empty at every layer, and the symbolic stage is skipped
+/// outright (the graphs are equal by construction).
+#[test]
+fn self_diff_is_empty_and_skips_reach() {
+    let net = leaf_spine("T", 2, 4);
+    let snap = snapshot_of(&net.configs, &net.env);
+    let diff = snap.diff(&snap);
+    assert!(diff.is_empty(), "self-diff not empty: {} changes", diff.change_count());
+    assert!(diff.structural.is_empty());
+    assert!(diff.routes.is_empty());
+    assert!(diff.reach.skipped_equivalent);
+    assert_eq!(diff.reach.starts_compared, 0);
+}
+
+/// Quarantined devices do not break self-diff emptiness: the comparison
+/// runs on the healthy subset and the quarantine is accounted for on
+/// both sides of the report.
+#[test]
+fn self_diff_is_empty_under_quarantine() {
+    let mut net = leaf_spine("T", 1, 2);
+    net.configs.push((
+        "broken".to_string(),
+        "%%% not a router config %%%\ngarbage in\ngarbage out\n".to_string(),
+    ));
+    let snap = snapshot_of(&net.configs, &net.env);
+    assert!(
+        !snap.quarantined.is_empty(),
+        "fixture must actually quarantine the garbage device"
+    );
+    let diff = snap.diff(&snap);
+    assert!(diff.is_empty(), "self-diff not empty: {} changes", diff.change_count());
+    assert_eq!(diff.quarantined_before, diff.quarantined_after);
+    assert!(
+        diff.quarantined_before.iter().any(|q| q.device == "broken"),
+        "{:?}",
+        diff.quarantined_before
+    );
+}
+
+/// Swapping before and after swaps every layer's polarity exactly:
+/// structural added <-> removed, routes added <-> withdrawn, flows
+/// lost <-> gained. The underlying delta sets are identical, so the
+/// counts must match one for one.
+#[test]
+fn swap_swaps_polarity_at_every_layer() {
+    let net = leaf_spine("T", 2, 4);
+    let p = perturb(&net, Scenario::AclAttachPeering, 5).expect("leaf eligible");
+    let before = snapshot_of(&net.configs, &net.env);
+    let after = snapshot_of(&p.configs, &net.env);
+    let fwd = before.diff(&after);
+    let rev = after.diff(&before);
+    assert!(!fwd.is_empty(), "perturbation produced no diff");
+
+    let count = |d: &batnet::SnapshotDiff, k: ChangeKind| {
+        d.structural.changes.iter().filter(|c| c.kind == k).count()
+    };
+    assert_eq!(count(&fwd, ChangeKind::Added), count(&rev, ChangeKind::Removed));
+    assert_eq!(count(&fwd, ChangeKind::Removed), count(&rev, ChangeKind::Added));
+    assert_eq!(count(&fwd, ChangeKind::Modified), count(&rev, ChangeKind::Modified));
+
+    let route_count = |d: &batnet::SnapshotDiff, k: RouteChangeKind| {
+        d.routes.changes.iter().filter(|c| c.kind == k).count()
+    };
+    assert_eq!(
+        route_count(&fwd, RouteChangeKind::Added),
+        route_count(&rev, RouteChangeKind::Withdrawn)
+    );
+    assert_eq!(
+        route_count(&fwd, RouteChangeKind::Withdrawn),
+        route_count(&rev, RouteChangeKind::Added)
+    );
+    assert_eq!(
+        route_count(&fwd, RouteChangeKind::Changed),
+        route_count(&rev, RouteChangeKind::Changed)
+    );
+    assert_eq!(fwd.routes.changed_devices, rev.routes.changed_devices);
+
+    assert_eq!(fwd.reach.changed_starts, rev.reach.changed_starts);
+    let flow_count = |d: &batnet::SnapshotDiff, dir: FlowDirection| {
+        d.reach.deltas.iter().filter(|f| f.direction == dir).count()
+    };
+    assert_eq!(
+        flow_count(&fwd, FlowDirection::Lost),
+        flow_count(&rev, FlowDirection::Gained)
+    );
+    assert_eq!(
+        flow_count(&fwd, FlowDirection::Gained),
+        flow_count(&rev, FlowDirection::Lost)
+    );
+}
+
+/// The seeded `acl-add-line` perturbation inserts a deny for TCP/443 as
+/// the first line of the victim's SERVERS ACL, which is applied inbound
+/// only on the victim's `servers` interface. The changed-flow set is
+/// therefore known exactly: flows from that one start location are lost
+/// (nothing is gained), and every witness is TCP to port 443.
+#[test]
+fn acl_add_line_loses_exactly_the_denied_flows() {
+    let net = leaf_spine("T", 2, 4);
+    let p = perturb(&net, Scenario::AclAddLine, 9).expect("leaf eligible");
+    let before = snapshot_of(&net.configs, &net.env);
+    let after = snapshot_of(&p.configs, &net.env);
+    let diff = before.diff_with(&after, &DiffOptions::default());
+
+    assert_eq!(diff.structural.change_count(), 1, "{:?}", diff.structural.changes);
+    let c = &diff.structural.changes[0];
+    assert_eq!(c.device, p.victim);
+    assert_eq!(c.path, "acl SERVERS");
+    assert!(c.detail.contains("+ 5 deny tcp any any eq 443"), "{}", c.detail);
+
+    // An ACL edit changes no routes…
+    assert!(diff.routes.is_empty(), "{:?}", diff.routes.changes);
+    // …but the reach stage still runs (the equivalence fast path must
+    // not fire) and pinpoints exactly the one affected start location.
+    assert!(!diff.reach.skipped_equivalent);
+    assert_eq!(diff.reach.changed_starts, 1);
+    assert!(!diff.reach.deltas.is_empty());
+    for delta in &diff.reach.deltas {
+        assert_eq!(delta.direction, FlowDirection::Lost, "{delta:?}");
+        assert_eq!(delta.device, p.victim);
+        assert_eq!(delta.iface, "servers");
+        assert!(delta.flow.contains("443"), "witness not on port 443: {}", delta.flow);
+        assert_ne!(delta.before_trace, delta.after_trace);
+    }
+}
