@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke bench
+.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke bench
 
-ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke
+ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -16,9 +16,11 @@ test:
 
 # Robustness gate: 25 seeds x all 6 mutation classes over NET1 and the
 # N2 data center — zero escaped panics, every quarantined device
-# accounted for, monotone degradation.
+# accounted for, monotone degradation — plus the invariant-8 service
+# sweep: 5 seeds x 6 adversarial client classes against a live
+# batnet-serve, every rejection accounted, the listener never down.
 chaos: build
-	$(CARGO) run --release --offline -p batnet-chaos -- --seeds 25 --nets net1,n2
+	$(CARGO) run --release --offline -p batnet-chaos -- --seeds 25 --nets net1,n2 --serve-seeds 5
 
 # No unwrap/panic on library paths of the facade and chaos crates (their
 # dependency closure is swept in by cargo, so this effectively covers
@@ -72,6 +74,18 @@ diff-smoke: build
 	$(CARGO) run --release --offline -p batnet-bench --bin harness -- diff --out target/BENCH_diff_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_diff_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_diff.json target/BENCH_diff_smoke.json
+
+# Serving gate: (1) the in-process smoke sequence — spawn, readiness
+# under Backoff retry, a complete reachability answer, a forced-206
+# partial with accounting, a 404, a metrics audit with zero contained
+# panics, graceful drain; (2) the serve load bench re-measures its
+# stages, the emitted file validates, and its structure matches the
+# committed BENCH_serve.json baseline.
+serve-smoke: build
+	$(CARGO) run --release --offline -p batnet-serve --bin batnet-serve -- --smoke
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- serve --out target/BENCH_serve_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_serve_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_serve.json target/BENCH_serve_smoke.json
 
 bench:
 	$(CARGO) bench --offline -p batnet-bench

@@ -9,6 +9,7 @@
 //! harness smoke                # smallest network, always writes JSON
 //! harness lint [--full]        # lint engine throughput, writes BENCH_lint.json
 //! harness diff                 # differential analysis on N2, writes BENCH_diff.json
+//! harness serve                # service load on loopback, writes BENCH_serve.json
 //! harness apt                  # §6.2: APT comparison (92 nodes)
 //! harness ablate-convergence   # A-1: coloring / logical clocks
 //! harness ablate-memory        # A-2: attribute interning
@@ -75,7 +76,7 @@ fn main() {
     let root = batnet_obs::Span::enter("harness");
     // Repeats only make sense for the row-producing benches; everything
     // else (ablations, text-only tables) runs once.
-    let repeat = if matches!(cmd, "fig3" | "table2" | "smoke" | "lint" | "diff") {
+    let repeat = if matches!(cmd, "fig3" | "table2" | "smoke" | "lint" | "diff" | "serve") {
         repeat
     } else {
         1
@@ -102,7 +103,7 @@ fn main() {
         cmdline.trim_end(),
         wall.as_secs_f64()
     );
-    if json || cmd == "smoke" || cmd == "lint" || cmd == "diff" {
+    if json || cmd == "smoke" || cmd == "lint" || cmd == "diff" || cmd == "serve" {
         emit_json(cmd, &rows, &commit, &cmdline, repeat, out.as_deref());
     }
 }
@@ -125,6 +126,7 @@ fn run_cmd(cmd: &str, full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
         "smoke" => smoke(rows),
         "lint" => lint_bench(full, net, rows),
         "diff" => diff_bench(rows),
+        "serve" => serve_bench(rows),
         "apt" => apt(),
         "ablate-convergence" => ablate_convergence(),
         "ablate-memory" => ablate_memory(),
@@ -602,6 +604,155 @@ fn diff_bench(rows: &mut Vec<Row>) {
             .with("starts", reach.starts_compared)
             .with("changed", reach.changed_starts),
     );
+}
+
+/// The serve bench: the full service loop on loopback. Spawns
+/// `batnet-serve` in-process, uploads the N2 data center through the
+/// public API, then drives reachability / trace / lint / report loads
+/// with `Backoff`-retried clients. Stage rows carry request counts; the
+/// `total` row carries the server's own tail latency (p50/p99 from its
+/// `serve.latency.us` histogram). Always writes `BENCH_serve.json` —
+/// the CI `serve-smoke` gate diffs its structure against the committed
+/// baseline.
+fn serve_bench(rows: &mut Vec<Row>) {
+    use batnet_net::Backoff;
+    use batnet_serve::{client, ServeConfig};
+    banner("E-SV: analysis service under load (loopback)");
+    let net = batnet_topogen::suite::n2();
+    let devices = net.configs.len();
+    // A real device/interface pair for the trace load, straight from
+    // the generated config text.
+    let (trace_dev, trace_iface) = net
+        .configs
+        .iter()
+        .find_map(|(name, text)| {
+            text.lines()
+                .find_map(|l| l.strip_prefix("interface "))
+                .map(|i| (name.clone(), i.trim().to_string()))
+        })
+        .expect("suite configs declare interfaces");
+
+    let handle = batnet_serve::spawn(ServeConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+    let t = Duration::from_secs(30);
+    let retry = || Backoff::new(Duration::from_millis(5), Duration::from_millis(80), 6, 17);
+    let get = |target: &str, step: &str| -> batnet_serve::client::ClientResponse {
+        let r = client::get_with_retry(addr, target, t, retry())
+            .unwrap_or_else(|e| panic!("{step}: transport: {e}"));
+        assert_eq!(r.status, 200, "{step}: {}", r.body_str());
+        r
+    };
+
+    let span = batnet_obs::Span::enter("serve-bench");
+
+    // Upload: the whole network as one governed POST.
+    let mut body = String::from("{\"configs\": [");
+    for (i, (name, text)) in net.configs.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str("{\"name\": ");
+        batnet_obs::json::write_str(&mut body, name);
+        body.push_str(", \"text\": ");
+        batnet_obs::json::write_str(&mut body, text);
+        body.push('}');
+    }
+    body.push_str("]}");
+    let t0 = clock::now();
+    let up = client::post(addr, "/snapshots/N2", body.as_bytes(), t).expect("upload transport");
+    let upload = t0.elapsed();
+    assert_eq!(up.status, 201, "upload: {}", up.body_str());
+    rows.push(
+        Row::new("serve", "N2", "upload", upload)
+            .with("devices", devices)
+            .with("body_kb", body.len() / 1024),
+    );
+
+    // Query loads, each a burst of identical requests.
+    let reach_n = 16;
+    let t0 = clock::now();
+    for _ in 0..reach_n {
+        let r = get("/query/reach?snapshot=N2&port=80", "reach");
+        assert!(r.body_str().contains("\"partial\": null"), "reach went partial");
+    }
+    let reach = t0.elapsed();
+    rows.push(Row::new("serve", "N2", "reach", reach).with("requests", reach_n));
+
+    let trace_n = 8;
+    let target = format!(
+        "/query/trace?snapshot=N2&device={trace_dev}&iface={trace_iface}&src=10.0.0.1&dst=10.0.1.1&port=80"
+    );
+    let t0 = clock::now();
+    for _ in 0..trace_n {
+        get(&target, "trace");
+    }
+    let trace = t0.elapsed();
+    rows.push(Row::new("serve", "N2", "trace", trace).with("requests", trace_n));
+
+    let lint_n = 4;
+    let t0 = clock::now();
+    for _ in 0..lint_n {
+        get("/lint?snapshot=N2", "lint");
+    }
+    let lint = t0.elapsed();
+    rows.push(Row::new("serve", "N2", "lint", lint).with("requests", lint_n));
+
+    let report_n = 4;
+    let t0 = clock::now();
+    for _ in 0..report_n {
+        get("/report?snapshot=N2", "report");
+    }
+    let report = t0.elapsed();
+    rows.push(Row::new("serve", "N2", "report", report).with("requests", report_n));
+
+    let total = span.close();
+    let (p50, p99) = serve_latency_percentiles();
+    rows.push(
+        Row::new("serve", "N2", "total", total)
+            .with("requests", 1 + reach_n + trace_n + lint_n + report_n)
+            .with("p50_us", p50)
+            .with("p99_us", p99),
+    );
+    handle.shutdown();
+    println!(
+        "N2 over HTTP: upload {} ({} devices) | reach {}/{}q | trace {}/{}q | lint {}/{}q | report {}/{}q",
+        fmt_dur(upload),
+        devices,
+        fmt_dur(reach),
+        reach_n,
+        fmt_dur(trace),
+        trace_n,
+        fmt_dur(lint),
+        lint_n,
+        fmt_dur(report),
+        report_n,
+    );
+    println!(
+        "server-side request latency: p50 ~{p50}us, p99 ~{p99}us (log2-bucket upper bounds)"
+    );
+}
+
+/// Upper-bound p50/p99 estimates from the server's `serve.latency.us`
+/// log2 histogram (each percentile reports its bucket's upper edge).
+fn serve_latency_percentiles() -> (u64, u64) {
+    let report = batnet_obs::capture();
+    let Some(batnet_obs::metrics::MetricValue::Histogram(h)) =
+        report.metrics.get("serve.latency.us")
+    else {
+        return (0, 0);
+    };
+    let pct = |q: f64| -> u64 {
+        let want = (h.count as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen >= want {
+                return batnet_obs::metrics::bucket_range(i).1;
+            }
+        }
+        0
+    };
+    (pct(0.5), pct(0.99))
 }
 
 /// §6.2: the APT comparison on the 92-node network.

@@ -1,14 +1,19 @@
 //! Chaos sweep CLI: inject faults, assert zero panics and monotone
-//! degradation. Exits non-zero on any violation.
+//! degradation — in the pipeline (invariants 1–7) and against a live
+//! `batnet-serve` under adversarial clients (invariant 8). Exits
+//! non-zero on any violation.
 //!
 //! ```text
 //! chaos [--seeds N] [--classes truncate,garbage,...] [--nets net1,n2] \
-//!       [--victims K] [--deadline-secs S]
+//!       [--victims K] [--deadline-secs S] [--serve-seeds N]
 //! ```
+//!
+//! `--serve-seeds 0` skips the service sweep; the default drives five
+//! seeded adversaries per abuse class.
 
 #![deny(clippy::unwrap_used, clippy::panic)]
 
-use batnet_chaos::{run_chaos, ChaosConfig, MutationClass};
+use batnet_chaos::{run_chaos, run_serve_chaos, ChaosConfig, MutationClass, ServeChaosConfig};
 use batnet_topogen::{suite, GeneratedNetwork};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -25,6 +30,7 @@ fn net_by_name(name: &str) -> Option<GeneratedNetwork> {
 
 fn main() -> ExitCode {
     let mut cfg = ChaosConfig::default();
+    let mut serve_cfg = ServeChaosConfig::default();
     let mut net_names: Vec<String> = vec!["net1".to_string(), "n2".to_string()];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,6 +90,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--serve-seeds" => {
+                let Some(v) = take("count") else { return ExitCode::from(2) };
+                match v.parse::<u64>() {
+                    Ok(n) => serve_cfg.seeds = (1..=n).collect(),
+                    _ => {
+                        eprintln!("--serve-seeds wants an integer, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 return ExitCode::from(2);
@@ -117,7 +133,30 @@ fn main() -> ExitCode {
         "chaos: {} devices quarantined across all runs",
         report.quarantine_total()
     );
-    let violations = report.violations();
+    let mut violations = report.violations();
+
+    if serve_cfg.seeds.is_empty() {
+        println!("chaos: serve sweep skipped (--serve-seeds 0)");
+    } else {
+        let t1 = batnet_obs::clock::now();
+        let serve_report = run_serve_chaos(&serve_cfg);
+        println!(
+            "chaos: serve sweep — {} adversarial connections, {} probes in {:.1}s",
+            serve_report.connections,
+            serve_report.probes,
+            t1.elapsed().as_secs_f64()
+        );
+        for (class, n) in &serve_report.rejections {
+            println!("chaos: serve rejected {n} as {class}, all accounted");
+        }
+        violations.extend(
+            serve_report
+                .violations
+                .iter()
+                .map(|v| format!("[serve] {v}")),
+        );
+    }
+
     if violations.is_empty() {
         println!("chaos: PASS — zero panics, monotone degradation, valid run reports");
         ExitCode::SUCCESS

@@ -21,6 +21,8 @@
 
 pub mod harness;
 pub mod mutate;
+pub mod serve;
 
 pub use harness::{run_chaos, ChaosConfig, ChaosReport, ChaosRun};
 pub use mutate::{mutate, Mutation, MutationClass};
+pub use serve::{run_serve_chaos, AbuseClass, ServeChaosConfig, ServeChaosReport};

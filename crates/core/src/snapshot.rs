@@ -430,6 +430,18 @@ impl Snapshot {
         batnet_diff::diff(&self.diff_side(), &other.diff_side(), opts)
     }
 
+    /// [`Snapshot::diff_with`] under a [`ResourceGovernor`]: a tripped
+    /// budget returns the layers compared so far with the rest named in
+    /// the partial accounting.
+    pub fn diff_with_governed(
+        &self,
+        other: &Snapshot,
+        opts: &batnet_diff::DiffOptions,
+        gov: &ResourceGovernor,
+    ) -> Outcome<batnet_diff::SnapshotDiff> {
+        batnet_diff::diff_governed(&self.diff_side(), &other.diff_side(), opts, gov)
+    }
+
     /// This snapshot as one side of a differential comparison: the
     /// healthy devices plus the quarantine accounting, in the diff
     /// crate's facade-independent vocabulary.

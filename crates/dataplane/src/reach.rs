@@ -199,6 +199,13 @@ impl<'g> ReachAnalysis<'g> {
         if let Err(e) = gov.tick(stage, 1) {
             return Some(e);
         }
+        // Poll the node ceiling against the shared arena directly, so a
+        // governor handed in per-query (e.g. by batnet-serve) bounds BDD
+        // growth without being installed into — and thereby poisoning —
+        // the long-lived manager.
+        if let Err(e) = gov.check_nodes(stage, bdd.node_count()) {
+            return Some(e);
+        }
         if relaxations & 0x3F == 0 {
             if let Err(e) = gov.check(stage) {
                 return Some(e);

@@ -114,6 +114,84 @@ impl SnapshotDiff {
     }
 }
 
+/// [`diff`] under a [`batnet_net::governor::ResourceGovernor`].
+///
+/// The governor is consulted at the three layer boundaries
+/// (`diff.configs`, `diff.routes`, `diff.reach`) and threaded into the
+/// route simulations, which are the only unbounded-iteration stages. A
+/// tripped budget returns the layers computed so far — structural-only,
+/// or structural + routes — with the uncomputed layers named in
+/// `abandoned`. Layer 3 already bounds itself via `opts` caps, so its
+/// boundary check is the last one taken.
+pub fn diff_governed(
+    before: &DiffSide<'_>,
+    after: &DiffSide<'_>,
+    opts: &DiffOptions,
+    gov: &batnet_net::governor::ResourceGovernor,
+) -> batnet_net::governor::Outcome<SnapshotDiff> {
+    use batnet_net::governor::Outcome;
+    let partial = |d: SnapshotDiff, abandoned: &[&str], why| Outcome::Partial {
+        completed: d,
+        abandoned: abandoned.iter().map(|s| s.to_string()).collect(),
+        why,
+    };
+    let mut out = SnapshotDiff {
+        quarantined_before: before.quarantined.clone(),
+        quarantined_after: after.quarantined.clone(),
+        ..SnapshotDiff::default()
+    };
+    if let Err(why) = gov.check("diff.configs") {
+        return partial(out, &["configs", "routes", "reach"], why);
+    }
+    let span = batnet_obs::Span::enter("diff.configs");
+    out.structural = structural::diff_structural(before.devices, after.devices);
+    batnet_obs::counter_add("diff.structural.changes", out.structural.change_count() as u64);
+    span.close();
+
+    if let Err(why) = gov.check("diff.routes") {
+        return partial(out, &["routes", "reach"], why);
+    }
+    let span = batnet_obs::Span::enter("diff.routes");
+    let sim_before = batnet_routing::simulate_governed(before.devices, before.env, &opts.sim, gov);
+    let sim_after = batnet_routing::simulate_governed(after.devices, after.env, &opts.sim, gov);
+    let (dp_before, dp_after) = (sim_before.value(), sim_after.value());
+    out.routes = routes::diff_routes(dp_before, dp_after, opts.max_route_changes);
+    batnet_obs::counter_add("diff.routes.changes", out.routes.change_count() as u64);
+    span.close();
+    // A partial simulation makes the route delta itself suspect: stop at
+    // this layer and say so rather than diffing two half-converged RIBs
+    // symbolically.
+    if let Some(why) = sim_before.why().or(sim_after.why()) {
+        return partial(out, &["reach"], why.clone());
+    }
+
+    if let Err(why) = gov.check("diff.reach") {
+        return partial(out, &["reach"], why);
+    }
+    let span = batnet_obs::Span::enter("diff.reach");
+    out.reach = if out.structural.is_empty() && out.routes.is_empty() {
+        ReachDiff {
+            skipped_equivalent: true,
+            ..ReachDiff::default()
+        }
+    } else {
+        let mut changed: BTreeSet<String> = out.structural.changed_devices();
+        changed.extend(out.routes.changed_devices.iter().cloned());
+        reach::diff_reach(
+            &ReachInputs {
+                devices_before: before.devices,
+                dp_before,
+                devices_after: after.devices,
+                dp_after,
+                changed_devices: &changed,
+            },
+            opts,
+        )
+    };
+    span.close();
+    Outcome::Complete(out)
+}
+
 /// Compares two snapshot sides across all three layers.
 pub fn diff(before: &DiffSide<'_>, after: &DiffSide<'_>, opts: &DiffOptions) -> SnapshotDiff {
     // Layer 1: structural.

@@ -17,8 +17,10 @@
 use batnet_config::parse_device;
 use batnet_config::vi::Device;
 use batnet_lint::output;
-use batnet_lint::{run_network, Severity};
+use batnet_lint::{run_network_governed, Severity};
+use batnet_net::governor::{Outcome, ResourceGovernor};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     net: Option<String>,
@@ -30,10 +32,12 @@ struct Args {
     out: Option<String>,
     validate: Option<String>,
     write_baseline: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 const USAGE: &str = "usage: batnet-lint (--net ID | --dir PATH) [--format text|json|sarif] \
-[--deny info|warning|error] [--baseline FILE] [--write-baseline FILE] [--out FILE] [--drift DEVICE]
+[--deny info|warning|error] [--baseline FILE] [--write-baseline FILE] [--out FILE] [--drift DEVICE] \
+[--deadline-ms N]
        batnet-lint --validate FILE.sarif";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -47,6 +51,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: None,
         validate: None,
         write_baseline: None,
+        deadline_ms: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -63,6 +68,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
             "--out" => args.out = Some(value("--out")?),
             "--validate" => args.validate = Some(value("--validate")?),
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                args.deadline_ms =
+                    Some(v.parse().map_err(|_| format!("--deadline-ms: bad value '{v}'"))?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
@@ -153,8 +163,29 @@ fn run() -> Result<ExitCode, String> {
         devices.push(device);
         diags.push((name.clone(), dg));
     }
-    let mut findings = run_network(&devices, &diags);
+    // The same ResourceGovernor the analysis pipeline and batnet-serve
+    // use: a blown deadline degrades the run to a partial finding list
+    // with accounting, never a hang.
+    let gov = match args.deadline_ms {
+        Some(ms) => ResourceGovernor::with_deadline(Duration::from_millis(ms)),
+        None => ResourceGovernor::unlimited(),
+    };
+    let (mut findings, partial) = match run_network_governed(&devices, &diags, &gov) {
+        Outcome::Complete(f) => (f, None),
+        Outcome::Partial {
+            completed,
+            abandoned,
+            why,
+        } => (completed, Some((abandoned, why))),
+    };
     span.close();
+    if let Some((abandoned, why)) = &partial {
+        batnet_obs::counter_add("lint.partial", 1);
+        eprintln!(
+            "batnet-lint: partial result: {why}; abandoned passes: {}",
+            abandoned.join(", ")
+        );
+    }
 
     if let Some(path) = &args.write_baseline {
         std::fs::write(path, output::write_baseline(&findings)).map_err(|e| format!("{path}: {e}"))?;

@@ -286,6 +286,69 @@ pub fn run_all(devices: &[Device]) -> Vec<Finding> {
     findings
 }
 
+/// [`run_all`] under a [`batnet_net::governor::ResourceGovernor`]: the
+/// budget is polled before each pass and each pass ticks the iteration
+/// budget once. Passes are local and cheap (Lesson 5), so a deadline
+/// lands between passes within milliseconds — that is the checkpoint
+/// granularity. A tripped budget abandons the remaining passes *by
+/// name* and returns the findings of the passes that did run, sorted,
+/// deduped, and suppression-filtered like a complete run.
+pub fn run_all_governed(
+    devices: &[Device],
+    gov: &batnet_net::governor::ResourceGovernor,
+) -> batnet_net::governor::Outcome<Vec<Finding>> {
+    use batnet_net::governor::Outcome;
+    let mut findings = Vec::new();
+    let finish = |mut f: Vec<Finding>| {
+        apply_suppressions(devices, &mut f);
+        f.sort();
+        f.dedup();
+        f
+    };
+    for (i, (name, _, pass)) in PASSES.iter().enumerate() {
+        let stage = format!("lint.{name}");
+        if let Err(why) = gov.tick(&stage, 1) {
+            return Outcome::Partial {
+                completed: finish(findings),
+                abandoned: PASSES[i..].iter().map(|(n, _, _)| (*n).to_string()).collect(),
+                why,
+            };
+        }
+        let span = batnet_obs::Span::enter(stage);
+        let produced = match pass {
+            Pass::Device(f) => devices.iter().flat_map(f).collect::<Vec<_>>(),
+            Pass::Network(f) => f(devices),
+        };
+        span.close();
+        batnet_obs::counter_add(&format!("lint.findings.{name}"), produced.len() as u64);
+        findings.extend(produced);
+    }
+    Outcome::Complete(finish(findings))
+}
+
+/// [`run_network`] under a governor: governed passes via
+/// [`run_all_governed`], plus the diagnostics bridge — which is always
+/// included, complete or partial, because the diagnostics were already
+/// computed at parse time and cost nothing to surface.
+pub fn run_network_governed(
+    devices: &[Device],
+    diags: &[(String, Diagnostics)],
+    gov: &batnet_net::governor::ResourceGovernor,
+) -> batnet_net::governor::Outcome<Vec<Finding>> {
+    let mut bridged: Vec<Finding> = diags
+        .iter()
+        .flat_map(|(name, dg)| diagnostics_findings(name, dg))
+        .collect();
+    batnet_obs::counter_add("lint.findings.bridged", bridged.len() as u64);
+    apply_suppressions(devices, &mut bridged);
+    run_all_governed(devices, gov).map(|mut findings| {
+        findings.extend(bridged);
+        findings.sort();
+        findings.dedup();
+        findings
+    })
+}
+
 /// [`run_all`] plus parse diagnostics bridged into the same stream, for
 /// callers (the CLI) that hold the per-device [`Diagnostics`].
 pub fn run_network(devices: &[Device], diags: &[(String, Diagnostics)]) -> Vec<Finding> {

@@ -1,0 +1,164 @@
+//! Deterministic bounded exponential backoff.
+//!
+//! Retry loops in a long-running service must not synchronize: when a
+//! `batnet-serve` instance sheds load with 503s, a thousand clients
+//! retrying on the same fixed schedule arrive together again and keep
+//! the queue full forever. The cure is exponential backoff with
+//! *decorrelated jitter* — but the workspace is offline and
+//! deterministic, so the jitter comes from the in-tree seeded
+//! [`Rng`](crate::Rng), never from the wall clock or an OS entropy
+//! source. Equal seeds give equal schedules, so every load-driver run
+//! and chaos failure is reproducible from its seed.
+//!
+//! The iterator yields *suggested sleep durations*; the caller decides
+//! whether (and how) to sleep. It is bounded twice over: each delay is
+//! capped at `cap`, and the iterator ends after `max_attempts` delays,
+//! so a retry loop written as `for delay in backoff { ... }` terminates
+//! by construction.
+
+use crate::rng::Rng;
+use std::time::Duration;
+
+/// A bounded, seeded exponential-backoff schedule.
+///
+/// Delay *n* (0-based) is drawn uniformly from
+/// `[base, min(cap, base * 3^n)]` — decorrelated jitter over an
+/// exponentially growing envelope. The lower bound never drops below
+/// `base` and the upper envelope is monotone non-decreasing until it
+/// saturates at `cap`.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    max_attempts: u32,
+    attempt: u32,
+    rng: Rng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, capped at `cap`, ending after
+    /// `max_attempts` delays, jittered by `seed`. A `base` of zero is
+    /// promoted to 1 ms so the envelope can grow.
+    pub fn new(base: Duration, cap: Duration, max_attempts: u32, seed: u64) -> Backoff {
+        let base_ms = (base.as_millis() as u64).max(1);
+        Backoff {
+            base_ms,
+            cap_ms: (cap.as_millis() as u64).max(base_ms),
+            max_attempts,
+            attempt: 0,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The envelope (largest possible delay, in ms) for 0-based
+    /// attempt `n`: `min(cap, base * 3^n)`, saturating.
+    pub fn envelope_ms(&self, n: u32) -> u64 {
+        let mut env = self.base_ms;
+        for _ in 0..n {
+            env = env.saturating_mul(3);
+            if env >= self.cap_ms {
+                return self.cap_ms;
+            }
+        }
+        env.min(self.cap_ms)
+    }
+
+    /// Delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+impl Iterator for Backoff {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        let env = self.envelope_ms(self.attempt);
+        self.attempt += 1;
+        let ms = self.base_ms + self.rng.below(env - self.base_ms + 1);
+        Some(Duration::from_millis(ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64) -> Vec<u64> {
+        Backoff::new(
+            Duration::from_millis(10),
+            Duration::from_millis(500),
+            12,
+            seed,
+        )
+        .map(|d| d.as_millis() as u64)
+        .collect()
+    }
+
+    #[test]
+    fn bounded_attempts_and_cap() {
+        let delays = schedule(42);
+        assert_eq!(delays.len(), 12, "iterator ends at max_attempts");
+        for (i, &d) in delays.iter().enumerate() {
+            assert!(d >= 10, "delay {i} below base: {d}");
+            assert!(d <= 500, "delay {i} above cap: {d}");
+        }
+    }
+
+    #[test]
+    fn envelope_is_monotone_until_cap() {
+        let b = Backoff::new(
+            Duration::from_millis(10),
+            Duration::from_millis(500),
+            20,
+            1,
+        );
+        let mut prev = 0;
+        let mut saturated = false;
+        for n in 0..20 {
+            let env = b.envelope_ms(n);
+            assert!(env >= prev, "envelope must never shrink: {env} < {prev}");
+            assert!(env <= 500);
+            if env == 500 {
+                saturated = true;
+            }
+            prev = env;
+        }
+        assert!(saturated, "envelope must reach the cap");
+        // Exact expected envelope: 10, 30, 90, 270, then capped.
+        assert_eq!(b.envelope_ms(0), 10);
+        assert_eq!(b.envelope_ms(1), 30);
+        assert_eq!(b.envelope_ms(2), 90);
+        assert_eq!(b.envelope_ms(3), 270);
+        assert_eq!(b.envelope_ms(4), 500);
+        assert_eq!(b.envelope_ms(19), 500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(schedule(7), schedule(7), "equal seeds, equal schedules");
+        assert_ne!(schedule(7), schedule(8), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn zero_base_is_promoted() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_millis(100), 3, 5);
+        let first = b.next().expect("one delay");
+        assert!(first.as_millis() >= 1);
+        assert_eq!(b.attempts(), 1);
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_instead_of_overflowing() {
+        let b = Backoff::new(
+            Duration::from_millis(1),
+            Duration::from_secs(3600),
+            u32::MAX,
+            9,
+        );
+        assert_eq!(b.envelope_ms(200), 3_600_000, "3^200 saturates at cap");
+    }
+}

@@ -1,0 +1,476 @@
+//! Endpoint handlers: the service's API surface.
+//!
+//! Every handler is a pure function from a parsed [`Request`] plus the
+//! shared state to a [`Response`] — no I/O, no panics on malformed
+//! input (bad parameters are 4xx responses), and every governed
+//! operation that trips its budget returns **206 Partial Content**
+//! whose JSON body carries the same `{stage, limit, abandoned}`
+//! accounting as [`batnet_obs`] run reports. Partiality is a first-class
+//! response shape, not an error: what was computed is returned, what
+//! was abandoned is named.
+
+use crate::http::{Method, Request, Response};
+use crate::server::{ServeConfig, ServiceState};
+use crate::store::{SnapshotStore, StoreError, StoredSnapshot};
+use batnet::{Exhaustion, Outcome, ResourceGovernor};
+use batnet_dataplane::vars::Field;
+use batnet_dataplane::{NodeKind, ReachAnalysis};
+use batnet_net::{Flow, Prefix};
+use batnet_obs::json;
+use batnet_queries::{host_facing_interfaces, scoped_sources};
+use std::sync::MutexGuard;
+use std::time::Duration;
+
+/// Routes a request. The caller (the worker loop) wraps this in
+/// `catch_unwind`, so a handler bug becomes one 500, never a dead
+/// worker.
+pub fn handle(
+    req: &Request,
+    store: &SnapshotStore,
+    cfg: &ServeConfig,
+    state: &ServiceState,
+) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method, segments.as_slice()) {
+        (Method::Get, ["healthz"]) => Response::text(200, "ok\n"),
+        (Method::Get, ["readyz"]) => {
+            if state.is_ready() {
+                Response::text(200, "ready\n")
+            } else {
+                Response::error(503, "draining").with_header("Retry-After", 1)
+            }
+        }
+        (Method::Get, ["metricsz"]) => Response::json(200, batnet_obs::capture().to_json()),
+        (Method::Get, ["snapshots"]) => list_snapshots(store),
+        (Method::Post, ["snapshots", name]) => upload(req, store, cfg, name),
+        (Method::Get, ["snapshots", name]) => snapshot_summary(store, name),
+        (Method::Get, ["query", "reach"]) => with_snapshot(req, store, |req, s| {
+            query_reach(req, s, cfg)
+        }),
+        (Method::Get, ["query", "trace"]) => with_snapshot(req, store, |req, s| {
+            query_trace(req, s)
+        }),
+        (Method::Get, ["lint"]) => with_snapshot(req, store, |req, s| lint(req, s, cfg)),
+        (Method::Get, ["diff"]) => diff(req, store, cfg),
+        (Method::Get, ["report"]) => with_snapshot(req, store, |_, s| {
+            Response::json(200, s.analysis.report.to_json())
+        }),
+        (Method::Post, ["admin", "shutdown"]) => {
+            state.request_shutdown();
+            batnet_obs::event("serve", "shutdown", "requested");
+            Response::json(202, "{\"draining\": true}\n")
+        }
+        _ => Response::error(404, &format!("no route for {}", req.path)),
+    }
+}
+
+/// Builds the per-request governor: `deadline_ms` (default from config,
+/// capped), plus opt-in `max_iterations` / `max_bdd_nodes` budgets —
+/// the same [`ResourceGovernor`] the batch CLIs use, so serve and batch
+/// share one enforcement mechanism.
+fn request_governor(req: &Request, cfg: &ServeConfig) -> Result<ResourceGovernor, Response> {
+    let deadline_ms = match req.param("deadline_ms") {
+        None => cfg.default_deadline_ms,
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| Response::error(400, &format!("bad deadline_ms: {v:?}")))?
+            .min(cfg.max_deadline_ms),
+    };
+    let mut gov = ResourceGovernor::with_deadline(Duration::from_millis(deadline_ms));
+    if let Some(v) = req.param("max_iterations") {
+        let n = v
+            .parse::<u64>()
+            .map_err(|_| Response::error(400, &format!("bad max_iterations: {v:?}")))?;
+        gov = gov.and_iteration_budget(n);
+    }
+    if let Some(v) = req.param("max_bdd_nodes") {
+        let n = v
+            .parse::<usize>()
+            .map_err(|_| Response::error(400, &format!("bad max_bdd_nodes: {v:?}")))?;
+        gov = gov.and_node_ceiling(n);
+    }
+    Ok(gov)
+}
+
+/// Appends `"partial": {...}` (or `"partial": null`) to a JSON object
+/// under construction — the `Outcome::Partial` accounting in the shape
+/// run reports use.
+fn write_partial(out: &mut String, partial: Option<(&[String], &Exhaustion)>) {
+    out.push_str("\"partial\": ");
+    match partial {
+        None => out.push_str("null"),
+        Some((abandoned, why)) => {
+            out.push_str("{\"stage\": ");
+            json::write_str(out, &why.stage);
+            out.push_str(", \"limit\": ");
+            json::write_str(out, &why.limit.to_string());
+            out.push_str(", \"abandoned\": [");
+            for (i, a) in abandoned.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                json::write_str(out, a);
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Marks a response partial: bumps the metric and returns 206.
+fn partial_status(partial: bool) -> u16 {
+    if partial {
+        batnet_obs::counter_add("serve.partial.total", 1);
+        206
+    } else {
+        200
+    }
+}
+
+/// Resolves the `snapshot` parameter and locks the entry for the
+/// handler. Lock poisoning cannot happen (workers catch panics before
+/// unwinding through a guard), but recover anyway.
+fn with_snapshot(
+    req: &Request,
+    store: &SnapshotStore,
+    f: impl FnOnce(&Request, &mut StoredSnapshot) -> Response,
+) -> Response {
+    let Some(name) = req.param("snapshot") else {
+        return Response::error(400, "missing snapshot parameter");
+    };
+    let Some(entry) = store.get(name) else {
+        return Response::error(404, &format!("unknown snapshot {name:?}"));
+    };
+    let mut guard = entry.lock().unwrap_or_else(|e| e.into_inner());
+    f(req, &mut guard)
+}
+
+fn list_snapshots(store: &SnapshotStore) -> Response {
+    let mut out = String::from("{\"snapshots\": [");
+    for (i, info) in store.list().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        json::write_str(&mut out, &info.name);
+        out.push_str(&format!(
+            ", \"devices\": {}, \"quarantined\": {}, \"partial\": {}, \"seq\": {}}}",
+            info.devices, info.quarantined, info.partial, info.seq
+        ));
+    }
+    out.push_str("]}\n");
+    Response::json(200, out)
+}
+
+/// `POST /snapshots/<name>`: body is `{"configs": [{"name", "text"}…]}`.
+fn upload(req: &Request, store: &SnapshotStore, cfg: &ServeConfig, name: &str) -> Response {
+    let gov = match request_governor(req, cfg) {
+        Ok(g) => g,
+        Err(r) => return r,
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let parsed = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("body is not JSON: {e}")),
+    };
+    let Some(list) = parsed.get("configs").and_then(|c| c.as_arr()) else {
+        return Response::error(400, "body must be {\"configs\": [{\"name\", \"text\"}…]}");
+    };
+    let mut configs = Vec::with_capacity(list.len());
+    for item in list {
+        match (
+            item.get("name").and_then(|v| v.as_str()),
+            item.get("text").and_then(|v| v.as_str()),
+        ) {
+            (Some(n), Some(t)) => configs.push((n.to_string(), t.to_string())),
+            _ => return Response::error(400, "each config needs string name and text"),
+        }
+    }
+    let stored = match store.insert(name, configs, &gov) {
+        Ok(s) => s,
+        Err(StoreError::Analysis(e)) => return Response::error(422, &e.to_string()),
+        Err(StoreError::Full) => {
+            return Response::error(503, "store full").with_header("Retry-After", 5)
+        }
+    };
+    let guard = stored.lock().unwrap_or_else(|e| e.into_inner());
+    let status = if guard.partial.is_some() { 206 } else { 201 };
+    if status == 206 {
+        batnet_obs::counter_add("serve.partial.total", 1);
+    }
+    Response::json(status, summary_json(&guard))
+}
+
+fn snapshot_summary(store: &SnapshotStore, name: &str) -> Response {
+    let Some(entry) = store.get(name) else {
+        return Response::error(404, &format!("unknown snapshot {name:?}"));
+    };
+    let guard = entry.lock().unwrap_or_else(|e| e.into_inner());
+    Response::json(200, summary_json(&guard))
+}
+
+/// The shared upload/summary body: device counts, per-device quarantine
+/// accounting with machine-readable reason codes (partial-result
+/// semantics: quarantined devices are *reported*, not silently gone),
+/// and the partial accounting.
+fn summary_json(s: &StoredSnapshot) -> String {
+    let mut out = String::from("{\"snapshot\": ");
+    json::write_str(&mut out, &s.name);
+    out.push_str(&format!(
+        ", \"devices\": {}, \"diagnostics\": {}, \"quarantined\": [",
+        s.analysis.devices.len(),
+        s.snapshot.diagnostic_count()
+    ));
+    for (i, q) in s.snapshot.quarantined.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"device\": ");
+        json::write_str(&mut out, &q.device);
+        out.push_str(", \"stage\": ");
+        json::write_str(&mut out, &q.stage.to_string());
+        out.push_str(", \"code\": ");
+        json::write_str(&mut out, q.reason.code());
+        out.push('}');
+    }
+    out.push_str("], ");
+    write_partial(
+        &mut out,
+        s.partial.as_ref().map(|(a, w)| (a.as_slice(), w)),
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// `GET /query/reach?snapshot=S&prefix=P&port=N`: symbolic service
+/// reachability from every host-facing interface, under the request's
+/// governor. A tripped budget returns 206 with the fixed point computed
+/// so far — the honest under-approximation, never a hang.
+fn query_reach(req: &Request, s: &mut StoredSnapshot, cfg: &ServeConfig) -> Response {
+    let gov = match request_governor(req, cfg) {
+        Ok(g) => g,
+        Err(r) => return r,
+    };
+    let prefix: Prefix = match req.param("prefix").unwrap_or("0.0.0.0/0").parse() {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad prefix: {e}")),
+    };
+    let port: u16 = match req.param("port").unwrap_or("80").parse() {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad port: {e}")),
+    };
+    let a = &mut s.analysis;
+    let (bdd, vars, graph) = (&mut a.bdd, &a.vars, &a.graph);
+
+    // The symbolic service traffic: dst in prefix, dst port, TCP.
+    let dst = vars.ip_prefix(bdd, Field::DstIp, prefix);
+    let port_set = vars.field_value(bdd, Field::DstPort, port as u64);
+    let proto = vars.field_value(bdd, Field::Protocol, 6);
+    let init = vars.initial_bits(bdd);
+    let traffic = {
+        let x = bdd.and(dst, port_set);
+        let y = bdd.and(x, proto);
+        bdd.and(y, init)
+    };
+
+    // Seed every internal host-facing interface with its scoped sources.
+    let starts = host_facing_interfaces(&a.devices, &a.topo);
+    let mut seeds = Vec::new();
+    for h in starts.iter().filter(|h| !h.external) {
+        let Some(node) = graph.node(&NodeKind::IfaceSrc(h.device.clone(), h.interface.clone()))
+        else {
+            continue;
+        };
+        let src = vars.ip_prefix(bdd, Field::SrcIp, scoped_sources(h));
+        let seed = bdd.and(traffic, src);
+        if seed != batnet::bdd::NodeId::FALSE {
+            seeds.push((node, seed));
+        }
+    }
+
+    // Delivery sinks inside the service prefix.
+    let sinks: Vec<usize> = graph.nodes_where(|k| match k {
+        NodeKind::DeliveredToSubnet(d, i) => a
+            .devices
+            .iter()
+            .find(|dev| dev.name == *d)
+            .and_then(|dev| dev.interfaces.get(i))
+            .and_then(|iface| iface.connected_prefix())
+            .is_some_and(|p| p.overlaps(&prefix)),
+        _ => false,
+    });
+
+    let analysis = ReachAnalysis::new(graph);
+    let outcome = analysis.forward_governed(bdd, &seeds, &gov);
+    let (result, partial) = match &outcome {
+        Outcome::Complete(r) => (r, None),
+        Outcome::Partial {
+            completed,
+            abandoned,
+            why,
+        } => (completed, Some((abandoned.as_slice(), why))),
+    };
+    let mut delivered = batnet::bdd::NodeId::FALSE;
+    for &sk in &sinks {
+        delivered = bdd.or(delivered, result.at(sk));
+    }
+    let nodes_reached = result
+        .reach
+        .iter()
+        .filter(|&&n| n != batnet::bdd::NodeId::FALSE)
+        .count();
+
+    let mut out = String::from("{\"query\": \"reach\", \"snapshot\": ");
+    json::write_str(&mut out, &s.name);
+    out.push_str(", \"prefix\": ");
+    json::write_str(&mut out, &prefix.to_string());
+    out.push_str(&format!(
+        ", \"port\": {port}, \"starts\": {}, \"sinks\": {}, \"delivered\": {}, \
+         \"nodes_reached\": {nodes_reached}, \"relaxations\": {}, ",
+        seeds.len(),
+        sinks.len(),
+        delivered != batnet::bdd::NodeId::FALSE,
+        result.relaxations,
+    ));
+    write_partial(&mut out, partial);
+    out.push_str("}\n");
+    Response::json(partial_status(partial.is_some()), out)
+}
+
+/// `GET /query/trace?snapshot=S&device=D&iface=I&src=IP&dst=IP&port=N
+/// [&proto=tcp|udp]`: one concrete annotated traceroute.
+fn query_trace(req: &Request, s: &mut StoredSnapshot) -> Response {
+    let need = |name: &str| -> Result<&str, Response> {
+        req.param(name)
+            .ok_or_else(|| Response::error(400, &format!("missing {name} parameter")))
+    };
+    let (device, iface) = match (need("device"), need("iface")) {
+        (Ok(d), Ok(i)) => (d, i),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let parse_ip = |name: &str| -> Result<batnet_net::Ip, Response> {
+        need(name)?
+            .parse()
+            .map_err(|e| Response::error(400, &format!("bad {name}: {e}")))
+    };
+    let (src, dst) = match (parse_ip("src"), parse_ip("dst")) {
+        (Ok(s), Ok(d)) => (s, d),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let port: u16 = match req.param("port").unwrap_or("80").parse() {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad port: {e}")),
+    };
+    let flow = match req.param("proto").unwrap_or("tcp") {
+        "udp" => Flow::udp(src, 40000, dst, port),
+        _ => Flow::tcp(src, 40000, dst, port),
+    };
+    let known = s
+        .analysis
+        .devices
+        .iter()
+        .any(|d| d.name == device && d.interfaces.contains_key(iface));
+    if !known {
+        return Response::error(404, &format!("no interface {iface:?} on device {device:?}"));
+    }
+    let trace = s.analysis.trace(device, iface, &flow);
+    let mut out = String::from("{\"query\": \"trace\", \"snapshot\": ");
+    json::write_str(&mut out, &s.name);
+    out.push_str(", \"flow\": ");
+    json::write_str(&mut out, &flow.to_string());
+    out.push_str(&format!(", \"delivered\": {}, \"trace\": ", trace.any_succeeds()));
+    json::write_str(&mut out, &trace.to_string());
+    out.push_str("}\n");
+    Response::json(200, out)
+}
+
+/// `GET /lint?snapshot=S`: the static-analysis passes over the stored
+/// (healthy) devices, governed — a tripped budget abandons the
+/// remaining passes and says which.
+fn lint(req: &Request, s: &mut StoredSnapshot, cfg: &ServeConfig) -> Response {
+    let gov = match request_governor(req, cfg) {
+        Ok(g) => g,
+        Err(r) => return r,
+    };
+    let outcome = batnet_lint::run_all_governed(&s.analysis.devices, &gov);
+    let (findings, partial) = match &outcome {
+        Outcome::Complete(f) => (f, None),
+        Outcome::Partial {
+            completed,
+            abandoned,
+            why,
+        } => (completed, Some((abandoned.as_slice(), why))),
+    };
+    let mut out = String::from("{\"query\": \"lint\", \"snapshot\": ");
+    json::write_str(&mut out, &s.name);
+    out.push_str(&format!(", \"findings\": {}, ", findings.len()));
+    write_partial(&mut out, partial);
+    out.push_str(", \"report\": ");
+    out.push_str(&batnet_lint::output::render_json(&s.name, findings));
+    out.push_str("}\n");
+    Response::json(partial_status(partial.is_some()), out)
+}
+
+/// `GET /diff?snapshot=A&against=B`: three-layer differential analysis
+/// between two stored snapshots, governed at the layer boundaries.
+fn diff(req: &Request, store: &SnapshotStore, cfg: &ServeConfig) -> Response {
+    let gov = match request_governor(req, cfg) {
+        Ok(g) => g,
+        Err(r) => return r,
+    };
+    let (Some(a_name), Some(b_name)) = (req.param("snapshot"), req.param("against")) else {
+        return Response::error(400, "diff needs snapshot and against parameters");
+    };
+    let (Some(a_entry), Some(b_entry)) = (store.get(a_name), store.get(b_name)) else {
+        return Response::error(404, "unknown snapshot in snapshot/against");
+    };
+    // Lock in name order so concurrent diff(A,B) and diff(B,A) cannot
+    // deadlock; a self-diff takes the lock once.
+    let _ordered: Vec<&str> = {
+        let mut v = vec![a_name, b_name];
+        v.sort_unstable();
+        v
+    };
+    let (guard_a, guard_b): (MutexGuard<'_, StoredSnapshot>, Option<MutexGuard<'_, StoredSnapshot>>) =
+        if a_name == b_name {
+            (a_entry.lock().unwrap_or_else(|e| e.into_inner()), None)
+        } else if a_name < b_name {
+            let ga = a_entry.lock().unwrap_or_else(|e| e.into_inner());
+            let gb = b_entry.lock().unwrap_or_else(|e| e.into_inner());
+            (ga, Some(gb))
+        } else {
+            let gb = b_entry.lock().unwrap_or_else(|e| e.into_inner());
+            let ga = a_entry.lock().unwrap_or_else(|e| e.into_inner());
+            (ga, Some(gb))
+        };
+    let before_side = guard_a.snapshot.diff_side();
+    let after_side = match &guard_b {
+        Some(g) => g.snapshot.diff_side(),
+        None => guard_a.snapshot.diff_side(),
+    };
+    let opts = batnet::DiffOptions::default();
+    let outcome = batnet_diff::diff_governed(&before_side, &after_side, &opts, &gov);
+    let (d, partial) = match &outcome {
+        Outcome::Complete(d) => (d, None),
+        Outcome::Partial {
+            completed,
+            abandoned,
+            why,
+        } => (completed, Some((abandoned.as_slice(), why))),
+    };
+    let mut out = String::from("{\"query\": \"diff\", \"snapshot\": ");
+    json::write_str(&mut out, a_name);
+    out.push_str(", \"against\": ");
+    json::write_str(&mut out, b_name);
+    out.push_str(&format!(
+        ", \"empty\": {}, \"changes\": {}, ",
+        d.is_empty(),
+        d.change_count()
+    ));
+    write_partial(&mut out, partial);
+    out.push_str(", \"report\": ");
+    out.push_str(&batnet_diff::render_json(d));
+    out.push_str("}\n");
+    Response::json(partial_status(partial.is_some()), out)
+}

@@ -1,0 +1,209 @@
+//! batnet-serve: run the analysis service, or drive its smoke sequence.
+//!
+//! ```text
+//! batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!              [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N]
+//!              [--prewarm N2,NET1] [--smoke]
+//! ```
+//!
+//! Without `--smoke`, binds, prewarms, prints the address, and serves
+//! until a client POSTs `/admin/shutdown`. With `--smoke`, runs the CI
+//! end-to-end sequence in one process — ephemeral port, `/readyz` poll,
+//! a real reachability query, a deliberately over-deadline query that
+//! must come back `206` partial (not hang), a bad route, metrics audit,
+//! graceful drain — and exits nonzero on the first deviation.
+
+use batnet_net::Backoff;
+use batnet_serve::{client, ServeConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    let fail = |msg: String| -> ! {
+        eprintln!("batnet-serve: {msg}");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = take("--addr"),
+            "--workers" => cfg.workers = parse(&take("--workers"), "--workers"),
+            "--queue-depth" => cfg.queue_depth = parse(&take("--queue-depth"), "--queue-depth"),
+            "--io-timeout-ms" => {
+                cfg.io_timeout_ms = parse(&take("--io-timeout-ms"), "--io-timeout-ms")
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms = parse(&take("--deadline-ms"), "--deadline-ms")
+            }
+            "--store-capacity" => {
+                cfg.store_capacity = parse(&take("--store-capacity"), "--store-capacity")
+            }
+            "--prewarm" => {
+                cfg.prewarm = take("--prewarm")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                     [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N] \
+                     [--prewarm IDS] [--smoke]"
+                );
+                return;
+            }
+            other => fail(format!("unknown argument {other:?}")),
+        }
+    }
+
+    if smoke {
+        cfg.addr = "127.0.0.1:0".to_string();
+        if cfg.prewarm.is_empty() {
+            cfg.prewarm = vec!["N2".to_string()];
+        }
+        match run_smoke(cfg) {
+            Ok(()) => println!("serve-smoke: ok"),
+            Err(e) => {
+                eprintln!("serve-smoke: FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    match batnet_serve::spawn(cfg) {
+        Ok(handle) => {
+            println!("batnet-serve listening on {}", handle.addr());
+            handle.join();
+            println!("batnet-serve drained");
+        }
+        Err(e) => {
+            eprintln!("batnet-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str, name: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("batnet-serve: bad value for {name}: {v:?}");
+        std::process::exit(2);
+    })
+}
+
+/// The CI smoke sequence. Every step names itself in its error.
+fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
+    let net = cfg.prewarm[0].clone();
+    let handle = batnet_serve::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
+    let addr = handle.addr();
+    let t = Duration::from_secs(10);
+    let step = |name: &str, r: std::io::Result<client::ClientResponse>| {
+        r.map_err(|e| format!("{name}: transport: {e}"))
+    };
+
+    // Liveness, then readiness under retry (the poll the Makefile used
+    // to shell-script, in-process).
+    let h = step("healthz", client::get(addr, "/healthz", t))?;
+    expect(&h, 200, "healthz")?;
+    let r = step(
+        "readyz",
+        client::get_with_retry(
+            addr,
+            "/readyz",
+            t,
+            Backoff::new(Duration::from_millis(10), Duration::from_millis(200), 20, 7),
+        ),
+    )?;
+    expect(&r, 200, "readyz")?;
+
+    // The warm store must hold the prewarmed network.
+    let list = step("snapshots", client::get(addr, "/snapshots", t))?;
+    expect(&list, 200, "snapshots")?;
+    if !list.body_str().contains(&format!("\"name\": \"{net}\"")) {
+        return Err(format!("snapshots: {net} not listed: {}", list.body_str()));
+    }
+
+    // A real reachability query answers 200 complete.
+    let reach = step(
+        "reach",
+        client::get(
+            addr,
+            &format!("/query/reach?snapshot={net}&port=80"),
+            t,
+        ),
+    )?;
+    expect(&reach, 200, "reach")?;
+    if !reach.body_str().contains("\"partial\": null") {
+        return Err(format!("reach: expected complete answer: {}", reach.body_str()));
+    }
+
+    // A deliberately over-deadline query must come back 206 partial —
+    // promptly, with accounting — never hang.
+    let partial = step(
+        "reach-deadline",
+        client::get(
+            addr,
+            &format!("/query/reach?snapshot={net}&port=80&deadline_ms=0"),
+            t,
+        ),
+    )?;
+    expect(&partial, 206, "reach-deadline")?;
+    if !partial.body_str().contains("\"stage\":") {
+        return Err(format!(
+            "reach-deadline: partial accounting missing: {}",
+            partial.body_str()
+        ));
+    }
+
+    // Lint and the run report serve from the same warm snapshot.
+    let lint = step("lint", client::get(addr, &format!("/lint?snapshot={net}"), t))?;
+    expect(&lint, 200, "lint")?;
+    let report = step(
+        "report",
+        client::get(addr, &format!("/report?snapshot={net}"), t),
+    )?;
+    expect(&report, 200, "report")?;
+
+    // A bad route 404s without disturbing anything.
+    let missing = step("404", client::get(addr, "/no/such/route", t))?;
+    expect(&missing, 404, "404")?;
+
+    // The books must balance: requests counted, zero contained panics.
+    let metrics = step("metricsz", client::get(addr, "/metricsz", t))?;
+    expect(&metrics, 200, "metricsz")?;
+    let body = metrics.body_str();
+    if !body.contains("serve.requests.total") {
+        return Err("metricsz: serve.requests.total missing".to_string());
+    }
+    if body.contains("serve.panics.contained") {
+        return Err("metricsz: a panic was contained during smoke".to_string());
+    }
+
+    // Graceful drain: accepted, readiness drops, the process unwinds.
+    let bye = step(
+        "shutdown",
+        client::post(addr, "/admin/shutdown", b"", t),
+    )?;
+    expect(&bye, 202, "shutdown")?;
+    handle.join();
+    Ok(())
+}
+
+fn expect(r: &client::ClientResponse, status: u16, step: &str) -> Result<(), String> {
+    if r.status == status {
+        Ok(())
+    } else {
+        Err(format!(
+            "{step}: expected {status}, got {}: {}",
+            r.status,
+            r.body_str()
+        ))
+    }
+}

@@ -1,0 +1,40 @@
+//! batnet-serve: the fault-tolerant long-running analysis service.
+//!
+//! Batfish's most consequential architectural lesson was becoming a
+//! *service*: parse and simulate once, keep the analyzed snapshot warm,
+//! and answer many questions against it. This crate is that shape for
+//! batnet — an HTTP/1.1 server over `std::net` (zero dependencies, like
+//! everything here) whose design center is the failure model rather
+//! than the happy path:
+//!
+//! * [`http`] — a hand-rolled parser with strict size/header limits;
+//!   every limit violation is a typed rejection with an accounting
+//!   class.
+//! * [`queue`] — bounded admission; full means `503` + `Retry-After`
+//!   *now*, not unbounded queueing.
+//! * [`store`] — the warm snapshot store, itself bounded (eviction).
+//! * [`api`] — handlers where a tripped [`batnet::ResourceGovernor`]
+//!   budget returns `206` with `Outcome::Partial` accounting, the same
+//!   mechanism the batch CLIs use for `--deadline-ms`.
+//! * [`server`] — accept loop, worker pool, slow-loris watchdog,
+//!   per-request panic isolation, graceful drain.
+//! * [`client`] — the blocking client the load driver, smoke mode, and
+//!   tests share, with deterministic [`batnet_net::Backoff`] retries
+//!   for idempotent GETs.
+//!
+//! Every rejection, partial answer, contained panic, and eviction is
+//! accounted in [`batnet_obs`] metrics, exposed at `GET /metricsz` —
+//! the chaos harness's invariant 8 audits exactly those books.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod store;
+
+pub use client::{get, get_with_retry, post, ClientResponse};
+pub use http::{Limits, Method, ParseError, Request, Response};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{spawn, Handle, ServeConfig, ServiceState};
+pub use store::{SnapshotInfo, SnapshotStore, StoreError, StoredSnapshot};

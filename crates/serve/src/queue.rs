@@ -1,0 +1,187 @@
+//! A bounded MPMC work queue with explicit backpressure.
+//!
+//! The admission-control half of the service's failure model: the accept
+//! loop calls [`BoundedQueue::try_push`], and a `Full` result is the
+//! signal to shed load *now* (503 + `Retry-After`) instead of queueing
+//! unboundedly and turning overload into latency collapse (Plankton's
+//! lesson: bound per-query resources or the service does not scale).
+//! Workers block in [`BoundedQueue::pop`]; closing the queue wakes and
+//! drains them — pops return queued items until empty, then `None` —
+//! which is exactly the graceful-drain sequence.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed load.
+    Full,
+    /// The queue is closed — draining, no new work.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. All methods are `&self`; share it via `Arc`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Non-blocking admission: `Err((Full, item))` is the backpressure
+    /// signal, and the refused item comes back so the caller can shed
+    /// it properly (write the 503, close the socket).
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((PushError::Closed, item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` only when the queue is closed *and*
+    /// empty — a closed queue still drains.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .cond
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Closes the queue: pushes fail, blocked pops drain then end.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err((PushError::Closed, 3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_items() {
+        let q = Arc::new(BoundedQueue::<u64>::new(8));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let v = p * 1000 + i;
+                    let mut pending = v;
+                    loop {
+                        match q.try_push(pending) {
+                            Ok(()) => break,
+                            Err((PushError::Full, back)) => {
+                                pending = back;
+                                std::thread::yield_now();
+                            }
+                            Err((PushError::Closed, _)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 400, "every pushed item pops exactly once");
+        all.dedup();
+        assert_eq!(all.len(), 400);
+    }
+}

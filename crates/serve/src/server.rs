@@ -1,0 +1,308 @@
+//! The service core: listener, worker pool, watchdog, graceful drain.
+//!
+//! The threading model is deliberately boring — one nonblocking accept
+//! loop feeding a [`BoundedQueue`] of connections, a fixed pool of
+//! worker threads, socket read timeouts as the slow-loris watchdog —
+//! because every piece of it is a named element of the failure model
+//! (DESIGN.md §5f):
+//!
+//! * **Admission control.** The accept loop never blocks on a full
+//!   queue: it sheds the connection with `503` + `Retry-After`
+//!   immediately, so overload degrades to fast rejections instead of
+//!   latency collapse.
+//! * **Watchdog.** Every accepted socket gets a read timeout before it
+//!   reaches a worker; a peer that feeds bytes too slowly costs one
+//!   bounded worker-slice (`408`), never a wedged worker.
+//! * **Panic isolation.** Each request runs under `catch_unwind`; a
+//!   handler bug is one `500` and a `serve.panics.contained` tick, not
+//!   a dead thread silently shrinking the pool.
+//! * **Graceful drain.** Shutdown (signalled by `POST /admin/shutdown`
+//!   or [`Handle::shutdown`]) flips `readyz` to 503, stops accepting,
+//!   closes the queue, and lets workers finish queued requests.
+
+use crate::api;
+use crate::http::{read_request, Limits, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::store::SnapshotStore;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service tuning knobs. The defaults are the committed failure-model
+/// numbers: small queue, short watchdog, bounded body.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` = loopback, ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted-connection queue depth; beyond it, 503 + `Retry-After`.
+    pub queue_depth: usize,
+    /// Socket read/write timeout — the slow-loris watchdog.
+    pub io_timeout_ms: u64,
+    /// Governor deadline applied when a request names none.
+    pub default_deadline_ms: u64,
+    /// Ceiling on any requested `deadline_ms`.
+    pub max_deadline_ms: u64,
+    /// Largest accepted upload body.
+    pub max_body_bytes: usize,
+    /// Warm snapshots held before eviction.
+    pub store_capacity: usize,
+    /// Suite network ids analyzed into the store before ready.
+    pub prewarm: Vec<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 32,
+            io_timeout_ms: 2_000,
+            default_deadline_ms: 10_000,
+            max_deadline_ms: 60_000,
+            max_body_bytes: 4 << 20,
+            store_capacity: 8,
+            prewarm: Vec::new(),
+        }
+    }
+}
+
+/// Shared liveness flags, visible to handlers (for `readyz` and
+/// `/admin/shutdown`) and to the accept loop.
+pub struct ServiceState {
+    pub(crate) ready: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl ServiceState {
+    fn new() -> ServiceState {
+        ServiceState {
+            ready: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Ready = warmed up and not draining.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Relaxed) && !self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Flags the server to drain (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Has a drain been requested?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`Handle::shutdown`] (or POST `/admin/shutdown` and
+/// [`Handle::join`]).
+pub struct Handle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    store: SnapshotStore,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Handle {
+    /// The bound address (real port, even when configured as `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The warm store (for in-process seeding in tests and benches).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// The shared liveness flags.
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Requests a drain and waits for the listener and every worker to
+    /// finish queued work.
+    pub fn shutdown(self) {
+        self.state.request_shutdown();
+        self.join();
+    }
+
+    /// Waits for the server to stop (a drain must have been requested,
+    /// e.g. via `POST /admin/shutdown`).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        batnet_obs::event("serve", "drain", "complete");
+    }
+}
+
+struct WorkerCtx {
+    queue: Arc<BoundedQueue<TcpStream>>,
+    store: SnapshotStore,
+    cfg: ServeConfig,
+    state: Arc<ServiceState>,
+    inflight: Arc<AtomicU64>,
+    limits: Limits,
+}
+
+/// Binds, prewarms, and starts the accept loop and worker pool.
+/// Returns once the service is ready.
+pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let store = SnapshotStore::new(cfg.store_capacity);
+    for id in &cfg.prewarm {
+        if store.prewarm(id).is_none() {
+            batnet_obs::event("serve", "prewarm-miss", id);
+        }
+    }
+
+    let state = Arc::new(ServiceState::new());
+    let queue = Arc::new(BoundedQueue::<TcpStream>::new(cfg.queue_depth));
+    let inflight = Arc::new(AtomicU64::new(0));
+    let limits = Limits::default().with_max_body(cfg.max_body_bytes);
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let ctx = WorkerCtx {
+            queue: Arc::clone(&queue),
+            store: store.clone(),
+            cfg: cfg.clone(),
+            state: Arc::clone(&state),
+            inflight: Arc::clone(&inflight),
+            limits: limits.clone(),
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&ctx))?,
+        );
+    }
+
+    let accept_state = Arc::clone(&state);
+    let accept_queue = Arc::clone(&queue);
+    let io_timeout = Duration::from_millis(cfg.io_timeout_ms.max(1));
+    let accept = std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_queue, &accept_state, io_timeout))?;
+
+    state.ready.store(true, Ordering::Relaxed);
+    batnet_obs::event("serve", "ready", &addr.to_string());
+    Ok(Handle {
+        addr,
+        state,
+        store,
+        accept,
+        workers,
+    })
+}
+
+/// The nonblocking accept loop: admit into the bounded queue or shed
+/// with 503 immediately. Polls the shutdown flag between accepts.
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &BoundedQueue<TcpStream>,
+    state: &ServiceState,
+    io_timeout: Duration,
+) {
+    while !state.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Arm the watchdog before the socket can reach a worker.
+                let _ = stream.set_read_timeout(Some(io_timeout));
+                let _ = stream.set_write_timeout(Some(io_timeout));
+                batnet_obs::counter_add("serve.accepted", 1);
+                match queue.try_push(stream) {
+                    Ok(()) => {}
+                    Err((why, mut stream)) => {
+                        let detail = match why {
+                            PushError::Full => "server busy",
+                            PushError::Closed => "draining",
+                        };
+                        batnet_obs::counter_add("serve.rejected.backpressure", 1);
+                        let resp =
+                            Response::error(503, detail).with_header("Retry-After", 1);
+                        let _ = resp.write_to(&mut stream);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                batnet_obs::counter_add("serve.accept.errors", 1);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    // Drain: no new work; queued connections still get served.
+    queue.close();
+    batnet_obs::event("serve", "drain", "accept loop stopped");
+}
+
+fn worker_loop(ctx: &WorkerCtx) {
+    while let Some(stream) = ctx.queue.pop() {
+        let n = ctx.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        batnet_obs::gauge_set("serve.inflight", n as f64);
+        let started = batnet_obs::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(ctx, stream)));
+        if let Err(_panic) = outcome {
+            // The stream was consumed by the panicking closure; all we
+            // can do — and all we need to do — is count it and keep the
+            // worker alive.
+            batnet_obs::counter_add("serve.panics.contained", 1);
+        }
+        batnet_obs::observe(
+            "serve.latency.us",
+            started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+        let n = ctx.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+        batnet_obs::gauge_set("serve.inflight", n as f64);
+    }
+}
+
+/// One request per connection (`Connection: close`): parse under the
+/// limits, dispatch, respond. Parse rejections are accounted per class.
+fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
+    let response = match read_request(&mut stream, &ctx.limits) {
+        Ok(None) => {
+            // Clean close before a request — a probe or a mid-dial
+            // disconnect. Nothing to answer.
+            batnet_obs::counter_add("serve.closed.idle", 1);
+            return;
+        }
+        Ok(Some(req)) => {
+            batnet_obs::counter_add("serve.requests.total", 1);
+            api::handle(&req, &ctx.store, &ctx.cfg, &ctx.state)
+        }
+        Err(e) => {
+            batnet_obs::counter_add(&format!("serve.rejected.{}", e.metric_class()), 1);
+            let resp = Response::error(e.status(), &e.detail());
+            if e.status() == 503 {
+                resp.with_header("Retry-After", 1)
+            } else {
+                resp
+            }
+        }
+    };
+    batnet_obs::counter_add(
+        &format!("serve.responses.{}xx", response.status / 100),
+        1,
+    );
+    if response.write_to(&mut stream).is_err() {
+        batnet_obs::counter_add("serve.write.errors", 1);
+    }
+}

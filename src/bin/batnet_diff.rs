@@ -21,8 +21,9 @@
 //! comparison — they never abort the run.
 
 use batnet::diff::{render_json, render_text, DiffOptions, SnapshotDiff};
-use batnet::Snapshot;
+use batnet::{Outcome, ResourceGovernor, Snapshot};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     before: Option<String>,
@@ -35,10 +36,11 @@ struct Args {
     deny: Option<String>,
     max_flows: usize,
     max_starts: usize,
+    deadline_ms: Option<u64>,
 }
 
 const USAGE: &str = "usage: batnet-diff --before DIR --after DIR [--format text|json] \
-[--out FILE] [--deny any|structural|routes|reach] [--max-flows N] [--max-starts N]
+[--out FILE] [--deny any|structural|routes|reach] [--max-flows N] [--max-starts N] [--deadline-ms N]
        batnet-diff --net ID [--scenario NAME --seed N] [...same flags]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -54,6 +56,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         deny: None,
         max_flows: defaults.max_flow_deltas,
         max_starts: defaults.max_starts,
+        deadline_ms: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -82,6 +85,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.max_starts = value("--max-starts")?
                     .parse()
                     .map_err(|e| format!("--max-starts: {e}"))?;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -170,7 +180,27 @@ fn run() -> Result<ExitCode, String> {
         max_starts: args.max_starts,
         ..DiffOptions::default()
     };
-    let diff = before.diff_with(&after, &opts);
+    // One enforcement mechanism for batch and serve alike: the governor.
+    // A blown deadline reports the layers compared so far, never hangs.
+    let gov = match args.deadline_ms {
+        Some(ms) => ResourceGovernor::with_deadline(Duration::from_millis(ms)),
+        None => ResourceGovernor::unlimited(),
+    };
+    let (diff, partial) = match before.diff_with_governed(&after, &opts, &gov) {
+        Outcome::Complete(d) => (d, None),
+        Outcome::Partial {
+            completed,
+            abandoned,
+            why,
+        } => (completed, Some((abandoned, why))),
+    };
+    if let Some((abandoned, why)) = &partial {
+        batnet::obs::counter_add("diff.partial", 1);
+        eprintln!(
+            "batnet-diff: partial result: {why}; layers not compared: {}",
+            abandoned.join(", ")
+        );
+    }
 
     let rendered = match args.format.as_str() {
         "json" => render_json(&diff),
