@@ -17,7 +17,7 @@ test:
 # Robustness gate: 25 seeds x all 6 mutation classes over NET1 and the
 # N2 data center — zero escaped panics, every quarantined device
 # accounted for, monotone degradation — plus the invariant-8 service
-# sweep: 5 seeds x 6 adversarial client classes against a live
+# sweep: 5 seeds x 7 adversarial client classes against a live
 # batnet-serve, every rejection accounted, the listener never down.
 chaos: build
 	$(CARGO) run --release --offline -p batnet-chaos -- --seeds 25 --nets net1,n2 --serve-seeds 5

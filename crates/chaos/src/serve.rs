@@ -4,7 +4,8 @@
 //! abuses the *service* with hostile bytes on real sockets. For every
 //! seed it drives one connection per abuse class against an in-process
 //! server — malformed request lines, oversized headers and bodies,
-//! uploads truncated mid-body, peers that vanish mid-request, and
+//! duplicate-header floods, uploads truncated mid-body, peers that
+//! vanish mid-request, and
 //! slow-loris drips that hold a worker hostage — with well-behaved
 //! probes interleaved throughout. The contract:
 //!
@@ -30,6 +31,10 @@ pub enum AbuseClass {
     MalformedLine,
     /// A request line or header far over the parser's line limit.
     OversizedHeader,
+    /// More header *lines* than the parser's header-count limit, all
+    /// with the same name — duplicates collapse into one map entry, so
+    /// only a per-line counter catches this worker-pinning stream.
+    HeaderFlood,
     /// A `Content-Length` over the configured body cap.
     OversizedBody,
     /// A well-formed upload whose body stops short of `Content-Length`.
@@ -43,9 +48,10 @@ pub enum AbuseClass {
 
 impl AbuseClass {
     /// Every class, in sweep order.
-    pub const ALL: [AbuseClass; 6] = [
+    pub const ALL: [AbuseClass; 7] = [
         AbuseClass::MalformedLine,
         AbuseClass::OversizedHeader,
+        AbuseClass::HeaderFlood,
         AbuseClass::OversizedBody,
         AbuseClass::TruncatedUpload,
         AbuseClass::MidRequestDisconnect,
@@ -57,6 +63,7 @@ impl AbuseClass {
         match self {
             AbuseClass::MalformedLine => "malformed-line",
             AbuseClass::OversizedHeader => "oversized-header",
+            AbuseClass::HeaderFlood => "header-flood",
             AbuseClass::OversizedBody => "oversized-body",
             AbuseClass::TruncatedUpload => "truncated-upload",
             AbuseClass::MidRequestDisconnect => "mid-request-disconnect",
@@ -68,7 +75,9 @@ impl AbuseClass {
     pub fn expected_metric(self) -> &'static str {
         match self {
             AbuseClass::MalformedLine => "malformed",
-            AbuseClass::OversizedHeader | AbuseClass::OversizedBody => "too-large",
+            AbuseClass::OversizedHeader
+            | AbuseClass::HeaderFlood
+            | AbuseClass::OversizedBody => "too-large",
             AbuseClass::TruncatedUpload | AbuseClass::MidRequestDisconnect => "truncated",
             AbuseClass::SlowLoris => "watchdog",
         }
@@ -251,6 +260,18 @@ fn abuse_once(
             };
             send_then_drain(&mut s, payload.as_bytes());
         }
+        AbuseClass::HeaderFlood => {
+            // Far more duplicate header lines than the parser admits;
+            // the server must answer 431 after its line budget, never
+            // read the stream forever.
+            let n = 80 + rng.index(64);
+            let mut payload = b"GET /healthz HTTP/1.1\r\n".to_vec();
+            for _ in 0..n {
+                payload.extend_from_slice(b"X-Flood: x\r\n");
+            }
+            payload.extend_from_slice(b"\r\n");
+            send_then_drain(&mut s, &payload);
+        }
         AbuseClass::OversizedBody => {
             let declared = (1 << 20) + rng.index(1 << 20);
             let payload = format!(
@@ -368,7 +389,7 @@ fn audit_metrics(
     let n = cfg.seeds.len() as u64;
     let expected: Vec<(&str, u64)> = vec![
         ("malformed", n),
-        ("too-large", 2 * n),
+        ("too-large", 3 * n),
         ("truncated", 2 * n),
         ("watchdog", n),
     ];

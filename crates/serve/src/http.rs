@@ -295,13 +295,18 @@ pub fn read_request(r: &mut impl Read, limits: &Limits) -> Result<Option<Request
         other => return Err(ParseError::UnsupportedMethod(clip(other))),
     };
     let mut headers = BTreeMap::new();
+    // Count header *lines*, not map entries: duplicate names overwrite
+    // the same key, so a peer streaming one header line forever would
+    // never grow the map — and never trip the limit or the watchdog.
+    let mut header_lines = 0usize;
     loop {
         let hline = read_line(r, limits.max_header_line, ParseError::HeaderTooLong)?
             .ok_or(ParseError::Truncated)?;
         if hline.is_empty() {
             break;
         }
-        if headers.len() >= limits.max_headers {
+        header_lines += 1;
+        if header_lines > limits.max_headers {
             return Err(ParseError::TooManyHeaders);
         }
         let (k, v) = hline
@@ -423,6 +428,7 @@ impl Response {
             408 => "Request Timeout",
             409 => "Conflict",
             413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
@@ -522,6 +528,20 @@ mod tests {
         let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
         for i in 0..100 {
             raw.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(
+            read_request(&mut &raw[..], &Limits::default()).unwrap_err(),
+            ParseError::TooManyHeaders
+        );
+
+        // Duplicate header names collapse into one map entry, so the
+        // limit must count lines received, not distinct names — else a
+        // repeated-header stream pins a worker forever (slow-loris by
+        // another name).
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for _ in 0..100 {
+            raw.extend_from_slice(b"X-Same: v\r\n");
         }
         raw.extend_from_slice(b"\r\n");
         assert_eq!(

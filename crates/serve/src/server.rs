@@ -235,6 +235,13 @@ fn accept_loop(
                         batnet_obs::counter_add("serve.rejected.backpressure", 1);
                         let resp =
                             Response::error(503, detail).with_header("Retry-After", 1);
+                        // Best-effort, nonblocking shed: the 503 fits
+                        // the socket send buffer when the peer is sane;
+                        // a peer that never reads must cost the accept
+                        // thread nothing — overload is exactly when
+                        // shedding speed matters most. If the write
+                        // would block, just close.
+                        let _ = stream.set_nonblocking(true);
                         let _ = resp.write_to(&mut stream);
                     }
                 }
@@ -258,12 +265,21 @@ fn worker_loop(ctx: &WorkerCtx) {
         let n = ctx.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         batnet_obs::gauge_set("serve.inflight", n as f64);
         let started = batnet_obs::now();
+        // The handler closure consumes the stream, so clone the socket
+        // handle first: after a contained panic the worker still owes
+        // the client a 500 (and the books a `responses.5xx` tick —
+        // `requests.total` was already counted inside the closure).
+        let fallback = stream.try_clone().ok();
         let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(ctx, stream)));
         if let Err(_panic) = outcome {
-            // The stream was consumed by the panicking closure; all we
-            // can do — and all we need to do — is count it and keep the
-            // worker alive.
             batnet_obs::counter_add("serve.panics.contained", 1);
+            batnet_obs::counter_add("serve.responses.5xx", 1);
+            if let Some(mut s) = fallback {
+                let resp = Response::error(500, "internal error: handler panicked");
+                if resp.write_to(&mut s).is_err() {
+                    batnet_obs::counter_add("serve.write.errors", 1);
+                }
+            }
         }
         batnet_obs::observe(
             "serve.latency.us",

@@ -58,8 +58,22 @@ pub struct SnapshotStore {
     inner: Arc<Inner>,
 }
 
+/// A map entry: the locked snapshot plus the metadata the store needs
+/// for eviction and listing. That metadata is immutable after insert
+/// and lives *outside* the per-snapshot mutex on purpose: a governed
+/// query can hold a snapshot's lock for its whole deadline, and neither
+/// eviction nor `list()` may block on that while holding the map lock
+/// (doing so would stall every `get()` — i.e. all request routing).
+struct Entry {
+    seq: u64,
+    devices: usize,
+    quarantined: usize,
+    partial: bool,
+    snap: Arc<Mutex<StoredSnapshot>>,
+}
+
 struct Inner {
-    snapshots: Mutex<BTreeMap<String, Arc<Mutex<StoredSnapshot>>>>,
+    snapshots: Mutex<BTreeMap<String, Entry>>,
     seq: AtomicU64,
     capacity: usize,
 }
@@ -91,7 +105,7 @@ impl SnapshotStore {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<Mutex<StoredSnapshot>>>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
         self.inner
             .snapshots
             .lock()
@@ -120,18 +134,28 @@ impl SnapshotStore {
             } => (completed, Some((abandoned, why))),
         };
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let stored = Arc::new(Mutex::new(StoredSnapshot {
-            name: name.to_string(),
-            snapshot,
-            analysis,
-            partial,
+        let entry = Entry {
             seq,
-        }));
+            devices: analysis.devices.len(),
+            quarantined: snapshot.quarantined.len(),
+            partial: partial.is_some(),
+            snap: Arc::new(Mutex::new(StoredSnapshot {
+                name: name.to_string(),
+                snapshot,
+                analysis,
+                partial,
+                seq,
+            })),
+        };
+        let stored = Arc::clone(&entry.snap);
         let mut map = self.lock();
         if !map.contains_key(name) && map.len() >= self.inner.capacity {
+            // Eviction order comes from Entry.seq alone — never from
+            // inside a snapshot's mutex, which a query may hold for its
+            // whole deadline.
             let oldest = map
                 .iter()
-                .min_by_key(|(_, s)| s.lock().map(|g| g.seq).unwrap_or(0))
+                .min_by_key(|(_, e)| e.seq)
                 .map(|(k, _)| k.clone());
             if let Some(k) = oldest {
                 map.remove(&k);
@@ -139,29 +163,27 @@ impl SnapshotStore {
                 batnet_obs::event("store-evict", &k, "capacity");
             }
         }
-        map.insert(name.to_string(), Arc::clone(&stored));
+        map.insert(name.to_string(), entry);
         batnet_obs::gauge_set("serve.store.snapshots", map.len() as f64);
         Ok(stored)
     }
 
     /// Looks a snapshot up by name.
     pub fn get(&self, name: &str) -> Option<Arc<Mutex<StoredSnapshot>>> {
-        self.lock().get(name).cloned()
+        self.lock().get(name).map(|e| Arc::clone(&e.snap))
     }
 
-    /// Summaries of everything stored, in name order.
+    /// Summaries of everything stored, in name order. Reads only the
+    /// map-level metadata — a long-held snapshot lock cannot stall it.
     pub fn list(&self) -> Vec<SnapshotInfo> {
         self.lock()
-            .values()
-            .filter_map(|s| {
-                let g = s.lock().ok()?;
-                Some(SnapshotInfo {
-                    name: g.name.clone(),
-                    devices: g.analysis.devices.len(),
-                    quarantined: g.snapshot.quarantined.len(),
-                    partial: g.partial.is_some(),
-                    seq: g.seq,
-                })
+            .iter()
+            .map(|(name, e)| SnapshotInfo {
+                name: name.clone(),
+                devices: e.devices,
+                quarantined: e.quarantined,
+                partial: e.partial,
+                seq: e.seq,
             })
             .collect()
     }
@@ -247,6 +269,28 @@ mod tests {
         assert!(store.get("a").is_none(), "oldest evicted");
         assert!(store.get("b").is_some());
         assert!(store.get("c").is_some());
+    }
+
+    #[test]
+    fn eviction_and_list_never_need_a_held_snapshot_lock() {
+        let store = SnapshotStore::new(2);
+        store
+            .insert("a", two_router_configs(), &ResourceGovernor::unlimited())
+            .unwrap();
+        store
+            .insert("b", two_router_configs(), &ResourceGovernor::unlimited())
+            .unwrap();
+        // A governed query holds "a"'s lock for its whole deadline;
+        // eviction and listing must proceed regardless (with eviction
+        // order read under the snapshot lock, this test deadlocks).
+        let a = store.get("a").expect("stored");
+        let _query = a.lock().unwrap();
+        store
+            .insert("c", two_router_configs(), &ResourceGovernor::unlimited())
+            .expect("insert must not block on the held snapshot");
+        assert!(store.get("a").is_none(), "oldest evicted even while locked");
+        let list = store.list();
+        assert_eq!(list.len(), 2);
     }
 
     #[test]
