@@ -25,10 +25,14 @@ chaos: build
 # No unwrap/panic on library paths of the facade and chaos crates (their
 # dependency closure is swept in by cargo, so this effectively covers
 # every production crate; topogen exempts itself as fixture-only). The
-# second invocation enforces the workspace-wide timing discipline from
+# recorder crate gets its own unwrap gate: a lock-then-`unwrap()` there
+# would turn one contained worker panic into poisoned telemetry for the
+# whole process, so every lock must recover via `PoisonError::into_inner`.
+# The last invocation enforces the workspace-wide timing discipline from
 # clippy.toml: `Instant::now` is disallowed outside batnet_obs::clock.
 clippy:
 	$(CARGO) clippy --offline -p batnet -p batnet-chaos -- -D clippy::unwrap_used -D clippy::panic
+	$(CARGO) clippy --offline -p batnet-obs -p batnet-serve -- -D clippy::unwrap_used
 	$(CARGO) clippy --offline --workspace --all-targets -- -D clippy::disallowed_methods
 
 # Observability smoke gate: run the harness pipeline on the smallest
@@ -77,12 +81,16 @@ diff-smoke: build
 
 # Serving gate: (1) the in-process smoke sequence — spawn, readiness
 # under Backoff retry, a complete reachability answer, a forced-206
-# partial with accounting, a 404, a metrics audit with zero contained
-# panics, graceful drain; (2) the serve load bench re-measures its
-# stages, the emitted file validates, and its structure matches the
-# committed BENCH_serve.json baseline.
+# partial with accounting, a 404, a seeded deterministic trace-id stream
+# on every response, a validator-checked /tracez fetch, a metrics audit
+# with per-endpoint SLO meta and zero contained panics, graceful drain;
+# (2) the /tracez dump the smoke wrote passes the standalone validator;
+# (3) the serve load bench re-measures its stages, the emitted file
+# validates, and its structure matches the committed BENCH_serve.json
+# baseline (which now carries per-endpoint p50/p99 meta).
 serve-smoke: build
 	$(CARGO) run --release --offline -p batnet-serve --bin batnet-serve -- --smoke
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- --kind tracez target/tracez-smoke.json
 	$(CARGO) run --release --offline -p batnet-bench --bin harness -- serve --out target/BENCH_serve_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_serve_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_serve.json target/BENCH_serve_smoke.json

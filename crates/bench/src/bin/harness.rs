@@ -609,11 +609,13 @@ fn diff_bench(rows: &mut Vec<Row>) {
 /// The serve bench: the full service loop on loopback. Spawns
 /// `batnet-serve` in-process, uploads the N2 data center through the
 /// public API, then drives reachability / trace / lint / report loads
-/// with `Backoff`-retried clients. Stage rows carry request counts; the
-/// `total` row carries the server's own tail latency (p50/p99 from its
-/// `serve.latency.us` histogram). Always writes `BENCH_serve.json` —
-/// the CI `serve-smoke` gate diffs its structure against the committed
-/// baseline.
+/// with `Backoff`-retried clients. Every stage row carries request
+/// counts plus that endpoint's own p50/p99 (from the server's
+/// `serve.latency.us.<endpoint>` histograms — per-endpoint, so one
+/// endpoint's tail regression can't hide behind a fast-path-dominated
+/// aggregate); the `total` row keeps the global-histogram tail. Always
+/// writes `BENCH_serve.json` — the CI `serve-smoke` gate diffs its
+/// structure against the committed baseline.
 fn serve_bench(rows: &mut Vec<Row>) {
     use batnet_net::Backoff;
     use batnet_serve::{client, ServeConfig};
@@ -662,11 +664,6 @@ fn serve_bench(rows: &mut Vec<Row>) {
     let up = client::post(addr, "/snapshots/N2", body.as_bytes(), t).expect("upload transport");
     let upload = t0.elapsed();
     assert_eq!(up.status, 201, "upload: {}", up.body_str());
-    rows.push(
-        Row::new("serve", "N2", "upload", upload)
-            .with("devices", devices)
-            .with("body_kb", body.len() / 1024),
-    );
 
     // Query loads, each a burst of identical requests.
     let reach_n = 16;
@@ -676,7 +673,6 @@ fn serve_bench(rows: &mut Vec<Row>) {
         assert!(r.body_str().contains("\"partial\": null"), "reach went partial");
     }
     let reach = t0.elapsed();
-    rows.push(Row::new("serve", "N2", "reach", reach).with("requests", reach_n));
 
     let trace_n = 8;
     let target = format!(
@@ -687,7 +683,6 @@ fn serve_bench(rows: &mut Vec<Row>) {
         get(&target, "trace");
     }
     let trace = t0.elapsed();
-    rows.push(Row::new("serve", "N2", "trace", trace).with("requests", trace_n));
 
     let lint_n = 4;
     let t0 = clock::now();
@@ -695,7 +690,6 @@ fn serve_bench(rows: &mut Vec<Row>) {
         get("/lint?snapshot=N2", "lint");
     }
     let lint = t0.elapsed();
-    rows.push(Row::new("serve", "N2", "lint", lint).with("requests", lint_n));
 
     let report_n = 4;
     let t0 = clock::now();
@@ -703,10 +697,49 @@ fn serve_bench(rows: &mut Vec<Row>) {
         get("/report?snapshot=N2", "report");
     }
     let report = t0.elapsed();
-    rows.push(Row::new("serve", "N2", "report", report).with("requests", report_n));
 
     let total = span.close();
-    let (p50, p99) = serve_latency_percentiles();
+    // One capture covers every stage: each row reads its own endpoint's
+    // latency histogram, the total row the global one.
+    let obs = batnet_obs::capture();
+    let pct = |name: &str| serve_latency_percentiles(&obs, name);
+    let (up50, up99) = pct("serve.latency.us.snapshots.upload");
+    let (re50, re99) = pct("serve.latency.us.query.reach");
+    let (tr50, tr99) = pct("serve.latency.us.query.trace");
+    let (li50, li99) = pct("serve.latency.us.lint");
+    let (rp50, rp99) = pct("serve.latency.us.report");
+    let (p50, p99) = pct("serve.latency.us");
+    rows.push(
+        Row::new("serve", "N2", "upload", upload)
+            .with("devices", devices)
+            .with("body_kb", body.len() / 1024)
+            .with("p50_us", up50)
+            .with("p99_us", up99),
+    );
+    rows.push(
+        Row::new("serve", "N2", "reach", reach)
+            .with("requests", reach_n)
+            .with("p50_us", re50)
+            .with("p99_us", re99),
+    );
+    rows.push(
+        Row::new("serve", "N2", "trace", trace)
+            .with("requests", trace_n)
+            .with("p50_us", tr50)
+            .with("p99_us", tr99),
+    );
+    rows.push(
+        Row::new("serve", "N2", "lint", lint)
+            .with("requests", lint_n)
+            .with("p50_us", li50)
+            .with("p99_us", li99),
+    );
+    rows.push(
+        Row::new("serve", "N2", "report", report)
+            .with("requests", report_n)
+            .with("p50_us", rp50)
+            .with("p99_us", rp99),
+    );
     rows.push(
         Row::new("serve", "N2", "total", total)
             .with("requests", 1 + reach_n + trace_n + lint_n + report_n)
@@ -728,31 +761,22 @@ fn serve_bench(rows: &mut Vec<Row>) {
         report_n,
     );
     println!(
-        "server-side request latency: p50 ~{p50}us, p99 ~{p99}us (log2-bucket upper bounds)"
+        "server-side request latency: p50 ~{p50}us, p99 ~{p99}us global \
+         (log2-bucket upper bounds; per-endpoint tails on each row)"
+    );
+    println!(
+        "per-endpoint p99: upload ~{up99}us | reach ~{re99}us | trace ~{tr99}us | \
+         lint ~{li99}us | report ~{rp99}us"
     );
 }
 
-/// Upper-bound p50/p99 estimates from the server's `serve.latency.us`
-/// log2 histogram (each percentile reports its bucket's upper edge).
-fn serve_latency_percentiles() -> (u64, u64) {
-    let report = batnet_obs::capture();
-    let Some(batnet_obs::metrics::MetricValue::Histogram(h)) =
-        report.metrics.get("serve.latency.us")
-    else {
+/// Upper-bound p50/p99 estimates from one of the server's log2 latency
+/// histograms (each percentile reports its bucket's upper edge).
+fn serve_latency_percentiles(report: &batnet_obs::RunReport, name: &str) -> (u64, u64) {
+    let Some(batnet_obs::metrics::MetricValue::Histogram(h)) = report.metrics.get(name) else {
         return (0, 0);
     };
-    let pct = |q: f64| -> u64 {
-        let want = (h.count as f64 * q).ceil() as u64;
-        let mut seen = 0;
-        for (i, &n) in h.buckets.iter().enumerate() {
-            seen += n;
-            if n > 0 && seen >= want {
-                return batnet_obs::metrics::bucket_range(i).1;
-            }
-        }
-        0
-    };
-    (pct(0.5), pct(0.99))
+    (h.percentile_upper(0.5), h.percentile_upper(0.99))
 }
 
 /// §6.2: the APT comparison on the 92-node network.

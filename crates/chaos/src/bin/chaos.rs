@@ -149,6 +149,14 @@ fn main() -> ExitCode {
         for (class, n) in &serve_report.rejections {
             println!("chaos: serve rejected {n} as {class}, all accounted");
         }
+        println!(
+            "chaos: serve traced {} requests — {} retained + {} evicted in the \
+             ring, {} access-log lines",
+            serve_report.requests,
+            serve_report.traces_retained,
+            serve_report.traces_evicted,
+            serve_report.access_lines
+        );
         violations.extend(
             serve_report
                 .violations

@@ -17,9 +17,17 @@
 //!   `serve.rejected.<class>` counter with the exact expected count,
 //!   and the books balance: accepted connections equal requests served
 //!   plus rejections plus idle closes plus contained panics.
+//!
+//! Invariant 9 audits the *tracing* books on the same sweep, with a
+//! deliberately tiny trace ring so eviction is forced: every
+//! well-behaved response carries `X-Batnet-Trace-Id`, every collected
+//! id is either retained in `/tracez` (validator-clean) or covered by
+//! the eviction counter, and after drain the identity
+//! `requests.total == ring retained + evicted == access-log lines`
+//! holds exactly — a trace is never silently dropped.
 
 use batnet_net::Rng;
-use batnet_serve::{client, ServeConfig};
+use batnet_serve::{client, AccessLog, ServeConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -111,6 +119,14 @@ pub struct ServeChaosReport {
     pub probes: usize,
     /// Final `serve.rejected.*` accounting, by class.
     pub rejections: Vec<(String, u64)>,
+    /// Parsed requests served (`serve.requests.total` after drain).
+    pub requests: u64,
+    /// Request traces still retained in the ring after drain.
+    pub traces_retained: usize,
+    /// Request traces evicted from the (deliberately tiny) ring.
+    pub traces_evicted: u64,
+    /// Structured access-log lines captured by the sink.
+    pub access_lines: usize,
     /// Invariant violations (empty = pass).
     pub violations: Vec<String>,
 }
@@ -152,17 +168,23 @@ fn fixture_upload_body() -> String {
 }
 
 /// Runs the adversarial sweep against a fresh in-process server and
-/// checks the invariant-8 contract. The metrics window is reset first so
-/// the accounting identity is auditable from `/metricsz` alone.
+/// checks the invariant-8 and invariant-9 contracts. The metrics window
+/// is reset first so the accounting identity is auditable from
+/// `/metricsz` alone. The trace ring is sized far below the request
+/// count so invariant 9 exercises eviction accounting, not just
+/// retention.
 pub fn run_serve_chaos(cfg: &ServeChaosConfig) -> ServeChaosReport {
     let mut report = ServeChaosReport::default();
     batnet_obs::reset();
+    let (access_log, access_buf) = AccessLog::sink();
     let handle = match batnet_serve::spawn(ServeConfig {
         workers: 2,
         queue_depth: 8,
         io_timeout_ms: cfg.io_timeout_ms.max(50),
         max_body_bytes: 64 << 10,
         store_capacity: 4,
+        trace_ring_capacity: 4,
+        access_log,
         ..ServeConfig::default()
     }) {
         Ok(h) => h,
@@ -175,11 +197,14 @@ pub fn run_serve_chaos(cfg: &ServeChaosConfig) -> ServeChaosReport {
     };
     let addr = handle.addr();
     let t = Duration::from_secs(10);
+    // Invariant 9's evidence: the trace id of every well-behaved
+    // response we drive, to be matched against the ring later.
+    let mut trace_ids: Vec<String> = Vec::new();
 
     // A known-good snapshot, through the public upload path, so probes
     // exercise a real query.
     match client::post(addr, "/snapshots/chaos", fixture_upload_body().as_bytes(), t) {
-        Ok(r) if r.status == 201 => {}
+        Ok(r) if r.status == 201 => collect_trace_id(&r, "fixture upload", &mut trace_ids, &mut report),
         Ok(r) => report.violations.push(format!(
             "fixture upload: expected 201, got {}: {}",
             r.status,
@@ -204,14 +229,16 @@ pub fn run_serve_chaos(cfg: &ServeChaosConfig) -> ServeChaosReport {
             }
             report.connections += 1;
         }
-        probe(addr, t, &mut report);
+        probe(addr, t, &mut trace_ids, &mut report);
     }
     slow_loris_sweep(addr, cfg, t, &mut report);
-    probe(addr, t, &mut report);
+    probe(addr, t, &mut trace_ids, &mut report);
 
     // The listener still serves real work after the abuse.
     match client::get(addr, "/query/reach?snapshot=chaos&port=80", t) {
-        Ok(r) if r.status == 200 => {}
+        Ok(r) if r.status == 200 => {
+            collect_trace_id(&r, "post-abuse reach query", &mut trace_ids, &mut report)
+        }
         Ok(r) => report.violations.push(format!(
             "post-abuse reach query: expected 200, got {}: {}",
             r.status,
@@ -222,9 +249,58 @@ pub fn run_serve_chaos(cfg: &ServeChaosConfig) -> ServeChaosReport {
             .push(format!("post-abuse reach query: transport: {e}")),
     }
 
-    audit_metrics(addr, cfg, t, &mut report);
+    audit_metrics(addr, cfg, t, &mut trace_ids, &mut report);
+    audit_tracez(addr, t, &trace_ids, &mut report);
+
+    // Invariant 9, post-drain: the ring outlives the handle, so the
+    // final books are read with zero requests in flight.
+    let ring = handle.trace_ring();
     handle.shutdown();
+    let (retained, evicted) = ring.stats();
+    let requests = match batnet_obs::capture().metrics.get("serve.requests.total") {
+        Some(batnet_obs::metrics::MetricValue::Counter(n)) => *n,
+        _ => 0,
+    };
+    let access_lines = access_buf.lock().unwrap_or_else(|e| e.into_inner()).len();
+    report.requests = requests;
+    report.traces_retained = retained;
+    report.traces_evicted = evicted;
+    report.access_lines = access_lines;
+    if requests != retained as u64 + evicted {
+        report.violations.push(format!(
+            "trace books don't balance: requests.total={requests} but \
+             ring retained={retained} + evicted={evicted}"
+        ));
+    }
+    if access_lines as u64 != requests {
+        report.violations.push(format!(
+            "access log out of step: {access_lines} lines for {requests} requests"
+        ));
+    }
+    let missing = trace_ids.iter().filter(|id| !ring.contains(id)).count() as u64;
+    if missing > evicted {
+        report.violations.push(format!(
+            "{missing} collected trace id(s) absent from the ring but only \
+             {evicted} eviction(s) accounted"
+        ));
+    }
     report
+}
+
+/// Records a well-behaved response's trace id; a missing header is
+/// itself an invariant-9 violation.
+fn collect_trace_id(
+    r: &client::ClientResponse,
+    step: &str,
+    ids: &mut Vec<String>,
+    report: &mut ServeChaosReport,
+) {
+    match r.header("X-Batnet-Trace-Id") {
+        Some(id) => ids.push(id.to_string()),
+        None => report
+            .violations
+            .push(format!("{step}: response missing X-Batnet-Trace-Id")),
+    }
 }
 
 /// One adversarial connection. Returns `Err` only for harness-side
@@ -359,11 +435,20 @@ fn slow_loris_sweep(
 }
 
 /// A well-behaved client interleaved with the abuse: the listener must
-/// answer it normally no matter what the adversaries are doing.
-fn probe(addr: SocketAddr, t: Duration, report: &mut ServeChaosReport) {
+/// answer it normally — and trace it — no matter what the adversaries
+/// are doing.
+fn probe(
+    addr: SocketAddr,
+    t: Duration,
+    trace_ids: &mut Vec<String>,
+    report: &mut ServeChaosReport,
+) {
     report.probes += 1;
     match client::get(addr, "/healthz", t) {
-        Ok(r) if r.status == 200 => {}
+        Ok(r) if r.status == 200 => {
+            let step = format!("interleaved probe #{}", report.probes);
+            collect_trace_id(&r, &step, trace_ids, report);
+        }
         Ok(r) => report.violations.push(format!(
             "interleaved probe #{}: healthz answered {}",
             report.probes, r.status
@@ -384,6 +469,7 @@ fn audit_metrics(
     addr: SocketAddr,
     cfg: &ServeChaosConfig,
     t: Duration,
+    trace_ids: &mut Vec<String>,
     report: &mut ServeChaosReport,
 ) {
     let n = cfg.seeds.len() as u64;
@@ -397,7 +483,10 @@ fn audit_metrics(
     for _ in 0..80 {
         let counters = match client::get(addr, "/metricsz", t) {
             Ok(r) if r.status == 200 => match r.json() {
-                Ok(v) => v,
+                Ok(v) => {
+                    collect_trace_id(&r, "metricsz audit", trace_ids, report);
+                    v
+                }
                 Err(e) => {
                     report
                         .violations
@@ -469,12 +558,74 @@ fn audit_metrics(
         .push(format!("metrics never balanced: {last}"));
 }
 
+/// Invariant 9, live half: `/tracez` must answer validator-clean, and
+/// every trace id we collected must be either retained in the document
+/// or covered by its eviction counter. (The exact post-drain identity
+/// is checked against the ring itself in [`run_serve_chaos`].)
+fn audit_tracez(
+    addr: SocketAddr,
+    t: Duration,
+    trace_ids: &[String],
+    report: &mut ServeChaosReport,
+) {
+    let doc = match client::get(addr, "/tracez", t) {
+        Ok(r) if r.status == 200 => match r.json() {
+            Ok(v) => v,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("tracez does not parse as JSON: {e}"));
+                return;
+            }
+        },
+        Ok(r) => {
+            report.violations.push(format!("tracez answered {}", r.status));
+            return;
+        }
+        Err(e) => {
+            report.violations.push(format!("tracez: transport: {e}"));
+            return;
+        }
+    };
+    if let Err(e) = batnet_obs::report::validate_tracez(&doc) {
+        report.violations.push(format!("tracez INVALID: {e}"));
+        return;
+    }
+    let retained: std::collections::BTreeSet<&str> = doc
+        .get("traces")
+        .and_then(batnet_obs::json::Value::as_arr)
+        .map(|traces| {
+            traces
+                .iter()
+                .filter_map(|tr| {
+                    tr.get("trace_id").and_then(batnet_obs::json::Value::as_str)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let evicted = doc
+        .get("evicted")
+        .and_then(batnet_obs::json::Value::as_f64)
+        .unwrap_or(0.0) as u64;
+    let missing = trace_ids
+        .iter()
+        .filter(|id| !retained.contains(id.as_str()))
+        .count() as u64;
+    if missing > evicted {
+        report.violations.push(format!(
+            "tracez: {missing} collected id(s) unretained but only {evicted} \
+             eviction(s) accounted"
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// A short sweep upholds the whole contract: no panics, exact
-    /// rejection accounting, the listener alive throughout.
+    /// rejection accounting, the listener alive throughout, and the
+    /// trace books balanced through forced ring eviction.
     #[test]
     fn short_adversarial_sweep_passes() {
         let report = run_serve_chaos(&ServeChaosConfig {
@@ -488,5 +639,17 @@ mod tests {
             .rejections
             .iter()
             .all(|(_, n)| *n > 0));
+        // Invariant 9 actually exercised eviction, and its identity held
+        // (a violation would have tripped the empty-violations assert).
+        assert!(report.requests > 0, "no parsed requests counted");
+        assert!(
+            report.traces_evicted > 0,
+            "the tiny ring never evicted — the sweep didn't stress it"
+        );
+        assert_eq!(
+            report.requests,
+            report.traces_retained as u64 + report.traces_evicted
+        );
+        assert_eq!(report.access_lines as u64, report.requests);
     }
 }

@@ -122,6 +122,7 @@ mod tests {
             parent,
             start_ns: start,
             dur_ns: dur,
+            tid: 0,
         }
     }
 

@@ -1,36 +1,58 @@
 //! Validates batnet observability JSON files against the schema.
 //!
 //! ```text
-//! obs-validate [--kind bench|report] FILE...
+//! obs-validate [--kind bench|report|tracez] FILE...
 //! ```
 //!
 //! `--kind bench` (default for `BENCH_*.json` names) checks the stable
 //! `{bench, network, stage, ms, meta}` row schema plus the embedded run
-//! report; `--kind report` checks a bare run report. Exits non-zero on
-//! the first invalid file, so `make ci` fails on schema drift.
+//! report; `--kind report` checks a bare run report; `--kind tracez`
+//! (default for `tracez*.json` names) checks a serve `/tracez` dump of
+//! per-request traces. Exits non-zero on the first invalid file, so
+//! `make ci` fails on schema drift.
 
 use batnet_obs::json;
-use batnet_obs::report::{validate_bench, validate_run_report};
+use batnet_obs::report::{validate_bench, validate_run_report, validate_tracez};
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Bench,
+    Report,
+    Tracez,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Bench => "bench schema",
+            Kind::Report => "run report",
+            Kind::Tracez => "tracez dump",
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let mut kind: Option<String> = None;
+    let mut kind: Option<Kind> = None;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--kind" => match args.next() {
-                Some(k) if k == "bench" || k == "report" => kind = Some(k),
+            "--kind" => match args.next().as_deref() {
+                Some("bench") => kind = Some(Kind::Bench),
+                Some("report") => kind = Some(Kind::Report),
+                Some("tracez") => kind = Some(Kind::Tracez),
                 _ => {
-                    eprintln!("--kind wants 'bench' or 'report'");
+                    eprintln!("--kind wants 'bench', 'report', or 'tracez'");
                     return ExitCode::from(2);
                 }
             },
+            "--tracez" => kind = Some(Kind::Tracez),
             other => files.push(other.to_string()),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: obs-validate [--kind bench|report] FILE...");
+        eprintln!("usage: obs-validate [--kind bench|report|tracez] FILE...");
         return ExitCode::from(2);
     }
     for file in &files {
@@ -48,24 +70,23 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let is_bench = match kind.as_deref() {
-            Some("bench") => true,
-            Some(_) => false,
-            None => {
-                let base = file.rsplit('/').next().unwrap_or(file);
-                base.starts_with("BENCH_")
+        let resolved = kind.unwrap_or_else(|| {
+            let base = file.rsplit('/').next().unwrap_or(file);
+            if base.starts_with("BENCH_") {
+                Kind::Bench
+            } else if base.starts_with("tracez") {
+                Kind::Tracez
+            } else {
+                Kind::Report
             }
-        };
-        let result = if is_bench {
-            validate_bench(&value)
-        } else {
-            validate_run_report(&value)
+        });
+        let result = match resolved {
+            Kind::Bench => validate_bench(&value),
+            Kind::Report => validate_run_report(&value),
+            Kind::Tracez => validate_tracez(&value),
         };
         match result {
-            Ok(()) => println!(
-                "obs-validate: {file}: OK ({})",
-                if is_bench { "bench schema" } else { "run report" }
-            ),
+            Ok(()) => println!("obs-validate: {file}: OK ({})", resolved.label()),
             Err(e) => {
                 eprintln!("obs-validate: {file}: INVALID: {e}");
                 return ExitCode::FAILURE;

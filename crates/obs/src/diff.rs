@@ -365,6 +365,7 @@ pub fn diff_reports(base: &Value, new: &Value, opts: &DiffOptions) -> Result<Dif
                 parent,
                 start_ns: node.start_ns,
                 dur_ns: Some(node.dur_ns),
+                tid: 0,
             });
             for c in &node.children {
                 push(c, Some(idx), flat);

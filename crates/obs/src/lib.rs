@@ -8,7 +8,9 @@
 //!
 //! * **Spans** ([`span`]) — RAII wall-clock timing with nesting, cheap
 //!   enough to be always-on. Every pipeline stage (`snapshot.parse`,
-//!   `route.simulate`, `graph.build`, `reach.*`) opens a span.
+//!   `route.simulate`, `graph.build`, `reach.*`) opens a span. Work
+//!   that fans out to worker threads carries a [`span::SpanContext`]
+//!   across, so cross-thread spans keep their logical parent.
 //! * **Metrics** ([`metrics`]) — a typed registry of counters, gauges,
 //!   and log2-bucketed histograms fed from the stages: parse line
 //!   coverage per dialect, routing sweeps and RIB deltas, BDD node
@@ -33,15 +35,25 @@
 //!   bench files or run reports (`max(k·MAD, pct·base, abs floor)`
 //!   thresholds); the `obs-diff` bin is the CI gate built on it.
 //!
+//! The recorder is sharded per OS thread ([`shard`]): recording touches
+//! only the calling thread's state, so concurrent workers never
+//! serialize on a global lock, and [`report::capture`] performs a
+//! deterministic merge (spans by global open order, counters summed,
+//! gauges by write stamp, events by timestamp). A single-threaded run
+//! has one shard, so its reports are byte-identical with the
+//! pre-sharding recorder — pinned by the committed golden fixture.
+//!
 //! All state is process-global and reset with [`reset`]: a *run* is
-//! "reset → build snapshot → analyze → [`report::capture`]". The
-//! recorder is thread-safe (spans opened on worker threads become roots
-//! of their own subtrees), but `reset` must not race with open spans —
-//! call it only at orchestration points.
+//! "reset → build snapshot → analyze → [`report::capture`]". `reset`
+//! must not race with open spans or in-flight requests — call it only
+//! at orchestration points.
 //!
 //! Timing discipline: a workspace clippy gate disallows
 //! `std::time::Instant::now` everywhere else, so all timing flows
-//! through [`clock::now`] or spans and is therefore observable.
+//! through [`clock::now`] or spans and is therefore observable. A
+//! second gate bans `.lock().unwrap()` in this crate: every recorder
+//! lock recovers from poisoning (`PoisonError::into_inner`), because a
+//! contained panic in a serve worker must never disable telemetry.
 
 pub mod attr;
 pub mod clock;
@@ -50,6 +62,7 @@ pub mod json;
 pub mod mem;
 pub mod metrics;
 pub mod report;
+pub(crate) mod shard;
 pub mod span;
 pub mod trace;
 
@@ -57,12 +70,13 @@ pub use clock::now;
 pub use mem::{MemStats, MemWindow};
 pub use metrics::{counter_add, event, gauge_set, observe};
 pub use report::{capture, RunReport};
-pub use span::Span;
+pub use span::{take_tree, Span, SpanContext};
 
 /// Clears all recorded spans, metrics, and events and restarts the run
 /// epoch. Call at the start of a run (harness iteration, chaos run,
 /// test); must not race with open spans.
 pub fn reset() {
-    span::reset_spans();
-    metrics::reset_metrics();
+    shard::reset_all();
+    shard::reset_epoch();
+    span::reset_local_stack();
 }

@@ -167,7 +167,7 @@ impl RunReport {
             json::write_str(&mut out, v);
         }
         out.push_str("}, \"spans\": ");
-        self.write_span_forest(&mut out);
+        write_span_forest(&self.spans, &mut out);
         out.push_str(", \"metrics\": {");
         for (i, (name, value)) in self.metrics.iter().enumerate() {
             if i > 0 {
@@ -242,49 +242,55 @@ impl RunReport {
         out
     }
 
-    fn write_span_forest(&self, out: &mut String) {
-        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
-        let mut roots: Vec<usize> = Vec::new();
-        for (i, s) in self.spans.iter().enumerate() {
-            match s.parent {
-                Some(p) if p < self.spans.len() => children[p].push(i),
-                _ => roots.push(i),
-            }
-        }
-        let self_ns = crate::attr::self_times_ns(&self.spans);
-        self.write_span_list(out, &roots, &children, &self_ns);
-    }
+}
 
-    fn write_span_list(
-        &self,
-        out: &mut String,
-        idxs: &[usize],
-        children: &[Vec<usize>],
-        self_ns: &[u64],
-    ) {
-        out.push('[');
-        for (i, &idx) in idxs.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let s = &self.spans[idx];
-            out.push_str("{\"name\": ");
-            json::write_str(out, &s.name);
-            out.push_str(", \"start_ms\": ");
-            json::write_f64(out, ms(s.start_ns));
-            out.push_str(", \"ms\": ");
-            match s.dur_ns {
-                Some(d) => json::write_f64(out, ms(d)),
-                None => out.push_str("null"),
-            }
-            out.push_str(", \"self_ms\": ");
-            json::write_f64(out, ms(self_ns[idx]));
-            out.push_str(", \"children\": ");
-            self.write_span_list(out, &children[idx], children, self_ns);
-            out.push('}');
+/// Serializes a flat span list as the nested schema-1 forest
+/// (`{name, start_ms, ms, self_ms, children}`). This is the report's
+/// own `"spans"` renderer, exposed so other producers of span trees —
+/// the serve `/tracez` endpoint's per-request traces — emit the exact
+/// same shape and validate with the same code.
+pub fn write_span_forest(spans: &[SpanRecord], out: &mut String) {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent {
+            Some(p) if p < spans.len() => children[p].push(i),
+            _ => roots.push(i),
         }
-        out.push(']');
     }
+    let self_ns = crate::attr::self_times_ns(spans);
+    write_span_list(spans, out, &roots, &children, &self_ns);
+}
+
+fn write_span_list(
+    spans: &[SpanRecord],
+    out: &mut String,
+    idxs: &[usize],
+    children: &[Vec<usize>],
+    self_ns: &[u64],
+) {
+    out.push('[');
+    for (i, &idx) in idxs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let s = &spans[idx];
+        out.push_str("{\"name\": ");
+        json::write_str(out, &s.name);
+        out.push_str(", \"start_ms\": ");
+        json::write_f64(out, ms(s.start_ns));
+        out.push_str(", \"ms\": ");
+        match s.dur_ns {
+            Some(d) => json::write_f64(out, ms(d)),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"self_ms\": ");
+        json::write_f64(out, ms(self_ns[idx]));
+        out.push_str(", \"children\": ");
+        write_span_list(spans, out, &children[idx], children, self_ns);
+        out.push('}');
+    }
+    out.push(']');
 }
 
 fn write_metric(out: &mut String, value: &MetricValue) {
@@ -433,7 +439,10 @@ pub fn validate_run_report(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
-fn validate_span(s: &Value) -> Result<(), String> {
+/// Validates one node of a schema-1 span forest (recursively). Public
+/// because `/tracez` documents embed per-request span forests in the
+/// same shape.
+pub fn validate_span(s: &Value) -> Result<(), String> {
     if s.get("name").and_then(Value::as_str).is_none() {
         return Err("span missing string \"name\"".to_string());
     }
@@ -456,6 +465,71 @@ fn validate_span(s: &Value) -> Result<(), String> {
         .ok_or("span missing array \"children\"")?;
     for c in children {
         validate_span(c)?;
+    }
+    Ok(())
+}
+
+/// Validates a serve `/tracez` document: schema 1, ring accounting
+/// (`capacity` > 0, `evicted` ≥ 0), and per-request trace entries with
+/// a non-empty trace id, request identity, non-negative timing fields,
+/// and a valid span forest.
+pub fn validate_tracez(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_f64)
+        .ok_or("missing numeric \"schema\"")?;
+    if schema != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema drift: expected {SCHEMA_VERSION}, found {schema}"
+        ));
+    }
+    match v.get("capacity").and_then(Value::as_f64) {
+        Some(c) if c >= 1.0 => {}
+        _ => return Err("missing positive numeric \"capacity\"".to_string()),
+    }
+    match v.get("evicted").and_then(Value::as_f64) {
+        Some(e) if e >= 0.0 => {}
+        _ => return Err("missing non-negative numeric \"evicted\"".to_string()),
+    }
+    let traces = v
+        .get("traces")
+        .and_then(Value::as_arr)
+        .ok_or("missing array \"traces\"")?;
+    for (i, t) in traces.iter().enumerate() {
+        match t.get("trace_id").and_then(Value::as_str) {
+            Some(id) if !id.is_empty() => {}
+            _ => return Err(format!("trace {i}: missing non-empty \"trace_id\"")),
+        }
+        for k in ["method", "path"] {
+            match t.get(k).and_then(Value::as_str) {
+                Some(s) if !s.is_empty() => {}
+                _ => return Err(format!("trace {i}: missing non-empty \"{k}\"")),
+            }
+        }
+        match t.get("status").and_then(Value::as_f64) {
+            Some(s) if (100.0..600.0).contains(&s) => {}
+            _ => return Err(format!("trace {i}: \"status\" must be an HTTP status")),
+        }
+        for k in ["queue_wait_ms", "handler_ms"] {
+            match t.get(k).and_then(Value::as_f64) {
+                Some(n) if n >= 0.0 => {}
+                _ => return Err(format!("trace {i}: missing non-negative \"{k}\"")),
+            }
+        }
+        match t.get("deadline_ms") {
+            Some(Value::Num(_)) | Some(Value::Null) | None => {}
+            _ => return Err(format!("trace {i}: \"deadline_ms\" must be number or null")),
+        }
+        if !matches!(t.get("partial"), Some(Value::Bool(_))) {
+            return Err(format!("trace {i}: missing boolean \"partial\""));
+        }
+        let spans = t
+            .get("spans")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("trace {i}: missing array \"spans\""))?;
+        for s in spans {
+            validate_span(s).map_err(|e| format!("trace {i}: {e}"))?;
+        }
     }
     Ok(())
 }
@@ -570,6 +644,29 @@ mod tests {
         let missing = good.replace("\"quarantined\": []", "\"quarantined\": 5");
         let v = json::parse(&missing).expect("parses");
         assert!(validate_run_report(&v).is_err());
+    }
+
+    #[test]
+    fn tracez_schema_validates() {
+        let doc = r#"{"schema": 1, "capacity": 256, "evicted": 3, "traces": [
+          {"trace_id": "9a1b2c3d4e5f6071", "method": "GET", "path": "/healthz",
+           "status": 200, "queue_wait_ms": 0.25, "handler_ms": 1.5,
+           "deadline_ms": null, "partial": false,
+           "spans": [{"name": "serve.request", "start_ms": 0, "ms": 1.5,
+                      "self_ms": 1.5, "children": []}]}]}"#;
+        let v = json::parse(doc).expect("parses");
+        validate_tracez(&v).expect("valid tracez document");
+        for (needle, replacement, what) in [
+            (r#""trace_id": "9a1b2c3d4e5f6071""#, r#""trace_id": """#, "empty trace id"),
+            (r#""status": 200"#, r#""status": 42"#, "non-HTTP status"),
+            (r#""queue_wait_ms": 0.25"#, r#""queue_wait_ms": -1"#, "negative wait"),
+            (r#""partial": false"#, r#""partial": "no""#, "non-boolean partial"),
+            (r#""capacity": 256"#, r#""capacity": 0"#, "zero capacity"),
+        ] {
+            let bad = doc.replace(needle, replacement);
+            let v = json::parse(&bad).expect("parses");
+            assert!(validate_tracez(&v).is_err(), "{what} must fail");
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The sharded recorder backbone: one telemetry shard per OS thread.
+//!
+//! Every recording call (`Span::enter`/close, `counter_add`, `observe`,
+//! `event`) touches only its own thread's shard — an uncontended
+//! `Mutex` reached through a `thread_local!` handle — so concurrent
+//! workers never serialize on a global lock. The global pieces are all
+//! lock-free on the hot path: the run epoch is an atomic nanosecond
+//! offset, span identities come from one atomic counter, and the shard
+//! registry's mutex is taken only on first use per thread and at
+//! capture/reset time.
+//!
+//! `capture()` performs the deterministic merge: every shard is locked
+//! briefly (one at a time), cloned, and the pieces are combined in a
+//! stable order — spans by their globally unique open sequence, metrics
+//! name-wise (counters sum, histograms add bucket-wise, gauges resolve
+//! by write stamp), events by timestamp with shard registration order
+//! as the tie-break. A single-threaded run has exactly one shard, so
+//! the merge is the identity and reports stay byte-identical with the
+//! pre-sharding recorder.
+//!
+//! Shards are owned by `Arc` from the registry, so a worker thread that
+//! exits before capture leaves its recorded data behind for the merge
+//! (the thread-local handle only drops its own reference).
+
+use crate::clock;
+use crate::metrics::{Event, MetricSlot};
+use crate::span::SpanSlot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Everything one thread records between resets.
+#[derive(Default)]
+pub(crate) struct ShardData {
+    /// Spans in open order (closing rewrites `dur_ns` in place).
+    pub spans: Vec<SpanSlot>,
+    /// This thread's slice of the metrics registry.
+    pub metrics: BTreeMap<String, MetricSlot>,
+    /// This thread's events, capped per shard.
+    pub events: Vec<Event>,
+    /// Events beyond the per-shard retention cap.
+    pub events_dropped: u64,
+}
+
+/// One thread's shard: its registration sequence (the stable `tid` in
+/// merged records and exported traces) plus the data behind an
+/// uncontended lock.
+pub(crate) struct Shard {
+    /// Registration order, dense from 0. The merge and the Chrome-trace
+    /// exporter use it as the OS-thread identity.
+    pub seq: u64,
+    data: Mutex<ShardData>,
+}
+
+impl Shard {
+    /// Locks this shard's data, recovering from poisoning: a panic on
+    /// some thread mid-record must never disable telemetry for the
+    /// rest of the process (serve workers run under `catch_unwind`).
+    pub fn lock(&self) -> MutexGuard<'_, ShardData> {
+        self.data.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static R: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn registry_lock() -> MutexGuard<'static, Vec<Arc<Shard>>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static LOCAL: std::cell::OnceCell<Arc<Shard>> = const { std::cell::OnceCell::new() };
+}
+
+/// Runs `f` on the calling thread's shard, registering it on first use.
+pub(crate) fn with_local<R>(f: impl FnOnce(&Arc<Shard>) -> R) -> R {
+    LOCAL.with(|cell| {
+        let shard = cell.get_or_init(|| {
+            let mut reg = registry_lock();
+            let shard = Arc::new(Shard {
+                seq: reg.len() as u64,
+                data: Mutex::new(ShardData::default()),
+            });
+            reg.push(Arc::clone(&shard));
+            shard
+        });
+        f(shard)
+    })
+}
+
+/// A snapshot of every registered shard, in registration order.
+pub(crate) fn all() -> Vec<Arc<Shard>> {
+    registry_lock().clone()
+}
+
+/// Clears every shard's data (the registry itself is kept: threads stay
+/// registered, their next record simply starts a fresh window).
+pub(crate) fn reset_all() {
+    for shard in all() {
+        let mut data = shard.lock();
+        data.spans.clear();
+        data.metrics.clear();
+        data.events.clear();
+        data.events_dropped = 0;
+    }
+}
+
+fn process_epoch() -> Instant {
+    static E: OnceLock<Instant> = OnceLock::new();
+    *E.get_or_init(clock::now)
+}
+
+static RUN_OFFSET_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Nanoseconds from the current run epoch to `at`. Lock-free: the run
+/// epoch is an atomic offset from a fixed process epoch.
+pub(crate) fn run_ns(at: Instant) -> u64 {
+    let since_process = at
+        .saturating_duration_since(process_epoch())
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
+    since_process.saturating_sub(RUN_OFFSET_NS.load(Ordering::Relaxed))
+}
+
+/// Restarts the run epoch at "now".
+pub(crate) fn reset_epoch() {
+    let since_process = clock::now()
+        .saturating_duration_since(process_epoch())
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
+    RUN_OFFSET_NS.store(since_process, Ordering::Relaxed);
+}

@@ -3,21 +3,30 @@
 //! A [`Span`] records one named region of work. Nesting is tracked per
 //! thread (a span opened while another is open on the same thread
 //! becomes its child), so the pipeline's natural call structure becomes
-//! the report's span tree. Spans opened on worker threads have no
-//! parent and appear as additional roots — coarse-grained stages are
-//! opened on the orchestrating thread, so in practice the tree mirrors
-//! the pipeline.
+//! the report's span tree. Cross-thread structure is explicit: a span
+//! hands out a cheap, `Send` [`SpanContext`], and a worker thread that
+//! opens its span with [`Span::enter_with_parent`] attaches under that
+//! logical parent even though it records into its own thread's shard.
+//! A worker span opened without a context stays a root of its own tree.
 //!
-//! Cost model: one mutex lock at open and one at close. Spans wrap
-//! *stages* (parse, route, graph build, one reach query), not inner
-//! loops, so the recorder never becomes a hot path.
+//! Cost model: every open and close touches only the calling thread's
+//! shard (an uncontended mutex) plus one relaxed atomic fetch for the
+//! globally unique open sequence. Spans wrap *stages* (parse, route,
+//! graph build, one reach query, one served request), not inner loops,
+//! so the recorder never becomes a hot path. The merge that produces a
+//! flat [`SpanRecord`] list happens only at capture: records sort by
+//! open sequence, which is the single-thread open order and is always
+//! topological (a parent is open — hence sequenced — before any child).
 
 use crate::clock;
+use crate::shard::{self, Shard};
 use std::cell::RefCell;
-use std::sync::{Mutex, OnceLock};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One finished-or-open span as recorded.
+/// One finished-or-open span as recorded, after the capture-time merge.
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
     /// Span name, e.g. `route.simulate`.
@@ -28,38 +37,43 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds; `None` while the span is still open.
     pub dur_ns: Option<u64>,
+    /// The recording OS thread (shard registration order, dense from
+    /// 0). The Chrome-trace exporter renders one track per value.
+    pub tid: u64,
 }
 
-struct State {
-    epoch: Instant,
-    generation: u64,
-    spans: Vec<SpanRecord>,
+/// One span as stored in its thread's shard: identities are global
+/// open-sequence numbers, so cross-thread parent links need no shared
+/// index space.
+#[derive(Clone, Debug)]
+pub(crate) struct SpanSlot {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub start_ns: u64,
+    pub dur_ns: Option<u64>,
 }
 
-fn state() -> &'static Mutex<State> {
-    static S: OnceLock<Mutex<State>> = OnceLock::new();
-    S.get_or_init(|| {
-        Mutex::new(State {
-            epoch: clock::now(),
-            generation: 0,
-            spans: Vec::new(),
-        })
-    })
-}
-
-fn lock() -> std::sync::MutexGuard<'static, State> {
-    state().lock().unwrap_or_else(|e| e.into_inner())
-}
+/// The globally unique, monotone open sequence. One relaxed fetch per
+/// span open; never reset, so merged order is stable across resets.
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A cheap, `Send + Copy` handle to an open (or closed) span, used to
+/// parent work that continues on another thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanContext {
+    id: u64,
 }
 
 /// An open span; closing (drop or [`Span::close`]) records the
 /// duration.
 pub struct Span {
-    idx: usize,
-    generation: u64,
+    shard: Arc<Shard>,
+    id: u64,
     start: Instant,
 }
 
@@ -67,25 +81,40 @@ impl Span {
     /// Opens a span. The parent is the innermost span still open on
     /// this thread.
     pub fn enter(name: impl Into<String>) -> Span {
-        let start = clock::now();
-        let mut st = lock();
         let parent = STACK.with(|s| s.borrow().last().copied());
-        let idx = st.spans.len();
-        let start_ns = start.saturating_duration_since(st.epoch).as_nanos() as u64;
-        st.spans.push(SpanRecord {
-            name: name.into(),
-            parent,
-            start_ns,
-            dur_ns: None,
+        Span::open(name.into(), parent)
+    }
+
+    /// Opens a span under an explicit parent — the cross-thread form:
+    /// capture [`Span::context`] on the spawning thread, move it into
+    /// the worker, and the worker's span (and everything nested inside
+    /// it on that thread) attaches under the logical parent.
+    pub fn enter_with_parent(name: impl Into<String>, ctx: SpanContext) -> Span {
+        Span::open(name.into(), Some(ctx.id))
+    }
+
+    fn open(name: String, parent: Option<u64>) -> Span {
+        let start = clock::now();
+        let start_ns = shard::run_ns(start);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let shard = shard::with_local(|s| {
+            s.lock().spans.push(SpanSlot {
+                id,
+                parent,
+                name,
+                start_ns,
+                dur_ns: None,
+            });
+            Arc::clone(s)
         });
-        let generation = st.generation;
-        drop(st);
-        STACK.with(|s| s.borrow_mut().push(idx));
-        Span {
-            idx,
-            generation,
-            start,
-        }
+        STACK.with(|s| s.borrow_mut().push(id));
+        Span { shard, id, start }
+    }
+
+    /// This span's context: `Copy`, `Send`, and valid until the next
+    /// [`crate::reset`] (after which children simply become roots).
+    pub fn context(&self) -> SpanContext {
+        SpanContext { id: self.id }
     }
 
     /// Wall clock since this span opened (the span stays open).
@@ -106,42 +135,114 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let dur = self.start.elapsed();
-        let mut st = lock();
-        // A reset between enter and drop invalidates the index; skip.
-        if st.generation == self.generation {
-            if let Some(rec) = st.spans.get_mut(self.idx) {
-                rec.dur_ns = Some(dur.as_nanos() as u64);
-            }
+        let mut data = self.shard.lock();
+        // Closes are LIFO in practice, so the reverse scan is O(1)-ish;
+        // a reset (or a `take_tree`) between enter and drop removes the
+        // slot, and the close becomes a no-op instead of resurrecting.
+        if let Some(slot) = data.spans.iter_mut().rev().find(|s| s.id == self.id) {
+            slot.dur_ns = Some(dur.as_nanos().min(u64::MAX as u128) as u64);
         }
-        drop(st);
-        let idx = self.idx;
+        drop(data);
+        let id = self.id;
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            if let Some(pos) = stack.iter().rposition(|&i| i == idx) {
+            if let Some(pos) = stack.iter().rposition(|&i| i == id) {
                 stack.remove(pos);
             }
         });
     }
 }
 
-/// Snapshot of every span recorded since the last reset.
-pub(crate) fn snapshot_spans() -> Vec<SpanRecord> {
-    lock().spans.clone()
+/// Merges `(tid, slot)` pairs into the flat, index-parented record list
+/// every consumer (report, attr, trace) works on. Sorting by the open
+/// sequence makes the order deterministic, topological (parents before
+/// children), and — for a single-threaded run — exactly the open order.
+fn merge_slots(mut slots: Vec<(u64, SpanSlot)>) -> Vec<SpanRecord> {
+    slots.sort_by_key(|(_, s)| s.id);
+    let index: std::collections::HashMap<u64, usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, (_, s))| (s.id, i))
+        .collect();
+    slots
+        .iter()
+        .map(|(tid, s)| SpanRecord {
+            name: s.name.clone(),
+            parent: s.parent.and_then(|p| index.get(&p).copied()),
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+            tid: *tid,
+        })
+        .collect()
 }
 
-/// Clears recorded spans and restarts the epoch.
-pub(crate) fn reset_spans() {
-    let mut st = lock();
-    st.epoch = clock::now();
-    st.generation += 1;
-    st.spans.clear();
-    drop(st);
+/// Snapshot of every span recorded since the last reset, merged across
+/// all thread shards.
+pub(crate) fn snapshot_spans() -> Vec<SpanRecord> {
+    let mut slots: Vec<(u64, SpanSlot)> = Vec::new();
+    for sh in shard::all() {
+        let data = sh.lock();
+        slots.extend(data.spans.iter().map(|s| (sh.seq, s.clone())));
+    }
+    merge_slots(slots)
+}
+
+/// Removes the subtree rooted at `ctx` from the recorder and returns it
+/// as a self-contained record list (the root's parent becomes `None`).
+/// This is how long-running services keep per-request span trees out of
+/// the ever-growing global capture: close the request's root span, then
+/// take its tree into a bounded ring. Call only after the tree has
+/// fully closed; a span still being recorded concurrently into the
+/// subtree may be missed (it becomes a root in the next capture).
+pub fn take_tree(ctx: SpanContext) -> Vec<SpanRecord> {
+    let shards = shard::all();
+    // Pass 1: membership. Ids sort topologically, so one forward scan
+    // over (id, parent) pairs closes the descendant set.
+    let mut pairs: Vec<(u64, Option<u64>)> = Vec::new();
+    for sh in &shards {
+        let data = sh.lock();
+        pairs.extend(data.spans.iter().map(|s| (s.id, s.parent)));
+    }
+    pairs.sort_unstable_by_key(|&(id, _)| id);
+    let mut keep: BTreeSet<u64> = BTreeSet::new();
+    for (id, parent) in pairs {
+        if id == ctx.id || parent.is_some_and(|p| keep.contains(&p)) {
+            keep.insert(id);
+        }
+    }
+    if keep.is_empty() {
+        return Vec::new();
+    }
+    // Pass 2: extraction, one shard at a time.
+    let mut taken: Vec<(u64, SpanSlot)> = Vec::new();
+    for sh in &shards {
+        let mut data = sh.lock();
+        if data.spans.iter().all(|s| !keep.contains(&s.id)) {
+            continue;
+        }
+        let mut remaining = Vec::with_capacity(data.spans.len());
+        for slot in std::mem::take(&mut data.spans) {
+            if keep.contains(&slot.id) {
+                taken.push((sh.seq, slot));
+            } else {
+                remaining.push(slot);
+            }
+        }
+        data.spans = remaining;
+    }
+    merge_slots(taken)
+}
+
+/// Clears the calling thread's nesting stack (part of [`crate::reset`]):
+/// spans still open across a reset must not parent post-reset spans.
+pub(crate) fn reset_local_stack() {
     STACK.with(|s| s.borrow_mut().clear());
 }
 
 #[cfg(test)]
 pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
     // Serializes tests that reset the global recorder.
+    use std::sync::{Mutex, OnceLock};
     static G: OnceLock<Mutex<()>> = OnceLock::new();
     G.get_or_init(|| Mutex::new(()))
         .lock()
@@ -178,8 +279,10 @@ mod tests {
         assert!(spans.iter().all(|s| s.dur_ns.is_some()));
         assert!(spans[a].start_ns >= spans[root].start_ns);
         assert!(spans[b].start_ns >= spans[a].start_ns);
+        // A single-threaded run records everything on one shard.
+        assert!(spans.iter().all(|s| s.tid == spans[root].tid));
         // Children close within (or equal to) the parent's window.
-        let end = |i: usize| spans[i].start_ns + spans[i].dur_ns.unwrap();
+        let end = |i: usize| spans[i].start_ns + spans[i].dur_ns.expect("closed");
         assert!(end(c) <= end(root));
     }
 
@@ -208,7 +311,7 @@ mod tests {
     }
 
     #[test]
-    fn worker_thread_spans_are_roots() {
+    fn worker_thread_spans_without_context_are_roots() {
         let _g = test_guard();
         crate::reset();
         let _root = Span::enter("main-thread");
@@ -219,6 +322,58 @@ mod tests {
         .expect("worker thread");
         let spans = snapshot_spans();
         let w = spans.iter().find(|s| s.name == "worker").expect("worker");
-        assert_eq!(w.parent, None, "cross-thread spans do not inherit parents");
+        assert_eq!(w.parent, None, "no context, no inherited parent");
+    }
+
+    #[test]
+    fn context_parents_across_threads() {
+        let _g = test_guard();
+        crate::reset();
+        let root = Span::enter("orchestrator");
+        let ctx = root.context();
+        std::thread::spawn(move || {
+            let w = Span::enter_with_parent("worker", ctx);
+            // Plain nesting continues under the adopted parent.
+            let _inner = Span::enter("worker.inner");
+            drop(_inner);
+            drop(w);
+        })
+        .join()
+        .expect("worker thread");
+        drop(root);
+        let spans = snapshot_spans();
+        let by_name = |n: &str| spans.iter().position(|s| s.name == n).expect(n);
+        let (o, w, i) = (
+            by_name("orchestrator"),
+            by_name("worker"),
+            by_name("worker.inner"),
+        );
+        assert_eq!(spans[w].parent, Some(o), "worker attaches under its context");
+        assert_eq!(spans[i].parent, Some(w), "nesting continues on the worker");
+        assert_ne!(spans[o].tid, spans[w].tid, "distinct OS threads, distinct tids");
+        assert_eq!(spans[w].tid, spans[i].tid);
+    }
+
+    #[test]
+    fn take_tree_extracts_and_removes_subtree() {
+        let _g = test_guard();
+        crate::reset();
+        let _stay = Span::enter("background");
+        let ctx = {
+            let req = Span::enter("request");
+            let _child = Span::enter("request.child");
+            req.context()
+        };
+        let tree = take_tree(ctx);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[0].name, "request");
+        assert_eq!(tree[0].parent, None, "extracted root is re-rooted");
+        assert_eq!(tree[1].parent, Some(0));
+        // The background span stays; the request subtree is gone.
+        let left = snapshot_spans();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].name, "background");
+        // Taking the same tree again yields nothing.
+        assert!(take_tree(ctx).is_empty());
     }
 }

@@ -1,0 +1,193 @@
+//! Concurrency guarantees of the sharded recorder.
+//!
+//! Three contracts from the sharding refactor, exercised end to end:
+//! no lost updates under parallel recording (exact span counts and
+//! histogram totals after the merge), cross-thread spans parented under
+//! their logical `SpanContext` parent in both the JSON forest and the
+//! exported Chrome trace, and telemetry that survives a contained panic
+//! (serve workers run handlers under `catch_unwind`; a panic mid-record
+//! must never poison the recorder for the rest of the process).
+//!
+//! Byte-level stability of single-threaded reports is pinned separately
+//! by `tests/golden.rs` against the pre-sharding golden fixture.
+
+use batnet_obs::json::{self, Value};
+use batnet_obs::metrics::MetricValue;
+use batnet_obs::report::validate_run_report;
+use batnet_obs::trace;
+use batnet_obs::Span;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes the tests in this binary: they all reset global state.
+fn guard() -> MutexGuard<'static, ()> {
+    static G: OnceLock<Mutex<()>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn parallel_recording_loses_nothing() {
+    let _g = guard();
+    batnet_obs::reset();
+    const THREADS: usize = 8;
+    const ITERS: u64 = 200;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let _root = Span::enter("stress.worker");
+                for i in 0..ITERS {
+                    let _iter = Span::enter("stress.iter");
+                    let _step = Span::enter("stress.step");
+                    batnet_obs::counter_add("stress.shared", 1);
+                    batnet_obs::counter_add(&format!("stress.t{t}"), 1);
+                    batnet_obs::observe("stress.hist", i);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("stress worker");
+    }
+    let report = batnet_obs::capture();
+    // Exact accounting: every span and every metric update survived the
+    // merge, none double-counted.
+    assert_eq!(report.span_count("stress.worker"), THREADS);
+    assert_eq!(report.span_count("stress.iter"), THREADS * ITERS as usize);
+    assert_eq!(report.span_count("stress.step"), THREADS * ITERS as usize);
+    assert_eq!(report.spans.len(), THREADS * (1 + 2 * ITERS as usize));
+    assert_eq!(
+        report.counter("stress.shared"),
+        Some(THREADS as u64 * ITERS)
+    );
+    for t in 0..THREADS {
+        assert_eq!(report.counter(&format!("stress.t{t}")), Some(ITERS));
+    }
+    let Some(MetricValue::Histogram(h)) = report.metrics.get("stress.hist") else {
+        panic!("merged histogram missing");
+    };
+    assert_eq!(h.count, THREADS as u64 * ITERS);
+    assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+    assert_eq!(h.sum, THREADS as u64 * (0..ITERS).sum::<u64>());
+    assert_eq!(report.counter("obs.type-conflicts"), None);
+    // Every iter/step span sits under a worker root of its own thread.
+    for s in &report.spans {
+        match s.name.as_str() {
+            "stress.worker" => assert_eq!(s.parent, None),
+            _ => {
+                let p = s.parent.expect("nested span has a parent");
+                assert_eq!(report.spans[p].tid, s.tid, "nesting stays on-thread");
+            }
+        }
+    }
+    // The merged report serializes and validates like any other.
+    let parsed = json::parse(&report.to_json()).expect("report parses");
+    validate_run_report(&parsed).expect("merged report validates");
+}
+
+#[test]
+fn multithreaded_smoke_parents_across_threads() {
+    let _g = guard();
+    batnet_obs::reset();
+    const WORKERS: usize = 4;
+    let root = Span::enter("fanout");
+    let ctx = root.context();
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let worker = Span::enter_with_parent(format!("fanout.worker{i}"), ctx);
+                let _inner = Span::enter("fanout.step");
+                batnet_obs::observe("fanout.latency.us", 10 * (i as u64 + 1));
+                drop(_inner);
+                drop(worker);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("fanout worker");
+    }
+    drop(root);
+    let report = batnet_obs::capture();
+    let parsed = json::parse(&report.to_json()).expect("report parses");
+    validate_run_report(&parsed).expect("multi-threaded report validates");
+
+    // JSON forest: one root, all workers (with their steps) nested
+    // under it despite recording on other threads.
+    let spans = parsed.get("spans").and_then(Value::as_arr).expect("spans");
+    assert_eq!(spans.len(), 1, "workers must not appear as extra roots");
+    assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("fanout"));
+    let kids = spans[0]
+        .get("children")
+        .and_then(Value::as_arr)
+        .expect("children");
+    assert_eq!(kids.len(), WORKERS);
+    for kid in kids {
+        let name = kid.get("name").and_then(Value::as_str).expect("name");
+        assert!(name.starts_with("fanout.worker"), "unexpected child {name}");
+        let steps = kid.get("children").and_then(Value::as_arr).expect("steps");
+        assert_eq!(steps.len(), 1);
+        assert_eq!(
+            steps[0].get("name").and_then(Value::as_str),
+            Some("fanout.step")
+        );
+    }
+
+    // Chrome trace: ≥ 5 distinct tids (main + 4 workers), every worker
+    // event keeps its cross-thread parent link, ts monotone per tid.
+    let text = trace::chrome_trace_records(&report.spans);
+    let v = json::parse(&text).expect("trace parses");
+    trace::validate_chrome_trace(&v).expect("trace validates");
+    let events = v.get("traceEvents").and_then(Value::as_arr).expect("events");
+    assert_eq!(events.len(), report.spans.len());
+    let tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .map(|e| e.get("tid").and_then(Value::as_f64).expect("tid") as u64)
+        .collect();
+    assert_eq!(tids.len(), WORKERS + 1, "one tid per OS thread");
+    for (e, s) in events.iter().zip(&report.spans) {
+        let linked = e
+            .get("args")
+            .and_then(|a| a.get("parent"))
+            .and_then(Value::as_f64)
+            .map(|p| p as usize);
+        assert_eq!(linked, s.parent, "parent link preserved for {}", s.name);
+    }
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+    for e in events {
+        let tid = e.get("tid").and_then(Value::as_f64).expect("tid") as u64;
+        let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+        if let Some(prev) = last_ts.insert(tid, ts) {
+            assert!(ts >= prev, "ts monotone within tid {tid}");
+        }
+    }
+}
+
+#[test]
+fn contained_panic_does_not_poison_telemetry() {
+    let _g = guard();
+    batnet_obs::reset();
+    // A handler panics with a span open and metrics recorded — the
+    // serve worker catches it; telemetry must keep working after.
+    let result = std::panic::catch_unwind(|| {
+        let _doomed = Span::enter("request.doomed");
+        batnet_obs::counter_add("requests.before-panic", 1);
+        panic!("handler blew up");
+    });
+    assert!(result.is_err(), "the panic must reach catch_unwind");
+    // Recording continues on the same thread...
+    batnet_obs::counter_add("requests.after-panic", 1);
+    let _next = Span::enter("request.next");
+    drop(_next);
+    // ...and on fresh threads.
+    std::thread::spawn(|| batnet_obs::counter_add("requests.after-panic", 1))
+        .join()
+        .expect("post-panic worker");
+    let report = batnet_obs::capture();
+    assert_eq!(report.counter("requests.before-panic"), Some(1));
+    assert_eq!(report.counter("requests.after-panic"), Some(2));
+    // The doomed span closed on unwind (RAII) and still reports.
+    assert_eq!(report.span_count("request.doomed"), 1);
+    assert!(report.span_ms("request.doomed").is_some(), "closed on unwind");
+    let parsed = json::parse(&report.to_json()).expect("report parses");
+    validate_run_report(&parsed).expect("post-panic report validates");
+}

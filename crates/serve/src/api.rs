@@ -12,6 +12,7 @@
 use crate::http::{Method, Request, Response};
 use crate::server::{ServeConfig, ServiceState};
 use crate::store::{SnapshotStore, StoreError, StoredSnapshot};
+use crate::tracing::TraceRing;
 use batnet::{Exhaustion, Outcome, ResourceGovernor};
 use batnet_dataplane::vars::Field;
 use batnet_dataplane::{NodeKind, ReachAnalysis};
@@ -29,6 +30,7 @@ pub fn handle(
     store: &SnapshotStore,
     cfg: &ServeConfig,
     state: &ServiceState,
+    ring: &TraceRing,
 ) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method, segments.as_slice()) {
@@ -40,7 +42,8 @@ pub fn handle(
                 Response::error(503, "draining").with_header("Retry-After", 1)
             }
         }
-        (Method::Get, ["metricsz"]) => Response::json(200, batnet_obs::capture().to_json()),
+        (Method::Get, ["metricsz"]) => metricsz(),
+        (Method::Get, ["tracez"]) => Response::json(200, ring.render_json()),
         (Method::Get, ["snapshots"]) => list_snapshots(store),
         (Method::Post, ["snapshots", name]) => upload(req, store, cfg, name),
         (Method::Get, ["snapshots", name]) => snapshot_summary(store, name),
@@ -62,6 +65,56 @@ pub fn handle(
         }
         _ => Response::error(404, &format!("no route for {}", req.path)),
     }
+}
+
+/// The stable endpoint label used in per-endpoint SLO metric names
+/// (`serve.latency.us.<label>`) — a closed set, so unknown paths cannot
+/// mint unbounded metric names.
+pub fn endpoint_label(method: Method, path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        (Method::Get, ["healthz"]) => "healthz",
+        (Method::Get, ["readyz"]) => "readyz",
+        (Method::Get, ["metricsz"]) => "metricsz",
+        (Method::Get, ["tracez"]) => "tracez",
+        (Method::Get, ["snapshots"]) => "snapshots.list",
+        (Method::Post, ["snapshots", _]) => "snapshots.upload",
+        (Method::Get, ["snapshots", _]) => "snapshots.summary",
+        (Method::Get, ["query", "reach"]) => "query.reach",
+        (Method::Get, ["query", "trace"]) => "query.trace",
+        (Method::Get, ["lint"]) => "lint",
+        (Method::Get, ["diff"]) => "diff",
+        (Method::Get, ["report"]) => "report",
+        (Method::Post, ["admin", "shutdown"]) => "admin.shutdown",
+        _ => "other",
+    }
+}
+
+/// `GET /metricsz`: the full captured report, with per-endpoint SLO
+/// summaries (`slo.<endpoint>.p50_us` / `.p99_us`, upper bucket edges
+/// of the per-endpoint latency histograms) lifted into `meta` so an
+/// operator — or the bench harness — reads p50/p99 without re-deriving
+/// them from raw buckets.
+fn metricsz() -> Response {
+    let mut report = batnet_obs::capture();
+    let mut slo = Vec::new();
+    for (name, value) in &report.metrics {
+        let Some(endpoint) = name.strip_prefix("serve.latency.us.") else {
+            continue;
+        };
+        if let batnet_obs::metrics::MetricValue::Histogram(h) = value {
+            slo.push((
+                endpoint.to_string(),
+                h.percentile_upper(0.5),
+                h.percentile_upper(0.99),
+            ));
+        }
+    }
+    for (endpoint, p50, p99) in slo {
+        report.meta.insert(format!("slo.{endpoint}.p50_us"), p50.to_string());
+        report.meta.insert(format!("slo.{endpoint}.p99_us"), p99.to_string());
+    }
+    Response::json(200, report.to_json())
 }
 
 /// Builds the per-request governor: `deadline_ms` (default from config,

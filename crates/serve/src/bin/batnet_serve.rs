@@ -3,18 +3,22 @@
 //! ```text
 //! batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!              [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N]
-//!              [--prewarm N2,NET1] [--smoke]
+//!              [--prewarm N2,NET1] [--trace-ring N] [--trace-seed N]
+//!              [--access-log] [--smoke]
 //! ```
 //!
 //! Without `--smoke`, binds, prewarms, prints the address, and serves
 //! until a client POSTs `/admin/shutdown`. With `--smoke`, runs the CI
 //! end-to-end sequence in one process — ephemeral port, `/readyz` poll,
 //! a real reachability query, a deliberately over-deadline query that
-//! must come back `206` partial (not hang), a bad route, metrics audit,
-//! graceful drain — and exits nonzero on the first deviation.
+//! must come back `206` partial (not hang), a bad route, a `/tracez`
+//! fetch validated against the deterministic seeded trace-id stream
+//! (the dump is also written to `target/tracez-smoke.json` for the CI
+//! validator), metrics audit with per-endpoint SLO meta, graceful
+//! drain — and exits nonzero on the first deviation.
 
 use batnet_net::Backoff;
-use batnet_serve::{client, ServeConfig};
+use batnet_serve::{client, AccessLog, ServeConfig, TraceIds};
 use std::time::Duration;
 
 fn main() {
@@ -50,12 +54,17 @@ fn main() {
                     .map(str::to_string)
                     .collect()
             }
+            "--trace-ring" => {
+                cfg.trace_ring_capacity = parse(&take("--trace-ring"), "--trace-ring")
+            }
+            "--trace-seed" => cfg.trace_seed = parse(&take("--trace-seed"), "--trace-seed"),
+            "--access-log" => cfg.access_log = AccessLog::Stderr,
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
                     "usage: batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                      [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N] \
-                     [--prewarm IDS] [--smoke]"
+                     [--prewarm IDS] [--trace-ring N] [--trace-seed N] [--access-log] [--smoke]"
                 );
                 return;
             }
@@ -101,17 +110,36 @@ fn parse<T: std::str::FromStr>(v: &str, name: &str) -> T {
 /// The CI smoke sequence. Every step names itself in its error.
 fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
     let net = cfg.prewarm[0].clone();
+    let seed = cfg.trace_seed;
     let handle = batnet_serve::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
     let addr = handle.addr();
     let t = Duration::from_secs(10);
     let step = |name: &str, r: std::io::Result<client::ClientResponse>| {
         r.map_err(|e| format!("{name}: transport: {e}"))
     };
+    // Smoke requests are strictly sequential (one connection at a
+    // time), so the trace-id stream is fully deterministic: request n
+    // carries exactly `TraceIds::nth(seed, n)`.
+    let mut issued: u64 = 0;
+    let mut check_trace = |r: &client::ClientResponse, name: &str| -> Result<(), String> {
+        let got = r
+            .header("X-Batnet-Trace-Id")
+            .ok_or_else(|| format!("{name}: X-Batnet-Trace-Id header missing"))?;
+        let want = TraceIds::nth(seed, issued);
+        issued += 1;
+        if got != want {
+            return Err(format!(
+                "{name}: trace id {got:?} is not the expected seeded id {want:?}"
+            ));
+        }
+        Ok(())
+    };
 
     // Liveness, then readiness under retry (the poll the Makefile used
     // to shell-script, in-process).
     let h = step("healthz", client::get(addr, "/healthz", t))?;
     expect(&h, 200, "healthz")?;
+    check_trace(&h, "healthz")?;
     let r = step(
         "readyz",
         client::get_with_retry(
@@ -122,10 +150,12 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
         ),
     )?;
     expect(&r, 200, "readyz")?;
+    check_trace(&r, "readyz")?;
 
     // The warm store must hold the prewarmed network.
     let list = step("snapshots", client::get(addr, "/snapshots", t))?;
     expect(&list, 200, "snapshots")?;
+    check_trace(&list, "snapshots")?;
     if !list.body_str().contains(&format!("\"name\": \"{net}\"")) {
         return Err(format!("snapshots: {net} not listed: {}", list.body_str()));
     }
@@ -140,6 +170,11 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
         ),
     )?;
     expect(&reach, 200, "reach")?;
+    check_trace(&reach, "reach")?;
+    let reach_id = reach
+        .header("X-Batnet-Trace-Id")
+        .map(str::to_string)
+        .unwrap_or_default();
     if !reach.body_str().contains("\"partial\": null") {
         return Err(format!("reach: expected complete answer: {}", reach.body_str()));
     }
@@ -155,6 +190,7 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
         ),
     )?;
     expect(&partial, 206, "reach-deadline")?;
+    check_trace(&partial, "reach-deadline")?;
     if !partial.body_str().contains("\"stage\":") {
         return Err(format!(
             "reach-deadline: partial accounting missing: {}",
@@ -165,22 +201,51 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
     // Lint and the run report serve from the same warm snapshot.
     let lint = step("lint", client::get(addr, &format!("/lint?snapshot={net}"), t))?;
     expect(&lint, 200, "lint")?;
+    check_trace(&lint, "lint")?;
     let report = step(
         "report",
         client::get(addr, &format!("/report?snapshot={net}"), t),
     )?;
     expect(&report, 200, "report")?;
+    check_trace(&report, "report")?;
 
-    // A bad route 404s without disturbing anything.
+    // A bad route 404s without disturbing anything — and still traces.
     let missing = step("404", client::get(addr, "/no/such/route", t))?;
     expect(&missing, 404, "404")?;
+    check_trace(&missing, "404")?;
 
-    // The books must balance: requests counted, zero contained panics.
+    // The recent-trace ring holds every request so far, validator-clean.
+    let tracez = step("tracez", client::get(addr, "/tracez", t))?;
+    expect(&tracez, 200, "tracez")?;
+    check_trace(&tracez, "tracez")?;
+    let body = tracez.body_str().to_string();
+    let doc = batnet_obs::json::parse(&body).map_err(|e| format!("tracez: bad JSON: {e}"))?;
+    batnet_obs::report::validate_tracez(&doc).map_err(|e| format!("tracez: INVALID: {e}"))?;
+    if !body.contains(&reach_id) {
+        return Err(format!("tracez: reach trace {reach_id} not retained"));
+    }
+    if !body.contains("\"partial\": true") {
+        return Err("tracez: the 206 reach-deadline trace is not marked partial".to_string());
+    }
+    // Leave the dump where `make serve-smoke` runs the standalone
+    // validator over it.
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write("target/tracez-smoke.json", &body)
+        .map_err(|e| format!("tracez: write dump: {e}"))?;
+
+    // The books must balance: requests counted, per-endpoint SLO meta
+    // present, zero contained panics.
     let metrics = step("metricsz", client::get(addr, "/metricsz", t))?;
     expect(&metrics, 200, "metricsz")?;
+    check_trace(&metrics, "metricsz")?;
     let body = metrics.body_str();
     if !body.contains("serve.requests.total") {
         return Err("metricsz: serve.requests.total missing".to_string());
+    }
+    for key in ["slo.query.reach.p50_us", "slo.query.reach.p99_us"] {
+        if !body.contains(key) {
+            return Err(format!("metricsz: per-endpoint SLO meta {key} missing"));
+        }
     }
     if body.contains("serve.panics.contained") {
         return Err("metricsz: a panic was contained during smoke".to_string());
@@ -192,6 +257,7 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
         client::post(addr, "/admin/shutdown", b"", t),
     )?;
     expect(&bye, 202, "shutdown")?;
+    check_trace(&bye, "shutdown")?;
     handle.join();
     Ok(())
 }

@@ -129,6 +129,15 @@ pub enum Method {
     Post,
 }
 
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
 /// A parsed request.
 #[derive(Clone, Debug)]
 pub struct Request {

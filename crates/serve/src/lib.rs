@@ -21,6 +21,9 @@
 //! * [`client`] — the blocking client the load driver, smoke mode, and
 //!   tests share, with deterministic [`batnet_net::Backoff`] retries
 //!   for idempotent GETs.
+//! * [`tracing`] — per-request trace ids (`X-Batnet-Trace-Id` on every
+//!   response), the bounded recent-trace ring behind `GET /tracez`,
+//!   and the opt-in structured access log.
 //!
 //! Every rejection, partial answer, contained panic, and eviction is
 //! accounted in [`batnet_obs`] metrics, exposed at `GET /metricsz` —
@@ -32,9 +35,11 @@ pub mod http;
 pub mod queue;
 pub mod server;
 pub mod store;
+pub mod tracing;
 
 pub use client::{get, get_with_retry, post, ClientResponse};
 pub use http::{Limits, Method, ParseError, Request, Response};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{spawn, Handle, ServeConfig, ServiceState};
 pub use store::{SnapshotInfo, SnapshotStore, StoreError, StoredSnapshot};
+pub use tracing::{AccessLog, TraceEntry, TraceIds, TraceRing};

@@ -19,17 +19,28 @@
 //! * **Graceful drain.** Shutdown (signalled by `POST /admin/shutdown`
 //!   or [`Handle::shutdown`]) flips `readyz` to 503, stops accepting,
 //!   closes the queue, and lets workers finish queued requests.
+//!
+//! Every response — including sheds, parse rejections, and the
+//! post-panic 500 — carries an `X-Batnet-Trace-Id`. For real requests
+//! the id keys a [`TraceEntry`] (queue wait, handler time, the request's
+//! span tree extracted via [`batnet_obs::take_tree`]) pushed into the
+//! bounded ring behind `GET /tracez`, and one access-log line. Handler
+//! latency is also recorded per endpoint
+//! (`serve.latency.us.<endpoint>` histograms), so one endpoint's p99
+//! regression cannot hide behind a fast-path-dominated aggregate.
 
 use crate::api;
 use crate::http::{read_request, Limits, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::store::SnapshotStore;
+use crate::tracing::{AccessLog, TraceEntry, TraceIds, TraceRing};
+use batnet_obs::Span;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service tuning knobs. The defaults are the committed failure-model
 /// numbers: small queue, short watchdog, bounded body.
@@ -53,6 +64,12 @@ pub struct ServeConfig {
     pub store_capacity: usize,
     /// Suite network ids analyzed into the store before ready.
     pub prewarm: Vec<String>,
+    /// Recent request traces retained for `GET /tracez`.
+    pub trace_ring_capacity: usize,
+    /// Seed for the deterministic trace-id stream.
+    pub trace_seed: u64,
+    /// Where per-request access-log lines go (off by default).
+    pub access_log: AccessLog,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +84,9 @@ impl Default for ServeConfig {
             max_body_bytes: 4 << 20,
             store_capacity: 8,
             prewarm: Vec::new(),
+            trace_ring_capacity: 256,
+            trace_seed: 0,
+            access_log: AccessLog::Off,
         }
     }
 }
@@ -109,6 +129,7 @@ pub struct Handle {
     addr: SocketAddr,
     state: Arc<ServiceState>,
     store: SnapshotStore,
+    ring: Arc<TraceRing>,
     accept: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -127,6 +148,12 @@ impl Handle {
     /// The shared liveness flags.
     pub fn state(&self) -> &ServiceState {
         &self.state
+    }
+
+    /// The recent-trace ring, shared — it outlives [`Handle::shutdown`],
+    /// so post-drain accounting audits can read the final stats.
+    pub fn trace_ring(&self) -> Arc<TraceRing> {
+        Arc::clone(&self.ring)
     }
 
     /// Requests a drain and waits for the listener and every worker to
@@ -148,12 +175,14 @@ impl Handle {
 }
 
 struct WorkerCtx {
-    queue: Arc<BoundedQueue<TcpStream>>,
+    queue: Arc<BoundedQueue<(TcpStream, Instant)>>,
     store: SnapshotStore,
     cfg: ServeConfig,
     state: Arc<ServiceState>,
     inflight: Arc<AtomicU64>,
     limits: Limits,
+    ids: Arc<TraceIds>,
+    ring: Arc<TraceRing>,
 }
 
 /// Binds, prewarms, and starts the accept loop and worker pool.
@@ -171,9 +200,11 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
     }
 
     let state = Arc::new(ServiceState::new());
-    let queue = Arc::new(BoundedQueue::<TcpStream>::new(cfg.queue_depth));
+    let queue = Arc::new(BoundedQueue::<(TcpStream, Instant)>::new(cfg.queue_depth));
     let inflight = Arc::new(AtomicU64::new(0));
     let limits = Limits::default().with_max_body(cfg.max_body_bytes);
+    let ids = Arc::new(TraceIds::new(cfg.trace_seed));
+    let ring = Arc::new(TraceRing::new(cfg.trace_ring_capacity));
 
     let mut workers = Vec::with_capacity(cfg.workers.max(1));
     for i in 0..cfg.workers.max(1) {
@@ -184,6 +215,8 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
             state: Arc::clone(&state),
             inflight: Arc::clone(&inflight),
             limits: limits.clone(),
+            ids: Arc::clone(&ids),
+            ring: Arc::clone(&ring),
         };
         workers.push(
             std::thread::Builder::new()
@@ -194,10 +227,11 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
 
     let accept_state = Arc::clone(&state);
     let accept_queue = Arc::clone(&queue);
+    let accept_ids = Arc::clone(&ids);
     let io_timeout = Duration::from_millis(cfg.io_timeout_ms.max(1));
     let accept = std::thread::Builder::new()
         .name("serve-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_queue, &accept_state, io_timeout))?;
+        .spawn(move || accept_loop(&listener, &accept_queue, &accept_state, &accept_ids, io_timeout))?;
 
     state.ready.store(true, Ordering::Relaxed);
     batnet_obs::event("serve", "ready", &addr.to_string());
@@ -205,17 +239,20 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
         addr,
         state,
         store,
+        ring,
         accept,
         workers,
     })
 }
 
-/// The nonblocking accept loop: admit into the bounded queue or shed
+/// The nonblocking accept loop: admit into the bounded queue (stamped
+/// with the enqueue instant, so workers can account queue wait) or shed
 /// with 503 immediately. Polls the shutdown flag between accepts.
 fn accept_loop(
     listener: &TcpListener,
-    queue: &BoundedQueue<TcpStream>,
+    queue: &BoundedQueue<(TcpStream, Instant)>,
     state: &ServiceState,
+    ids: &TraceIds,
     io_timeout: Duration,
 ) {
     while !state.is_shutting_down() {
@@ -225,16 +262,17 @@ fn accept_loop(
                 let _ = stream.set_read_timeout(Some(io_timeout));
                 let _ = stream.set_write_timeout(Some(io_timeout));
                 batnet_obs::counter_add("serve.accepted", 1);
-                match queue.try_push(stream) {
+                match queue.try_push((stream, batnet_obs::now())) {
                     Ok(()) => {}
-                    Err((why, mut stream)) => {
+                    Err((why, (mut stream, _))) => {
                         let detail = match why {
                             PushError::Full => "server busy",
                             PushError::Closed => "draining",
                         };
                         batnet_obs::counter_add("serve.rejected.backpressure", 1);
-                        let resp =
-                            Response::error(503, detail).with_header("Retry-After", 1);
+                        let resp = Response::error(503, detail)
+                            .with_header("Retry-After", 1)
+                            .with_header("X-Batnet-Trace-Id", ids.next_id());
                         // Best-effort, nonblocking shed: the 503 fits
                         // the socket send buffer when the peer is sane;
                         // a peer that never reads must cost the accept
@@ -261,7 +299,9 @@ fn accept_loop(
 }
 
 fn worker_loop(ctx: &WorkerCtx) {
-    while let Some(stream) = ctx.queue.pop() {
+    while let Some((stream, enqueued_at)) = ctx.queue.pop() {
+        let queue_wait_us = enqueued_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let trace_id = ctx.ids.next_id();
         let n = ctx.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         batnet_obs::gauge_set("serve.inflight", n as f64);
         let started = batnet_obs::now();
@@ -270,12 +310,15 @@ fn worker_loop(ctx: &WorkerCtx) {
         // the client a 500 (and the books a `responses.5xx` tick —
         // `requests.total` was already counted inside the closure).
         let fallback = stream.try_clone().ok();
-        let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(ctx, stream)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(ctx, stream, &trace_id, queue_wait_us)
+        }));
         if let Err(_panic) = outcome {
             batnet_obs::counter_add("serve.panics.contained", 1);
             batnet_obs::counter_add("serve.responses.5xx", 1);
             if let Some(mut s) = fallback {
-                let resp = Response::error(500, "internal error: handler panicked");
+                let resp = Response::error(500, "internal error: handler panicked")
+                    .with_header("X-Batnet-Trace-Id", &trace_id);
                 if resp.write_to(&mut s).is_err() {
                     batnet_obs::counter_add("serve.write.errors", 1);
                 }
@@ -291,8 +334,13 @@ fn worker_loop(ctx: &WorkerCtx) {
 }
 
 /// One request per connection (`Connection: close`): parse under the
-/// limits, dispatch, respond. Parse rejections are accounted per class.
-fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
+/// limits, dispatch under a traced `serve.request` span, respond with
+/// the trace id stamped on. Parse rejections are accounted per class;
+/// real requests additionally feed the per-endpoint latency histogram,
+/// the trace ring, and the access log — the ring push happens before
+/// the response write, so accounting holds even when the client is
+/// already gone.
+fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream, trace_id: &str, queue_wait_us: u64) {
     let response = match read_request(&mut stream, &ctx.limits) {
         Ok(None) => {
             // Clean close before a request — a probe or a mid-dial
@@ -302,7 +350,30 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
         }
         Ok(Some(req)) => {
             batnet_obs::counter_add("serve.requests.total", 1);
-            api::handle(&req, &ctx.store, &ctx.cfg, &ctx.state)
+            let label = api::endpoint_label(req.method, &req.path);
+            let root = Span::enter("serve.request");
+            let span_ctx = root.context();
+            let response = api::handle(&req, &ctx.store, &ctx.cfg, &ctx.state, &ctx.ring);
+            let handler_us = root.close().as_micros().min(u64::MAX as u128) as u64;
+            batnet_obs::observe(&format!("serve.latency.us.{label}"), handler_us);
+            batnet_obs::observe("serve.queue.wait.us", queue_wait_us);
+            let entry = TraceEntry {
+                trace_id: trace_id.to_string(),
+                method: req.method.to_string(),
+                path: req.path.clone(),
+                status: response.status,
+                queue_wait_us,
+                handler_us,
+                deadline_ms: req
+                    .param("deadline_ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|d| d.min(ctx.cfg.max_deadline_ms)),
+                partial: response.status == 206,
+                spans: batnet_obs::take_tree(span_ctx),
+            };
+            ctx.cfg.access_log.emit(&entry);
+            ctx.ring.push(entry);
+            response
         }
         Err(e) => {
             batnet_obs::counter_add(&format!("serve.rejected.{}", e.metric_class()), 1);
@@ -314,6 +385,7 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream) {
             }
         }
     };
+    let response = response.with_header("X-Batnet-Trace-Id", trace_id);
     batnet_obs::counter_add(
         &format!("serve.responses.{}xx", response.status / 100),
         1,
