@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke bench
+.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke bench
 
-ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke
+ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -16,7 +16,8 @@ test:
 
 # Robustness gate: 25 seeds x all 6 mutation classes over NET1 and the
 # N2 data center — zero escaped panics, every quarantined device
-# accounted for, monotone degradation — plus the invariant-8 service
+# accounted for, monotone degradation, coverage/repair never panic and
+# always balance their accounting — plus the invariant-8 service
 # sweep: 5 seeds x 7 adversarial client classes against a live
 # batnet-serve, every rejection accounted, the listener never down.
 chaos: build
@@ -32,7 +33,7 @@ chaos: build
 # clippy.toml: `Instant::now` is disallowed outside batnet_obs::clock.
 clippy:
 	$(CARGO) clippy --offline -p batnet -p batnet-chaos -- -D clippy::unwrap_used -D clippy::panic
-	$(CARGO) clippy --offline -p batnet-obs -p batnet-serve -- -D clippy::unwrap_used
+	$(CARGO) clippy --offline -p batnet-obs -p batnet-serve -p batnet-lint -p batnet-diff -p batnet-coverage -- -D clippy::unwrap_used
 	$(CARGO) clippy --offline --workspace --all-targets -- -D clippy::disallowed_methods
 
 # Observability smoke gate: run the harness pipeline on the smallest
@@ -94,6 +95,28 @@ serve-smoke: build
 	$(CARGO) run --release --offline -p batnet-bench --bin harness -- serve --out target/BENCH_serve_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_serve_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_serve.json target/BENCH_serve_smoke.json
+
+# Coverage + repair gate: (1) the N2 coverage report validates and is
+# byte-identical across two runs (the JSON is the audit artifact, so
+# determinism is the contract); (2) the planted lint-bad fixture has a
+# genuine never-touched gap and fails `--deny gap` — proving the exit
+# gate actually gates; (3) `batnet-repair` reproduces both committed
+# expected patches byte for byte (lint-driven delete and diff-driven
+# revert); (4) the cov bench re-measures its stages, the emitted file
+# validates, and its structure matches the committed BENCH_cov.json.
+cov-smoke: build
+	$(CARGO) run --release --offline -p batnet-coverage --bin batnet-cov -- --net n2 --format json --out target/cov-n2-1.json
+	$(CARGO) run --release --offline -p batnet-coverage --bin batnet-cov -- --validate target/cov-n2-1.json
+	$(CARGO) run --release --offline -p batnet-coverage --bin batnet-cov -- --net n2 --format json --out target/cov-n2-2.json
+	cmp target/cov-n2-1.json target/cov-n2-2.json
+	! $(CARGO) run --release --offline -p batnet-coverage --bin batnet-cov -- --dir fixtures/lint-bad --deny gap --out /dev/null
+	$(CARGO) run --release --offline -p batnet-coverage --bin batnet-repair -- --dir fixtures/repair-bad/lint --check undefined-reference --out target/repair-lint.patch
+	cmp target/repair-lint.patch fixtures/repair-bad/lint/expected.patch
+	$(CARGO) run --release --offline -p batnet-coverage --bin batnet-repair -- --before fixtures/repair-bad/diff/before --after fixtures/repair-bad/diff/after --out target/repair-diff.patch
+	cmp target/repair-diff.patch fixtures/repair-bad/diff/expected.patch
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- cov --out target/BENCH_cov_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_cov_smoke.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_cov.json target/BENCH_cov_smoke.json
 
 bench:
 	$(CARGO) bench --offline -p batnet-bench

@@ -9,6 +9,7 @@
 //! harness smoke                # smallest network, always writes JSON
 //! harness lint [--full]        # lint engine throughput, writes BENCH_lint.json
 //! harness diff                 # differential analysis on N2, writes BENCH_diff.json
+//! harness cov [--full]         # coverage engine throughput, writes BENCH_cov.json
 //! harness serve                # service load on loopback, writes BENCH_serve.json
 //! harness apt                  # §6.2: APT comparison (92 nodes)
 //! harness ablate-convergence   # A-1: coloring / logical clocks
@@ -76,7 +77,7 @@ fn main() {
     let root = batnet_obs::Span::enter("harness");
     // Repeats only make sense for the row-producing benches; everything
     // else (ablations, text-only tables) runs once.
-    let repeat = if matches!(cmd, "fig3" | "table2" | "smoke" | "lint" | "diff" | "serve") {
+    let repeat = if matches!(cmd, "fig3" | "table2" | "smoke" | "lint" | "diff" | "serve" | "cov") {
         repeat
     } else {
         1
@@ -103,7 +104,7 @@ fn main() {
         cmdline.trim_end(),
         wall.as_secs_f64()
     );
-    if json || cmd == "smoke" || cmd == "lint" || cmd == "diff" || cmd == "serve" {
+    if json || cmd == "smoke" || cmd == "lint" || cmd == "diff" || cmd == "serve" || cmd == "cov" {
         emit_json(cmd, &rows, &commit, &cmdline, repeat, out.as_deref());
     }
 }
@@ -127,6 +128,7 @@ fn run_cmd(cmd: &str, full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
         "lint" => lint_bench(full, net, rows),
         "diff" => diff_bench(rows),
         "serve" => serve_bench(rows),
+        "cov" => cov_bench(full, net, rows),
         "apt" => apt(),
         "ablate-convergence" => ablate_convergence(),
         "ablate-memory" => ablate_memory(),
@@ -530,6 +532,59 @@ fn lint_bench(full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
             Row::new("lint", id, "lint", lint)
                 .with("findings", findings.len())
                 .with("errors", errors),
+        );
+    }
+}
+
+/// The coverage bench: parse + coverage classification per suite
+/// network, item/gap counts in the row metadata. Always writes
+/// `BENCH_cov.json` (the report is deterministic, so the baseline is
+/// reproducible and the CI `cov-smoke` gate can structure-diff it).
+fn cov_bench(full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
+    banner("E-C: coverage engine throughput");
+    println!(
+        "{:<6} {:>7} {:>10} {:>10} {:>7} {:>9} {:>6}",
+        "net", "devices", "parse", "analyze", "items", "exercised", "gaps"
+    );
+    for entry in batnet_topogen::suite::suite() {
+        if let Some(filter) = net {
+            if !entry.id.eq_ignore_ascii_case(filter) {
+                continue;
+            }
+        } else if !full && entry.nominal_nodes > 520 {
+            continue;
+        }
+        let net = (entry.build)();
+        let id = entry.id;
+        let t = clock::now();
+        let mut devices = Vec::with_capacity(net.configs.len());
+        for (name, text) in &net.configs {
+            let (mut device, _) = batnet::config::parse_device(name, text);
+            device.stamp_source_file(name);
+            devices.push(device);
+        }
+        let parse = t.elapsed();
+        let t = clock::now();
+        let report = batnet_coverage::analyze(&devices);
+        let analyze = t.elapsed();
+        let totals = report.totals();
+        let gaps = report.gaps().count();
+        println!(
+            "{:<6} {:>7} {:>10} {:>10} {:>7} {:>9} {:>6}",
+            id,
+            devices.len(),
+            fmt_dur(parse),
+            fmt_dur(analyze),
+            totals.items,
+            totals.exercised,
+            gaps
+        );
+        rows.push(Row::new("cov", id, "parse", parse).with("devices", devices.len()));
+        rows.push(
+            Row::new("cov", id, "analyze", analyze)
+                .with("items", totals.items)
+                .with("exercised", totals.exercised)
+                .with("gaps", gaps),
         );
     }
 }

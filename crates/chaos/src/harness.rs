@@ -32,6 +32,12 @@
 //!    and accounts for every quarantined device on both sides of the
 //!    report (the change-validation gate cannot be confused by broken
 //!    inputs).
+//! 10. **Coverage/repair robustness** — the coverage engine never
+//!    panics on mutated configs and its JSON report is byte-identical
+//!    across two runs over the same devices; the repairer never panics
+//!    and its candidate accounting always balances
+//!    (`tried == accepted + rejected_regression + rejected_side_effect`).
+//!    (Invariants 8–9 are the `batnet-serve` sweep in [`crate::serve`].)
 
 use crate::mutate::{mutate, MutationClass};
 use batnet::{ResourceGovernor, Snapshot};
@@ -247,6 +253,69 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
             if first != second {
                 run.violations
                     .push("lint fingerprints differ across identical runs".to_string());
+            }
+        }
+    }
+
+    // Invariant 10: coverage analysis never panics on mutated configs
+    // and reports byte-identically across runs; the repairer never
+    // panics and always balances its candidate accounting. Repair
+    // validation runs two route simulations per candidate, so the
+    // repair half is sampled on the low seeds only — every class still
+    // gets exercised.
+    let cov_outcome = catch_unwind(AssertUnwindSafe(|| {
+        let devices: Vec<batnet_config::vi::Device> = m
+            .configs
+            .iter()
+            .map(|(name, text)| batnet_config::parse_device(name, text).0)
+            .collect();
+        let first = batnet_coverage::render_json(&run.net, &batnet_coverage::analyze(&devices));
+        let second = batnet_coverage::render_json(&run.net, &batnet_coverage::analyze(&devices));
+        (first, second)
+    }));
+    match cov_outcome {
+        Err(_) => run
+            .violations
+            .push("coverage analysis panicked on mutated configs".to_string()),
+        Ok((first, second)) => {
+            if first != second {
+                run.violations
+                    .push("coverage JSON differs across identical runs".to_string());
+            }
+        }
+    }
+    if seed <= 3 {
+        let configs = m.configs.clone();
+        let repair_outcome = catch_unwind(AssertUnwindSafe(|| {
+            let snapshot = Snapshot::from_configs(configs.clone());
+            let target = snapshot.lint().first().map(|f| (f.check, f.device.clone()));
+            target.map(|(check, device)| {
+                let limits = batnet_coverage::repair::RepairLimits {
+                    max_candidates: 3,
+                    diff: batnet::DiffOptions {
+                        max_flow_deltas: 4,
+                        max_starts: 8,
+                        ..batnet::DiffOptions::default()
+                    },
+                };
+                let dev = (!device.is_empty()).then_some(device);
+                batnet_coverage::repair::repair_lint(&configs, check, dev.as_deref(), &limits)
+            })
+        }));
+        match repair_outcome {
+            Err(_) => run
+                .violations
+                .push("repair panicked on mutated configs".to_string()),
+            // No findings to target, or the target vanished between lint
+            // and repair (an Err) — nothing to account for.
+            Ok(None) | Ok(Some(Err(_))) => {}
+            Ok(Some(Ok(outcome))) => {
+                if !outcome.balanced() {
+                    run.violations.push(format!(
+                        "repair accounting does not balance: {}",
+                        outcome.summary()
+                    ));
+                }
             }
         }
     }

@@ -416,6 +416,7 @@ fn parse_route_map(words: &[&str], no: usize, d: &mut Device, diags: &mut Diagno
         action,
         matches: Vec::new(),
         sets: Vec::new(),
+        src: SourceSpan::at(no),
     };
     for w in &words[4..] {
         match kv(w) {
@@ -471,6 +472,7 @@ fn parse_route_map(words: &[&str], no: usize, d: &mut Device, diags: &mut Diagno
             clauses: Vec::new(),
             src: SourceSpan::at(no),
         });
+    rm.src.extend_to(no);
     rm.clauses.push(clause);
     rm.clauses.sort_by_key(|c| c.seq);
 }
@@ -530,6 +532,7 @@ fn parse_acl(words: &[&str], no: usize, line: &str, d: &mut Device, diags: &mut 
         a.src = SourceSpan::at(no);
         a
     });
+    acl.src.extend_to(no);
     acl.lines.push(AclLine {
         seq,
         action,

@@ -430,6 +430,7 @@ fn convert_bgp_neighbor(l: &Line, proc: &mut BgpProcess, diags: &mut Diagnostics
             Ok(asn) => {
                 if let Some(n) = proc.neighbors.iter_mut().find(|n| n.peer_ip == peer) {
                     n.remote_as = asn;
+                    n.src.extend_to(l.no);
                 } else {
                     let mut nb = BgpNeighbor::new(peer, asn);
                     nb.src = SourceSpan::at(l.no);
@@ -448,6 +449,8 @@ fn convert_bgp_neighbor(l: &Line, proc: &mut BgpProcess, diags: &mut Diagnostics
         );
         return;
     };
+    // The stanza span grows to cover every statement about this peer.
+    n.src.extend_to(l.no);
     match l.word(2) {
         "route-map" => {
             let name = l.word(3).to_string();
@@ -569,6 +572,7 @@ fn convert_route_map(s: &Section, d: &mut Device, diags: &mut Diagnostics) {
         action,
         matches: Vec::new(),
         sets: Vec::new(),
+        src: SourceSpan::range(s.header.no, s.body.last().map_or(s.header.no, |l| l.no)),
     };
     for l in &s.body {
         match (l.word(0), l.word(1)) {
@@ -649,6 +653,7 @@ fn convert_route_map(s: &Section, d: &mut Device, diags: &mut Diagnostics) {
             clauses: Vec::new(),
             src: SourceSpan::at(s.header.no),
         });
+    rm.src.extend_to(s.body.last().map_or(s.header.no, |l| l.no));
     rm.clauses.push(clause);
     // Keep clauses ordered by sequence number regardless of file order.
     rm.clauses.sort_by_key(|c| c.seq);
@@ -722,6 +727,9 @@ fn convert_acl(s: &Section, d: &mut Device, diags: &mut Diagnostics) {
     if !acl.src.is_known() {
         acl.src = SourceSpan::at(s.header.no);
     }
+    // The block span covers the header plus every body line (re-opened
+    // ACLs keep their original start and grow the end).
+    acl.src.extend_to(s.body.last().map_or(s.header.no, |l| l.no));
     for l in &s.body {
         let mut i = 0;
         let seq = if let Ok(n) = l.word(0).parse::<u32>() {
@@ -1122,6 +1130,26 @@ ip nat source static 10.0.5.5 203.0.113.99
         assert_eq!(mask_to_len("255.0.255.0".parse().unwrap()), None, "non-contiguous");
         assert_eq!(wildcard_to_len("0.0.0.255".parse().unwrap()), Some(24));
         assert_eq!(wildcard_to_len("0.0.255.255".parse().unwrap()), Some(16));
+    }
+
+    #[test]
+    fn block_structures_carry_line_ranges() {
+        let (d, _) = parsed();
+        // The ACL block span covers the header plus all four lines.
+        let acl = &d.acls["ACLIN"];
+        assert!(acl.src.is_known());
+        assert_eq!(acl.src.end() - acl.src.line, 4);
+        // Each route-map clause spans its own section.
+        let rm = &d.route_maps["RM-IN"];
+        let c10 = &rm.clauses[0];
+        assert_eq!(c10.src.end() - c10.src.line, 2, "permit 10 has two body lines");
+        let c20 = &rm.clauses[1];
+        assert_eq!(c20.src.end(), c20.src.line, "deny 20 is a bare header");
+        // The map's own span stretches over both clause sections.
+        assert!(rm.src.end() >= c20.src.line);
+        // The neighbor stanza covers remote-as through next-hop-self.
+        let nb = &d.bgp.as_ref().unwrap().neighbors[0];
+        assert_eq!(nb.src.end() - nb.src.line, 3);
     }
 
     #[test]

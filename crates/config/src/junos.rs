@@ -363,6 +363,7 @@ fn convert_bgp(p: &Path, d: &mut Device, diags: &mut Diagnostics, st: &mut Conve
                     };
                     let gs = st.groups.entry(group).or_default().clone();
                     let n = if let Some(n) = proc.neighbors.iter_mut().find(|n| n.peer_ip == peer) {
+                        n.src.extend_to(p.no);
                         n
                     } else {
                         let default_as = if gs.external == Some(false) {
@@ -452,7 +453,9 @@ fn convert_policy_options(
                     clauses: Vec::new(),
                     src: SourceSpan::at(p.no),
                 });
+            rm.src.extend_to(p.no);
             let clause = if let Some(c) = rm.clauses.iter_mut().find(|c| c.seq == seq) {
+                c.src.extend_to(p.no);
                 c
             } else {
                 rm.clauses.push(RouteMapClause {
@@ -460,6 +463,7 @@ fn convert_policy_options(
                     action: AclAction::Permit,
                     matches: Vec::new(),
                     sets: Vec::new(),
+                    src: SourceSpan::at(p.no),
                 });
                 rm.clauses.sort_by_key(|c| c.seq);
                 rm.clauses
@@ -555,6 +559,7 @@ fn convert_firewall(p: &Path, d: &mut Device, diags: &mut Diagnostics, st: &mut 
         a.src = SourceSpan::at(p.no);
         a
     });
+    acl.src.extend_to(p.no);
     let line = if let Some(l) = acl.lines.iter_mut().find(|l| l.seq == seq) {
         l
     } else {

@@ -9,31 +9,62 @@ use std::collections::BTreeMap;
 /// Where a VI structure came from in the original configuration text.
 ///
 /// Dialect parsers record the 1-based line number of the defining
-/// statement at construction time; the `file` component is stamped once
-/// per device by [`Device::stamp_source_file`] (the detect-layer entry
-/// point does this with the device name). A default span (`line == 0`)
-/// means "location unknown" — hand-built models and documented-default
-/// structures carry it.
+/// statement at construction time and grow `end_line` as the block's
+/// body lines arrive, so a span covers the whole structure (an ACL with
+/// its lines, a route-map clause with its match/set statements, a BGP
+/// neighbor stanza across its statements). The `file` component is
+/// stamped once per device by [`Device::stamp_source_file`] (the
+/// detect-layer entry point does this with the device name). A default
+/// span (`line == 0`) means "location unknown" — hand-built models and
+/// documented-default structures carry it. Single-line structures keep
+/// `end_line == line`, and the reporting layers (lint JSON/SARIF) print
+/// only `line`, so their output is unchanged by the range extension.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct SourceSpan {
     /// Source artifact the structure was parsed from (device/file stem).
     pub file: String,
     /// 1-based line number of the defining statement; 0 = unknown.
     pub line: u32,
+    /// 1-based last line of the structure's block; equals `line` for
+    /// single-line structures, 0 = unknown.
+    pub end_line: u32,
 }
 
 impl SourceSpan {
-    /// A span at `line` with the file left for later stamping.
+    /// A single-line span at `line` with the file left for later stamping.
     pub fn at(line: usize) -> SourceSpan {
         SourceSpan {
             file: String::new(),
             line: line as u32,
+            end_line: line as u32,
+        }
+    }
+
+    /// A span covering `start..=end` (inclusive line range).
+    pub fn range(start: usize, end: usize) -> SourceSpan {
+        SourceSpan {
+            file: String::new(),
+            line: start as u32,
+            end_line: end.max(start) as u32,
+        }
+    }
+
+    /// Grows the span to include `line` (no-op for unknown spans, so a
+    /// documented-default structure never acquires a phantom location).
+    pub fn extend_to(&mut self, line: usize) {
+        if self.is_known() {
+            self.end_line = self.end_line.max(line as u32);
         }
     }
 
     /// Is this a real location (as opposed to the unknown default)?
     pub fn is_known(&self) -> bool {
         self.line != 0
+    }
+
+    /// The last line of the span (for robustness, never before `line`).
+    pub fn end(&self) -> u32 {
+        self.end_line.max(self.line)
     }
 }
 
@@ -382,6 +413,26 @@ mod tests {
 
     fn ip(s: &str) -> Ip {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn source_span_ranges() {
+        let single = SourceSpan::at(7);
+        assert_eq!((single.line, single.end()), (7, 7));
+        assert!(single.is_known());
+        let mut block = SourceSpan::range(10, 14);
+        assert_eq!((block.line, block.end()), (10, 14));
+        block.extend_to(12); // no shrink
+        assert_eq!(block.end(), 14);
+        block.extend_to(20);
+        assert_eq!(block.end(), 20);
+        // Unknown spans never acquire a phantom end.
+        let mut unknown = SourceSpan::default();
+        unknown.extend_to(5);
+        assert!(!unknown.is_known());
+        assert_eq!(unknown.end(), 0);
+        // Degenerate range clamps end to start.
+        assert_eq!(SourceSpan::range(9, 3).end(), 9);
     }
 
     #[test]

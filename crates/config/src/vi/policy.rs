@@ -254,6 +254,8 @@ pub struct RouteMapClause {
     pub matches: Vec<RouteMapMatch>,
     /// Attribute rewrites applied on permit.
     pub sets: Vec<RouteMapSet>,
+    /// Where the clause's block was defined (start..end line range).
+    pub src: super::device::SourceSpan,
 }
 
 /// A named route map.
@@ -464,12 +466,14 @@ mod tests {
                             additive: true,
                         },
                     ],
+                    src: SourceSpan::default(),
                 },
                 RouteMapClause {
                     seq: 20,
                     action: AclAction::Deny,
                     matches: vec![],
                     sets: vec![],
+                    src: SourceSpan::default(),
                 },
             ],
         }
@@ -534,6 +538,7 @@ mod tests {
                     asn: Asn(65001),
                     count: 3,
                 }],
+                src: SourceSpan::default(),
             }],
         };
         let mut attrs = RouteAttrs::new(pfx("10.0.0.0/8"), RouteProtocol::Ebgp);
@@ -556,6 +561,7 @@ mod tests {
                 RouteMapMatch::Protocol(RouteProtocol::Static),
             ],
             sets: vec![],
+            src: SourceSpan::default(),
         };
         let mut attrs = RouteAttrs::new(pfx("10.0.0.0/8"), RouteProtocol::Static);
         attrs.tag = 7;

@@ -1,0 +1,183 @@
+//! `batnet-cov` — config coverage analysis from the command line.
+//!
+//! ```text
+//! batnet-cov (--net ID | --dir PATH) [--format text|json|sarif]
+//!            [--out FILE] [--deny gap|shadow]
+//! batnet-cov --validate report.json
+//! ```
+//!
+//! Exit codes: 0 clean (or nothing at/above the `--deny` class),
+//! 1 denied coverage gaps present, 2 usage or I/O error. `--deny gap`
+//! fails on never-touched items; `--deny shadow` also fails on
+//! shadowed ones. The JSON report is deterministic — byte-identical
+//! across runs and device orderings — and `--validate` checks one
+//! against the in-tree schema.
+
+use batnet_config::parse_device;
+use batnet_config::vi::Device;
+use batnet_coverage::{analyze, render_json, render_text, validate_report, CoverageReport};
+use std::process::ExitCode;
+
+struct Args {
+    net: Option<String>,
+    dir: Option<String>,
+    format: String,
+    deny: Option<String>,
+    out: Option<String>,
+    validate: Option<String>,
+}
+
+const USAGE: &str = "usage: batnet-cov (--net ID | --dir PATH) [--format text|json|sarif] \
+[--deny gap|shadow] [--out FILE]
+       batnet-cov --validate FILE.json";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        net: None,
+        dir: None,
+        format: "text".into(),
+        deny: None,
+        out: None,
+        validate: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--net" => args.net = Some(value("--net")?),
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--format" => args.format = value("--format")?,
+            "--deny" => args.deny = Some(value("--deny")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--validate" => args.validate = Some(value("--validate")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if !matches!(args.format.as_str(), "text" | "json" | "sarif") {
+        return Err(format!("--format must be text|json|sarif, got '{}'", args.format));
+    }
+    if let Some(deny) = &args.deny {
+        if !matches!(deny.as_str(), "gap" | "shadow") {
+            return Err(format!("--deny must be gap|shadow, got '{deny}'"));
+        }
+    }
+    if args.validate.is_none() && args.net.is_none() && args.dir.is_none() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+/// Loads the configs to analyze: a suite network by id, or every
+/// regular file in a directory (sorted; the file stem is the device
+/// name) — the same contract as `batnet-lint`.
+fn load_configs(args: &Args) -> Result<(String, Vec<(String, String)>), String> {
+    if let Some(id) = &args.net {
+        let entry = batnet_topogen::suite::suite()
+            .into_iter()
+            .find(|e| e.id.eq_ignore_ascii_case(id))
+            .ok_or_else(|| {
+                let ids: Vec<&str> = batnet_topogen::suite::suite().iter().map(|e| e.id).collect();
+                format!("unknown network '{id}' (known: {})", ids.join(", "))
+            })?;
+        let net = (entry.build)();
+        Ok((net.name, net.configs))
+    } else if let Some(dir) = &args.dir {
+        let mut entries: Vec<(String, String)> = Vec::new();
+        let rd = std::fs::read_dir(dir).map_err(|e| format!("--dir {dir}: {e}"))?;
+        for entry in rd {
+            let entry = entry.map_err(|e| format!("--dir {dir}: {e}"))?;
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("unnamed")
+                .to_string();
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            entries.push((name, text));
+        }
+        if entries.is_empty() {
+            return Err(format!("--dir {dir}: no config files"));
+        }
+        entries.sort();
+        Ok((dir.clone(), entries))
+    } else {
+        Err(USAGE.to_string())
+    }
+}
+
+fn write_output(out: Option<&str>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn denied(report: &CoverageReport, deny: Option<&str>) -> usize {
+    match deny {
+        Some("gap") => report.never_touched().count(),
+        Some("shadow") => report.gaps().count(),
+        _ => 0,
+    }
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    if let Some(path) = &args.validate {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        validate_report(&text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: valid batnet-cov/v1 report");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let (network, configs) = load_configs(args)?;
+    let devices: Vec<Device> = configs
+        .iter()
+        .map(|(name, text)| {
+            let (mut d, _) = parse_device(name, text);
+            d.stamp_source_file(name);
+            d
+        })
+        .collect();
+    let report = analyze(&devices);
+    let rendered = match args.format.as_str() {
+        "json" => render_json(&network, &report),
+        "sarif" => batnet_lint::output::render_sarif(&batnet_lint::unexercised_config(&devices)),
+        _ => render_text(&network, &report),
+    };
+    write_output(args.out.as_deref(), &rendered)?;
+    let blocked = denied(&report, args.deny.as_deref());
+    if blocked > 0 {
+        eprintln!(
+            "batnet-cov: {blocked} coverage gap(s) at or above the --deny {} threshold",
+            args.deny.as_deref().unwrap_or("gap")
+        );
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("batnet-cov: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! `batnet-repair` — minimal automatic repair from the command line.
+//!
+//! ```text
+//! batnet-repair --dir PATH --check ID [--device NAME] [--out FILE]
+//! batnet-repair --before PATH --after PATH [--out FILE]
+//! ```
+//!
+//! Lint mode targets the first finding of `--check` (optionally on
+//! `--device`) and searches for the smallest patch that makes it vanish
+//! while changing nothing else — no route or reachability deltas, no
+//! other finding added or removed. Diff mode targets a failing
+//! `diff(before, after)` and finds the smallest edit to *after* that
+//! makes the diff empty at every layer.
+//!
+//! The accepted patch is written as a unified diff (one context line)
+//! to `--out` or stdout; the candidate accounting goes to stderr.
+//! Exit codes: 0 patch emitted (or nothing to repair), 1 no candidate
+//! passed validation, 2 usage or I/O error.
+
+use batnet_coverage::repair::{repair_diff, repair_lint, RepairLimits};
+use std::process::ExitCode;
+
+struct Args {
+    dir: Option<String>,
+    check: Option<String>,
+    device: Option<String>,
+    before: Option<String>,
+    after: Option<String>,
+    out: Option<String>,
+    max_candidates: Option<usize>,
+}
+
+const USAGE: &str = "usage: batnet-repair --dir PATH --check ID [--device NAME] [--out FILE] \
+[--max-candidates N]
+       batnet-repair --before PATH --after PATH [--out FILE] [--max-candidates N]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        dir: None,
+        check: None,
+        device: None,
+        before: None,
+        after: None,
+        out: None,
+        max_candidates: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--device" => args.device = Some(value("--device")?),
+            "--before" => args.before = Some(value("--before")?),
+            "--after" => args.after = Some(value("--after")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--max-candidates" => {
+                let v = value("--max-candidates")?;
+                args.max_candidates =
+                    Some(v.parse().map_err(|_| format!("--max-candidates: bad value '{v}'"))?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let lint_mode = args.dir.is_some();
+    let diff_mode = args.before.is_some() || args.after.is_some();
+    if lint_mode == diff_mode {
+        return Err(USAGE.to_string());
+    }
+    if lint_mode && args.check.is_none() {
+        return Err(format!("--dir needs --check\n{USAGE}"));
+    }
+    if diff_mode && (args.before.is_none() || args.after.is_none()) {
+        return Err(format!("--before and --after go together\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+/// Every regular file in `dir`, sorted; the file stem is the device
+/// name (the `batnet-lint` loading contract).
+fn load_dir(dir: &str) -> Result<Vec<(String, String)>, String> {
+    let mut entries: Vec<(String, String)> = Vec::new();
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("{dir}: {e}"))?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unnamed")
+            .to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push((name, text));
+    }
+    if entries.is_empty() {
+        return Err(format!("{dir}: no config files"));
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let mut limits = RepairLimits::default();
+    if let Some(n) = args.max_candidates {
+        limits.max_candidates = n;
+    }
+    let outcome = if let Some(dir) = &args.dir {
+        let configs = load_dir(dir)?;
+        let check = args.check.as_deref().unwrap_or_default();
+        repair_lint(&configs, check, args.device.as_deref(), &limits)?
+    } else {
+        let before = load_dir(args.before.as_deref().unwrap_or_default())?;
+        let after = load_dir(args.after.as_deref().unwrap_or_default())?;
+        repair_diff(&before, &after, &limits)?
+    };
+    eprintln!("batnet-repair: target: {}", outcome.target);
+    eprintln!("batnet-repair: {}", outcome.summary());
+    match &outcome.patch {
+        Some(patch) => {
+            let text = patch.unified();
+            match args.out.as_deref() {
+                Some(path) => std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?,
+                None => print!("{text}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        None if outcome.tried == 0 => {
+            eprintln!("batnet-repair: nothing to repair");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            eprintln!("batnet-repair: no candidate patch passed validation");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("batnet-repair: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! # batnet-coverage — which config does the analysis actually exercise?
+//!
+//! Batfish's central promise is *proactive* validation: find the bug
+//! before deployment. That promise is only as good as the query suite —
+//! an ACL line no reachability start, traceroute, or lint BDD pass can
+//! ever touch is config the analysis says nothing about, exactly like
+//! an untested branch in a code-coverage report. This crate runs the
+//! standard query suite symbolically and classifies every ACL line,
+//! route-map clause, and BGP-neighbor stanza as:
+//!
+//! * **exercised** — some packet or route evaluates it (its BDD cube is
+//!   non-empty and the structure is reachable from a query entry point);
+//! * **shadowed** — the structure is evaluated, but earlier lines or
+//!   clauses carve away its entire match space (the per-cube `line_hits`
+//!   attribution from the BDD ACL compiler, and the route-map
+//!   dead-clause analysis);
+//! * **never-touched** — no query can reach the structure at all: an ACL
+//!   attached nowhere (or only to inactive interfaces), a route map no
+//!   BGP neighbor applies, a neighbor whose peer address resolves to no
+//!   device. This classification is shared with the lint engine's
+//!   `unexercised-config` check ([`batnet_lint::never_touched_structures`])
+//!   so reports and SARIF findings can never disagree.
+//!
+//! Reports are deterministic — the same devices always serialize to the
+//! same bytes regardless of input order — because the CI gate compares
+//! runs bytewise ([`render_json`], validated by [`validate_report`]).
+//!
+//! The sibling module [`repair`] closes the loop: given a lint finding
+//! or a failing diff, it enumerates small candidate patches and emits
+//! the minimal one that fixes the target without changing anything else.
+
+#![deny(clippy::unwrap_used, clippy::panic)]
+
+pub mod repair;
+
+use batnet_bdd::NodeId;
+use batnet_config::vi::{Device, SourceSpan};
+use batnet_dataplane::{acl::compile_acl, PacketVars};
+use batnet_lint::{dead_clauses, never_touched_structures, StructureRef};
+use batnet_obs::json::{self, write_str, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Coverage classification of one config item.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Some query evaluates this item with a non-empty match space.
+    Exercised,
+    /// Evaluated, but its entire match space is carved away earlier.
+    Shadowed,
+    /// No query of the suite can reach it at all.
+    NeverTouched,
+}
+
+impl Status {
+    /// Stable lowercase name (the JSON `status` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Exercised => "exercised",
+            Status::Shadowed => "shadowed",
+            Status::NeverTouched => "never-touched",
+        }
+    }
+}
+
+/// One covered (or not) config item.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Owning device.
+    pub device: String,
+    /// Item path, matching the lint path vocabulary: `acl A/line 10`,
+    /// `route-map RM/clause 20`, `neighbor 10.0.0.1`.
+    pub path: String,
+    /// Classification.
+    pub status: Status,
+    /// Why, for shadowed and never-touched items ("" when exercised).
+    pub reason: String,
+    /// Source file ("" when unknown).
+    pub file: String,
+    /// 1-based first line of the item's structure (0 when unknown).
+    pub line: u32,
+    /// 1-based last line of the structure's block.
+    pub end_line: u32,
+}
+
+impl Item {
+    fn new(device: &str, path: String, status: Status, reason: &str, src: &SourceSpan) -> Item {
+        Item {
+            device: device.to_string(),
+            path,
+            status,
+            reason: reason.to_string(),
+            file: src.file.clone(),
+            line: src.line,
+            end_line: src.end(),
+        }
+    }
+}
+
+/// Per-device (or total, with `device == ""`) item counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Device name, or "" for the network total.
+    pub device: String,
+    /// Total items.
+    pub items: usize,
+    /// Exercised items.
+    pub exercised: usize,
+    /// Shadowed items.
+    pub shadowed: usize,
+    /// Never-touched items.
+    pub never_touched: usize,
+}
+
+impl Summary {
+    /// Exercised fraction in permille (integer, so reports are
+    /// byte-identical with no float formatting concerns). A device with
+    /// no coverable items is vacuously fully covered.
+    pub fn coverage_permille(&self) -> u32 {
+        if self.items == 0 {
+            1000
+        } else {
+            (self.exercised * 1000 / self.items) as u32
+        }
+    }
+
+    fn absorb(&mut self, item: &Item) {
+        self.items += 1;
+        match item.status {
+            Status::Exercised => self.exercised += 1,
+            Status::Shadowed => self.shadowed += 1,
+            Status::NeverTouched => self.never_touched += 1,
+        }
+    }
+}
+
+/// The full coverage report: one entry per coverable item.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageReport {
+    /// All items, sorted by (device, path).
+    pub items: Vec<Item>,
+}
+
+impl CoverageReport {
+    /// Per-device summaries, sorted by device name.
+    pub fn device_summaries(&self) -> Vec<Summary> {
+        let mut by_dev: BTreeMap<&str, Summary> = BTreeMap::new();
+        for item in &self.items {
+            let s = by_dev.entry(&item.device).or_default();
+            s.device = item.device.clone();
+            s.absorb(item);
+        }
+        by_dev.into_values().collect()
+    }
+
+    /// The network-wide total (`device == ""`).
+    pub fn totals(&self) -> Summary {
+        let mut total = Summary::default();
+        for item in &self.items {
+            total.absorb(item);
+        }
+        total
+    }
+
+    /// The coverage gaps: every shadowed or never-touched item.
+    pub fn gaps(&self) -> impl Iterator<Item = &Item> {
+        self.items.iter().filter(|i| i.status != Status::Exercised)
+    }
+
+    /// Never-touched items only (the `--deny gap` trigger).
+    pub fn never_touched(&self) -> impl Iterator<Item = &Item> {
+        self.items
+            .iter()
+            .filter(|i| i.status == Status::NeverTouched)
+    }
+}
+
+const SHADOWED_ACL_LINE: &str = "no packet reaches this line; earlier lines cover its match space";
+const SHADOWED_CLAUSE: &str = "no route reaches this clause; earlier clauses cover its match space";
+const SHADOWED_NEIGHBOR: &str =
+    "peer address resolves, but the peer configures no compatible return session";
+
+/// Runs the coverage analysis over a snapshot's devices.
+///
+/// Deterministic by construction: devices are processed in name order
+/// (so the report is independent of input order), structures iterate in
+/// `BTreeMap` order, and the never-touched classification comes from
+/// the shared lint helper.
+pub fn analyze(devices: &[Device]) -> CoverageReport {
+    let mut order: Vec<&Device> = devices.iter().collect();
+    order.sort_by(|a, b| a.name.cmp(&b.name));
+    let never: BTreeMap<(String, StructureRef), String> = never_touched_structures(devices)
+        .into_iter()
+        .map(|nt| ((nt.device, nt.what), nt.reason))
+        .collect();
+
+    let mut items = Vec::new();
+    for d in order {
+        let (mut bdd, vars) = PacketVars::new(0);
+        for (name, acl) in &d.acls {
+            let key = (d.name.clone(), StructureRef::Acl(name.clone()));
+            if let Some(reason) = never.get(&key) {
+                for line in &acl.lines {
+                    items.push(Item::new(
+                        &d.name,
+                        format!("acl {name}/line {}", line.seq),
+                        Status::NeverTouched,
+                        reason,
+                        &acl.src,
+                    ));
+                }
+                continue;
+            }
+            let compiled = compile_acl(&mut bdd, &vars, acl);
+            for (i, line) in acl.lines.iter().enumerate() {
+                let hit = compiled.line_hits.get(i).copied().unwrap_or(NodeId::FALSE);
+                let (status, reason) = if hit == NodeId::FALSE {
+                    (Status::Shadowed, SHADOWED_ACL_LINE)
+                } else {
+                    (Status::Exercised, "")
+                };
+                items.push(Item::new(
+                    &d.name,
+                    format!("acl {name}/line {}", line.seq),
+                    status,
+                    reason,
+                    &acl.src,
+                ));
+            }
+        }
+        for (name, rm) in &d.route_maps {
+            let key = (d.name.clone(), StructureRef::RouteMap(name.clone()));
+            let never_reason = never.get(&key);
+            let dead = if never_reason.is_some() {
+                Vec::new()
+            } else {
+                dead_clauses(d, rm)
+            };
+            for clause in &rm.clauses {
+                let (status, reason) = match never_reason {
+                    Some(r) => (Status::NeverTouched, r.as_str()),
+                    None if dead.contains(&clause.seq) => (Status::Shadowed, SHADOWED_CLAUSE),
+                    None => (Status::Exercised, ""),
+                };
+                items.push(Item::new(
+                    &d.name,
+                    format!("route-map {name}/clause {}", clause.seq),
+                    status,
+                    reason,
+                    &clause.src,
+                ));
+            }
+        }
+        if let Some(bgp) = &d.bgp {
+            for nb in &bgp.neighbors {
+                let key = (d.name.clone(), StructureRef::BgpNeighbor(nb.peer_ip));
+                let (status, reason) = match never.get(&key) {
+                    Some(r) => (Status::NeverTouched, r.as_str()),
+                    None if session_comes_up(d, bgp.asn, nb.peer_ip, nb.remote_as, devices) => {
+                        (Status::Exercised, "")
+                    }
+                    None => (Status::Shadowed, SHADOWED_NEIGHBOR),
+                };
+                items.push(Item::new(
+                    &d.name,
+                    format!("neighbor {}", nb.peer_ip),
+                    status,
+                    reason,
+                    &nb.src,
+                ));
+            }
+        }
+    }
+    items.sort_by(|a, b| (&a.device, &a.path).cmp(&(&b.device, &b.path)));
+    CoverageReport { items }
+}
+
+/// Would the session to `peer_ip` actually establish? The peer device
+/// must own the address, run BGP in the AS we dialed, and configure a
+/// compatible return neighbor towards one of our addresses.
+fn session_comes_up(
+    d: &Device,
+    local_as: batnet_net::Asn,
+    peer_ip: batnet_net::Ip,
+    remote_as: batnet_net::Asn,
+    devices: &[Device],
+) -> bool {
+    devices.iter().any(|peer| {
+        peer.interface_owning_ip(peer_ip).is_some()
+            && peer.bgp.as_ref().is_some_and(|pb| {
+                pb.asn == remote_as
+                    && pb.neighbors.iter().any(|back| {
+                        back.remote_as == local_as && d.interface_owning_ip(back.peer_ip).is_some()
+                    })
+            })
+    })
+}
+
+fn write_summary(out: &mut String, s: &Summary) {
+    let _ = write!(
+        out,
+        "{{\"device\":{device},\"items\":{},\"exercised\":{},\"shadowed\":{},\
+         \"never_touched\":{},\"coverage_permille\":{}}}",
+        s.items,
+        s.exercised,
+        s.shadowed,
+        s.never_touched,
+        s.coverage_permille(),
+        device = {
+            let mut q = String::new();
+            write_str(&mut q, &s.device);
+            q
+        },
+    );
+}
+
+/// The JSON report (schema `batnet-cov/v1`). Timestamp-free and fully
+/// sorted: the same devices serialize to the same bytes in any input
+/// order, which is what the determinism gate compares.
+pub fn render_json(network: &str, report: &CoverageReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"batnet-cov/v1\",\"network\":");
+    write_str(&mut out, network);
+    out.push_str(",\"totals\":");
+    write_summary(&mut out, &report.totals());
+    out.push_str(",\"devices\":[");
+    for (i, s) in report.device_summaries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_summary(&mut out, s);
+    }
+    out.push_str("],\"items\":[");
+    for (i, item) in report.items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"device\":");
+        write_str(&mut out, &item.device);
+        out.push_str(",\"path\":");
+        write_str(&mut out, &item.path);
+        out.push_str(",\"status\":");
+        write_str(&mut out, item.status.as_str());
+        if !item.reason.is_empty() {
+            out.push_str(",\"reason\":");
+            write_str(&mut out, &item.reason);
+        }
+        if !item.file.is_empty() {
+            out.push_str(",\"file\":");
+            write_str(&mut out, &item.file);
+            let _ = write!(out, ",\"line\":{},\"end_line\":{}", item.line, item.end_line);
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Plain-text rendering: per-device percentages, then the gap list.
+pub fn render_text(network: &str, report: &CoverageReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "coverage report for {network}");
+    let pct = |s: &Summary| {
+        let p = s.coverage_permille();
+        format!("{}.{}%", p / 10, p % 10)
+    };
+    for s in report.device_summaries() {
+        let _ = writeln!(
+            out,
+            "  {}: {} items, {} exercised, {} shadowed, {} never-touched ({} exercised)",
+            s.device,
+            s.items,
+            s.exercised,
+            s.shadowed,
+            s.never_touched,
+            pct(&s)
+        );
+    }
+    let t = report.totals();
+    let _ = writeln!(
+        out,
+        "total: {} items, {} exercised, {} shadowed, {} never-touched ({} exercised)",
+        t.items,
+        t.exercised,
+        t.shadowed,
+        t.never_touched,
+        pct(&t)
+    );
+    let gaps: Vec<&Item> = report.gaps().collect();
+    if !gaps.is_empty() {
+        let _ = writeln!(out, "gaps:");
+        for g in gaps {
+            let _ = write!(out, "  {} {}: {} — {}", g.device, g.path, g.status.as_str(), g.reason);
+            if !g.file.is_empty() {
+                if g.end_line > g.line {
+                    let _ = write!(out, " [{}:{}-{}]", g.file, g.line, g.end_line);
+                } else {
+                    let _ = write!(out, " [{}:{}]", g.file, g.line);
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn get_count(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .map(|f| f as usize)
+        .ok_or_else(|| format!("summary missing numeric '{key}'"))
+}
+
+fn validate_summary(v: &Value, label: &str) -> Result<Summary, String> {
+    let s = Summary {
+        device: v
+            .get("device")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{label}: missing device"))?
+            .to_string(),
+        items: get_count(v, "items").map_err(|e| format!("{label}: {e}"))?,
+        exercised: get_count(v, "exercised").map_err(|e| format!("{label}: {e}"))?,
+        shadowed: get_count(v, "shadowed").map_err(|e| format!("{label}: {e}"))?,
+        never_touched: get_count(v, "never_touched").map_err(|e| format!("{label}: {e}"))?,
+    };
+    if s.items != s.exercised + s.shadowed + s.never_touched {
+        return Err(format!(
+            "{label}: items {} != exercised {} + shadowed {} + never_touched {}",
+            s.items, s.exercised, s.shadowed, s.never_touched
+        ));
+    }
+    let permille = get_count(v, "coverage_permille").map_err(|e| format!("{label}: {e}"))?;
+    if permille as u32 != s.coverage_permille() {
+        return Err(format!(
+            "{label}: coverage_permille {} does not match counts (expected {})",
+            permille,
+            s.coverage_permille()
+        ));
+    }
+    Ok(s)
+}
+
+/// Validates a `batnet-cov/v1` report: schema id, consistent counts at
+/// every level (totals, per device, and against the item list), and
+/// well-formed items. Writer and reader live in-tree so schema drift is
+/// a test failure, not a consumer surprise.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    if doc.get("schema").and_then(Value::as_str) != Some("batnet-cov/v1") {
+        return Err("schema must be \"batnet-cov/v1\"".into());
+    }
+    if doc.get("network").and_then(Value::as_str).is_none() {
+        return Err("missing network name".into());
+    }
+    let totals = validate_summary(doc.get("totals").ok_or("missing totals")?, "totals")?;
+    let devices = doc
+        .get("devices")
+        .and_then(Value::as_arr)
+        .ok_or("missing devices array")?;
+    let mut dev_sum = Summary::default();
+    for (i, d) in devices.iter().enumerate() {
+        let s = validate_summary(d, &format!("devices[{i}]"))?;
+        dev_sum.items += s.items;
+        dev_sum.exercised += s.exercised;
+        dev_sum.shadowed += s.shadowed;
+        dev_sum.never_touched += s.never_touched;
+    }
+    let items = doc
+        .get("items")
+        .and_then(Value::as_arr)
+        .ok_or("missing items array")?;
+    let mut item_sum = Summary::default();
+    for (i, item) in items.iter().enumerate() {
+        let status = item
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("items[{i}]: missing status"))?;
+        match status {
+            "exercised" => item_sum.exercised += 1,
+            "shadowed" => item_sum.shadowed += 1,
+            "never-touched" => item_sum.never_touched += 1,
+            other => return Err(format!("items[{i}]: unknown status '{other}'")),
+        }
+        item_sum.items += 1;
+        if item.get("device").and_then(Value::as_str).is_none()
+            || item.get("path").and_then(Value::as_str).is_none()
+        {
+            return Err(format!("items[{i}]: missing device or path"));
+        }
+    }
+    for (label, a, b) in [
+        ("devices", dev_sum.items, totals.items),
+        ("items", item_sum.items, totals.items),
+        ("exercised items", item_sum.exercised, totals.exercised),
+        ("shadowed items", item_sum.shadowed, totals.shadowed),
+        ("never-touched items", item_sum.never_touched, totals.never_touched),
+    ] {
+        if a != b {
+            return Err(format!("{label} count {a} disagrees with totals {b}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batnet_config::parse_device;
+
+    fn devices(cfgs: &[(&str, &str)]) -> Vec<Device> {
+        cfgs.iter()
+            .map(|(n, t)| {
+                let (mut d, _) = parse_device(n, t);
+                d.stamp_source_file(n);
+                d
+            })
+            .collect()
+    }
+
+    const R1: &str = "\
+hostname r1
+interface e0
+ ip address 172.16.0.0/31
+ ip access-group EDGE in
+router bgp 65001
+ neighbor 172.16.0.1 remote-as 65002
+ip access-list extended EDGE
+ 10 deny tcp any any eq 22
+ 20 deny tcp any any eq 22
+ 30 permit ip any any
+ip access-list extended ORPHAN
+ 10 permit ip any any
+route-map UNAPPLIED permit 10
+ set local-preference 50
+";
+
+    const R2: &str = "\
+hostname r2
+interface e0
+ ip address 172.16.0.1/31
+router bgp 65002
+ neighbor 172.16.0.0 remote-as 65001
+";
+
+    #[test]
+    fn classifies_all_three_statuses() {
+        let devs = devices(&[("r1", R1), ("r2", R2)]);
+        let report = analyze(&devs);
+        let status_of = |path: &str| {
+            report
+                .items
+                .iter()
+                .find(|i| i.device == "r1" && i.path == path)
+                .map(|i| i.status)
+        };
+        assert_eq!(status_of("acl EDGE/line 10"), Some(Status::Exercised));
+        assert_eq!(status_of("acl EDGE/line 20"), Some(Status::Shadowed));
+        assert_eq!(status_of("acl EDGE/line 30"), Some(Status::Exercised));
+        assert_eq!(status_of("acl ORPHAN/line 10"), Some(Status::NeverTouched));
+        assert_eq!(
+            status_of("route-map UNAPPLIED/clause 10"),
+            Some(Status::NeverTouched)
+        );
+        assert_eq!(status_of("neighbor 172.16.0.1"), Some(Status::Exercised));
+        // Gap items carry source spans from the parsers.
+        let orphan = report
+            .items
+            .iter()
+            .find(|i| i.path == "acl ORPHAN/line 10")
+            .expect("orphan item");
+        assert_eq!(orphan.file, "r1");
+        assert!(orphan.line > 0 && orphan.end_line >= orphan.line);
+    }
+
+    #[test]
+    fn half_configured_session_is_shadowed() {
+        let one_sided = "\
+hostname r1
+interface e0
+ ip address 172.16.0.0/31
+router bgp 65001
+ neighbor 172.16.0.1 remote-as 65002
+";
+        let silent_peer = "\
+hostname r2
+interface e0
+ ip address 172.16.0.1/31
+";
+        let devs = devices(&[("r1", one_sided), ("r2", silent_peer)]);
+        let report = analyze(&devs);
+        let nb = report
+            .items
+            .iter()
+            .find(|i| i.path == "neighbor 172.16.0.1")
+            .expect("neighbor item");
+        assert_eq!(nb.status, Status::Shadowed);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_order_independent() {
+        let mut devs = devices(&[("r1", R1), ("r2", R2)]);
+        let a = render_json("t", &analyze(&devs));
+        let b = render_json("t", &analyze(&devs));
+        assert_eq!(a, b, "same devices, same bytes");
+        devs.reverse();
+        let c = render_json("t", &analyze(&devs));
+        assert_eq!(a, c, "device order must not matter");
+        validate_report(&a).expect("own report validates");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_reports() {
+        assert!(validate_report("{}").is_err());
+        let devs = devices(&[("r1", R1), ("r2", R2)]);
+        let good = render_json("t", &analyze(&devs));
+        // Corrupt a count: totals no longer match the item list.
+        let bad = good.replace("\"exercised\":4", "\"exercised\":3");
+        assert_ne!(good, bad, "fixture must actually corrupt something");
+        assert!(validate_report(&bad).is_err());
+        // Unknown status value.
+        let bad = good.replace("\"status\":\"shadowed\"", "\"status\":\"mystery\"");
+        assert!(validate_report(&bad).is_err());
+    }
+
+    #[test]
+    fn summaries_add_up() {
+        let devs = devices(&[("r1", R1), ("r2", R2)]);
+        let report = analyze(&devs);
+        let totals = report.totals();
+        let by_dev = report.device_summaries();
+        assert_eq!(by_dev.iter().map(|s| s.items).sum::<usize>(), totals.items);
+        assert_eq!(
+            totals.items,
+            totals.exercised + totals.shadowed + totals.never_touched
+        );
+        // Permille arithmetic: 0 items is vacuously covered.
+        assert_eq!(Summary::default().coverage_permille(), 1000);
+        let text = render_text("t", &report);
+        assert!(text.contains("gaps:"));
+        assert!(text.contains("never-touched"));
+    }
+}

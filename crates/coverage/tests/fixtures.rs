@@ -1,0 +1,91 @@
+//! Fixture contract tests: the committed expected patches are what
+//! `batnet-repair` emits, byte for byte, and the committed lint-bad
+//! fixture carries a genuine never-touched coverage gap.
+
+use batnet_coverage::repair::{repair_diff, repair_lint, RepairLimits};
+use batnet_coverage::{analyze, render_json, validate_report, Status};
+use std::path::{Path, PathBuf};
+
+fn fixture(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fixtures")
+        .join(rel)
+}
+
+fn load_dir(dir: &Path) -> Vec<(String, String)> {
+    let mut entries: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("fixture dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "cfg"))
+        .map(|p| {
+            (
+                p.file_stem().and_then(|s| s.to_str()).expect("stem").to_string(),
+                std::fs::read_to_string(&p).expect("read"),
+            )
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn lint_repair_emits_the_committed_patch_byte_identically() {
+    let configs = load_dir(&fixture("repair-bad/lint"));
+    let out = repair_lint(&configs, "undefined-reference", None, &RepairLimits::default())
+        .expect("planted finding exists");
+    assert!(out.balanced(), "accounting: {}", out.summary());
+    assert_eq!(out.accepted, 1, "{}", out.summary());
+    let patch = out.patch.expect("patch accepted").unified();
+    let expected = std::fs::read_to_string(fixture("repair-bad/lint/expected.patch"))
+        .expect("committed expectation");
+    assert_eq!(patch, expected, "patch must match the committed expectation bytewise");
+}
+
+#[test]
+fn diff_repair_emits_the_committed_patch_byte_identically() {
+    let before = load_dir(&fixture("repair-bad/diff/before"));
+    let after = load_dir(&fixture("repair-bad/diff/after"));
+    let out = repair_diff(&before, &after, &RepairLimits::default()).expect("repair runs");
+    assert!(out.balanced(), "accounting: {}", out.summary());
+    assert_eq!(out.accepted, 1, "{}", out.summary());
+    let accepted = out.patch.expect("patch accepted");
+    let expected = std::fs::read_to_string(fixture("repair-bad/diff/expected.patch"))
+        .expect("committed expectation");
+    assert_eq!(accepted.unified(), expected, "patch must match the committed expectation bytewise");
+    // The patch reverts exactly the planted edit: applying it yields the
+    // before text.
+    let reverted = &accepted.files[0];
+    let original_before = before
+        .iter()
+        .find(|(n, _)| *n == reverted.device)
+        .map(|(_, t)| t.clone())
+        .expect("device exists on both sides");
+    assert_eq!(reverted.after, original_before);
+}
+
+#[test]
+fn lint_bad_fixture_has_a_genuine_never_touched_gap() {
+    let configs = load_dir(&fixture("lint-bad"));
+    let devices: Vec<_> = configs
+        .iter()
+        .map(|(n, t)| {
+            let (mut d, _) = batnet_config::parse_device(n, t);
+            d.stamp_source_file(n);
+            d
+        })
+        .collect();
+    let report = analyze(&devices);
+    let gaps: Vec<_> = report.never_touched().collect();
+    assert!(
+        gaps.iter().any(|g| g.path.starts_with("acl STALE-FILTER/")),
+        "expected the unattached STALE-FILTER ACL to be never-touched: {gaps:?}"
+    );
+    // The gap carries a real source span from the parser.
+    let gap = gaps.first().expect("at least one gap");
+    assert_eq!(gap.status, Status::NeverTouched);
+    assert!(gap.line > 0 && gap.end_line > gap.line, "block span: {gap:?}");
+    // And the JSON report over the fixture is valid and deterministic.
+    let json = render_json("lint-bad", &report);
+    validate_report(&json).expect("valid report");
+    assert_eq!(json, render_json("lint-bad", &analyze(&devices)));
+}

@@ -28,10 +28,12 @@
 //!   parser could not model and what the model reveals.
 
 pub mod drift;
+pub mod exercise;
 pub mod output;
 pub mod routemap;
 
 pub use drift::{policy_drift, role_of};
+pub use exercise::{never_touched_structures, unexercised_config, NeverTouched, StructureRef};
 pub use routemap::{dead_clauses, route_map_dead_clauses};
 
 use batnet_bdd::NodeId;
@@ -224,6 +226,7 @@ pub const CHECKS: &[CheckInfo] = &[
     CheckInfo { id: "route-map-dead-clause", severity: Severity::Warning, bridged: false, what: "a route-map clause can never match (covered by earlier clauses)" },
     CheckInfo { id: "dead-device", severity: Severity::Warning, bridged: false, what: "a device cannot do anything: all interfaces shutdown, or a BGP process with no sessions" },
     CheckInfo { id: "policy-drift", severity: Severity::Warning, bridged: false, what: "a device's policy semantically diverges from the majority of its role peers" },
+    CheckInfo { id: "unexercised-config", severity: Severity::Info, bridged: false, what: "a structure (acl, route-map, bgp neighbor) that no query of the coverage suite can ever exercise" },
     CheckInfo { id: "parse-info", severity: Severity::Info, bridged: true, what: "parser note (deprecated form, implicit default)" },
     CheckInfo { id: "unrecognized-line", severity: Severity::Warning, bridged: true, what: "a config line outside the model was skipped" },
     CheckInfo { id: "parse-error", severity: Severity::Error, bridged: true, what: "a malformed config line was dropped" },
@@ -263,6 +266,7 @@ pub const PASSES: &[(&str, &[&str], Pass)] = &[
     ("ntp-consistency", &["ntp-consistency"], Pass::Network(ntp_consistency)),
     ("mtu-mismatch", &["mtu-mismatch"], Pass::Network(mtu_mismatch)),
     ("policy-drift", &["policy-drift"], Pass::Network(policy_drift)),
+    ("unexercised-config", &["unexercised-config"], Pass::Network(unexercised_config)),
 ];
 
 /// Runs every registered pass, applies device-level suppressions, and
@@ -1073,6 +1077,18 @@ mod tests {
         assert!(names.windows(2).all(|w| w[0] != w[1]), "duplicate pass name");
         // Specifically: the shadowing pass is present.
         assert!(PASSES.iter().any(|(n, _, _)| *n == "acl-shadowing"));
+        // And the coverage-gap check is registered exactly once on each side.
+        assert_eq!(
+            CHECKS.iter().filter(|c| c.id == "unexercised-config").count(),
+            1,
+            "unexercised-config must appear exactly once in the catalog"
+        );
+        assert_eq!(
+            from_passes.iter().filter(|id| **id == "unexercised-config").count(),
+            1,
+            "unexercised-config must be dispatched by exactly one pass"
+        );
+        assert_eq!(severity_of("unexercised-config"), Severity::Info);
     }
 
     #[test]

@@ -288,7 +288,7 @@ mod tests {
     fn sample() -> Vec<Finding> {
         vec![
             Finding::new("undefined-reference", "r1", "interface e0 (in)/acl NOPE", "acl NOPE is not defined")
-                .at(&SourceSpan { file: "r1".into(), line: 4 }),
+                .at(&SourceSpan { file: "r1".into(), line: 4, end_line: 4 }),
             Finding::new("acl-partial-shadow", "r2", "acl A/line 20", "partially shadowed")
                 .with_witness("tcp 0.0.0.0:0 -> 0.0.0.0:22"),
             Finding::new("duplicate-ip", "", "ip 10.0.0.1", "10.0.0.1 assigned twice"),
