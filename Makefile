@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke bench
+.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke profile-smoke bench bench-all
 
-ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke
+ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke profile-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -118,5 +118,25 @@ cov-smoke: build
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_cov_smoke.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_cov.json target/BENCH_cov_smoke.json
 
+# Continuous-profiling gate: (1) the smoke bench runs with the 997 Hz
+# sampler attached and its `batnet-prof/v1` window artifact passes the
+# standalone validator (the `samples == recorded + dropped` balance and
+# the stack-count sum are checked, so silent sample loss fails CI);
+# (2) the folded-flamegraph export renders; (3) the serve smoke runs
+# with `--profile-hz` so every /profilez, /tracez?id=, and sampler-meta
+# assertion in the smoke sequence executes against a live server.
+profile-smoke: build
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- smoke --profile
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- --kind profile target/BENCH_smoke.profile.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-trace -- target/BENCH_smoke.profile.json --format folded --out target/BENCH_smoke.folded
+	$(CARGO) run --release --offline -p batnet-serve --bin batnet-serve -- --smoke --profile-hz 1997
+
 bench:
 	$(CARGO) bench --offline -p batnet-bench
+
+# Regenerates every committed bench baseline (plus target/BENCH_smoke)
+# in one command and appends one commit-stamped row per bench to
+# results/TRAJECTORY.jsonl — the recorded perf trajectory of the repo.
+bench-all: build
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- bench-all
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- --kind trajectory results/TRAJECTORY.jsonl

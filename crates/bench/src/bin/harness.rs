@@ -18,6 +18,7 @@
 //! harness ablate-dataflow      # A-4: graph compression & backward walk
 //! harness ablate-transform     # A-5: fused vs 3-step NAT transform
 //! harness all [--full] [--json]  # everything above
+//! harness bench-all [--full]   # every BENCH_*.json + results/TRAJECTORY.jsonl
 //! ```
 //!
 //! Cross-cutting flags:
@@ -30,6 +31,17 @@
 //!   (the CI `perf-smoke` gate runs `table2 --net N2`).
 //! * `--out PATH` — write the JSON somewhere other than the committed
 //!   repo-root baseline (CI writes under `target/`).
+//! * `--profile` — run the continuous profiler (997 Hz) alongside the
+//!   bench and write the `batnet-prof/v1` window as a `.profile.json`
+//!   artifact next to each emitted `BENCH_*.json`; the sampler's own
+//!   overhead is printed as an absolute and as a % of bench wall time.
+//!
+//! `bench-all` regenerates every bench JSON in one command (one obs
+//! reset + capture per bench, so each embedded report is that bench's
+//! own) and appends one commit-stamped summary row per bench to
+//! `results/TRAJECTORY.jsonl` — the recorded perf trajectory across
+//! PRs, schema-validated on every append (`obs-validate --kind
+//! trajectory`).
 //!
 //! `table2` runs the four smallest networks by default; `--full` runs
 //! all eleven (minutes of wall clock on the biggest).
@@ -73,7 +85,13 @@ fn main() {
     };
     let net_filter = flag_value(&args, "--net");
     let out = flag_value(&args, "--out");
+    let profile = args.iter().any(|a| a == "--profile");
+    if cmd == "bench-all" {
+        bench_all(full, profile);
+        return;
+    }
     batnet_obs::reset();
+    let profiler = start_profiler(profile);
     let root = batnet_obs::Span::enter("harness");
     // Repeats only make sense for the row-producing benches; everything
     // else (ablations, text-only tables) runs once.
@@ -97,6 +115,7 @@ fn main() {
         runs.pop().unwrap_or_default()
     };
     let wall = root.close();
+    let profile_doc = finish_profiler(profiler, wall);
     let commit = git_commit();
     let cmdline = format!("harness {}", args.join(" "));
     println!(
@@ -105,8 +124,121 @@ fn main() {
         wall.as_secs_f64()
     );
     if json || cmd == "smoke" || cmd == "lint" || cmd == "diff" || cmd == "serve" || cmd == "cov" {
-        emit_json(cmd, &rows, &commit, &cmdline, repeat, out.as_deref());
+        emit_json(
+            cmd,
+            &rows,
+            &commit,
+            &cmdline,
+            repeat,
+            out.as_deref(),
+            profile_doc.as_deref(),
+        );
     }
+}
+
+/// The continuous profiler's bench cadence: an odd prime, so sampling
+/// does not alias with any periodic work in the measured pipeline.
+const PROFILE_HZ: u64 = 997;
+
+fn start_profiler(profile: bool) -> Option<batnet_obs::SamplerThread> {
+    profile.then(|| batnet_obs::SamplerThread::spawn(PROFILE_HZ))
+}
+
+/// Stops the profiler, reports its strictly-accounted cost against the
+/// bench wall time, and returns the window's `batnet-prof/v1` document.
+fn finish_profiler(
+    profiler: Option<batnet_obs::SamplerThread>,
+    wall: Duration,
+) -> Option<String> {
+    let sampler = profiler?.stop();
+    let text = sampler.take_profile();
+    let stats = sampler.stats();
+    let pct = 100.0 * stats.overhead_us as f64 / (wall.as_micros().max(1) as f64);
+    println!(
+        "profiler: {} samples ({} dropped) over {} ticks @ {PROFILE_HZ}Hz, \
+         overhead {}us = {pct:.3}% of wall",
+        stats.samples, stats.dropped, stats.ticks, stats.overhead_us
+    );
+    Some(text)
+}
+
+/// The benches `bench-all` regenerates, in dependency-free order. All
+/// but `smoke` write committed repo-root baselines; `smoke` lands in
+/// `target/` like always.
+const ALL_BENCHES: [&str; 7] = ["table2", "fig3", "lint", "diff", "serve", "cov", "smoke"];
+
+/// `harness bench-all`: every bench JSON in one command, each under its
+/// own obs reset/capture, plus one commit-stamped trajectory row per
+/// bench appended to `results/TRAJECTORY.jsonl`.
+fn bench_all(full: bool, profile: bool) {
+    let commit = git_commit();
+    let mut summary = Vec::new();
+    for bench in ALL_BENCHES {
+        batnet_obs::reset();
+        let profiler = start_profiler(profile);
+        let root = batnet_obs::Span::enter("harness");
+        let mut rows: Vec<Row> = Vec::new();
+        run_cmd(bench, full, None, &mut rows);
+        let wall = root.close();
+        let profile_doc = finish_profiler(profiler, wall);
+        emit_json(
+            bench,
+            &rows,
+            &commit,
+            &format!("harness bench-all ({bench})"),
+            1,
+            None,
+            profile_doc.as_deref(),
+        );
+        summary.push((bench, rows.len(), wall));
+    }
+    let path = repo_root().join("results").join("TRAJECTORY.jsonl");
+    if let Err(e) = append_trajectory(&path, &commit, &summary) {
+        eprintln!("bench-all: trajectory append failed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nbench-all: {} benches, trajectory rows appended to {}",
+        summary.len(),
+        path.display()
+    );
+}
+
+/// Appends one schema-validated summary row per bench. Every line is
+/// validated *before* it is written — a malformed row must fail the run,
+/// not poison the committed trajectory.
+fn append_trajectory(
+    path: &std::path::Path,
+    commit: &str,
+    summary: &[(&str, usize, Duration)],
+) -> Result<(), String> {
+    use std::io::Write as _;
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut lines = String::new();
+    for (bench, rows, wall) in summary {
+        let line = format!(
+            "{{\"schema\": 1, \"bench\": \"{bench}\", \"commit\": \"{commit}\", \
+             \"unix\": {unix}, \"rows\": {rows}, \"total_ms\": {:.3}}}",
+            wall.as_secs_f64() * 1000.0
+        );
+        let parsed = batnet_obs::json::parse(&line).map_err(|e| format!("{bench}: {e}"))?;
+        batnet_obs::report::validate_trajectory_row(&parsed)
+            .map_err(|e| format!("{bench}: row invalid: {e}"))?;
+        lines.push_str(&line);
+        lines.push('\n');
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| e.to_string())?;
+    f.write_all(lines.as_bytes()).map_err(|e| e.to_string())
 }
 
 /// The value following `flag` on the command line, if any.
@@ -158,8 +290,19 @@ fn run_cmd(cmd: &str, full: bool, net: Option<&str>, rows: &mut Vec<Row>) {
 /// repo-root baselines (`table2`, `fig3`) are written on `--json`; the
 /// `smoke` bench always lands in `target/` so CI never dirties the
 /// committed baselines. `--out` redirects the (single) output file —
-/// the CI `perf-smoke` gate uses it to write under `target/`.
-fn emit_json(cmd: &str, rows: &[Row], commit: &str, cmdline: &str, repeat: usize, out: Option<&str>) {
+/// the CI `perf-smoke` gate uses it to write under `target/`. When a
+/// profile window was captured (`--profile`), it is written next to each
+/// bench file with a `.profile.json` extension.
+#[allow(clippy::too_many_arguments)]
+fn emit_json(
+    cmd: &str,
+    rows: &[Row],
+    commit: &str,
+    cmdline: &str,
+    repeat: usize,
+    out: Option<&str>,
+    profile: Option<&str>,
+) {
     let report = batnet_obs::capture();
     let meta = vec![
         ("commit".to_string(), commit.to_string()),
@@ -189,6 +332,13 @@ fn emit_json(cmd: &str, rows: &[Row], commit: &str, cmdline: &str, repeat: usize
         match std::fs::write(&path, &text) {
             Ok(()) => println!("wrote {} ({} rows)", path.display(), subset.len()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+        if let Some(doc) = profile {
+            let ppath = path.with_extension("profile.json");
+            match std::fs::write(&ppath, doc) {
+                Ok(()) => println!("wrote {}", ppath.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", ppath.display()),
+            }
         }
     }
 }

@@ -37,6 +37,12 @@
 //!    across two runs over the same devices; the repairer never panics
 //!    and its candidate accounting always balances
 //!    (`tried == accepted + rejected_regression + rejected_side_effect`).
+//! 11. **Profiler read-onlyness** — with an aggressive (2500 Hz)
+//!    continuous sampler attached, lint fingerprints and coverage JSON
+//!    over the mutated configs are byte-identical to the sampler-off
+//!    baselines, nothing panics, the sampler never writes the metric
+//!    registry, and its window passes the profile validator (which
+//!    enforces `samples == recorded + dropped`).
 //!    (Invariants 8–9 are the `batnet-serve` sweep in [`crate::serve`].)
 
 use crate::mutate::{mutate, MutationClass};
@@ -245,6 +251,7 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
         let second = fingerprints(&batnet::lint::run_all(&devices));
         (first, second)
     }));
+    let mut lint_baseline = None;
     match lint_outcome {
         Err(_) => run
             .violations
@@ -254,6 +261,7 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
                 run.violations
                     .push("lint fingerprints differ across identical runs".to_string());
             }
+            lint_baseline = Some(first);
         }
     }
 
@@ -273,6 +281,7 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
         let second = batnet_coverage::render_json(&run.net, &batnet_coverage::analyze(&devices));
         (first, second)
     }));
+    let mut cov_baseline = None;
     match cov_outcome {
         Err(_) => run
             .violations
@@ -281,6 +290,60 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
             if first != second {
                 run.violations
                     .push("coverage JSON differs across identical runs".to_string());
+            }
+            cov_baseline = Some(first);
+        }
+    }
+
+    // Invariant 11: an aggressive continuous profiler is strictly
+    // read-only. Re-run lint and coverage over the same mutated configs
+    // with a 2500 Hz sampler attached: the fingerprints and the JSON
+    // must be byte-identical to the sampler-off baselines above, nothing
+    // may panic, the sampler must never write the metric registry, and
+    // its window must pass the profile validator (which enforces the
+    // `samples == recorded + dropped` accounting balance).
+    if let (Some(lint_base), Some(cov_base)) = (&lint_baseline, &cov_baseline) {
+        let thread = batnet_obs::SamplerThread::spawn(2500);
+        let sampled = catch_unwind(AssertUnwindSafe(|| {
+            let devices: Vec<batnet_config::vi::Device> = m
+                .configs
+                .iter()
+                .map(|(name, text)| batnet_config::parse_device(name, text).0)
+                .collect();
+            let lints: Vec<String> =
+                batnet::lint::run_all(&devices).iter().map(batnet::lint::Finding::fingerprint).collect();
+            let cov = batnet_coverage::render_json(&run.net, &batnet_coverage::analyze(&devices));
+            (lints, cov)
+        }));
+        let profile = thread.stop().take_profile();
+        match sampled {
+            Err(_) => run
+                .violations
+                .push("panic with the sampler attached".to_string()),
+            Ok((lints, cov)) => {
+                if &lints != lint_base {
+                    run.violations
+                        .push("lint fingerprints differ with the sampler attached".to_string());
+                }
+                if &cov != cov_base {
+                    run.violations
+                        .push("coverage JSON differs with the sampler attached".to_string());
+                }
+            }
+        }
+        if batnet_obs::metrics::gauge("obs.sampler.samples").is_some() {
+            run.violations
+                .push("sampler leaked its stats into the metric registry".to_string());
+        }
+        match batnet_obs::json::parse(&profile) {
+            Err(e) => run
+                .violations
+                .push(format!("sampler profile does not parse: {e}")),
+            Ok(v) => {
+                if let Err(e) = batnet_obs::report::validate_profile(&v) {
+                    run.violations
+                        .push(format!("sampler profile fails validation: {e}"));
+                }
             }
         }
     }

@@ -22,9 +22,18 @@
 //! deliberately tiny trace ring so eviction is forced: every
 //! well-behaved response carries `X-Batnet-Trace-Id`, every collected
 //! id is either retained in `/tracez` (validator-clean) or covered by
-//! the eviction counter, and after drain the identity
+//! the eviction counter, a known-evicted id's `/tracez?id=` lookup
+//! answers 404 with `"reason": "evicted"` (distinguished from ids the
+//! server never issued), and after drain the identity
 //! `requests.total == ring retained + evicted == access-log lines`
 //! holds exactly — a trace is never silently dropped.
+//!
+//! Invariant 11 (serve half; the pipeline half lives in
+//! [`crate::harness`]) runs the whole sweep with the continuous
+//! profiler attached at an aggressive cadence: the server must uphold
+//! every contract above while being sampled, and `/profilez` must
+//! answer a validator-clean `batnet-prof/v1` window whose accounting
+//! balances (`samples == recorded + dropped`).
 
 use batnet_net::Rng;
 use batnet_serve::{client, AccessLog, ServeConfig};
@@ -184,6 +193,10 @@ pub fn run_serve_chaos(cfg: &ServeChaosConfig) -> ServeChaosReport {
         max_body_bytes: 64 << 10,
         store_capacity: 4,
         trace_ring_capacity: 4,
+        // Invariant 11: the whole adversarial sweep runs under an
+        // aggressive continuous profiler — sampling must never change
+        // the service's behavior or books.
+        profile_hz: 1999,
         access_log,
         ..ServeConfig::default()
     }) {
@@ -251,6 +264,7 @@ pub fn run_serve_chaos(cfg: &ServeChaosConfig) -> ServeChaosReport {
 
     audit_metrics(addr, cfg, t, &mut trace_ids, &mut report);
     audit_tracez(addr, t, &trace_ids, &mut report);
+    audit_profilez(addr, t, &mut report);
 
     // Invariant 9, post-drain: the ring outlives the handle, so the
     // final books are read with zero requests in flight.
@@ -616,6 +630,61 @@ fn audit_tracez(
             "tracez: {missing} collected id(s) unretained but only {evicted} \
              eviction(s) accounted"
         ));
+    }
+    // Lookup half: an id we hold but the ring no longer does must 404
+    // as *evicted*, not as never-issued — the ring only moves forward,
+    // so an id absent from the dump above stays absent.
+    if let Some(gone) = trace_ids.iter().find(|id| !retained.contains(id.as_str())) {
+        match client::get(addr, &format!("/tracez?id={gone}"), t) {
+            Ok(r) if r.status == 404 => {
+                let body = r.body_str();
+                if !body.contains("\"reason\": \"evicted\"") {
+                    report.violations.push(format!(
+                        "tracez lookup of evicted {gone}: 404 body does not \
+                         distinguish eviction: {body}"
+                    ));
+                }
+            }
+            Ok(r) => report.violations.push(format!(
+                "tracez lookup of evicted {gone}: expected 404, got {}",
+                r.status
+            )),
+            Err(e) => report
+                .violations
+                .push(format!("tracez lookup of evicted id: transport: {e}")),
+        }
+    }
+}
+
+/// Invariant 11, serve half: after the full adversarial sweep the
+/// profiler's window must still render a validator-clean
+/// `batnet-prof/v1` document — the validator enforces the
+/// `samples == recorded + dropped` balance and the stack-count sum, so
+/// sample loss under abuse can't hide.
+fn audit_profilez(addr: SocketAddr, t: Duration, report: &mut ServeChaosReport) {
+    let doc = match client::get(addr, "/profilez", t) {
+        Ok(r) if r.status == 200 => match r.json() {
+            Ok(v) => v,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("profilez does not parse as JSON: {e}"));
+                return;
+            }
+        },
+        Ok(r) => {
+            report
+                .violations
+                .push(format!("profilez answered {}", r.status));
+            return;
+        }
+        Err(e) => {
+            report.violations.push(format!("profilez: transport: {e}"));
+            return;
+        }
+    };
+    if let Err(e) = batnet_obs::report::validate_profile(&doc) {
+        report.violations.push(format!("profilez INVALID: {e}"));
     }
 }
 

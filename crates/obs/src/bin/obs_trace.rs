@@ -6,14 +6,19 @@
 //! obs-trace --validate TRACE.json
 //! ```
 //!
-//! `INPUT` is a run-report JSON file or a `BENCH_*.json` bench file (the
-//! embedded report is used). The Chrome output loads in Perfetto or
-//! `chrome://tracing` (open the UI, drag the file in); it is validated
-//! against the in-tree checker before it is written, so `obs-trace`
-//! never emits a trace Perfetto would reject. `--validate` checks an
-//! existing trace file and exits non-zero if it is not loadable.
+//! `INPUT` is a run-report JSON file, a `BENCH_*.json` bench file (the
+//! embedded report is used), or a `batnet-prof/v1` sampling profile
+//! (from `/profilez` or `harness --profile`; its folded stacks export
+//! directly, so `--format folded` is implied). The Chrome output loads
+//! in Perfetto or `chrome://tracing` (open the UI, drag the file in); it
+//! is validated against the in-tree checker before it is written, so
+//! `obs-trace` never emits a trace Perfetto would reject. `--validate`
+//! checks an existing trace file and exits non-zero if it is not
+//! loadable.
 
 use batnet_obs::json::{self, Value};
+use batnet_obs::report::validate_profile;
+use batnet_obs::sampler::profile_folded;
 use batnet_obs::trace::{chrome_trace, folded, forest_from_json, validate_chrome_trace};
 use std::process::ExitCode;
 
@@ -89,6 +94,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A sampling profile carries folded stacks already — validate and
+    // export them directly (sampled counts have no span forest to
+    // reconstruct, so a Chrome trace is not available).
+    if doc.get("kind").and_then(Value::as_str) == Some("batnet-prof/v1") {
+        if format == "chrome" {
+            eprintln!("obs-trace: {input}: sampling profiles export as --format folded only");
+            return ExitCode::FAILURE;
+        }
+        let rendered = match validate_profile(&doc).and_then(|()| profile_folded(&doc)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("obs-trace: {input}: INVALID profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match out {
+            Some(path) => match std::fs::write(&path, rendered) {
+                Ok(()) => {
+                    println!("wrote {path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("obs-trace: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                print!("{rendered}");
+                ExitCode::SUCCESS
+            }
+        };
+    }
     // A bench file embeds its run report under "report".
     let report = if doc.get("bench").is_some() {
         match doc.get("report") {

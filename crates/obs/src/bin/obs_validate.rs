@@ -1,18 +1,25 @@
 //! Validates batnet observability JSON files against the schema.
 //!
 //! ```text
-//! obs-validate [--kind bench|report|tracez] FILE...
+//! obs-validate [--kind bench|report|tracez|profile|trajectory] FILE...
 //! ```
 //!
 //! `--kind bench` (default for `BENCH_*.json` names) checks the stable
 //! `{bench, network, stage, ms, meta}` row schema plus the embedded run
 //! report; `--kind report` checks a bare run report; `--kind tracez`
 //! (default for `tracez*.json` names) checks a serve `/tracez` dump of
-//! per-request traces. Exits non-zero on the first invalid file, so
-//! `make ci` fails on schema drift.
+//! per-request traces; `--kind profile` (default for names containing
+//! `profile`) checks a `batnet-prof/v1` sampling profile, including the
+//! `samples == recorded + dropped` accounting balance; `--kind
+//! trajectory` (default for `TRAJECTORY*.jsonl` names) checks every line
+//! of a perf-trajectory JSONL file. Exits non-zero on the first invalid
+//! file, so `make ci` fails on schema drift.
 
 use batnet_obs::json;
-use batnet_obs::report::{validate_bench, validate_run_report, validate_tracez};
+use batnet_obs::report::{
+    validate_bench, validate_profile, validate_run_report, validate_tracez,
+    validate_trajectory_row,
+};
 use std::process::ExitCode;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -20,6 +27,8 @@ enum Kind {
     Bench,
     Report,
     Tracez,
+    Profile,
+    Trajectory,
 }
 
 impl Kind {
@@ -28,6 +37,8 @@ impl Kind {
             Kind::Bench => "bench schema",
             Kind::Report => "run report",
             Kind::Tracez => "tracez dump",
+            Kind::Profile => "sampling profile",
+            Kind::Trajectory => "perf trajectory",
         }
     }
 }
@@ -42,8 +53,12 @@ fn main() -> ExitCode {
                 Some("bench") => kind = Some(Kind::Bench),
                 Some("report") => kind = Some(Kind::Report),
                 Some("tracez") => kind = Some(Kind::Tracez),
+                Some("profile") => kind = Some(Kind::Profile),
+                Some("trajectory") => kind = Some(Kind::Trajectory),
                 _ => {
-                    eprintln!("--kind wants 'bench', 'report', or 'tracez'");
+                    eprintln!(
+                        "--kind wants 'bench', 'report', 'tracez', 'profile', or 'trajectory'"
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -52,7 +67,7 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() {
-        eprintln!("usage: obs-validate [--kind bench|report|tracez] FILE...");
+        eprintln!("usage: obs-validate [--kind bench|report|tracez|profile|trajectory] FILE...");
         return ExitCode::from(2);
     }
     for file in &files {
@@ -63,6 +78,43 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let resolved = kind.unwrap_or_else(|| {
+            let base = file.rsplit('/').next().unwrap_or(file);
+            // `profile` wins over the `BENCH_` prefix: bench artifacts
+            // like `BENCH_serve.profile.json` are profiles, not benches.
+            if base.contains("profile") {
+                Kind::Profile
+            } else if base.starts_with("BENCH_") {
+                Kind::Bench
+            } else if base.starts_with("tracez") {
+                Kind::Tracez
+            } else if base.contains("TRAJECTORY") && base.ends_with(".jsonl") {
+                Kind::Trajectory
+            } else {
+                Kind::Report
+            }
+        });
+        // Trajectory files are JSONL: validate each line independently.
+        if resolved == Kind::Trajectory {
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let result = json::parse(line)
+                    .map_err(|e| format!("not valid JSON: {e}"))
+                    .and_then(|v| validate_trajectory_row(&v));
+                if let Err(e) = result {
+                    eprintln!("obs-validate: {file}:{}: INVALID: {e}", lineno + 1);
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!(
+                "obs-validate: {file}: OK ({}, {} rows)",
+                resolved.label(),
+                text.lines().filter(|l| !l.trim().is_empty()).count()
+            );
+            continue;
+        }
         let value = match json::parse(&text) {
             Ok(v) => v,
             Err(e) => {
@@ -70,20 +122,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let resolved = kind.unwrap_or_else(|| {
-            let base = file.rsplit('/').next().unwrap_or(file);
-            if base.starts_with("BENCH_") {
-                Kind::Bench
-            } else if base.starts_with("tracez") {
-                Kind::Tracez
-            } else {
-                Kind::Report
-            }
-        });
         let result = match resolved {
             Kind::Bench => validate_bench(&value),
             Kind::Report => validate_run_report(&value),
             Kind::Tracez => validate_tracez(&value),
+            Kind::Profile => validate_profile(&value),
+            Kind::Trajectory => unreachable!("handled above"),
         };
         match result {
             Ok(()) => println!("obs-validate: {file}: OK ({})", resolved.label()),

@@ -31,6 +31,12 @@
 //! * **Memory accounting** ([`mem`]) — a counting global allocator
 //!   behind the `alloc-track` feature, with windowed peak/delta
 //!   measurement for per-stage memory gauges.
+//! * **Continuous profiling** ([`sampler`]) — an always-on sampling
+//!   profiler: each shard publishes its live open-span stack through a
+//!   single-writer seqlock, a sampler folds periodic snapshots into
+//!   flamegraph counts (`batnet-prof/v1` JSON), and its own cost is
+//!   strictly accounted. Powers `batnet-serve /profilez` and
+//!   `harness --profile`.
 //! * **Regression diffing** ([`diff`]) — noise-aware comparison of two
 //!   bench files or run reports (`max(k·MAD, pct·base, abs floor)`
 //!   thresholds); the `obs-diff` bin is the CI gate built on it.
@@ -62,6 +68,7 @@ pub mod json;
 pub mod mem;
 pub mod metrics;
 pub mod report;
+pub mod sampler;
 pub(crate) mod shard;
 pub mod span;
 pub mod trace;
@@ -70,6 +77,7 @@ pub use clock::now;
 pub use mem::{MemStats, MemWindow};
 pub use metrics::{counter_add, event, gauge_set, observe};
 pub use report::{capture, RunReport};
+pub use sampler::{Sampler, SamplerStats, SamplerThread};
 pub use span::{take_tree, Span, SpanContext};
 
 /// Clears all recorded spans, metrics, and events and restarts the run

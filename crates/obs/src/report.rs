@@ -576,6 +576,124 @@ pub fn validate_bench(v: &Value) -> Result<(), String> {
     validate_run_report(report).map_err(|e| format!("embedded report: {e}"))
 }
 
+/// Validates a `batnet-prof/v1` sampling-profile document: window and
+/// sampler accounting with the balance invariant
+/// `samples == recorded + dropped`, numeric gauges, and folded stack
+/// entries with positive counts.
+pub fn validate_profile(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_f64)
+        .ok_or("missing numeric \"schema\"")?;
+    if schema != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema drift: expected {SCHEMA_VERSION}, found {schema}"
+        ));
+    }
+    match v.get("kind").and_then(Value::as_str) {
+        Some("batnet-prof/v1") => {}
+        other => return Err(format!("\"kind\" must be \"batnet-prof/v1\", found {other:?}")),
+    }
+    match v.get("hz").and_then(Value::as_f64) {
+        Some(hz) if hz >= 0.0 => {}
+        _ => return Err("missing non-negative numeric \"hz\"".to_string()),
+    }
+    let window = v.get("window").ok_or("missing object \"window\"")?;
+    if !matches!(window, Value::Obj(_)) {
+        return Err("\"window\" must be an object".to_string());
+    }
+    for k in ["ticks", "duration_ms"] {
+        match window.get(k).and_then(Value::as_f64) {
+            Some(n) if n >= 0.0 => {}
+            _ => return Err(format!("window missing non-negative numeric \"{k}\"")),
+        }
+    }
+    let sampler = v.get("sampler").ok_or("missing object \"sampler\"")?;
+    if !matches!(sampler, Value::Obj(_)) {
+        return Err("\"sampler\" must be an object".to_string());
+    }
+    let mut acct = [0.0; 5];
+    for (i, k) in ["samples", "recorded", "dropped", "truncated", "overhead_us"]
+        .iter()
+        .enumerate()
+    {
+        match sampler.get(k).and_then(Value::as_f64) {
+            Some(n) if n >= 0.0 => acct[i] = n,
+            _ => return Err(format!("sampler missing non-negative numeric \"{k}\"")),
+        }
+    }
+    let (samples, recorded, dropped) = (acct[0], acct[1], acct[2]);
+    if samples != recorded + dropped {
+        return Err(format!(
+            "sampler accounting does not balance: samples {samples} != \
+             recorded {recorded} + dropped {dropped}"
+        ));
+    }
+    let Some(Value::Obj(gauges)) = v.get("gauges") else {
+        return Err("missing object \"gauges\"".to_string());
+    };
+    for (name, g) in gauges {
+        if g.as_f64().is_none() {
+            return Err(format!("gauge {name}: value is not numeric"));
+        }
+    }
+    let stacks = v
+        .get("stacks")
+        .and_then(Value::as_arr)
+        .ok_or("missing array \"stacks\"")?;
+    let mut counted = 0.0;
+    for (i, s) in stacks.iter().enumerate() {
+        match s.get("stack").and_then(Value::as_str) {
+            Some(st) if !st.is_empty() => {}
+            _ => return Err(format!("stack {i}: missing non-empty string \"stack\"")),
+        }
+        match s.get("count").and_then(Value::as_f64) {
+            Some(c) if c >= 1.0 => counted += c,
+            _ => return Err(format!("stack {i}: missing positive numeric \"count\"")),
+        }
+    }
+    if counted != recorded {
+        return Err(format!(
+            "stack counts sum to {counted} but sampler recorded {recorded}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates one `results/TRAJECTORY.jsonl` row: a commit-stamped bench
+/// summary (`{schema, bench, commit, unix, rows, total_ms}`) appended by
+/// `harness bench-all`.
+pub fn validate_trajectory_row(v: &Value) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_f64)
+        .ok_or("missing numeric \"schema\"")?;
+    if schema != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema drift: expected {SCHEMA_VERSION}, found {schema}"
+        ));
+    }
+    for k in ["bench", "commit"] {
+        match v.get(k).and_then(Value::as_str) {
+            Some(s) if !s.is_empty() => {}
+            _ => return Err(format!("missing non-empty string \"{k}\"")),
+        }
+    }
+    match v.get("unix").and_then(Value::as_f64) {
+        Some(u) if u >= 0.0 => {}
+        _ => return Err("missing non-negative numeric \"unix\"".to_string()),
+    }
+    match v.get("rows").and_then(Value::as_f64) {
+        Some(r) if r >= 1.0 => {}
+        _ => return Err("missing positive numeric \"rows\"".to_string()),
+    }
+    match v.get("total_ms").and_then(Value::as_f64) {
+        Some(t) if t >= 0.0 => {}
+        _ => return Err("missing non-negative numeric \"total_ms\"".to_string()),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +807,51 @@ mod tests {
         );
         if let Ok(v) = json::parse(&empty) {
             assert!(validate_bench(&v).is_err());
+        }
+    }
+
+    #[test]
+    fn profile_schema_validates() {
+        let doc = r#"{"schema": 1, "kind": "batnet-prof/v1", "hz": 99,
+          "window": {"ticks": 10, "duration_ms": 101.5},
+          "sampler": {"samples": 10, "recorded": 9, "dropped": 1,
+                      "truncated": 0, "overhead_us": 42},
+          "gauges": {"heap.current_bytes": 0, "bdd.nodes": 1234},
+          "stacks": [{"stack": "harness;network.n1;parse", "count": 6},
+                     {"stack": "(idle)", "count": 3}]}"#;
+        let v = json::parse(doc).expect("parses");
+        validate_profile(&v).expect("valid profile");
+        for (needle, replacement, what) in [
+            (r#""kind": "batnet-prof/v1""#, r#""kind": "other""#, "wrong kind"),
+            (r#""dropped": 1"#, r#""dropped": 2"#, "unbalanced accounting"),
+            (r#""count": 3"#, r#""count": 0"#, "zero stack count"),
+            (r#""stack": "(idle)""#, r#""stack": """#, "empty stack path"),
+            (r#""bdd.nodes": 1234"#, r#""bdd.nodes": "many""#, "non-numeric gauge"),
+        ] {
+            let bad = doc.replace(needle, replacement);
+            let v = json::parse(&bad).expect("parses");
+            assert!(validate_profile(&v).is_err(), "{what} must fail");
+        }
+        // Recorded samples must all be folded somewhere: 6 + 2 != 9.
+        let short = doc.replace(r#""count": 3"#, r#""count": 2"#);
+        let v = json::parse(&short).expect("parses");
+        assert!(validate_profile(&v).is_err(), "missing folds must fail");
+    }
+
+    #[test]
+    fn trajectory_row_validates() {
+        let row = r#"{"schema": 1, "bench": "table2", "commit": "0ecb0d3",
+                      "unix": 1754600000, "rows": 12, "total_ms": 842.5}"#;
+        let v = json::parse(row).expect("parses");
+        validate_trajectory_row(&v).expect("valid trajectory row");
+        for (needle, replacement) in [
+            (r#""commit": "0ecb0d3""#, r#""commit": """#),
+            (r#""rows": 12"#, r#""rows": 0"#),
+            (r#""total_ms": 842.5"#, r#""total_ms": -1"#),
+        ] {
+            let bad = row.replace(needle, replacement);
+            let v = json::parse(&bad).expect("parses");
+            assert!(validate_trajectory_row(&v).is_err());
         }
     }
 }

@@ -26,7 +26,7 @@ use crate::clock;
 use crate::metrics::{Event, MetricSlot};
 use crate::span::SpanSlot;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -41,6 +41,91 @@ pub(crate) struct ShardData {
     pub events: Vec<Event>,
     /// Events beyond the per-shard retention cap.
     pub events_dropped: u64,
+    /// Span-name → interned id, consulted under the data lock every
+    /// span open already takes. Never cleared on reset: name ids stay
+    /// stable for the life of the shard so a sampler snapshot taken
+    /// across a reset still resolves.
+    pub name_ids: BTreeMap<String, u32>,
+}
+
+/// Frames retained in a [`StackView`] snapshot. Deeper stacks publish
+/// their depth honestly and truncate the frames; the sampler counts
+/// them (`truncated` in the profile) rather than losing them silently.
+pub(crate) const STACK_VIEW_FRAMES: usize = 64;
+
+/// Outcome of one lock-free stack read.
+pub(crate) enum StackRead {
+    /// A consistent snapshot: interned frame ids, root first, plus
+    /// whether the live stack was deeper than the view retains.
+    Ok { frames: Vec<u32>, truncated: bool },
+    /// The writer kept racing the reader past the retry budget. The
+    /// sampler accounts this as a dropped sample — never silent.
+    Torn,
+}
+
+/// A seqlock snapshot of one thread's live open-span stack. The owning
+/// thread is the only writer, so publication needs no lock: bump the
+/// generation to odd, store the frames (each an interned name id),
+/// bump back to even. Readers (the sampler thread) retry while the
+/// generation is odd or moves, so the span hot path pays two relaxed
+/// `fetch_add`s and a handful of relaxed stores — no shared lock, no
+/// waiting on the sampler.
+pub(crate) struct StackView {
+    generation: AtomicU64,
+    depth: AtomicUsize,
+    frames: [AtomicU32; STACK_VIEW_FRAMES],
+}
+
+impl Default for StackView {
+    fn default() -> StackView {
+        StackView {
+            generation: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+}
+
+impl StackView {
+    /// Publishes the current stack (root first). Called only from the
+    /// shard's owning thread — the single-writer seqlock invariant.
+    pub fn publish(&self, frames: &[u32]) {
+        // Odd generation: snapshot in flight. The acquire half keeps
+        // the frame stores from floating above this increment.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.depth.store(frames.len(), Ordering::Relaxed);
+        for (slot, &f) in self.frames.iter().zip(frames) {
+            slot.store(f, Ordering::Relaxed);
+        }
+        // Even again: snapshot complete. Release keeps the stores above.
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// One consistent read, bounded retries. Reuses `scratch` so a
+    /// steady-state sampler allocates nothing per shard per tick.
+    pub fn read(&self, scratch: &mut Vec<u32>) -> StackRead {
+        for _ in 0..8 {
+            let before = self.generation.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let depth = self.depth.load(Ordering::Relaxed);
+            let take = depth.min(STACK_VIEW_FRAMES);
+            scratch.clear();
+            for slot in &self.frames[..take] {
+                scratch.push(slot.load(Ordering::Relaxed));
+            }
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.generation.load(Ordering::Relaxed) == before {
+                return StackRead::Ok {
+                    frames: scratch.clone(),
+                    truncated: depth > STACK_VIEW_FRAMES,
+                };
+            }
+        }
+        StackRead::Torn
+    }
 }
 
 /// One thread's shard: its registration sequence (the stable `tid` in
@@ -51,6 +136,12 @@ pub(crate) struct Shard {
     /// exporter use it as the OS-thread identity.
     pub seq: u64,
     data: Mutex<ShardData>,
+    /// Interned-id → span-name table, appended on first use of a name
+    /// (under the data lock, so the lock order is always data → names)
+    /// and read by the sampler to resolve snapshot frames.
+    names: Mutex<Vec<String>>,
+    /// The live open-span stack, lock-free-readable.
+    pub stack: StackView,
 }
 
 impl Shard {
@@ -59,6 +150,43 @@ impl Shard {
     /// rest of the process (serve workers run under `catch_unwind`).
     pub fn lock(&self) -> MutexGuard<'_, ShardData> {
         self.data.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Interns `name` for stack-view frames. Callers already hold the
+    /// data lock (span open); the names lock is only taken for a name
+    /// this shard has never seen.
+    pub fn intern(&self, data: &mut ShardData, name: &str) -> u32 {
+        if let Some(&id) = data.name_ids.get(name) {
+            return id;
+        }
+        let mut names = self.names.lock().unwrap_or_else(|e| e.into_inner());
+        let id = names.len() as u32;
+        names.push(name.to_string());
+        drop(names);
+        data.name_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolves interned frame ids to a `;`-joined span-name path (the
+    /// same key shape as `attr::path_totals`). Unknown ids — impossible
+    /// unless a snapshot tears undetected — render as `?<id>` rather
+    /// than being dropped.
+    pub fn resolve_path(&self, frames: &[u32]) -> String {
+        let names = self.names.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (i, &f) in frames.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            match names.get(f as usize) {
+                Some(n) => out.push_str(n),
+                None => {
+                    out.push('?');
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{f}"));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -83,12 +211,21 @@ pub(crate) fn with_local<R>(f: impl FnOnce(&Arc<Shard>) -> R) -> R {
             let shard = Arc::new(Shard {
                 seq: reg.len() as u64,
                 data: Mutex::new(ShardData::default()),
+                names: Mutex::new(Vec::new()),
+                stack: StackView::default(),
             });
             reg.push(Arc::clone(&shard));
             shard
         });
         f(shard)
     })
+}
+
+/// Runs `f` on the calling thread's shard only if one is already
+/// registered — the stack-view reset path uses this so resetting the
+/// recorder from a thread that never recorded doesn't mint a shard.
+pub(crate) fn try_local<R>(f: impl FnOnce(&Arc<Shard>) -> R) -> Option<R> {
+    LOCAL.with(|cell| cell.get().map(f))
 }
 
 /// A snapshot of every registered shard, in registration order.

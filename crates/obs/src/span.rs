@@ -59,7 +59,17 @@ pub(crate) struct SpanSlot {
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    // (open-sequence id, interned name id): the id drives parenting,
+    // the name id feeds the shard's lock-free stack view for the
+    // sampling profiler.
+    static STACK: RefCell<Vec<(u64, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Publishes the thread's current stack (already borrowed) to `shard`'s
+/// seqlock view. Only ever called from the shard's owning thread.
+fn publish_stack(shard: &Shard, stack: &[(u64, u32)]) {
+    let frames: Vec<u32> = stack.iter().map(|&(_, nid)| nid).collect();
+    shard.stack.publish(&frames);
 }
 
 /// A cheap, `Send + Copy` handle to an open (or closed) span, used to
@@ -81,7 +91,7 @@ impl Span {
     /// Opens a span. The parent is the innermost span still open on
     /// this thread.
     pub fn enter(name: impl Into<String>) -> Span {
-        let parent = STACK.with(|s| s.borrow().last().copied());
+        let parent = STACK.with(|s| s.borrow().last().map(|&(id, _)| id));
         Span::open(name.into(), parent)
     }
 
@@ -97,17 +107,24 @@ impl Span {
         let start = clock::now();
         let start_ns = shard::run_ns(start);
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-        let shard = shard::with_local(|s| {
-            s.lock().spans.push(SpanSlot {
+        let (shard, name_id) = shard::with_local(|s| {
+            let mut data = s.lock();
+            let name_id = s.intern(&mut data, &name);
+            data.spans.push(SpanSlot {
                 id,
                 parent,
                 name,
                 start_ns,
                 dur_ns: None,
             });
-            Arc::clone(s)
+            drop(data);
+            (Arc::clone(s), name_id)
         });
-        STACK.with(|s| s.borrow_mut().push(id));
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.push((id, name_id));
+            publish_stack(&shard, &stack);
+        });
         Span { shard, id, start }
     }
 
@@ -146,8 +163,12 @@ impl Drop for Span {
         let id = self.id;
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            if let Some(pos) = stack.iter().rposition(|&i| i == id) {
+            if let Some(pos) = stack.iter().rposition(|&(i, _)| i == id) {
                 stack.remove(pos);
+                // The stack held our id, so this close runs on the
+                // opening thread and `self.shard` is its local shard —
+                // the single-writer seqlock invariant holds.
+                publish_stack(&self.shard, &stack);
             }
         });
     }
@@ -235,8 +256,13 @@ pub fn take_tree(ctx: SpanContext) -> Vec<SpanRecord> {
 
 /// Clears the calling thread's nesting stack (part of [`crate::reset`]):
 /// spans still open across a reset must not parent post-reset spans.
+/// The published stack view is emptied too — but only when this thread
+/// already has a shard, and only its own view: other threads' views are
+/// single-writer and stale entries there resolve against name tables
+/// that survive resets.
 pub(crate) fn reset_local_stack() {
     STACK.with(|s| s.borrow_mut().clear());
+    shard::try_local(|sh| sh.stack.publish(&[]));
 }
 
 #[cfg(test)]

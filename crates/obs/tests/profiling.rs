@@ -1,0 +1,129 @@
+//! Continuous-profiling contracts of the sampler, end to end:
+//! virtual-clock exactness across many live shards (`samples ==
+//! ticks × shards`, no drops on quiescent stacks), and the poisoning
+//! regression — a contained panic with the wall-clock sampler attached
+//! must leave both telemetry and the sampler fully working.
+//!
+//! The subset property (every sampled live path appears in the exact
+//! attribution of the finished run) needs a real pipeline and lives in
+//! the facade crate's `tests/profiling.rs`.
+
+use batnet_obs::json::{self, Value};
+use batnet_obs::{Sampler, SamplerThread, Span};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock};
+
+/// Serializes the tests in this binary: they all reset global state.
+fn guard() -> MutexGuard<'static, ()> {
+    static G: OnceLock<Mutex<()>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn virtual_clock_is_exact_across_live_shards() {
+    let _g = guard();
+    batnet_obs::reset();
+    const WORKERS: usize = 6;
+    const TICKS: usize = 7;
+    // Workers each hold a live two-deep stack and park until released;
+    // quiescent seqlocks mean every read must land (zero drops).
+    let ready = Arc::new(Barrier::new(WORKERS + 1));
+    let release = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let (ready, release) = (Arc::clone(&ready), Arc::clone(&release));
+            std::thread::spawn(move || {
+                let _outer = Span::enter("prof.worker");
+                let _inner = Span::enter("prof.step");
+                ready.wait();
+                while !release.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+    ready.wait();
+
+    let sampler = Sampler::new(0);
+    let shards = sampler.tick();
+    assert!(shards >= WORKERS, "every parked worker has a live shard");
+    for _ in 1..TICKS {
+        assert_eq!(sampler.tick(), shards, "shard count stable while parked");
+    }
+    release.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("profiled worker");
+    }
+
+    let stats = sampler.stats();
+    assert_eq!(stats.samples, (TICKS * shards) as u64);
+    assert_eq!(stats.ticks, TICKS as u64);
+    assert_eq!(stats.dropped, 0, "quiescent stacks can never read torn");
+
+    let doc = json::parse(&sampler.take_profile()).expect("profile parses");
+    batnet_obs::report::validate_profile(&doc).expect("profile validates");
+    let stacks = doc.get("stacks").and_then(Value::as_arr).expect("stacks");
+    let count_of = |path: &str| -> u64 {
+        stacks
+            .iter()
+            .find(|s| s.get("stack").and_then(Value::as_str) == Some(path))
+            .and_then(|s| s.get("count").and_then(Value::as_f64))
+            .unwrap_or(0.0) as u64
+    };
+    // Every worker folded to the same path, caught at every tick.
+    assert_eq!(count_of("prof.worker;prof.step"), (TICKS * WORKERS) as u64);
+    // All samples are accounted somewhere: the counts sum to recorded,
+    // which (with zero drops) is exactly every shard visit.
+    let total: u64 = stacks
+        .iter()
+        .map(|s| s.get("count").and_then(Value::as_f64).unwrap_or(0.0) as u64)
+        .sum();
+    assert_eq!(total, (TICKS * shards) as u64);
+}
+
+#[test]
+fn contained_panic_with_sampler_attached_poisons_nothing() {
+    let _g = guard();
+    batnet_obs::reset();
+    let thread = SamplerThread::spawn(5_000);
+    // The concurrency-test scenario, now under live sampling: a handler
+    // panics with a span open; the worker catches it.
+    let result = std::panic::catch_unwind(|| {
+        let _doomed = Span::enter("request.doomed");
+        batnet_obs::counter_add("requests.before-panic", 1);
+        panic!("handler blew up");
+    });
+    assert!(result.is_err(), "the panic must reach catch_unwind");
+    // Telemetry keeps working on this thread and fresh ones...
+    batnet_obs::counter_add("requests.after-panic", 1);
+    let _next = Span::enter("request.next");
+    drop(_next);
+    std::thread::spawn(|| batnet_obs::counter_add("requests.after-panic", 1))
+        .join()
+        .expect("post-panic worker");
+    // ...and so does the sampler: it keeps ticking after the unwind and
+    // its window still renders and balances.
+    let before = thread.sampler().stats().ticks;
+    loop {
+        if thread.sampler().stats().ticks > before {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let sampler = thread.stop();
+    let doc = json::parse(&sampler.take_profile()).expect("profile parses");
+    batnet_obs::report::validate_profile(&doc).expect("post-panic profile validates");
+
+    let report = batnet_obs::capture();
+    assert_eq!(report.counter("requests.before-panic"), Some(1));
+    assert_eq!(report.counter("requests.after-panic"), Some(2));
+    assert_eq!(report.span_count("request.doomed"), 1);
+    // Read-only contract: nothing the sampler did shows up in the run's
+    // own books.
+    assert!(
+        !report.metrics.keys().any(|k| k.starts_with("obs.sampler.")),
+        "sampler leaked into the metric registry"
+    );
+}

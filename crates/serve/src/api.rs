@@ -12,7 +12,7 @@
 use crate::http::{Method, Request, Response};
 use crate::server::{ServeConfig, ServiceState};
 use crate::store::{SnapshotStore, StoreError, StoredSnapshot};
-use crate::tracing::TraceRing;
+use crate::tracing::{TraceIds, TraceRing};
 use batnet::{Exhaustion, Outcome, ResourceGovernor};
 use batnet_dataplane::vars::Field;
 use batnet_dataplane::{NodeKind, ReachAnalysis};
@@ -31,6 +31,8 @@ pub fn handle(
     cfg: &ServeConfig,
     state: &ServiceState,
     ring: &TraceRing,
+    sampler: Option<&batnet_obs::Sampler>,
+    ids: &TraceIds,
 ) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method, segments.as_slice()) {
@@ -42,8 +44,9 @@ pub fn handle(
                 Response::error(503, "draining").with_header("Retry-After", 1)
             }
         }
-        (Method::Get, ["metricsz"]) => metricsz(),
-        (Method::Get, ["tracez"]) => Response::json(200, ring.render_json()),
+        (Method::Get, ["metricsz"]) => metricsz(sampler),
+        (Method::Get, ["tracez"]) => tracez(req, ring, ids),
+        (Method::Get, ["profilez"]) => profilez(sampler),
         (Method::Get, ["snapshots"]) => list_snapshots(store),
         (Method::Post, ["snapshots", name]) => upload(req, store, cfg, name),
         (Method::Get, ["snapshots", name]) => snapshot_summary(store, name),
@@ -77,6 +80,7 @@ pub fn endpoint_label(method: Method, path: &str) -> &'static str {
         (Method::Get, ["readyz"]) => "readyz",
         (Method::Get, ["metricsz"]) => "metricsz",
         (Method::Get, ["tracez"]) => "tracez",
+        (Method::Get, ["profilez"]) => "profilez",
         (Method::Get, ["snapshots"]) => "snapshots.list",
         (Method::Post, ["snapshots", _]) => "snapshots.upload",
         (Method::Get, ["snapshots", _]) => "snapshots.summary",
@@ -94,8 +98,12 @@ pub fn endpoint_label(method: Method, path: &str) -> &'static str {
 /// summaries (`slo.<endpoint>.p50_us` / `.p99_us`, upper bucket edges
 /// of the per-endpoint latency histograms) lifted into `meta` so an
 /// operator — or the bench harness — reads p50/p99 without re-deriving
-/// them from raw buckets.
-fn metricsz() -> Response {
+/// them from raw buckets. When the profiler is on, its cumulative
+/// accounting (`obs.sampler.samples` / `.dropped` / `.ticks` /
+/// `.overhead_us`) is lifted the same way — *into this response's meta,
+/// never into the metric registry*, so captured analysis reports stay
+/// byte-identical with the sampler off.
+fn metricsz(sampler: Option<&batnet_obs::Sampler>) -> Response {
     let mut report = batnet_obs::capture();
     let mut slo = Vec::new();
     for (name, value) in &report.metrics {
@@ -114,7 +122,59 @@ fn metricsz() -> Response {
         report.meta.insert(format!("slo.{endpoint}.p50_us"), p50.to_string());
         report.meta.insert(format!("slo.{endpoint}.p99_us"), p99.to_string());
     }
+    if let Some(s) = sampler {
+        let st = s.stats();
+        report
+            .meta
+            .insert("obs.sampler.samples".to_string(), st.samples.to_string());
+        report
+            .meta
+            .insert("obs.sampler.dropped".to_string(), st.dropped.to_string());
+        report
+            .meta
+            .insert("obs.sampler.ticks".to_string(), st.ticks.to_string());
+        report.meta.insert(
+            "obs.sampler.overhead_us".to_string(),
+            st.overhead_us.to_string(),
+        );
+    }
     Response::json(200, report.to_json())
+}
+
+/// `GET /tracez[?id=<trace-id>]`: the full ring dump, or one retained
+/// trace. A miss is a 404 that says *which kind* of miss: an id the
+/// server issued but the ring has since evicted, or an id this server
+/// never produced — distinguishable in O(1) because trace ids come from
+/// an invertible generator ([`TraceIds::was_issued`]).
+fn tracez(req: &Request, ring: &TraceRing, ids: &TraceIds) -> Response {
+    let Some(id) = req.param("id") else {
+        return Response::json(200, ring.render_json());
+    };
+    if let Some(doc) = ring.render_one(id) {
+        return Response::json(200, doc);
+    }
+    let mut body = String::from("{\"error\": \"trace not retained\", \"trace_id\": ");
+    json::write_str(&mut body, id);
+    if ids.was_issued(id) {
+        body.push_str(", \"reason\": \"evicted\", \"detail\": \
+            \"this server issued the id, but the trace ring has since evicted it; \
+             raise --trace-ring to retain more\"}\n");
+    } else {
+        body.push_str(", \"reason\": \"unknown\", \"detail\": \
+            \"this server never issued the id (not in this seed's stream)\"}\n");
+    }
+    Response::json(404, body)
+}
+
+/// `GET /profilez`: snapshot-and-reset the continuous profiler's
+/// current window as a `batnet-prof/v1` document — each fetch reports
+/// the interval since the previous fetch. 404 when the server runs
+/// without `--profile-hz`.
+fn profilez(sampler: Option<&batnet_obs::Sampler>) -> Response {
+    match sampler {
+        Some(s) => Response::json(200, s.take_profile()),
+        None => Response::error(404, "profiling is off; start with --profile-hz N"),
+    }
 }
 
 /// Builds the per-request governor: `deadline_ms` (default from config,

@@ -4,18 +4,24 @@
 //! batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!              [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N]
 //!              [--prewarm N2,NET1] [--trace-ring N] [--trace-seed N]
-//!              [--access-log] [--smoke]
+//!              [--profile-hz N] [--access-log] [--smoke]
 //! ```
 //!
 //! Without `--smoke`, binds, prewarms, prints the address, and serves
-//! until a client POSTs `/admin/shutdown`. With `--smoke`, runs the CI
+//! until a client POSTs `/admin/shutdown`. `--profile-hz N` turns on the
+//! continuous profiler: a sampler thread snapshots every live span stack
+//! N times a second and `GET /profilez` serves (and resets) the
+//! accumulated `batnet-prof/v1` window. With `--smoke`, runs the CI
 //! end-to-end sequence in one process — ephemeral port, `/readyz` poll,
 //! a real reachability query, a deliberately over-deadline query that
 //! must come back `206` partial (not hang), a bad route, a `/tracez`
 //! fetch validated against the deterministic seeded trace-id stream
 //! (the dump is also written to `target/tracez-smoke.json` for the CI
-//! validator), metrics audit with per-endpoint SLO meta, graceful
-//! drain — and exits nonzero on the first deviation.
+//! validator), single-trace `/tracez?id=` lookups (retained and
+//! never-issued; the evicted case is pinned by the chaos serve sweep),
+//! a validator-clean `/profilez` profile when profiling is on (written
+//! to `target/profilez-smoke.json`), metrics audit with per-endpoint
+//! SLO meta, graceful drain — and exits nonzero on the first deviation.
 
 use batnet_net::Backoff;
 use batnet_serve::{client, AccessLog, ServeConfig, TraceIds};
@@ -58,13 +64,15 @@ fn main() {
                 cfg.trace_ring_capacity = parse(&take("--trace-ring"), "--trace-ring")
             }
             "--trace-seed" => cfg.trace_seed = parse(&take("--trace-seed"), "--trace-seed"),
+            "--profile-hz" => cfg.profile_hz = parse(&take("--profile-hz"), "--profile-hz"),
             "--access-log" => cfg.access_log = AccessLog::Stderr,
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
                     "usage: batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                      [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N] \
-                     [--prewarm IDS] [--trace-ring N] [--trace-seed N] [--access-log] [--smoke]"
+                     [--prewarm IDS] [--trace-ring N] [--trace-seed N] [--profile-hz N] \
+                     [--access-log] [--smoke]"
                 );
                 return;
             }
@@ -111,6 +119,7 @@ fn parse<T: std::str::FromStr>(v: &str, name: &str) -> T {
 fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
     let net = cfg.prewarm[0].clone();
     let seed = cfg.trace_seed;
+    let profiling = cfg.profile_hz > 0;
     let handle = batnet_serve::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
     let addr = handle.addr();
     let t = Duration::from_secs(10);
@@ -233,6 +242,66 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
     std::fs::write("target/tracez-smoke.json", &body)
         .map_err(|e| format!("tracez: write dump: {e}"))?;
 
+    // Single-trace lookup: a retained id comes back alone,
+    // validator-clean; an id outside the issued stream 404s saying
+    // "unknown" (the evicted flavor needs ring pressure — the chaos
+    // serve sweep pins it).
+    let one = step(
+        "tracez-id",
+        client::get(addr, &format!("/tracez?id={reach_id}"), t),
+    )?;
+    expect(&one, 200, "tracez-id")?;
+    check_trace(&one, "tracez-id")?;
+    let doc = batnet_obs::json::parse(one.body_str())
+        .map_err(|e| format!("tracez-id: bad JSON: {e}"))?;
+    batnet_obs::report::validate_tracez(&doc).map_err(|e| format!("tracez-id: INVALID: {e}"))?;
+    match doc.get("traces").and_then(batnet_obs::json::Value::as_arr) {
+        Some(traces) if traces.len() == 1 => {}
+        _ => return Err("tracez-id: expected exactly one trace".to_string()),
+    }
+    if !one.body_str().contains(&reach_id) {
+        return Err(format!("tracez-id: {reach_id} not in its own lookup"));
+    }
+    let unknown = step(
+        "tracez-unknown",
+        client::get(addr, "/tracez?id=ffffffffffffffff", t),
+    )?;
+    expect(&unknown, 404, "tracez-unknown")?;
+    check_trace(&unknown, "tracez-unknown")?;
+    if !unknown.body_str().contains("\"reason\": \"unknown\"") {
+        return Err(format!(
+            "tracez-unknown: 404 body must say the id was never issued: {}",
+            unknown.body_str()
+        ));
+    }
+
+    // Continuous profiling: with --profile-hz the window accumulated
+    // since startup (prewarm included) must come back validator-clean
+    // and its folded stacks must name real pipeline spans; without it,
+    // /profilez is an honest 404.
+    let prof = step("profilez", client::get(addr, "/profilez", t))?;
+    check_trace(&prof, "profilez")?;
+    if profiling {
+        expect(&prof, 200, "profilez")?;
+        let body = prof.body_str().to_string();
+        let doc = batnet_obs::json::parse(&body)
+            .map_err(|e| format!("profilez: bad JSON: {e}"))?;
+        batnet_obs::report::validate_profile(&doc)
+            .map_err(|e| format!("profilez: INVALID: {e}"))?;
+        let named_real_span = ["snapshot.parse", "route.simulate", "graph.build", "serve.request"]
+            .iter()
+            .any(|s| body.contains(s));
+        if !named_real_span {
+            return Err(format!(
+                "profilez: folded stacks name no real pipeline span: {body}"
+            ));
+        }
+        std::fs::write("target/profilez-smoke.json", &body)
+            .map_err(|e| format!("profilez: write dump: {e}"))?;
+    } else {
+        expect(&prof, 404, "profilez")?;
+    }
+
     // The books must balance: requests counted, per-endpoint SLO meta
     // present, zero contained panics.
     let metrics = step("metricsz", client::get(addr, "/metricsz", t))?;
@@ -249,6 +318,15 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
     }
     if body.contains("serve.panics.contained") {
         return Err("metricsz: a panic was contained during smoke".to_string());
+    }
+    if profiling {
+        for key in ["obs.sampler.samples", "obs.sampler.overhead_us"] {
+            if !body.contains(key) {
+                return Err(format!("metricsz: sampler meta {key} missing"));
+            }
+        }
+    } else if body.contains("obs.sampler.") {
+        return Err("metricsz: sampler meta present with profiling off".to_string());
     }
 
     // Graceful drain: accepted, readiness drops, the process unwinds.

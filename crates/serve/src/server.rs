@@ -34,7 +34,7 @@ use crate::http::{read_request, Limits, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::store::SnapshotStore;
 use crate::tracing::{AccessLog, TraceEntry, TraceIds, TraceRing};
-use batnet_obs::Span;
+use batnet_obs::{Sampler, SamplerThread, Span};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,6 +70,10 @@ pub struct ServeConfig {
     pub trace_seed: u64,
     /// Where per-request access-log lines go (off by default).
     pub access_log: AccessLog,
+    /// Continuous-profiling cadence in Hz (0 = profiler off). When on,
+    /// a sampler thread snapshots every live span stack and
+    /// `GET /profilez` serves the accumulated window.
+    pub profile_hz: u64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +91,7 @@ impl Default for ServeConfig {
             trace_ring_capacity: 256,
             trace_seed: 0,
             access_log: AccessLog::Off,
+            profile_hz: 0,
         }
     }
 }
@@ -132,6 +137,9 @@ pub struct Handle {
     ring: Arc<TraceRing>,
     accept: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    /// The continuous profiler, when `profile_hz > 0`. Held here so the
+    /// sampling thread stops (via drop) only after the workers drain.
+    profiler: Option<SamplerThread>,
 }
 
 impl Handle {
@@ -156,6 +164,12 @@ impl Handle {
         Arc::clone(&self.ring)
     }
 
+    /// The continuous profiler's sampler, when profiling is on — shared,
+    /// so post-drain audits can check the accounting balance.
+    pub fn sampler(&self) -> Option<Arc<Sampler>> {
+        self.profiler.as_ref().map(SamplerThread::sampler)
+    }
+
     /// Requests a drain and waits for the listener and every worker to
     /// finish queued work.
     pub fn shutdown(self) {
@@ -170,6 +184,8 @@ impl Handle {
         for w in self.workers {
             let _ = w.join();
         }
+        // Dropping the profiler stops and joins the sampling thread.
+        drop(self.profiler);
         batnet_obs::event("serve", "drain", "complete");
     }
 }
@@ -183,6 +199,7 @@ struct WorkerCtx {
     limits: Limits,
     ids: Arc<TraceIds>,
     ring: Arc<TraceRing>,
+    sampler: Option<Arc<Sampler>>,
 }
 
 /// Binds, prewarms, and starts the accept loop and worker pool.
@@ -191,6 +208,11 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+
+    // Start the profiler before prewarm, so prewarm's pipeline spans
+    // (parse, dpgen, graph…) are already in the first window.
+    let profiler = (cfg.profile_hz > 0).then(|| SamplerThread::spawn(cfg.profile_hz));
+    let sampler = profiler.as_ref().map(SamplerThread::sampler);
 
     let store = SnapshotStore::new(cfg.store_capacity);
     for id in &cfg.prewarm {
@@ -217,6 +239,7 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
             limits: limits.clone(),
             ids: Arc::clone(&ids),
             ring: Arc::clone(&ring),
+            sampler: sampler.clone(),
         };
         workers.push(
             std::thread::Builder::new()
@@ -242,6 +265,7 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
         ring,
         accept,
         workers,
+        profiler,
     })
 }
 
@@ -353,7 +377,15 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream, trace_id: &str, queu
             let label = api::endpoint_label(req.method, &req.path);
             let root = Span::enter("serve.request");
             let span_ctx = root.context();
-            let response = api::handle(&req, &ctx.store, &ctx.cfg, &ctx.state, &ctx.ring);
+            let response = api::handle(
+                &req,
+                &ctx.store,
+                &ctx.cfg,
+                &ctx.state,
+                &ctx.ring,
+                ctx.sampler.as_deref(),
+                &ctx.ids,
+            );
             let handler_us = root.close().as_micros().min(u64::MAX as u128) as u64;
             batnet_obs::observe(&format!("serve.latency.us.{label}"), handler_us);
             batnet_obs::observe("serve.queue.wait.us", queue_wait_us);

@@ -32,6 +32,43 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Multiplicative inverse of an odd u64 (mod 2⁶⁴) by Newton iteration:
+/// each step doubles the number of correct low bits, so five steps from
+/// the trivial `a⁻¹ ≡ a (mod 2³)` cover all 64.
+fn mul_inverse(a: u64) -> u64 {
+    let mut x = a; // correct to 3 bits for odd a
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+/// Undoes `z ^= z >> shift` (shift ≥ 32 needs one step; smaller shifts
+/// recover the bits block by block from the top).
+fn unxorshift(z: u64, shift: u32) -> u64 {
+    let mut x = z;
+    let mut recovered = shift;
+    while recovered < 64 {
+        x = z ^ (x >> shift);
+        recovered += shift;
+    }
+    x
+}
+
+/// Inverse of [`splitmix64`]: recovers the input counter from an id.
+/// splitmix64 is a bijection on u64 — every step (constant add, odd
+/// multiply mod 2⁶⁴, xorshift) is invertible — which is what lets
+/// `/tracez?id=` decide in O(1) whether an unknown id was *ever* issued
+/// by this server (evicted) or never existed.
+fn splitmix64_inverse(z: u64) -> u64 {
+    let mut x = unxorshift(z, 31);
+    x = x.wrapping_mul(mul_inverse(0x94d0_49bb_1331_11eb));
+    x = unxorshift(x, 27);
+    x = x.wrapping_mul(mul_inverse(0xbf58_476d_1ce4_e5b9));
+    x = unxorshift(x, 30);
+    x.wrapping_sub(0x9e37_79b9_7f4a_7c15)
+}
+
 /// Seeded trace-id generator: id *n* is `splitmix64(seed + n)`.
 pub struct TraceIds {
     seed: u64,
@@ -56,6 +93,27 @@ impl TraceIds {
     /// Smoke assertions use this to predict the deterministic stream.
     pub fn nth(seed: u64, n: u64) -> String {
         format!("{:016x}", splitmix64(seed.wrapping_add(n)))
+    }
+
+    /// Ids handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Whether this generator has ever issued `id`. splitmix64 is a
+    /// bijection, so inverting it recovers the sequence position of any
+    /// well-formed id in O(1) — `/tracez?id=` uses this to tell an
+    /// *evicted* trace (issued, no longer retained) from an id this
+    /// server never produced.
+    pub fn was_issued(&self, id: &str) -> bool {
+        if id.len() != 16 {
+            return false;
+        }
+        let Ok(v) = u64::from_str_radix(id, 16) else {
+            return false;
+        };
+        let n = splitmix64_inverse(v).wrapping_sub(self.seed);
+        n < self.issued()
     }
 }
 
@@ -173,6 +231,23 @@ impl TraceRing {
         self.lock().entries.iter().any(|e| e.trace_id == trace_id)
     }
 
+    /// A single retained trace as a standalone `/tracez`-schema document
+    /// (one-element `traces`, same ring accounting), or `None` if the id
+    /// is not currently in the ring.
+    pub fn render_one(&self, trace_id: &str) -> Option<String> {
+        let st = self.lock();
+        let e = st.entries.iter().find(|e| e.trace_id == trace_id)?;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"schema\": 1, \"capacity\": {}, \"evicted\": {}, \"traces\": [",
+            self.capacity, st.evicted
+        );
+        e.write_trace(&mut out);
+        out.push_str("]}");
+        Some(out)
+    }
+
     /// The `/tracez` document: schema 1, ring accounting, traces
     /// newest-first (the recent ones are what an operator is after).
     pub fn render_json(&self) -> String {
@@ -271,6 +346,41 @@ mod tests {
         assert_eq!(ids.iter().collect::<std::collections::BTreeSet<_>>().len(), 4);
         assert!(ids.iter().all(|i| i.len() == 16));
         assert_ne!(ids[0], TraceIds::new(43).next_id(), "seed changes the stream");
+    }
+
+    #[test]
+    fn splitmix64_inversion_roundtrips() {
+        for x in [0u64, 1, 42, u64::MAX, 0xdead_beef_cafe_f00d, 1 << 63] {
+            assert_eq!(splitmix64_inverse(splitmix64(x)), x);
+        }
+        let ids = TraceIds::new(907);
+        assert!(!ids.was_issued(&TraceIds::nth(907, 0)), "nothing issued yet");
+        let first = ids.next_id();
+        assert_eq!(ids.issued(), 1);
+        assert!(ids.was_issued(&first));
+        assert!(!ids.was_issued(&TraceIds::nth(907, 1)), "not issued yet");
+        assert!(!ids.was_issued(&TraceIds::nth(1, 0)), "other seed's stream");
+        assert!(!ids.was_issued("zz"), "malformed ids are never issued");
+        assert!(!ids.was_issued("00112233445566778899"), "wrong length");
+    }
+
+    #[test]
+    fn ring_renders_single_retained_trace() {
+        let ring = TraceRing::new(2);
+        for i in 0..3 {
+            ring.push(entry(&format!("id-{i}")));
+        }
+        let one = ring.render_one("id-2").expect("retained");
+        let v = json::parse(&one).expect("parses");
+        validate_tracez(&v).expect("single-trace doc validates");
+        let traces = v.get("traces").and_then(Value::as_arr).expect("traces");
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].get("trace_id").and_then(Value::as_str),
+            Some("id-2")
+        );
+        assert_eq!(v.get("evicted").and_then(Value::as_f64), Some(1.0));
+        assert!(ring.render_one("id-0").is_none(), "evicted ids miss");
     }
 
     #[test]
