@@ -4,9 +4,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke profile-smoke bench bench-all
+.PHONY: ci build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke profile-smoke par-smoke bench bench-all
 
-ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke profile-smoke
+ci: build test chaos clippy obs-smoke lint-smoke perf-smoke diff-smoke serve-smoke cov-smoke profile-smoke par-smoke
 
 build:
 	$(CARGO) build --release --offline --workspace
@@ -130,6 +130,25 @@ profile-smoke: build
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- --kind profile target/BENCH_smoke.profile.json
 	$(CARGO) run --release --offline -p batnet-obs --bin obs-trace -- target/BENCH_smoke.profile.json --format folded --out target/BENCH_smoke.folded
 	$(CARGO) run --release --offline -p batnet-serve --bin batnet-serve -- --smoke --profile-hz 1997
+
+# Parallel-execution gate: the work-stealing pool's byte-identity
+# contract, end to end. (1) `batnet-diff` over N2 at `--threads 1` and
+# at the default all-core width writes byte-identical JSON — `cmp`, not
+# obs-diff, because the whole report must match, not just its shape;
+# (2) the N2 rows of Table 2 measured at `--threads 1` and at the
+# default width both validate and both match the committed per-width
+# baselines structurally (timings move with the machine; the row set
+# must not).
+par-smoke: build
+	$(CARGO) run --release --offline -p batnet-repro --bin batnet-diff -- --net N2 --threads 1 --format json --out target/par-diff-t1.json
+	$(CARGO) run --release --offline -p batnet-repro --bin batnet-diff -- --net N2 --format json --out target/par-diff-tmax.json
+	cmp target/par-diff-t1.json target/par-diff-tmax.json
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- table2 --json --net N2 --threads 1 --out target/BENCH_par_t1.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_par_t1.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_table2.threads1.json target/BENCH_par_t1.json
+	$(CARGO) run --release --offline -p batnet-bench --bin harness -- table2 --json --net N2 --out target/BENCH_par_tmax.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-validate -- target/BENCH_par_tmax.json
+	$(CARGO) run --release --offline -p batnet-obs --bin obs-diff -- --structure-only BENCH_table2.json target/BENCH_par_tmax.json
 
 bench:
 	$(CARGO) bench --offline -p batnet-bench

@@ -144,6 +144,35 @@ impl Bdd {
         self.num_vars
     }
 
+    /// A detached copy for a shard worker: same node arena, unique
+    /// table, and registered maps/transforms — every existing `NodeId`,
+    /// `VarMap`, and `Transform` handle stays valid in the fork — but
+    /// fresh empty operation caches and **no governor** (shards are
+    /// budgeted by their driver, not by a shared manager; a governor
+    /// must not be cloned into threads it was not accounting for).
+    /// Forks diverge from the parent: nodes created in one are
+    /// invisible to the other, which is exactly what per-worker
+    /// reachability sharding wants.
+    pub fn fork(&self) -> Bdd {
+        Bdd {
+            nodes: self.nodes.clone(),
+            unique: self.unique.clone(),
+            apply_cache: FxMap::default(),
+            not_cache: FxMap::default(),
+            ite_cache: FxMap::default(),
+            quant_cache: FxMap::default(),
+            rename_cache: FxMap::default(),
+            transform_cache: FxMap::default(),
+            maps: self.maps.clone(),
+            transforms: self.transforms.clone(),
+            num_vars: self.num_vars,
+            cache_hits: 0,
+            cache_misses: 0,
+            governor: None,
+            exhausted: None,
+        }
+    }
+
     /// Grows the variable universe (used when an analysis discovers it
     /// needs extra bits, e.g. waypoint variables added on demand).
     pub fn ensure_vars(&mut self, num_vars: u32) {
@@ -723,6 +752,32 @@ mod tests {
         b.and(x, y);
         assert!(b.cache_hits() >= 1);
         assert!(b.eval(f, &[true, true]));
+    }
+
+    #[test]
+    fn fork_preserves_ids_and_diverges() {
+        let mut b = Bdd::new(8);
+        let x = b.var(0);
+        let y = b.var(3);
+        let f = b.and(x, y);
+        b.install_governor(ResourceGovernor::with_node_ceiling(10_000));
+        let mut shard = b.fork();
+        // Existing NodeIds mean the same function in the fork.
+        for v in 0u32..4 {
+            let assignment: Vec<bool> = (0..8).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(b.eval(f, &assignment), shard.eval(f, &assignment));
+        }
+        // The fork hash-conses against the copied unique table: an
+        // equivalent build resolves to the same NodeId.
+        assert_eq!(shard.and(x, y), f);
+        // Divergence: new nodes in the fork do not touch the parent.
+        let parent_nodes = b.node_count();
+        let z = shard.var(6);
+        let g = shard.or(f, z);
+        assert!(shard.eval(g, &[false, false, false, false, false, false, true, false]));
+        assert_eq!(b.node_count(), parent_nodes);
+        // The governor stays behind: forks are budgeted by their driver.
+        assert!(shard.exhausted().is_none());
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   (the CI `perf-smoke` gate runs `table2 --net N2`).
 //! * `--out PATH` — write the JSON somewhere other than the committed
 //!   repo-root baseline (CI writes under `target/`).
+//! * `--threads N` — size the shared `batnet_exec` pool (0 or omitted =
+//!   all cores). Recorded in every emitted bench file's provenance meta
+//!   and in `results/TRAJECTORY.jsonl` rows, so speedup comparisons
+//!   across thread counts are first-class `obs-diff` material.
 //! * `--profile` — run the continuous profiler (997 Hz) alongside the
 //!   bench and write the `batnet-prof/v1` window as a `.profile.json`
 //!   artifact next to each emitted `BENCH_*.json`; the sampler's own
@@ -86,6 +90,20 @@ fn main() {
     let net_filter = flag_value(&args, "--net");
     let out = flag_value(&args, "--out");
     let profile = args.iter().any(|a| a == "--profile");
+    let threads = match flag_value(&args, "--threads") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--threads wants a non-negative integer (0 = all cores), got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if !batnet_exec::configure_threads(threads) {
+        eprintln!("--threads: the execution pool is already sized differently");
+        std::process::exit(2);
+    }
     if cmd == "bench-all" {
         bench_all(full, profile);
         return;
@@ -218,10 +236,11 @@ fn append_trajectory(
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let mut lines = String::new();
+    let threads = batnet_exec::current().threads();
     for (bench, rows, wall) in summary {
         let line = format!(
             "{{\"schema\": 1, \"bench\": \"{bench}\", \"commit\": \"{commit}\", \
-             \"unix\": {unix}, \"rows\": {rows}, \"total_ms\": {:.3}}}",
+             \"unix\": {unix}, \"rows\": {rows}, \"total_ms\": {:.3}, \"threads\": {threads}}}",
             wall.as_secs_f64() * 1000.0
         );
         let parsed = batnet_obs::json::parse(&line).map_err(|e| format!("{bench}: {e}"))?;
@@ -310,6 +329,7 @@ fn emit_json(
         ("rustc".to_string(), rustc_version()),
         ("profile".to_string(), build_profile().to_string()),
         ("repeat".to_string(), repeat.to_string()),
+        ("threads".to_string(), batnet_exec::current().threads().to_string()),
     ];
     let benches: Vec<&str> = match cmd {
         "all" => vec!["table2", "fig3"],

@@ -6,9 +6,9 @@
 //! span, so the same numbers that print in the text tables appear in the
 //! machine-readable run report (`BENCH_<cmd>.json`, see [`bench_json`]).
 
-use batnet::bdd::{Bdd, NodeId};
+use batnet::bdd::Bdd;
 use batnet::config::Topology;
-use batnet::dataplane::{ForwardingGraph, NodeKind, PacketVars, ReachAnalysis};
+use batnet::dataplane::{ForwardingGraph, NodeKind, PacketVars, ReachAnalysis, ShardStats};
 use batnet::routing::{simulate, DataPlane, SimOptions};
 use batnet_obs::Span;
 use batnet_topogen::GeneratedNetwork;
@@ -62,6 +62,15 @@ fn bdd_stage_stats(stage: &str, bdd: &mut Bdd) {
     batnet_obs::gauge_set("bdd.cache.entries", bdd.cache_entries() as f64);
 }
 
+/// The sharded-stage analogue of [`bdd_stage_stats`]: per-shard forks
+/// summed by the analysis (the shard partition is fixed, so these
+/// gauges are identical at every thread count).
+fn bdd_shard_gauges(stage: &str, stats: &ShardStats) {
+    batnet_obs::gauge_set(&format!("bdd.{stage}.nodes"), stats.nodes as f64);
+    batnet_obs::gauge_set(&format!("bdd.{stage}.cache_hits"), stats.cache_hits as f64);
+    batnet_obs::gauge_set(&format!("bdd.{stage}.cache_misses"), stats.cache_misses as f64);
+}
+
 /// [`build_world`] with explicit engine options (for the ablations).
 pub fn build_world_with(net: GeneratedNetwork, opts: &SimOptions) -> World {
     let (devices, parse_time) = mem_stage("parse", || {
@@ -110,15 +119,17 @@ pub fn dest_reachability(
     let step = (sinks.len() / count.max(1)).max(1);
     let chosen: Vec<usize> = sinks.iter().copied().step_by(step).take(count).collect();
     let analysis = ReachAnalysis::new(graph);
+    let mut shard_stats = ShardStats::default();
     let dt = mem_stage("dest-reach", || {
         let span = Span::enter("dest-reach");
-        for &s in &chosen {
-            let r = analysis.backward(bdd, vars, s, NodeId::TRUE);
-            std::hint::black_box(&r.reach);
-        }
+        // Sharded over the exec pool: one forked manager per shard, the
+        // shared manager stays untouched. Summaries are the combine.
+        let (summaries, stats) = analysis.backward_sharded(bdd, vars, &chosen);
+        std::hint::black_box(&summaries);
+        shard_stats = stats;
         span.close()
     });
-    bdd_stage_stats("dest-reach", bdd);
+    bdd_shard_gauges("dest-reach", &shard_stats);
     (dt, chosen.len())
 }
 
@@ -134,16 +145,15 @@ pub fn multipath_consistency(
     let chosen: Vec<usize> = sources.iter().copied().step_by(step).take(max_starts).collect();
     let analysis = ReachAnalysis::new(graph);
     let mut violations = 0usize;
+    let mut shard_stats = ShardStats::default();
     let dt = mem_stage("multipath", || {
         let span = Span::enter("multipath");
-        for &s in &chosen {
-            if analysis.multipath_inconsistency(bdd, s) != NodeId::FALSE {
-                violations += 1;
-            }
-        }
+        let (verdicts, stats) = analysis.multipath_sharded(bdd, &chosen);
+        violations = verdicts.iter().filter(|(_, bad)| *bad).count();
+        shard_stats = stats;
         span.close()
     });
-    bdd_stage_stats("multipath", bdd);
+    bdd_shard_gauges("multipath", &shard_stats);
     (dt, chosen.len(), violations)
 }
 

@@ -43,6 +43,13 @@
 //!    baselines, nothing panics, the sampler never writes the metric
 //!    registry, and its window passes the profile validator (which
 //!    enforces `samples == recorded + dropped`).
+//! 12. **Parallel-engine parity** — the whole faulted pipeline re-run on
+//!    a dedicated 4-thread work-stealing pool (with the aggressive
+//!    sampler attached) quarantines the same devices with the same
+//!    reason codes and reports the same partial/complete outcome as the
+//!    ambient run, every panic the pool contains is accounted for in
+//!    the quarantine report (zero leaks), and the sampler profile still
+//!    passes the validator.
 //!    (Invariants 8–9 are the `batnet-serve` sweep in [`crate::serve`].)
 
 use crate::mutate::{mutate, MutationClass};
@@ -467,6 +474,88 @@ fn run_one(net: &GeneratedNetwork, class: MutationClass, seed: u64, cfg: &ChaosC
                             "non-monotone: {name} differs between quarantined-run and subset-alone"
                         ));
                     }
+                }
+            }
+        }
+    }
+
+    // Invariant 12: the parallel engine degrades identically. Re-run
+    // the whole pipeline on a dedicated 4-thread work-stealing pool
+    // with the aggressive sampler attached: the quarantine list (device
+    // and reason code, in order) and the partial/complete outcome must
+    // match the ambient run above, every panic the pool contained must
+    // surface as a panic-coded quarantine entry (a contained panic that
+    // vanishes from the accounting is a leak), and the sampler's
+    // profile must still pass the validator. The re-run is a full
+    // analysis, so like the repair half it is sampled on the low seeds
+    // only — every mutation class still gets exercised.
+    if seed <= 3 {
+        let pool = batnet_exec::Pool::new(4);
+        let thread = batnet_obs::SamplerThread::spawn(2500);
+        let par = catch_unwind(AssertUnwindSafe(|| {
+            batnet_exec::with_pool(&pool, || {
+                let snap = Snapshot::from_configs(m.configs.clone()).with_env(m.env.clone());
+                let gov = ResourceGovernor::with_deadline(deadline);
+                let quarantine: Vec<(String, &'static str)> = snap
+                    .quarantined
+                    .iter()
+                    .map(|q| (q.device.clone(), q.reason.code()))
+                    .collect();
+                let result = snap.analyze_resilient(&SimOptions::default(), 1, &gov);
+                (quarantine, result)
+            })
+        }));
+        let profile = thread.stop().take_profile();
+        match par {
+            Err(_) => run
+                .violations
+                .push("panic escaped the parallel pipeline".to_string()),
+            Ok((mut par_quarantine, par_result)) => {
+                let par_partial = match par_result {
+                    Err(_) => false,
+                    Ok(outcome) => {
+                        let is_partial = outcome.is_partial();
+                        let par_analysis = outcome.into_value();
+                        for q in &par_analysis.quarantined {
+                            if !par_quarantine.iter().any(|(d, _)| d == &q.device) {
+                                par_quarantine.push((q.device.clone(), q.reason.code()));
+                            }
+                        }
+                        is_partial
+                    }
+                };
+                if par_quarantine != run.quarantined {
+                    run.violations.push(format!(
+                        "parallel quarantine accounting differs: {:?} (parallel) vs {:?}",
+                        par_quarantine, run.quarantined
+                    ));
+                }
+                if par_partial != partial {
+                    run.violations.push(format!(
+                        "parallel partiality differs: {par_partial} (parallel) vs {partial}"
+                    ));
+                }
+                let contained = pool.stats().panics_contained as usize;
+                let accounted = par_quarantine
+                    .iter()
+                    .filter(|(_, code)| *code == "parse-panic" || *code == "route-panic")
+                    .count();
+                if contained > accounted {
+                    run.violations.push(format!(
+                        "contained-panic leak: the pool contained {contained} panic(s) \
+but only {accounted} are accounted in the quarantine"
+                    ));
+                }
+            }
+        }
+        match batnet_obs::json::parse(&profile) {
+            Err(e) => run
+                .violations
+                .push(format!("parallel-run sampler profile does not parse: {e}")),
+            Ok(v) => {
+                if let Err(e) = batnet_obs::report::validate_profile(&v) {
+                    run.violations
+                        .push(format!("parallel-run sampler profile fails validation: {e}"));
                 }
             }
         }

@@ -46,13 +46,37 @@ impl Snapshot {
     /// no usable model are quarantined rather than aborting the
     /// snapshot.
     pub fn from_configs(configs: Vec<(String, String)>) -> Snapshot {
-        let _span = batnet_obs::Span::enter("snapshot.parse");
+        let span = batnet_obs::Span::enter("snapshot.parse");
         let mut devices = Vec::with_capacity(configs.len());
         let mut diagnostics = Vec::new();
         let mut quarantined = Vec::new();
-        for (name, text) in configs {
-            match catch_unwind(AssertUnwindSafe(|| parse_device(&name, &text))) {
-                Err(payload) => {
+        // Per-device parse fans out over the execution pool (panic
+        // containment per task lives in the pool); the merge below is
+        // sequential and input-ordered, so the snapshot — devices,
+        // diagnostics, quarantine list — is byte-identical at every
+        // thread count. A 1-thread pool runs this inline.
+        let pool = batnet_exec::current();
+        let parsed = pool.try_map(
+            &configs,
+            batnet_exec::MapOptions {
+                span: Some(("exec.parse", span.context())),
+            },
+            |(name, text)| {
+                let (device, diags) = parse_device(name, text);
+                let meaningful = text
+                    .lines()
+                    .filter(|l| {
+                        let t = l.trim();
+                        !t.is_empty() && !t.starts_with('!') && !t.starts_with('#')
+                    })
+                    .count();
+                let coverage = diags.coverage(meaningful);
+                (device, diags, meaningful, coverage)
+            },
+        );
+        for ((name, _text), outcome) in configs.into_iter().zip(parsed) {
+            match outcome {
+                Err(panic) => {
                     diagnostics.push((
                         name.clone(),
                         vec![Diagnostic::new(
@@ -65,19 +89,11 @@ impl Snapshot {
                         device: name,
                         stage: QuarantineStage::Parse,
                         reason: QuarantineReason::ParsePanic {
-                            detail: panic_detail(payload),
+                            detail: panic.detail,
                         },
                     });
                 }
-                Ok((device, diags)) => {
-                    let meaningful = text
-                        .lines()
-                        .filter(|l| {
-                            let t = l.trim();
-                            !t.is_empty() && !t.starts_with('!') && !t.starts_with('#')
-                        })
-                        .count();
-                    let coverage = diags.coverage(meaningful);
+                Ok((device, diags, meaningful, coverage)) => {
                     let unintelligible = device.interfaces.is_empty()
                         && meaningful > 0
                         && coverage < MIN_COVERAGE;

@@ -32,5 +32,5 @@ pub mod reach;
 pub mod vars;
 
 pub use graph::{DropKind, EdgeLabel, ForwardingGraph, NodeKind};
-pub use reach::{ReachAnalysis, ReachResult};
+pub use reach::{ReachAnalysis, ReachResult, ShardStats, StartSummary};
 pub use vars::PacketVars;

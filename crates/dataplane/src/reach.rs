@@ -15,6 +15,35 @@ use batnet_bdd::{Bdd, NodeId, Transform};
 use batnet_net::governor::{Exhaustion, Outcome, ResourceGovernor};
 use std::collections::BTreeSet;
 
+/// Shards per sharded reach call — **fixed**, not tied to the worker
+/// count, so per-shard BDD growth (and therefore every stat and result
+/// byte) is identical at 1 thread and N threads.
+const REACH_SHARDS: usize = 8;
+
+/// Manager-independent summary of one sharded per-start query:
+/// `NodeId`s live in a shard-local fork, so shards report semantic
+/// counts that combine deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StartSummary {
+    /// The start (graph node) this summarizes.
+    pub start: usize,
+    /// Graph nodes with a non-empty packet set.
+    pub reached: usize,
+    /// Edge relaxations the fixed point performed.
+    pub relaxations: u64,
+}
+
+/// Summed manager stats across all shards of one sharded call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Total arena nodes across shard forks (includes the forked base).
+    pub nodes: u64,
+    /// Apply-cache hits across shards.
+    pub cache_hits: u64,
+    /// Apply-cache misses across shards.
+    pub cache_misses: u64,
+}
+
 /// The result of a propagation: one packet set per graph node.
 pub struct ReachResult {
     /// reach[node] = packets that can appear at that node.
@@ -283,6 +312,89 @@ impl<'g> ReachAnalysis<'g> {
         let ok = self.success_set(bdd, &r);
         let bad = self.drop_set(bdd, &r, None);
         bdd.and(ok, bad)
+    }
+
+    /// Backward reachability from each of `targets`, sharded over the
+    /// execution pool: starts are partitioned into a **fixed** number of
+    /// shards (independent of thread count, so results and stats never
+    /// depend on parallelism level), each shard runs on its own
+    /// [`Bdd::fork`] of `base`, and per-start summaries are combined in
+    /// input order. Summaries are manager-independent (`NodeId`s from
+    /// different forks are not comparable, semantic counts are), which
+    /// is the cross-shard combine.
+    pub fn backward_sharded(
+        &self,
+        base: &Bdd,
+        vars: &PacketVars,
+        targets: &[usize],
+    ) -> (Vec<StartSummary>, ShardStats) {
+        self.run_sharded(base, targets, |local, &t| {
+            let r = self.backward(local, vars, t, NodeId::TRUE);
+            StartSummary {
+                start: t,
+                reached: r.reach.iter().filter(|&&s| s != NodeId::FALSE).count(),
+                relaxations: r.relaxations,
+            }
+        })
+    }
+
+    /// Multipath consistency over many starts, sharded like
+    /// [`ReachAnalysis::backward_sharded`]. Returns `(start, violated)`
+    /// pairs in input order.
+    pub fn multipath_sharded(
+        &self,
+        base: &Bdd,
+        starts: &[usize],
+    ) -> (Vec<(usize, bool)>, ShardStats) {
+        self.run_sharded(base, starts, |local, &s| {
+            (s, self.multipath_inconsistency(local, s) != NodeId::FALSE)
+        })
+    }
+
+    /// The shared shard driver: fixed partition, one fork per shard,
+    /// input-order merge, summed manager stats.
+    fn run_sharded<R: Send>(
+        &self,
+        base: &Bdd,
+        starts: &[usize],
+        per_start: impl Fn(&mut Bdd, &usize) -> R + Sync,
+    ) -> (Vec<R>, ShardStats) {
+        if starts.is_empty() {
+            return (Vec::new(), ShardStats::default());
+        }
+        let span = batnet_obs::Span::enter("reach.shard");
+        let chunk = starts.len().div_ceil(REACH_SHARDS.min(starts.len()));
+        let chunks: Vec<&[usize]> = starts.chunks(chunk).collect();
+        let pool = batnet_exec::current();
+        let per_chunk = pool.map_opts(
+            &chunks,
+            batnet_exec::MapOptions {
+                span: Some(("exec.reach", span.context())),
+            },
+            |chunk: &&[usize]| {
+                let mut local = base.fork();
+                let out: Vec<R> = chunk.iter().map(|t| per_start(&mut local, t)).collect();
+                let stats = local.stats();
+                (
+                    out,
+                    ShardStats {
+                        nodes: stats.nodes as u64,
+                        cache_hits: stats.cache_hits,
+                        cache_misses: stats.cache_misses,
+                    },
+                )
+            },
+        );
+        span.close();
+        let mut merged = Vec::with_capacity(starts.len());
+        let mut stats = ShardStats::default();
+        for (rs, s) in per_chunk {
+            merged.extend(rs);
+            stats.nodes += s.nodes;
+            stats.cache_hits += s.cache_hits;
+            stats.cache_misses += s.cache_misses;
+        }
+        (merged, stats)
     }
 
     /// Forwarding-loop detection: packets that can revisit a `Fwd` node.

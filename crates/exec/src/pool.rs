@@ -1,0 +1,478 @@
+//! The pool itself: workers, per-worker deques, stealing, and the
+//! deterministic map job.
+//!
+//! Scheduling shape: submitters push tasks round-robin onto per-worker
+//! deques; a worker pops its own deque from the front and, when empty,
+//! steals from a sibling's back (classic work-stealing ends). A map
+//! call submits one *ticket* per worker; tickets claim item indices
+//! from a shared atomic cursor, so granularity is per item while queue
+//! traffic stays per worker. The joining thread claims items from the
+//! same cursor (help-first join), which is what makes nested maps from
+//! tasks already running on the pool deadlock-free: the joiner can
+//! always finish its own job single-handedly.
+//!
+//! Memory safety of the borrowed-payload job: tickets are `'static`
+//! closures holding an `Arc<Job>`; the job holds raw pointers into the
+//! joiner's stack frame. A ticket may touch those pointers only between
+//! `running += 1` and `running -= 1`, and only after re-checking that
+//! the job is not closed; the joiner closes the job and then waits for
+//! `running == 0` before its frame (items, closure, result slots) is
+//! allowed to die. Late tickets see `closed` and retire without ever
+//! dereferencing the payload.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use batnet_obs::SpanContext;
+
+/// A contained panic from one map item: the payload rendered to a
+/// string the same way the quarantine layer renders it.
+#[derive(Clone, Debug)]
+pub struct TaskPanic {
+    /// Human-readable panic payload (`&str`/`String` payloads verbatim).
+    pub detail: String,
+}
+
+impl TaskPanic {
+    fn from_payload(payload: Box<dyn std::any::Any + Send>) -> TaskPanic {
+        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        TaskPanic { detail }
+    }
+}
+
+/// Options for one map call.
+#[derive(Clone, Copy, Default)]
+pub struct MapOptions {
+    /// When set, every *worker* that participates opens one span with
+    /// this name, parented under the given context, for the duration of
+    /// its share of the job — per-worker timelines in traces without a
+    /// span per item. The joining thread opens no span (its work is
+    /// already covered by the caller's enclosing span), and a 1-thread
+    /// pool opens none (inline execution *is* the caller).
+    pub span: Option<(&'static str, SpanContext)>,
+}
+
+/// A snapshot of pool counters for `/metricsz` and tests.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolStats {
+    /// Worker threads alive.
+    pub workers: usize,
+    /// Tasks a worker took from a sibling's deque.
+    pub steals: u64,
+    /// Tasks executed by workers (tickets + spawned tasks).
+    pub executed: u64,
+    /// Tasks currently queued, not yet picked up.
+    pub queue_depth: usize,
+    /// Every panic the pool contained: per-item map panics (reported to
+    /// the caller as [`TaskPanic`]s) and panics from raw `spawn` tasks
+    /// (swallowed by the worker backstop).
+    pub panics_contained: u64,
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks recovering from poisoning: one contained panic on a worker
+/// must not poison scheduling for the rest of the process.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Inner {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    pending: AtomicUsize,
+    steals: AtomicU64,
+    executed: AtomicU64,
+    panics: AtomicU64,
+    shutdown: AtomicBool,
+    cursor: AtomicUsize,
+}
+
+impl Inner {
+    fn push(&self, task: Task) {
+        // `pending` goes up before the task is visible so a concurrent
+        // pop can never drive it below zero; sleepers re-check it under
+        // the sleep mutex, so the increment-then-notify order closes
+        // the lost-wakeup window.
+        self.pending.fetch_add(1, SeqCst);
+        let q = self.cursor.fetch_add(1, SeqCst) % self.queues.len();
+        lock(&self.queues[q]).push_back(task);
+        let _g = lock(&self.sleep);
+        self.wake.notify_all();
+    }
+
+    fn grab(&self, me: usize) -> Option<(Task, bool)> {
+        if let Some(t) = lock(&self.queues[me]).pop_front() {
+            self.pending.fetch_sub(1, SeqCst);
+            return Some((t, false));
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            let victim = (me + k) % n;
+            if let Some(t) = lock(&self.queues[victim]).pop_back() {
+                self.pending.fetch_sub(1, SeqCst);
+                return Some((t, true));
+            }
+        }
+        None
+    }
+
+    fn worker(self: Arc<Self>, me: usize) {
+        loop {
+            match self.grab(me) {
+                Some((task, stolen)) => {
+                    if stolen {
+                        self.steals.fetch_add(1, SeqCst);
+                    }
+                    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                        self.panics.fetch_add(1, SeqCst);
+                    }
+                    self.executed.fetch_add(1, SeqCst);
+                }
+                None => {
+                    if self.shutdown.load(SeqCst) {
+                        return;
+                    }
+                    let g = lock(&self.sleep);
+                    if self.pending.load(SeqCst) == 0 && !self.shutdown.load(SeqCst) {
+                        let _ = self.wake.wait_timeout(g, Duration::from_millis(50));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tells workers to exit once the last external `Pool` handle drops
+/// (workers hold only the `Inner` Arc, so this fires exactly when no
+/// caller can submit work anymore).
+struct ShutdownOnDrop {
+    inner: Arc<Inner>,
+}
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, SeqCst);
+        let _g = lock(&self.inner.sleep);
+        self.inner.wake.notify_all();
+    }
+}
+
+/// A work-stealing thread pool. Cheap to clone (shared handle); worker
+/// threads exit when the last handle drops.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<Inner>,
+    _shutdown: Arc<ShutdownOnDrop>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Builds a pool with `threads` workers (`0` is treated as 1). A
+    /// 1-thread pool still has one real worker for detached
+    /// [`Pool::spawn`] tasks, but runs maps inline on the caller.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            cursor: AtomicUsize::new(0),
+        });
+        let mut spawned = 0usize;
+        for i in 0..threads {
+            let inner = Arc::clone(&inner);
+            let ok = std::thread::Builder::new()
+                .name(format!("exec-worker-{i}"))
+                .spawn(move || inner.worker(i))
+                .is_ok();
+            if ok {
+                spawned += 1;
+            }
+        }
+        Pool {
+            _shutdown: Arc::new(ShutdownOnDrop {
+                inner: Arc::clone(&inner),
+            }),
+            inner,
+            // If the OS refused us threads, degrade to inline execution
+            // rather than queueing work nobody will run.
+            threads: if spawned == 0 { 1 } else { spawned },
+        }
+    }
+
+    /// Worker count this pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.threads,
+            steals: self.inner.steals.load(SeqCst),
+            executed: self.inner.executed.load(SeqCst),
+            queue_depth: self.inner.pending.load(SeqCst),
+            panics_contained: self.inner.panics.load(SeqCst),
+        }
+    }
+
+    /// Runs a detached task on a worker. A panic inside the task is
+    /// contained by the worker backstop and counted in
+    /// [`PoolStats::panics_contained`].
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.inner.push(Box::new(f));
+    }
+
+    /// Maps `f` over `items`, returning results in input order.
+    /// Panicking items are contained per task; after every item has
+    /// run, the first panic (in input order) is re-raised on the
+    /// caller, mirroring `std::thread::scope`.
+    pub fn map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        self.map_opts(items, MapOptions::default(), f)
+    }
+
+    /// [`Pool::map`] with explicit [`MapOptions`] (worker spans).
+    pub fn map_opts<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        opts: MapOptions,
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        let mut out = Vec::with_capacity(items.len());
+        for r in self.try_map(items, opts, f) {
+            match r {
+                Ok(v) => out.push(v),
+                // A re-raise of the already-contained panic, payload
+                // preserved — not a fresh panic site.
+                Err(p) => std::panic::resume_unwind(Box::new(p.detail)),
+            }
+        }
+        out
+    }
+
+    /// Like [`Pool::map`] but panics stay contained: each slot is
+    /// `Ok(result)` or `Err(TaskPanic)` for that item alone. This is
+    /// the quarantine-friendly entry point.
+    pub fn try_map<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        opts: MapOptions,
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<Result<R, TaskPanic>> {
+        // The sequential path, by construction: one worker (or nothing
+        // to share) means inline execution on the caller, no tickets,
+        // no extra spans — byte-identical to the pre-pool engine.
+        if self.threads == 1 || items.len() <= 1 {
+            return items
+                .iter()
+                .map(|it| {
+                    catch_unwind(AssertUnwindSafe(|| f(it)))
+                        .map_err(TaskPanic::from_payload)
+                        .inspect_err(|_| {
+                            self.inner.panics.fetch_add(1, SeqCst);
+                        })
+                })
+                .collect();
+        }
+        self.map_tickets(items, opts, f)
+    }
+
+    fn map_tickets<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+        &self,
+        items: &[T],
+        opts: MapOptions,
+        f: F,
+    ) -> Vec<Result<R, TaskPanic>> {
+        let total = items.len();
+        let slots: Vec<Slot<R>> = (0..total).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let payload: Payload<T, R, F> = Payload {
+            items: items.as_ptr(),
+            f: &f,
+            slots: slots.as_ptr(),
+            span: opts.span,
+        };
+        let job = Arc::new(Job {
+            closed: AtomicBool::new(false),
+            running: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            total,
+            payload: (&payload as *const Payload<T, R, F>).cast(),
+            run: run_items::<T, R, F>,
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let tickets = self.threads.min(total);
+        for _ in 0..tickets {
+            let job = Arc::clone(&job);
+            self.inner.push(Box::new(move || job.ticket()));
+        }
+        // Help-first join: claim items from the same cursor as the
+        // workers. The joiner opens no span of its own — the caller's
+        // enclosing span already covers this thread's share.
+        // SAFETY: the payload outlives this call; we are on the owning
+        // frame.
+        unsafe { claim_items::<T, R, _>(&payload, &job, false) };
+        // All items are claimed; refuse late tickets the payload, then
+        // wait for claimed items to finish and running tickets to
+        // retire before the payload's frame may die.
+        job.closed.store(true, SeqCst);
+        {
+            let mut g = lock(&job.lock);
+            while job.done.load(SeqCst) < total || job.running.load(SeqCst) != 0 {
+                let (g2, _) = job
+                    .cv
+                    .wait_timeout(g, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                g = g2;
+            }
+        }
+        // Fold the job's contained-panic count into the pool's books
+        // once, after every claimant has retired.
+        let contained = job.panics.load(SeqCst);
+        if contained > 0 {
+            self.inner.panics.fetch_add(contained, SeqCst);
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.0.into_inner().unwrap_or_else(|| {
+                    Err(TaskPanic {
+                        detail: "map slot lost (pool bug)".to_string(),
+                    })
+                })
+            })
+            .collect()
+    }
+}
+
+/// One result slot, written by exactly one claimant (the atomic item
+/// cursor hands each index out once).
+struct Slot<R>(UnsafeCell<Option<Result<R, TaskPanic>>>);
+
+// SAFETY: distinct indices are written by distinct claimants with no
+// aliasing; the joiner reads only after `done == total && running == 0`.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+struct Payload<T, R, F> {
+    items: *const T,
+    f: *const F,
+    slots: *const Slot<R>,
+    span: Option<(&'static str, SpanContext)>,
+}
+
+struct Job {
+    closed: AtomicBool,
+    running: AtomicUsize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    /// Items whose closure panicked (folded into the pool's
+    /// `panics_contained` by the joiner once the job is over).
+    panics: AtomicU64,
+    total: usize,
+    payload: *const (),
+    run: unsafe fn(*const (), &Job),
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+// SAFETY: the raw payload pointer is only dereferenced under the
+// running/closed protocol documented on the module; all other fields
+// are Sync primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn ticket(&self) {
+        if self.closed.load(SeqCst) {
+            return;
+        }
+        self.running.fetch_add(1, SeqCst);
+        // Re-check after registering: the joiner orders `closed = true`
+        // strictly before its running == 0 check, so either we see
+        // `closed` here and back out, or the joiner sees our increment
+        // and waits for us.
+        if self.closed.load(SeqCst) {
+            self.retire();
+            return;
+        }
+        // SAFETY: running was registered above and the job is open, so
+        // the joiner keeps the payload frame alive until we retire.
+        unsafe { (self.run)(self.payload, self) };
+        self.retire();
+    }
+
+    fn retire(&self) {
+        let _g = lock(&self.lock);
+        self.running.fetch_sub(1, SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn mark_done(&self) {
+        if self.done.fetch_add(1, SeqCst) + 1 == self.total {
+            let _g = lock(&self.lock);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Monomorphized ticket body: recover the typed payload and claim items.
+///
+/// # Safety
+/// `payload` must point at a live `Payload<T, R, F>` (guaranteed by the
+/// job's running/closed protocol).
+unsafe fn run_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(payload: *const (), job: &Job) {
+    let payload = &*payload.cast::<Payload<T, R, F>>();
+    claim_items::<T, R, F>(payload, job, true);
+}
+
+/// The shared claim loop for workers (`as_worker`) and the joiner.
+///
+/// # Safety
+/// Caller guarantees `payload` outlives the loop (workers via the
+/// running protocol, the joiner by owning the frame).
+unsafe fn claim_items<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    payload: &Payload<T, R, F>,
+    job: &Job,
+    as_worker: bool,
+) {
+    let mut span = None;
+    let f = &*payload.f;
+    loop {
+        let i = job.next.fetch_add(1, SeqCst);
+        if i >= job.total {
+            break;
+        }
+        if as_worker && span.is_none() {
+            if let Some((name, ctx)) = payload.span {
+                span = Some(batnet_obs::Span::enter_with_parent(name, ctx));
+            }
+        }
+        let item = &*payload.items.add(i);
+        let out = catch_unwind(AssertUnwindSafe(|| f(item))).map_err(TaskPanic::from_payload);
+        if out.is_err() {
+            job.panics.fetch_add(1, SeqCst);
+        }
+        *(*payload.slots.add(i)).0.get() = Some(out);
+        job.mark_done();
+    }
+    drop(span);
+}

@@ -14,9 +14,12 @@
 //!    session's viability, BGP re-runs (bounded rounds);
 //! 6. FIB construction.
 //!
-//! Same-color nodes are processed in parallel with `std::thread::scope`
-//! (CPU-bound work on OS threads — no async runtime, per the project's
-//! networking guides).
+//! Same-color nodes are processed in parallel on the shared
+//! `batnet_exec` work-stealing pool (CPU-bound work on OS threads — no
+//! async runtime, per the project's networking guides). The compute
+//! phase of each sweep fans out read-only; the apply phase is
+//! sequential in ascending node order, so RIBs are byte-identical at
+//! every thread count.
 
 use crate::bgp::{
     self, apply_rib_in, BgpNode, BgpPools, RibInUpdate, Session, ATTR_BUNDLE_BYTES,
@@ -262,9 +265,16 @@ pub fn simulate_governed(
         batnet_obs::counter_add("route.poisoned", report.poisoned_devices.len() as u64);
     }
 
-    // Phase 6: FIBs.
+    // Phase 6: FIBs — independent per device, fanned out over the pool
+    // and merged in device order.
     let fib_span = batnet_obs::Span::enter("route.fib");
-    let fibs: Vec<Fib> = ribs.iter().map(Fib::build).collect();
+    let fibs: Vec<Fib> = batnet_exec::current().map_opts(
+        &ribs,
+        batnet_exec::MapOptions {
+            span: Some(("exec.fib", fib_span.context())),
+        },
+        Fib::build,
+    );
     fib_span.close();
 
     let stats = pools.attrs.stats();
@@ -661,7 +671,7 @@ fn run_bgp_fixed_point(
                 }
             };
             let changes: Vec<NodeChanges> = if opts.parallel && group.len() >= 8 {
-                parallel_map(group, compute)
+                batnet_exec::current().map(group, compute)
             } else {
                 group.iter().map(compute).collect()
             };
@@ -814,40 +824,6 @@ fn compute_pulls(
         new_clock: clock,
         poisoned: false,
     }
-}
-
-/// Maps `f` over `items` using scoped threads, preserving order.
-fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len());
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let slots: Vec<(usize, &T)> = items.iter().enumerate().collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in slots.chunks(chunk) {
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                part.iter().map(|(i, t)| (*i, f(t))).collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            // A worker can only die if `f` itself panicked past its own
-            // containment; its chunk is recomputed serially below.
-            if let Ok(rs) = h.join() {
-                for (i, r) in rs {
-                    out[i] = Some(r);
-                }
-            }
-        }
-    });
-    out.into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| f(&items[i])))
-        .collect()
 }
 
 #[cfg(test)]

@@ -22,9 +22,10 @@ use batnet_queries::{host_facing_interfaces, scoped_sources};
 use std::sync::MutexGuard;
 use std::time::Duration;
 
-/// Routes a request. The caller (the worker loop) wraps this in
+/// Routes a request. The caller (the dispatch task) wraps this in
 /// `catch_unwind`, so a handler bug becomes one 500, never a dead
 /// worker.
+#[allow(clippy::too_many_arguments)]
 pub fn handle(
     req: &Request,
     store: &SnapshotStore,
@@ -33,6 +34,7 @@ pub fn handle(
     ring: &TraceRing,
     sampler: Option<&batnet_obs::Sampler>,
     ids: &TraceIds,
+    pool: &batnet_exec::Pool,
 ) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method, segments.as_slice()) {
@@ -44,7 +46,7 @@ pub fn handle(
                 Response::error(503, "draining").with_header("Retry-After", 1)
             }
         }
-        (Method::Get, ["metricsz"]) => metricsz(sampler),
+        (Method::Get, ["metricsz"]) => metricsz(sampler, pool),
         (Method::Get, ["tracez"]) => tracez(req, ring, ids),
         (Method::Get, ["profilez"]) => profilez(sampler),
         (Method::Get, ["snapshots"]) => list_snapshots(store),
@@ -102,8 +104,11 @@ pub fn endpoint_label(method: Method, path: &str) -> &'static str {
 /// accounting (`obs.sampler.samples` / `.dropped` / `.ticks` /
 /// `.overhead_us`) is lifted the same way — *into this response's meta,
 /// never into the metric registry*, so captured analysis reports stay
-/// byte-identical with the sampler off.
-fn metricsz(sampler: Option<&batnet_obs::Sampler>) -> Response {
+/// byte-identical with the sampler off. The shared execution pool's
+/// gauges (`exec.workers` / `exec.steals` / `exec.queue_depth`) follow
+/// the same rule: meta only, so reports stay identical at every pool
+/// width.
+fn metricsz(sampler: Option<&batnet_obs::Sampler>, pool: &batnet_exec::Pool) -> Response {
     let mut report = batnet_obs::capture();
     let mut slo = Vec::new();
     for (name, value) in &report.metrics {
@@ -138,6 +143,17 @@ fn metricsz(sampler: Option<&batnet_obs::Sampler>) -> Response {
             st.overhead_us.to_string(),
         );
     }
+    let exec = pool.stats();
+    report
+        .meta
+        .insert("exec.workers".to_string(), pool.threads().to_string());
+    report
+        .meta
+        .insert("exec.steals".to_string(), exec.steals.to_string());
+    report.meta.insert(
+        "exec.queue_depth".to_string(),
+        exec.queue_depth.to_string(),
+    );
     Response::json(200, report.to_json())
 }
 

@@ -1,11 +1,15 @@
 //! batnet-serve: run the analysis service, or drive its smoke sequence.
 //!
 //! ```text
-//! batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//! batnet-serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
 //!              [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N]
 //!              [--prewarm N2,NET1] [--trace-ring N] [--trace-seed N]
 //!              [--profile-hz N] [--access-log] [--smoke]
 //! ```
+//!
+//! `--threads N` sizes the shared execution pool request handlers (and
+//! the analysis they trigger) run on; 0 or omitted = all cores.
+//! `--workers N` is accepted as a deprecated alias.
 //!
 //! Without `--smoke`, binds, prewarms, prints the address, and serves
 //! until a client POSTs `/admin/shutdown`. `--profile-hz N` turns on the
@@ -42,6 +46,12 @@ fn main() {
         };
         match arg.as_str() {
             "--addr" => cfg.addr = take("--addr"),
+            "--threads" => {
+                let n: usize = parse(&take("--threads"), "--threads");
+                if !batnet_exec::configure_threads(n) {
+                    fail("--threads: the execution pool is already sized differently".to_string());
+                }
+            }
             "--workers" => cfg.workers = parse(&take("--workers"), "--workers"),
             "--queue-depth" => cfg.queue_depth = parse(&take("--queue-depth"), "--queue-depth"),
             "--io-timeout-ms" => {
@@ -69,7 +79,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: batnet-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                    "usage: batnet-serve [--addr HOST:PORT] [--threads N] [--queue-depth N] \
                      [--io-timeout-ms N] [--deadline-ms N] [--store-capacity N] \
                      [--prewarm IDS] [--trace-ring N] [--trace-seed N] [--profile-hz N] \
                      [--access-log] [--smoke]"
@@ -318,6 +328,11 @@ fn run_smoke(cfg: ServeConfig) -> Result<(), String> {
     }
     if body.contains("serve.panics.contained") {
         return Err("metricsz: a panic was contained during smoke".to_string());
+    }
+    for key in ["exec.workers", "exec.steals", "exec.queue_depth"] {
+        if !body.contains(key) {
+            return Err(format!("metricsz: execution-pool meta {key} missing"));
+        }
     }
     if profiling {
         for key in ["obs.sampler.samples", "obs.sampler.overhead_us"] {

@@ -1,24 +1,40 @@
-//! The service core: listener, worker pool, watchdog, graceful drain.
+//! The service core: listener, shared-pool dispatch, watchdog, graceful
+//! drain.
 //!
 //! The threading model is deliberately boring — one nonblocking accept
-//! loop feeding a [`BoundedQueue`] of connections, a fixed pool of
-//! worker threads, socket read timeouts as the slow-loris watchdog —
-//! because every piece of it is a named element of the failure model
-//! (DESIGN.md §5f):
+//! loop feeding a [`BoundedQueue`] of connections, one dispatch task on
+//! the shared [`batnet_exec`] pool per admitted connection, socket read
+//! timeouts as the slow-loris watchdog — because every piece of it is a
+//! named element of the failure model (DESIGN.md §5f):
 //!
 //! * **Admission control.** The accept loop never blocks on a full
 //!   queue: it sheds the connection with `503` + `Retry-After`
 //!   immediately, so overload degrades to fast rejections instead of
 //!   latency collapse.
 //! * **Watchdog.** Every accepted socket gets a read timeout before it
-//!   reaches a worker; a peer that feeds bytes too slowly costs one
-//!   bounded worker-slice (`408`), never a wedged worker.
+//!   reaches a dispatch task; a peer that feeds bytes too slowly costs
+//!   one bounded pool slice (`408`), never a wedged worker.
 //! * **Panic isolation.** Each request runs under `catch_unwind`; a
 //!   handler bug is one `500` and a `serve.panics.contained` tick, not
 //!   a dead thread silently shrinking the pool.
 //! * **Graceful drain.** Shutdown (signalled by `POST /admin/shutdown`
 //!   or [`Handle::shutdown`]) flips `readyz` to 503, stops accepting,
-//!   closes the queue, and lets workers finish queued requests.
+//!   closes the queue, and waits for every in-flight dispatch task to
+//!   finish its queued request.
+//!
+//! Request handlers run *on* the shared execution pool (the same pool
+//! that parallelizes parse, routing sweeps, and reachability — sized
+//! once per process, `--threads` on the binaries). A handler that fans
+//! out its own `parallel_map` nests safely: the pool's help-first join
+//! lets the joining task make progress on its own items even when every
+//! worker is busy, so serve traffic can never deadlock the analysis it
+//! triggers. Admission stays with the bounded queue — the pool sees one
+//! task per *admitted* connection, and a drain waits on the dispatch
+//! tracker, not on thread joins. `/metricsz` lifts the pool's gauges
+//! (`exec.workers` / `exec.steals` / `exec.queue_depth`) into its
+//! response meta the same way it lifts sampler accounting — never into
+//! the metric registry, so analysis reports stay byte-identical at
+//! every pool width.
 //!
 //! Every response — including sheds, parse rejections, and the
 //! post-panic 500 — carries an `X-Batnet-Trace-Id`. For real requests
@@ -38,7 +54,7 @@ use batnet_obs::{Sampler, SamplerThread, Span};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,7 +64,10 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` = loopback, ephemeral port).
     pub addr: String,
-    /// Worker threads handling requests.
+    /// Legacy worker-count knob, retained for config compatibility.
+    /// Request handlers now run on the shared `batnet_exec` pool —
+    /// size it once per process with `batnet_exec::configure_threads`
+    /// (`--threads` on the binaries); this field spawns nothing.
     pub workers: usize,
     /// Accepted-connection queue depth; beyond it, 503 + `Retry-After`.
     pub queue_depth: usize,
@@ -136,9 +155,9 @@ pub struct Handle {
     store: SnapshotStore,
     ring: Arc<TraceRing>,
     accept: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    dispatches: Arc<Dispatches>,
     /// The continuous profiler, when `profile_hz > 0`. Held here so the
-    /// sampling thread stops (via drop) only after the workers drain.
+    /// sampling thread stops (via drop) only after the dispatches drain.
     profiler: Option<SamplerThread>,
 }
 
@@ -178,19 +197,78 @@ impl Handle {
     }
 
     /// Waits for the server to stop (a drain must have been requested,
-    /// e.g. via `POST /admin/shutdown`).
+    /// e.g. via `POST /admin/shutdown`). The accept loop closes the
+    /// queue on exit; every admitted connection has exactly one
+    /// dispatch task on the shared pool, so waiting the tracker down to
+    /// zero is the whole drain — there are no owned threads to join.
     pub fn join(self) {
         let _ = self.accept.join();
-        for w in self.workers {
-            let _ = w.join();
-        }
+        self.dispatches.wait_idle();
         // Dropping the profiler stops and joins the sampling thread.
         drop(self.profiler);
         batnet_obs::event("serve", "drain", "complete");
     }
 }
 
-struct WorkerCtx {
+/// In-flight dispatch accounting: one `begin` per admitted connection
+/// (before the task is handed to the pool), one `end` when its dispatch
+/// task finishes. A drain waits for zero — the service's requests run
+/// on pool threads it does not own, so the tracker *is* the drain
+/// barrier.
+struct Dispatches {
+    pending: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Dispatches {
+    fn new() -> Dispatches {
+        Dispatches {
+            pending: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn begin(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn end(&self) {
+        // Decrement under the lock so a waiter can't check the count
+        // between the decrement and the notify and then sleep forever.
+        let _g = self.lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut g = self.lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while self.pending.load(Ordering::SeqCst) > 0 {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g = guard;
+        }
+    }
+}
+
+/// Ends the dispatch accounting even if the task unwinds: the pool
+/// contains handler panics below this frame, but the drain barrier must
+/// hold regardless.
+struct DispatchGuard(Arc<Dispatches>);
+
+impl Drop for DispatchGuard {
+    fn drop(&mut self) {
+        self.0.end();
+    }
+}
+
+/// Everything a dispatch task needs to serve one connection. Shared
+/// (`Arc`) between the accept loop and every task it spawns.
+struct DispatchCtx {
     queue: Arc<BoundedQueue<(TcpStream, Instant)>>,
     store: SnapshotStore,
     cfg: ServeConfig,
@@ -200,9 +278,14 @@ struct WorkerCtx {
     ids: Arc<TraceIds>,
     ring: Arc<TraceRing>,
     sampler: Option<Arc<Sampler>>,
+    /// The shared execution pool requests run on — also the source of
+    /// the `exec.*` gauges `/metricsz` lifts into its meta.
+    pool: batnet_exec::Pool,
 }
 
-/// Binds, prewarms, and starts the accept loop and worker pool.
+/// Binds, prewarms, and starts the accept loop; request handlers run as
+/// dispatch tasks on the shared `batnet_exec` pool (captured here via
+/// [`batnet_exec::current`], so a test override is honored).
 /// Returns once the service is ready.
 pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
     let listener = TcpListener::bind(&cfg.addr)?;
@@ -228,33 +311,26 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
     let ids = Arc::new(TraceIds::new(cfg.trace_seed));
     let ring = Arc::new(TraceRing::new(cfg.trace_ring_capacity));
 
-    let mut workers = Vec::with_capacity(cfg.workers.max(1));
-    for i in 0..cfg.workers.max(1) {
-        let ctx = WorkerCtx {
-            queue: Arc::clone(&queue),
-            store: store.clone(),
-            cfg: cfg.clone(),
-            state: Arc::clone(&state),
-            inflight: Arc::clone(&inflight),
-            limits: limits.clone(),
-            ids: Arc::clone(&ids),
-            ring: Arc::clone(&ring),
-            sampler: sampler.clone(),
-        };
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&ctx))?,
-        );
-    }
+    let ctx = Arc::new(DispatchCtx {
+        queue: Arc::clone(&queue),
+        store: store.clone(),
+        cfg: cfg.clone(),
+        state: Arc::clone(&state),
+        inflight: Arc::clone(&inflight),
+        limits: limits.clone(),
+        ids: Arc::clone(&ids),
+        ring: Arc::clone(&ring),
+        sampler: sampler.clone(),
+        pool: batnet_exec::current(),
+    });
+    let dispatches = Arc::new(Dispatches::new());
 
-    let accept_state = Arc::clone(&state);
-    let accept_queue = Arc::clone(&queue);
-    let accept_ids = Arc::clone(&ids);
+    let accept_ctx = Arc::clone(&ctx);
+    let accept_dispatches = Arc::clone(&dispatches);
     let io_timeout = Duration::from_millis(cfg.io_timeout_ms.max(1));
     let accept = std::thread::Builder::new()
         .name("serve-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_queue, &accept_state, &accept_ids, io_timeout))?;
+        .spawn(move || accept_loop(&listener, &accept_ctx, &accept_dispatches, io_timeout))?;
 
     state.ready.store(true, Ordering::Relaxed);
     batnet_obs::event("serve", "ready", &addr.to_string());
@@ -264,30 +340,45 @@ pub fn spawn(cfg: ServeConfig) -> std::io::Result<Handle> {
         store,
         ring,
         accept,
-        workers,
+        dispatches,
         profiler,
     })
 }
 
 /// The nonblocking accept loop: admit into the bounded queue (stamped
-/// with the enqueue instant, so workers can account queue wait) or shed
-/// with 503 immediately. Polls the shutdown flag between accepts.
+/// with the enqueue instant, so dispatch tasks can account queue wait)
+/// or shed with 503 immediately. Each admitted connection gets exactly
+/// one dispatch task on the shared pool — the task pops *a* queued
+/// connection (not necessarily the one whose admission spawned it; the
+/// counts are 1:1, so every connection is served and no task blocks).
+/// Polls the shutdown flag between accepts.
 fn accept_loop(
     listener: &TcpListener,
-    queue: &BoundedQueue<(TcpStream, Instant)>,
-    state: &ServiceState,
-    ids: &TraceIds,
+    ctx: &Arc<DispatchCtx>,
+    dispatches: &Arc<Dispatches>,
     io_timeout: Duration,
 ) {
+    let queue = &ctx.queue;
+    let state = &ctx.state;
+    let ids = &ctx.ids;
     while !state.is_shutting_down() {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Arm the watchdog before the socket can reach a worker.
+                // Arm the watchdog before the socket can reach a
+                // dispatch task.
                 let _ = stream.set_read_timeout(Some(io_timeout));
                 let _ = stream.set_write_timeout(Some(io_timeout));
                 batnet_obs::counter_add("serve.accepted", 1);
                 match queue.try_push((stream, batnet_obs::now())) {
-                    Ok(()) => {}
+                    Ok(()) => {
+                        dispatches.begin();
+                        let guard = DispatchGuard(Arc::clone(dispatches));
+                        let task_ctx = Arc::clone(ctx);
+                        ctx.pool.spawn(move || {
+                            let _guard = guard;
+                            dispatch_one(&task_ctx);
+                        });
+                    }
                     Err((why, (mut stream, _))) => {
                         let detail = match why {
                             PushError::Full => "server busy",
@@ -322,39 +413,44 @@ fn accept_loop(
     batnet_obs::event("serve", "drain", "accept loop stopped");
 }
 
-fn worker_loop(ctx: &WorkerCtx) {
-    while let Some((stream, enqueued_at)) = ctx.queue.pop() {
-        let queue_wait_us = enqueued_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        let trace_id = ctx.ids.next_id();
-        let n = ctx.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-        batnet_obs::gauge_set("serve.inflight", n as f64);
-        let started = batnet_obs::now();
-        // The handler closure consumes the stream, so clone the socket
-        // handle first: after a contained panic the worker still owes
-        // the client a 500 (and the books a `responses.5xx` tick —
-        // `requests.total` was already counted inside the closure).
-        let fallback = stream.try_clone().ok();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(ctx, stream, &trace_id, queue_wait_us)
-        }));
-        if let Err(_panic) = outcome {
-            batnet_obs::counter_add("serve.panics.contained", 1);
-            batnet_obs::counter_add("serve.responses.5xx", 1);
-            if let Some(mut s) = fallback {
-                let resp = Response::error(500, "internal error: handler panicked")
-                    .with_header("X-Batnet-Trace-Id", &trace_id);
-                if resp.write_to(&mut s).is_err() {
-                    batnet_obs::counter_add("serve.write.errors", 1);
-                }
+/// One dispatch task: pop one queued connection and serve it. Runs on a
+/// shared-pool worker thread; the `catch_unwind` below the pop keeps a
+/// handler panic to one `500`, so the pool's own backstop never fires
+/// for serve traffic.
+fn dispatch_one(ctx: &DispatchCtx) {
+    let Some((stream, enqueued_at)) = ctx.queue.pop() else {
+        return;
+    };
+    let queue_wait_us = enqueued_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let trace_id = ctx.ids.next_id();
+    let n = ctx.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    batnet_obs::gauge_set("serve.inflight", n as f64);
+    let started = batnet_obs::now();
+    // The handler closure consumes the stream, so clone the socket
+    // handle first: after a contained panic the dispatch still owes
+    // the client a 500 (and the books a `responses.5xx` tick —
+    // `requests.total` was already counted inside the closure).
+    let fallback = stream.try_clone().ok();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        serve_connection(ctx, stream, &trace_id, queue_wait_us)
+    }));
+    if let Err(_panic) = outcome {
+        batnet_obs::counter_add("serve.panics.contained", 1);
+        batnet_obs::counter_add("serve.responses.5xx", 1);
+        if let Some(mut s) = fallback {
+            let resp = Response::error(500, "internal error: handler panicked")
+                .with_header("X-Batnet-Trace-Id", &trace_id);
+            if resp.write_to(&mut s).is_err() {
+                batnet_obs::counter_add("serve.write.errors", 1);
             }
         }
-        batnet_obs::observe(
-            "serve.latency.us",
-            started.elapsed().as_micros().min(u64::MAX as u128) as u64,
-        );
-        let n = ctx.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
-        batnet_obs::gauge_set("serve.inflight", n as f64);
     }
+    batnet_obs::observe(
+        "serve.latency.us",
+        started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+    );
+    let n = ctx.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+    batnet_obs::gauge_set("serve.inflight", n as f64);
 }
 
 /// One request per connection (`Connection: close`): parse under the
@@ -364,7 +460,7 @@ fn worker_loop(ctx: &WorkerCtx) {
 /// the trace ring, and the access log — the ring push happens before
 /// the response write, so accounting holds even when the client is
 /// already gone.
-fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream, trace_id: &str, queue_wait_us: u64) {
+fn serve_connection(ctx: &DispatchCtx, mut stream: TcpStream, trace_id: &str, queue_wait_us: u64) {
     let response = match read_request(&mut stream, &ctx.limits) {
         Ok(None) => {
             // Clean close before a request — a probe or a mid-dial
@@ -385,6 +481,7 @@ fn serve_connection(ctx: &WorkerCtx, mut stream: TcpStream, trace_id: &str, queu
                 &ctx.ring,
                 ctx.sampler.as_deref(),
                 &ctx.ids,
+                &ctx.pool,
             );
             let handler_us = root.close().as_micros().min(u64::MAX as u128) as u64;
             batnet_obs::observe(&format!("serve.latency.us.{label}"), handler_us);

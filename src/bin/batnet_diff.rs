@@ -13,7 +13,9 @@
 //!
 //! Flags: `--format text|json`, `--out FILE`, `--deny any|structural|
 //! routes|reach` (exit 1 when the named layer — or any layer — is
-//! non-empty), `--max-flows N`, `--max-starts N`.
+//! non-empty), `--max-flows N`, `--max-starts N`, `--threads N` (size
+//! the shared execution pool; 0 or omitted = all cores — output is
+//! byte-identical at every thread count).
 //!
 //! Exit codes: 0 clean (or no `--deny` given), 1 the denied layer has
 //! differences, 2 usage or I/O error. Unreadable or unparseable devices
@@ -37,10 +39,12 @@ struct Args {
     max_flows: usize,
     max_starts: usize,
     deadline_ms: Option<u64>,
+    threads: usize,
 }
 
 const USAGE: &str = "usage: batnet-diff --before DIR --after DIR [--format text|json] \
-[--out FILE] [--deny any|structural|routes|reach] [--max-flows N] [--max-starts N] [--deadline-ms N]
+[--out FILE] [--deny any|structural|routes|reach] [--max-flows N] [--max-starts N] [--deadline-ms N] \
+[--threads N]
        batnet-diff --net ID [--scenario NAME --seed N] [...same flags]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -57,6 +61,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_flows: defaults.max_flow_deltas,
         max_starts: defaults.max_starts,
         deadline_ms: None,
+        threads: 0,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -92,6 +97,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 );
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -173,6 +183,9 @@ fn denied(diff: &SnapshotDiff, deny: &str) -> bool {
 fn run() -> Result<ExitCode, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
+    if !batnet_exec::configure_threads(args.threads) {
+        return Err("--threads: the execution pool is already sized differently".to_string());
+    }
     let (before, after) = load_sides(&args)?;
 
     let opts = DiffOptions {

@@ -1,0 +1,192 @@
+//! Cross-thread-count determinism for the `batnet_exec` subsystem.
+//!
+//! The parallel engine's contract is *byte identity*: every analysis
+//! artifact — run-report accounting, lint fingerprints, diff JSON,
+//! coverage JSON — must be identical whether the shared pool runs one
+//! thread (the sequential code path, by construction) or many. The
+//! property sweeps perturbation seeds and pool widths in one process
+//! via `with_pool`, so a scheduling-order dependence anywhere in the
+//! parse/routing/reach fan-outs fails loudly here before it can reach
+//! a committed baseline.
+//!
+//! The poisoning regression pins the other half of the contract: a task
+//! panic mid-sweep is contained to that task's item — the pool keeps
+//! working, later runs on the same pool stay byte-identical, and no
+//! mutex is left poisoned.
+
+use batnet::config::parse_device;
+use batnet::{DiffOptions, Snapshot};
+use batnet_exec::{with_pool, MapOptions, Pool};
+
+/// Thread counts swept against the 1-thread baseline: a small pool, and
+/// one wider than the shard count so stealing actually happens.
+const WIDTHS: [usize; 2] = [4, 7];
+
+/// Perturbation seeds (≥3, per the determinism gate) applied to the N2
+/// data center — each seed picks a different victim device, so the
+/// sweep covers distinct quarantine-free change shapes.
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Everything the sweep compares, rendered to stable text. Span records
+/// are deliberately absent: worker spans exist only to attribute time,
+/// and which worker participated in a map job is timing-dependent.
+/// Everything else — metrics, events, quarantine and partial
+/// accounting, the snapshot summary — must not move by a byte.
+fn projection(report: &batnet_obs::RunReport) -> String {
+    use batnet_obs::metrics::MetricValue;
+    let mut out = String::new();
+    for (name, value) in &report.metrics {
+        match value {
+            MetricValue::Counter(n) => out.push_str(&format!("counter {name} {n}\n")),
+            MetricValue::Gauge(g) => out.push_str(&format!("gauge {name} {g}\n")),
+            MetricValue::Histogram(h) => out.push_str(&format!(
+                "histogram {name} count={} sum={} buckets={:?}\n",
+                h.count, h.sum, h.buckets
+            )),
+        }
+    }
+    for e in &report.events {
+        // `at_ns` is wall clock; the projection compares order + content.
+        out.push_str(&format!("event {} {} {}\n", e.kind, e.subject, e.detail));
+    }
+    out.push_str(&format!("events_dropped {}\n", report.events_dropped));
+    for q in &report.quarantined {
+        out.push_str(&format!(
+            "quarantine {} {} {} {}\n",
+            q.device, q.stage, q.code, q.detail
+        ));
+    }
+    match &report.partial {
+        None => out.push_str("partial none\n"),
+        Some(p) => out.push_str(&format!(
+            "partial {} {} {:?}\n",
+            p.stage, p.limit, p.abandoned
+        )),
+    }
+    if let Some(s) = &report.snapshot {
+        out.push_str(&format!(
+            "snapshot devices={} quarantined={} diagnostics={}\n",
+            s.devices, s.quarantined, s.diagnostics
+        ));
+    }
+    out
+}
+
+/// One full run under the *current* pool: analysis projection, lint
+/// JSON, diff JSON (unperturbed vs perturbed), coverage JSON. Returns
+/// the four artifacts for byte comparison.
+fn run_artifacts(
+    net: &batnet_topogen::GeneratedNetwork,
+    perturbed: &[(String, String)],
+) -> (String, String, String, String) {
+    batnet_obs::reset();
+    let before = Snapshot::from_configs(net.configs.clone()).with_env(net.env.clone());
+    let after = Snapshot::from_configs(perturbed.to_vec()).with_env(net.env.clone());
+    let analysis = after.analyze();
+    let report = projection(&analysis.report);
+
+    // Lint fingerprints over a pool-parallel parse of the same configs.
+    let parsed = batnet_exec::current().map_opts(
+        perturbed,
+        MapOptions::default(),
+        |(name, text): &(String, String)| parse_device(name, text),
+    );
+    let mut devices = Vec::with_capacity(parsed.len());
+    let mut diags = Vec::with_capacity(parsed.len());
+    for ((name, _), (device, dg)) in perturbed.iter().zip(parsed) {
+        devices.push(device);
+        diags.push((name.clone(), dg));
+    }
+    let findings = batnet::lint::run_network(&devices, &diags);
+    let lint_json = batnet::lint::output::render_json("N2", &findings);
+
+    let diff = before.diff_with(&after, &DiffOptions::default());
+    let diff_json = batnet::diff::render_json(&diff);
+
+    for (device, (name, _)) in devices.iter_mut().zip(perturbed.iter()) {
+        device.stamp_source_file(name);
+    }
+    let coverage = batnet_coverage::analyze(&devices);
+    let cov_json = batnet_coverage::render_json("N2", &coverage);
+
+    (report, lint_json, diff_json, cov_json)
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_thread_counts() {
+    let net = batnet_topogen::suite::n2();
+    for seed in SEEDS {
+        let p = batnet_topogen::perturb::perturb(
+            &net,
+            batnet_topogen::perturb::Scenario::AclAttachPeering,
+            seed,
+        )
+        .expect("N2 always has an eligible victim");
+
+        let sequential = Pool::new(1);
+        let baseline = with_pool(&sequential, || run_artifacts(&net, &p.configs));
+
+        for width in WIDTHS {
+            let pool = Pool::new(width);
+            let parallel = with_pool(&pool, || run_artifacts(&net, &p.configs));
+            for (what, base, got) in [
+                ("run report", &baseline.0, &parallel.0),
+                ("lint JSON", &baseline.1, &parallel.1),
+                ("diff JSON", &baseline.2, &parallel.2),
+                ("coverage JSON", &baseline.3, &parallel.3),
+            ] {
+                assert_eq!(
+                    base, got,
+                    "seed {seed}: {what} differs between 1 thread and {width}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_survives_a_mid_sweep_panic_without_poisoning() {
+    let pool = Pool::new(4);
+    let items: Vec<usize> = (0..16).collect();
+
+    // One task panics mid-sweep; every sibling item must still finish.
+    let results = with_pool(&pool, || {
+        batnet_exec::current().try_map(&items, MapOptions::default(), |&i| {
+            assert!(i != 7, "injected failure on item 7");
+            i * 2
+        })
+    });
+    let mut failed = 0;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(v) => assert_eq!(*v, i * 2, "sibling item {i} corrupted by the panic"),
+            Err(p) => {
+                failed += 1;
+                assert_eq!(i, 7, "only item 7 may fail");
+                assert!(
+                    p.detail.contains("injected failure"),
+                    "panic detail lost: {}",
+                    p.detail
+                );
+            }
+        }
+    }
+    assert_eq!(failed, 1, "exactly one contained panic");
+
+    // The same pool — workers, queues, and condvars all reused — must
+    // then produce a byte-identical full analysis: nothing was poisoned
+    // and no worker died.
+    let net = batnet_topogen::suite::n2();
+    let p = batnet_topogen::perturb::perturb(
+        &net,
+        batnet_topogen::perturb::Scenario::AclAttachPeering,
+        1,
+    )
+    .expect("N2 always has an eligible victim");
+    let reference = with_pool(&Pool::new(1), || run_artifacts(&net, &p.configs));
+    let reused = with_pool(&pool, || run_artifacts(&net, &p.configs));
+    assert_eq!(reference, reused, "a contained panic changed later results");
+
+    let stats = pool.stats();
+    assert_eq!(stats.panics_contained, 1, "panic containment accounting");
+}
